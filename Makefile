@@ -1,0 +1,32 @@
+# Convenience targets for the DMRA reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-paper figures extensions examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-paper:
+	BENCH_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro figure all --scale paper --out results/
+
+extensions:
+	$(PYTHON) -m repro figure extensions --scale paper --out results/
+
+examples:
+	for script in examples/*.py; do \
+		echo "== $$script"; $(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/results/reduced
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,66 @@
+"""Shared benchmark fixtures.
+
+Figure benches honour ``BENCH_SCALE``:
+
+* ``reduced`` (default) — same sweep structure at fewer grid points and
+  seeds; finishes in seconds and still exhibits every qualitative shape.
+* ``paper`` — the full published sweep (6 UE grid points / 10 rho
+  values, 5 seeds).
+
+Every figure bench writes its series to ``benchmarks/results/<id>.csv``
+so the numbers behind EXPERIMENTS.md are regenerable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.figures import Scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _reduced_scale() -> Scale:
+    return Scale(
+        ue_counts=(400, 600, 900),
+        rho_values=(0.0, 10.0, 100.0, 500.0),
+        rho_ue_count=1000,
+        seeds=(0, 1),
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> Scale:
+    mode = os.environ.get("BENCH_SCALE", "reduced")
+    if mode == "paper":
+        return Scale.paper()
+    return _reduced_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Per-scale output directory, so paper-scale CSVs (the ones
+    EXPERIMENTS.md cites) are never clobbered by quick reduced runs."""
+    mode = os.environ.get("BENCH_SCALE", "reduced")
+    target = RESULTS_DIR / mode
+    target.mkdir(parents=True, exist_ok=True)
+    return target
+
+
+def run_figure_bench(benchmark, exp_id: str, scale: Scale, results_dir: Path):
+    """Benchmark one figure experiment and persist its series as CSV."""
+    from repro.experiments.figures import get_experiment
+    from repro.experiments.io import write_series_csv
+
+    experiment = get_experiment(exp_id)
+    result = benchmark.pedantic(
+        lambda: experiment.run(scale), rounds=1, iterations=1
+    )
+    series = [result[label] for label in result.labels()]
+    write_series_csv(
+        results_dir / f"{exp_id}.csv", series, x_header=experiment.x_label
+    )
+    return result

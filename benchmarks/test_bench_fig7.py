@@ -1,0 +1,19 @@
+"""Bench for Fig. 7: total forwarded traffic vs rho (iota=1.1, 1000 UEs).
+
+The paper: larger rho -> more tasks absorbed by nearby BSs -> the total
+traffic forwarded to remote clouds decreases.
+"""
+
+from conftest import run_figure_bench
+
+
+def test_fig7_forwarded_traffic_vs_rho(benchmark, bench_scale, results_dir):
+    result = run_figure_bench(benchmark, "fig7", bench_scale, results_dir)
+
+    series = result["dmra"]
+    # Overloaded at 1000 UEs: some forwarding must occur everywhere.
+    assert all(point.value.mean > 0 for point in series.points)
+    low_rho = series.value_at(min(series.xs)).mean
+    high_rho = series.value_at(max(series.xs)).mean
+    # The paper's direction: resource-aware proposals cut forwarded load.
+    assert high_rho <= low_rho

@@ -1,0 +1,48 @@
+"""Benches for the mobility extension: handover/profit trade-off.
+
+Measures epoch-loop throughput (network + radio-map rebuild dominate)
+and asserts the sticky-vs-reoptimize trade-off holds: re-optimization
+never loses profit and never saves handovers.
+"""
+
+from repro.dynamics import RandomWaypoint, run_mobility
+from repro.sim.config import ScenarioConfig
+
+
+def test_mobility_epoch_throughput(benchmark):
+    config = ScenarioConfig.paper()
+    outcome = benchmark.pedantic(
+        lambda: run_mobility(
+            config,
+            ue_count=400,
+            epochs=6,
+            epoch_duration_s=30.0,
+            seed=3,
+            mobility=RandomWaypoint(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.epoch_count == 7
+
+
+def test_mobility_sticky_tradeoff(benchmark):
+    config = ScenarioConfig.paper()
+
+    def run_pair():
+        kwargs = dict(
+            config=config,
+            ue_count=400,
+            epochs=8,
+            epoch_duration_s=30.0,
+            seed=5,
+            mobility=RandomWaypoint(speed_min_mps=1.0, speed_max_mps=5.0),
+        )
+        return (
+            run_mobility(sticky=True, **kwargs),
+            run_mobility(sticky=False, **kwargs),
+        )
+
+    sticky, fresh = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert fresh.mean_profit >= sticky.mean_profit
+    assert fresh.total_handovers >= sticky.total_handovers

@@ -1,0 +1,38 @@
+"""Scaling benches: DMRA runtime as the population grows.
+
+§V gives DMRA's complexity as O(|U|^2 |B| + |B|^2 |U| |S|); these
+benches record wall-clock against |U| and |B| so the practical scaling
+behaviour is visible alongside the paper figures.
+"""
+
+import pytest
+
+from repro.core.dmra import DMRAAllocator
+from repro.sim.config import ScenarioConfig
+from repro.sim.scenario import build_scenario
+
+
+@pytest.mark.parametrize("ue_count", [200, 600, 1200])
+def test_dmra_scaling_in_ue_count(benchmark, ue_count):
+    scenario = build_scenario(ScenarioConfig.paper(), ue_count, seed=1)
+    allocator = DMRAAllocator(pricing=scenario.pricing)
+    benchmark(lambda: allocator.allocate(scenario.network, scenario.radio_map))
+
+
+@pytest.mark.parametrize("bs_per_sp", [3, 5, 10])
+def test_dmra_scaling_in_bs_count(benchmark, bs_per_sp):
+    # Random placement: 50 BSs do not fit a 300 m grid in the region.
+    config = ScenarioConfig.paper(bs_per_sp=bs_per_sp, placement="random")
+    scenario = build_scenario(config, 600, seed=1)
+    allocator = DMRAAllocator(pricing=scenario.pricing)
+    benchmark(lambda: allocator.allocate(scenario.network, scenario.radio_map))
+
+
+def test_radio_map_scaling(benchmark):
+    """Radio-map precomputation for the largest sweep population."""
+    from repro.radio.channel import build_radio_map
+    from repro.radio.sinr import LinkBudget
+
+    scenario = build_scenario(ScenarioConfig.paper(), 1200, seed=1)
+    budget = LinkBudget()
+    benchmark(lambda: build_radio_map(scenario.network, budget))

@@ -1,0 +1,82 @@
+"""Capacity planning with the DMRA simulator.
+
+An operator-side question the library answers beyond the paper's
+figures: *how much load can this deployment absorb before the edge
+starts spilling tasks to the cloud, and which resource runs out first?*
+
+The script ramps the UE population under DMRA, reports edge-served
+fraction, RRB and CRU utilization, and locates the knee where the
+cloud-forwarding SLA (here: <= 2% of tasks forwarded) breaks.  It then
+re-runs the sweep with doubled radio capacity to show which upgrade
+actually moves the knee.
+
+Run with::
+
+    python examples/capacity_planning.py
+"""
+
+from repro import DMRAAllocator, ScenarioConfig, build_scenario, run_allocation
+
+SLA_FORWARDED_FRACTION = 0.02
+SEEDS = (1, 2, 3)
+
+
+def sweep(config, label):
+    print(f"--- {label} ---")
+    print(
+        f"{'#UEs':>6} {'edge%':>7} {'fwd%':>6} {'RRB util':>9} "
+        f"{'CRU util':>9} {'profit':>10}"
+    )
+    knee = None
+    for ue_count in range(200, 2001, 200):
+        edge, forwarded, rrb, cru, profit = 0.0, 0.0, 0.0, 0.0, 0.0
+        for seed in SEEDS:
+            scenario = build_scenario(config, ue_count, seed)
+            outcome = run_allocation(
+                scenario, DMRAAllocator(pricing=scenario.pricing)
+            )
+            m = outcome.metrics
+            edge += m.edge_served_fraction / len(SEEDS)
+            forwarded += (m.cloud_forwarded / m.ue_count) / len(SEEDS)
+            rrb += m.mean_rrb_utilization / len(SEEDS)
+            cru += m.mean_cru_utilization / len(SEEDS)
+            profit += m.total_profit / len(SEEDS)
+        marker = ""
+        if knee is None and forwarded > SLA_FORWARDED_FRACTION:
+            knee = ue_count
+            marker = "  <- SLA breaks"
+        print(
+            f"{ue_count:>6} {edge:>7.1%} {forwarded:>6.1%} {rrb:>9.1%} "
+            f"{cru:>9.1%} {profit:>10.1f}{marker}"
+        )
+    if knee is None:
+        print("SLA held across the whole sweep")
+    else:
+        print(f"SLA (<= {SLA_FORWARDED_FRACTION:.0%} forwarded) breaks at "
+              f"~{knee} UEs")
+    print()
+    return knee
+
+
+def main() -> None:
+    base = ScenarioConfig.paper()
+    base_knee = sweep(base, "paper deployment (55 RRBs, 100-150 CRUs/service)")
+
+    # Upgrade option A: double the uplink bandwidth (110 RRBs per BS).
+    radio_upgrade = base.with_(uplink_bandwidth_hz=20e6)
+    radio_knee = sweep(radio_upgrade, "radio upgrade: 20 MHz uplink")
+
+    # Upgrade option B: double the computing capacity per service.
+    compute_upgrade = base.with_(cru_capacity_min=200, cru_capacity_max=300)
+    compute_knee = sweep(compute_upgrade, "compute upgrade: 200-300 CRUs")
+
+    print("=== planning verdict ===")
+    print(f"baseline knee:        ~{base_knee} UEs")
+    print(f"radio upgrade knee:   ~{radio_knee} UEs")
+    print(f"compute upgrade knee: ~{compute_knee} UEs")
+    if radio_knee and base_knee and radio_knee > base_knee:
+        print("radio is the binding resource: spend on spectrum, not servers")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Operator asymmetry: does owning more of the edge pay per subscriber?
+
+The paper's five SPs deploy identical fleets.  Real markets do not look
+like that.  This example fixes the total infrastructure at 25 BSs and
+sweeps how much of it one dominant operator owns, asking two questions:
+
+1. does the dominant SP's *per-subscriber* margin grow with its
+   infrastructure share (its users find cheap same-SP capacity more
+   often)?
+2. do the small operators' subscribers get worse off, or does DMRA's
+   cross-SP renting smooth it out?
+
+Run with::
+
+    python examples/operator_asymmetry.py
+"""
+
+from repro.core.dmra import DMRAAllocator
+from repro.sim.config import ScenarioConfig
+from repro.sim.runner import run_allocation
+from repro.sim.scenario import build_scenario
+
+UE_COUNT = 700
+SEEDS = (1, 2, 3, 4)
+
+# (label, per-SP fleet sizes summing to 25)
+MARKETS = (
+    ("symmetric", (5, 5, 5, 5, 5)),
+    ("mild", (9, 4, 4, 4, 4)),
+    ("dominant", (13, 3, 3, 3, 3)),
+    ("near-monopoly", (17, 2, 2, 2, 2)),
+)
+
+
+def main() -> None:
+    print(f"{UE_COUNT} UEs, 25 BSs total, iota=2, mean of {len(SEEDS)} seeds\n")
+    print(f"{'market':>14} {'SP-0 share':>11} {'SP-0 /sub':>10} "
+          f"{'others /sub':>12} {'advantage':>10} {'total':>9}")
+
+    for label, fleet in MARKETS:
+        big_margin = 0.0
+        small_margin = 0.0
+        total_profit = 0.0
+        for seed in SEEDS:
+            config = ScenarioConfig.paper(sp_bs_counts=fleet)
+            scenario = build_scenario(config, UE_COUNT, seed)
+            metrics = run_allocation(
+                scenario, DMRAAllocator(pricing=scenario.pricing)
+            ).metrics
+            total_profit += metrics.total_profit / len(SEEDS)
+            per_sub = {}
+            for sp_id, profit in metrics.profit_by_sp.items():
+                subscribers = len(
+                    scenario.network.user_equipments_of_sp(sp_id)
+                )
+                per_sub[sp_id] = profit / subscribers if subscribers else 0.0
+            big_margin += per_sub[0] / len(SEEDS)
+            small_margin += (
+                sum(per_sub[k] for k in range(1, 5)) / 4 / len(SEEDS)
+            )
+        advantage = (big_margin / small_margin - 1.0) if small_margin else 0.0
+        print(
+            f"{label:>14} {fleet[0] / 25:>11.0%} {big_margin:>10.2f} "
+            f"{small_margin:>12.2f} {advantage:>10.1%} {total_profit:>9.0f}"
+        )
+
+    print("\nReading: the dominant operator's per-subscriber margin grows")
+    print("with its footprint, but DMRA's cross-SP renting keeps the small")
+    print("operators' subscribers served — their margin erodes (they pay")
+    print("the iota markup more often) without collapsing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Resilience drill: how much infrastructure can fail before users feel it?
+
+Injects growing BS outages into a loaded paper-scale deployment and
+reports what DMRA's re-matching recovers.  Also answers an operations
+question: does it matter *which* BSs die — a whole SP's fleet versus
+the same number spread across operators?
+
+Run with::
+
+    python examples/resilience_drill.py
+"""
+
+from repro.dynamics.failures import inject_bs_failures
+from repro.sim.config import ScenarioConfig
+
+UE_COUNT = 800
+SEED = 11
+
+
+def drill(config, label, failure_sets):
+    print(f"--- {label} ---")
+    print(f"{'failed':>18} {'orphaned':>9} {'recovered':>10} "
+          f"{'dropped':>8} {'profit loss':>12}")
+    for name, bs_ids in failure_sets:
+        outcome = inject_bs_failures(
+            config, ue_count=UE_COUNT, failed_bs_ids=bs_ids, seed=SEED
+        )
+        print(
+            f"{name:>18} {outcome.orphaned_ues:>9} "
+            f"{outcome.recovered_ues:>10} {outcome.dropped_to_cloud:>8} "
+            f"{outcome.profit_loss_fraction:>11.1%}"
+        )
+    print()
+
+
+def main() -> None:
+    config = ScenarioConfig.paper()
+
+    drill(config, "growing outages", [
+        ("1 BS", [0]),
+        ("2 BSs", [0, 1]),
+        ("4 BSs", [0, 1, 2, 3]),
+        ("8 BSs", list(range(8))),
+        ("12 BSs", list(range(12))),
+    ])
+
+    # BS ids are interleaved across SPs (bs.sp_id = bs_id % 5), so one
+    # SP's whole fleet is {k, k+5, k+10, k+15, k+20}.
+    sp0_fleet = [0, 5, 10, 15, 20]
+    spread = [0, 1, 2, 3, 4]
+    drill(config, "concentrated vs spread (5 BSs either way)", [
+        ("SP-0's fleet", sp0_fleet),
+        ("one per SP", spread),
+    ])
+
+    print("Takeaway: losses stay graceful while neighbouring capacity")
+    print("exists; concentrated operator outages hurt more because the")
+    print("orphans lose their cheap same-SP alternatives at once.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` under
+PEP 660; offline boxes without the wheel package can instead run::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+which takes the legacy ``setup.py develop`` path through this shim.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

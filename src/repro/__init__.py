@@ -1,0 +1,59 @@
+"""repro: a reproduction of DMRA (ICDCS 2019).
+
+Decentralized resource allocation for multi-SP mobile edge computing:
+the DMRA matching scheme, the DCSP and NonCo baselines, the full radio /
+compute / economic substrates they run on, and a simulation harness that
+regenerates every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import DMRAAllocator, ScenarioConfig, build_scenario, run_allocation
+
+    scenario = build_scenario(ScenarioConfig.paper(), ue_count=600, seed=1)
+    outcome = run_allocation(scenario, DMRAAllocator(pricing=scenario.pricing))
+    print(outcome.metrics.total_profit)
+"""
+
+from repro.baselines import (
+    CloudOnlyAllocator,
+    DCSPAllocator,
+    GreedyProfitAllocator,
+    NonCoAllocator,
+    OptimalILPAllocator,
+    RandomAllocator,
+)
+from repro.core import Allocator, Assignment, DMRAAllocator
+from repro.econ import PaperPricing, compute_profit
+from repro.model import MECNetwork
+from repro.sim import (
+    AllocationOutcome,
+    OutcomeMetrics,
+    Scenario,
+    ScenarioConfig,
+    build_scenario,
+    run_allocation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationOutcome",
+    "Allocator",
+    "Assignment",
+    "CloudOnlyAllocator",
+    "DCSPAllocator",
+    "DMRAAllocator",
+    "GreedyProfitAllocator",
+    "MECNetwork",
+    "NonCoAllocator",
+    "OptimalILPAllocator",
+    "OutcomeMetrics",
+    "PaperPricing",
+    "RandomAllocator",
+    "Scenario",
+    "ScenarioConfig",
+    "build_scenario",
+    "compute_profit",
+    "run_allocation",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""Support ``python -m repro`` as an alias for the ``dmra`` CLI."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Post-hoc analysis: fairness, convergence, stability, network maps."""
+
+from repro.analysis.convergence import ConvergenceTrace, trace_convergence
+from repro.analysis.crossover import CrossoverResult, find_crossover
+from repro.analysis.fairness import FairnessReport, fairness_report, jain_index
+from repro.analysis.graph import GraphReport, association_graph, graph_report
+from repro.analysis.netmap import render_network_map
+from repro.analysis.report import scenario_report
+from repro.analysis.stability import (
+    EnvyPair,
+    StabilityReport,
+    analyze_stability,
+)
+
+__all__ = [
+    "ConvergenceTrace",
+    "CrossoverResult",
+    "EnvyPair",
+    "FairnessReport",
+    "GraphReport",
+    "StabilityReport",
+    "analyze_stability",
+    "association_graph",
+    "fairness_report",
+    "find_crossover",
+    "graph_report",
+    "jain_index",
+    "render_network_map",
+    "scenario_report",
+    "trace_convergence",
+]

@@ -1,0 +1,93 @@
+"""Convergence diagnostics for the matching engine.
+
+§V argues DMRA converges through repeated proposal rounds; these tools
+measure that convergence: proposals/acceptances per round, the round at
+which 95% of eventual associations exist, and total message volume (a
+proxy for the decentralized scheme's signalling overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.assignment import Assignment
+from repro.core.matching import (
+    IterativeMatchingEngine,
+    MatchingPolicy,
+    RoundStats,
+)
+from repro.errors import ConfigurationError
+from repro.model.network import MECNetwork
+from repro.radio.channel import RadioMap
+
+__all__ = ["ConvergenceTrace", "trace_convergence"]
+
+
+@dataclass(frozen=True)
+class ConvergenceTrace:
+    """Per-round progress of one matching run."""
+
+    rounds: tuple[RoundStats, ...]
+    assignment: Assignment
+
+    def __post_init__(self) -> None:
+        if not self.rounds:
+            raise ConfigurationError("trace needs at least one round")
+
+    @property
+    def total_proposals(self) -> int:
+        """Total UE->BS service requests sent (signalling volume)."""
+        return sum(r.proposals for r in self.rounds)
+
+    @property
+    def total_accepted(self) -> int:
+        return sum(r.accepted for r in self.rounds)
+
+    @property
+    def round_count(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def proposals_per_association(self) -> float:
+        """Messages spent per realized association (overhead ratio)."""
+        if self.total_accepted == 0:
+            return float("inf") if self.total_proposals else 0.0
+        return self.total_proposals / self.total_accepted
+
+    def rounds_to_fraction(self, fraction: float) -> int:
+        """First round by which ``fraction`` of all associations exist."""
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(
+                f"fraction must be in (0, 1], got {fraction}"
+            )
+        target = fraction * self.total_accepted
+        cumulative = 0
+        for stats in self.rounds:
+            cumulative += stats.accepted
+            if cumulative >= target:
+                return stats.round_number
+        return self.rounds[-1].round_number
+
+    def acceptance_curve(self) -> tuple[tuple[int, int], ...]:
+        """``(round, cumulative associations)`` pairs."""
+        curve = []
+        cumulative = 0
+        for stats in self.rounds:
+            cumulative += stats.accepted
+            curve.append((stats.round_number, cumulative))
+        return tuple(curve)
+
+
+def trace_convergence(
+    policy: MatchingPolicy,
+    network: MECNetwork,
+    radio_map: RadioMap,
+    max_rounds: int = 100_000,
+) -> ConvergenceTrace:
+    """Run the engine under ``policy`` while recording per-round stats."""
+    recorded: list[RoundStats] = []
+    engine = IterativeMatchingEngine(policy, max_rounds=max_rounds)
+    assignment = engine.run(
+        network, radio_map, observer=recorded.append
+    )
+    return ConvergenceTrace(rounds=tuple(recorded), assignment=assignment)

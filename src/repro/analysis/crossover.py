@@ -1,0 +1,101 @@
+"""Crossover search: where does one scheme overtake another?
+
+EXPERIMENTS.md's deviation 2 says NonCo's nearest-BS packing eventually
+catches DMRA beyond the paper's plotted load range.  "Eventually" is
+measurable: :func:`find_crossover` bisects the UE count for the point
+where a paired metric difference changes sign, giving the exact load at
+which the published regime ends (per seed, since the crossover is a
+property of the draw).
+
+The search assumes the difference changes sign at most once over the
+bracket, which holds for capacity-driven crossovers like this one; the
+bracket endpoints are checked and a :class:`CrossoverResult` reports
+either the bracketing pair or that no crossover exists in range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.allocator import Allocator
+from repro.errors import ConfigurationError
+from repro.sim.config import ScenarioConfig
+from repro.sim.metrics import OutcomeMetrics
+from repro.sim.runner import run_allocation
+from repro.sim.scenario import Scenario, build_scenario
+
+__all__ = ["CrossoverResult", "find_crossover"]
+
+
+@dataclass(frozen=True, slots=True)
+class CrossoverResult:
+    """Outcome of one crossover search."""
+
+    found: bool
+    lower_ue_count: int
+    upper_ue_count: int
+    lower_difference: float
+    upper_difference: float
+
+    @property
+    def midpoint(self) -> float:
+        """Best point estimate of the crossover load."""
+        return (self.lower_ue_count + self.upper_ue_count) / 2.0
+
+
+def find_crossover(
+    config: ScenarioConfig,
+    allocator_a: Callable[[Scenario], Allocator],
+    allocator_b: Callable[[Scenario], Allocator],
+    seed: int,
+    lo_ue_count: int,
+    hi_ue_count: int,
+    metric: Callable[[OutcomeMetrics], float] | None = None,
+    tolerance: int = 25,
+) -> CrossoverResult:
+    """Bisect the UE count where ``metric(a) - metric(b)`` changes sign.
+
+    Both allocators run on the identical scenario at every probe (paired
+    comparison).  Requires the difference to have opposite signs at the
+    bracket ends; otherwise returns ``found=False`` with the endpoint
+    differences so the caller can widen the bracket.
+    """
+    if lo_ue_count <= 0 or hi_ue_count <= lo_ue_count:
+        raise ConfigurationError(
+            f"invalid bracket [{lo_ue_count}, {hi_ue_count}]"
+        )
+    if tolerance <= 0:
+        raise ConfigurationError(f"tolerance must be > 0, got {tolerance}")
+    if metric is None:
+        metric = lambda m: m.total_profit  # noqa: E731 - tiny default
+
+    def difference(ue_count: int) -> float:
+        scenario = build_scenario(config, ue_count, seed)
+        value_a = metric(
+            run_allocation(scenario, allocator_a(scenario)).metrics
+        )
+        value_b = metric(
+            run_allocation(scenario, allocator_b(scenario)).metrics
+        )
+        return value_a - value_b
+
+    lo, hi = lo_ue_count, hi_ue_count
+    d_lo, d_hi = difference(lo), difference(hi)
+    if d_lo == 0.0:
+        return CrossoverResult(True, lo, lo, 0.0, 0.0)
+    if d_hi == 0.0:
+        return CrossoverResult(True, hi, hi, 0.0, 0.0)
+    if (d_lo > 0) == (d_hi > 0):
+        return CrossoverResult(False, lo, hi, d_lo, d_hi)
+
+    while hi - lo > tolerance:
+        mid = (lo + hi) // 2
+        d_mid = difference(mid)
+        if d_mid == 0.0:
+            return CrossoverResult(True, mid, mid, 0.0, 0.0)
+        if (d_mid > 0) == (d_lo > 0):
+            lo, d_lo = mid, d_mid
+        else:
+            hi, d_hi = mid, d_mid
+    return CrossoverResult(True, lo, hi, d_lo, d_hi)

@@ -1,0 +1,62 @@
+"""ASCII rendering of a deployment and its association.
+
+Draws the region as a character grid: digits are BSs (the digit is the
+owning SP), ``*`` marks cells containing edge-served UEs, ``c`` marks
+cells whose UEs went to the cloud, ``.`` is empty ground.  Cheap but
+remarkably effective for eyeballing placement pathologies (e.g. the
+coverage hole that explains a blocking hotspot).
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import Assignment
+from repro.errors import ConfigurationError
+from repro.model.network import MECNetwork
+
+__all__ = ["render_network_map"]
+
+
+def render_network_map(
+    network: MECNetwork,
+    assignment: Assignment | None = None,
+    width: int = 60,
+    height: int = 30,
+) -> str:
+    """Render the deployment (and optionally an association) as text."""
+    if width < 10 or height < 5:
+        raise ConfigurationError("map must be at least 10x5 characters")
+    region = network.region
+    grid = [["."] * width for _ in range(height)]
+
+    def to_cell(x: float, y: float) -> tuple[int, int]:
+        col = min(
+            width - 1,
+            int((x - region.x_min) / region.width * width),
+        )
+        row = min(
+            height - 1,
+            int((y - region.y_min) / region.height * height),
+        )
+        return row, col
+
+    if assignment is not None:
+        for ue in network.user_equipments:
+            row, col = to_cell(ue.position.x, ue.position.y)
+            if ue.ue_id in assignment.cloud_ue_ids:
+                if grid[row][col] == ".":
+                    grid[row][col] = "c"
+            else:
+                if grid[row][col] in (".", "c"):
+                    grid[row][col] = "*"
+
+    for bs in network.base_stations:
+        row, col = to_cell(bs.position.x, bs.position.y)
+        grid[row][col] = str(bs.sp_id % 10)
+
+    lines = ["".join(row) for row in reversed(grid)]  # y axis upward
+    legend = "digits: BS (digit = SP id)   *: edge-served UEs   c: cloud UEs"
+    header = (
+        f"{region.width:.0f} m x {region.height:.0f} m, "
+        f"{network.bs_count} BSs, {network.ue_count} UEs"
+    )
+    return "\n".join([header, *lines, legend])

@@ -1,0 +1,124 @@
+"""One-shot markdown report: everything about one scenario, one page.
+
+Combines the comparison table, the profit decomposition, fairness,
+stability, and convergence diagnostics into a single markdown document
+— what you paste into a lab notebook after changing a parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.convergence import trace_convergence
+from repro.analysis.fairness import fairness_report
+from repro.analysis.stability import analyze_stability
+from repro.core.allocator import Allocator
+from repro.core.dmra import DMRAAllocator, DMRAPolicy
+from repro.econ.accounting import compute_profit
+from repro.errors import ConfigurationError
+from repro.sim.runner import run_allocation
+from repro.sim.scenario import Scenario
+
+__all__ = ["scenario_report"]
+
+
+def scenario_report(
+    scenario: Scenario, allocators: Sequence[Allocator]
+) -> str:
+    """Render a markdown report comparing ``allocators`` on ``scenario``."""
+    if not allocators:
+        raise ConfigurationError("report needs at least one allocator")
+    lines: list[str] = []
+    config = scenario.config
+    lines.append("# Scenario report")
+    lines.append("")
+    lines.append(f"- {scenario.network.describe()}")
+    lines.append(
+        f"- seed {scenario.seed}, iota={config.cross_sp_markup}, "
+        f"sigma={config.distance_weight}, rho={config.rho}, "
+        f"m_k={config.sp_cru_price}, m_k^o={config.sp_other_cost}"
+    )
+    lines.append("")
+
+    lines.append("## Scheme comparison")
+    lines.append("")
+    lines.append(
+        "| scheme | profit | edge | cloud | same-SP | envy | stranded "
+        "| Jain | rounds |"
+    )
+    lines.append("|---|---|---|---|---|---|---|---|---|")
+    outcomes = {}
+    for allocator in allocators:
+        outcome = run_allocation(scenario, allocator)
+        outcomes[allocator.name] = outcome
+        stability = analyze_stability(
+            scenario.network,
+            scenario.radio_map,
+            outcome.assignment,
+            scenario.pricing,
+        )
+        fairness = fairness_report(
+            scenario.network, outcome.metrics.profit_by_sp
+        )
+        metrics = outcome.metrics
+        lines.append(
+            f"| {allocator.name} | {metrics.total_profit:.1f} "
+            f"| {metrics.edge_served} | {metrics.cloud_forwarded} "
+            f"| {metrics.same_sp_fraction:.0%} "
+            f"| {stability.envy_count} | {stability.stranded_count} "
+            f"| {fairness.jain:.4f} | {metrics.rounds} |"
+        )
+    lines.append("")
+
+    lines.append("## Profit decomposition (Eq. 5) per SP")
+    lines.append("")
+    lines.append("| scheme | SP | W_k^r | W_k^B | W_k^S | W_k |")
+    lines.append("|---|---|---|---|---|---|")
+    for name, outcome in outcomes.items():
+        statement = compute_profit(
+            scenario.network, outcome.assignment.grants, scenario.pricing
+        )
+        for sp_id in sorted(statement.by_sp):
+            entry = statement.by_sp[sp_id]
+            lines.append(
+                f"| {name} | {sp_id} | {entry.revenue:.1f} "
+                f"| {entry.bs_payments:.1f} | {entry.other_costs:.1f} "
+                f"| {entry.profit:.1f} |"
+            )
+    lines.append("")
+
+    if any(isinstance(a, DMRAAllocator) for a in allocators):
+        dmra = next(a for a in allocators if isinstance(a, DMRAAllocator))
+        trace = trace_convergence(
+            DMRAPolicy(
+                pricing=dmra.pricing,
+                rho=dmra.rho,
+                same_sp_priority=dmra.same_sp_priority,
+            ),
+            scenario.network,
+            scenario.radio_map,
+        )
+        lines.append("## DMRA convergence")
+        lines.append("")
+        lines.append(f"- rounds: {trace.round_count}")
+        lines.append(
+            f"- 95% of associations formed by round "
+            f"{trace.rounds_to_fraction(0.95)}"
+        )
+        lines.append(
+            f"- signalling: {trace.total_proposals} proposals "
+            f"({trace.proposals_per_association:.2f} per association)"
+        )
+        lines.append("")
+        lines.append("| round | proposals | accepted | cumulative |")
+        lines.append("|---|---|---|---|")
+        cumulative = 0
+        for stats in trace.rounds:
+            cumulative += stats.accepted
+            lines.append(
+                f"| {stats.round_number} | {stats.proposals} "
+                f"| {stats.accepted} | {cumulative} |"
+            )
+        lines.append("")
+
+    return "\n".join(lines)

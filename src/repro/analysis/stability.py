@@ -1,0 +1,151 @@
+"""Post-hoc matching-quality analysis: envy and stranded demand.
+
+DMRA is matching-based, so two natural quality notions apply to its
+output:
+
+* **price envy** — an edge-served UE whose final BS charges more than
+  another candidate BS that *still has room* for it.  Envy-free means
+  no UE could unilaterally move somewhere cheaper.
+* **stranded demand** — a cloud-forwarded UE that some candidate BS
+  could still fully fit.  (The DMRA property tests assert this count is
+  zero for DMRA; baselines like NonCo strand plenty, and the analyzer
+  quantifies exactly how much.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.assignment import Assignment
+from repro.econ.pricing import PricingPolicy
+from repro.errors import ConfigurationError
+from repro.model.network import MECNetwork
+from repro.radio.channel import RadioMap
+
+__all__ = ["EnvyPair", "StabilityReport", "analyze_stability"]
+
+
+@dataclass(frozen=True, slots=True)
+class EnvyPair:
+    """One UE that would rather be on a cheaper BS with free capacity."""
+
+    ue_id: int
+    current_bs_id: int
+    better_bs_id: int
+    current_price: float
+    better_price: float
+
+    @property
+    def saving(self) -> float:
+        return self.current_price - self.better_price
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Envy and stranding found in one assignment."""
+
+    envy_pairs: tuple[EnvyPair, ...]
+    stranded_ue_ids: tuple[int, ...]
+    edge_served: int
+    cloud_forwarded: int
+
+    @property
+    def envy_count(self) -> int:
+        return len(self.envy_pairs)
+
+    @property
+    def envy_fraction(self) -> float:
+        return (
+            self.envy_count / self.edge_served if self.edge_served else 0.0
+        )
+
+    @property
+    def stranded_count(self) -> int:
+        return len(self.stranded_ue_ids)
+
+    @property
+    def is_envy_free(self) -> bool:
+        return not self.envy_pairs
+
+    @property
+    def has_stranded_demand(self) -> bool:
+        return bool(self.stranded_ue_ids)
+
+
+def analyze_stability(
+    network: MECNetwork,
+    radio_map: RadioMap,
+    assignment: Assignment,
+    pricing: PricingPolicy,
+) -> StabilityReport:
+    """Scan an assignment for envy pairs and stranded UEs.
+
+    Residual capacities are recomputed from the assignment itself, so
+    the report is valid for any allocator's output.
+    """
+    remaining_crus: dict[tuple[int, int], int] = {}
+    remaining_rrbs: dict[int, int] = {}
+    for bs in network.base_stations:
+        for service_id, capacity in bs.cru_capacity.items():
+            remaining_crus[(bs.bs_id, service_id)] = capacity
+        remaining_rrbs[bs.bs_id] = bs.rrb_capacity
+    for grant in assignment.grants:
+        key = (grant.bs_id, grant.service_id)
+        if key not in remaining_crus or grant.bs_id not in remaining_rrbs:
+            raise ConfigurationError(
+                f"assignment references BS {grant.bs_id} / service "
+                f"{grant.service_id} unknown to the network"
+            )
+        remaining_crus[key] -= grant.crus
+        remaining_rrbs[grant.bs_id] -= grant.rrbs
+
+    def fits(ue, bs_id) -> bool:
+        return (
+            remaining_crus.get((bs_id, ue.service_id), 0) >= ue.cru_demand
+            and remaining_rrbs[bs_id]
+            >= radio_map.link(ue.ue_id, bs_id).rrbs_required
+        )
+
+    envy: list[EnvyPair] = []
+    for grant in assignment.grants:
+        ue = network.user_equipment(grant.ue_id)
+        current_price = pricing.price_per_cru(
+            network.distance_m(ue.ue_id, grant.bs_id),
+            network.same_sp(ue.ue_id, grant.bs_id),
+        )
+        best: EnvyPair | None = None
+        for bs_id in network.candidate_base_stations(ue.ue_id):
+            if bs_id == grant.bs_id or not fits(ue, bs_id):
+                continue
+            price = pricing.price_per_cru(
+                network.distance_m(ue.ue_id, bs_id),
+                network.same_sp(ue.ue_id, bs_id),
+            )
+            if price < current_price and (
+                best is None or price < best.better_price
+            ):
+                best = EnvyPair(
+                    ue_id=ue.ue_id,
+                    current_bs_id=grant.bs_id,
+                    better_bs_id=bs_id,
+                    current_price=current_price,
+                    better_price=price,
+                )
+        if best is not None:
+            envy.append(best)
+
+    stranded = [
+        ue_id
+        for ue_id in sorted(assignment.cloud_ue_ids)
+        if any(
+            fits(network.user_equipment(ue_id), bs_id)
+            for bs_id in network.candidate_base_stations(ue_id)
+        )
+    ]
+
+    return StabilityReport(
+        envy_pairs=tuple(envy),
+        stranded_ue_ids=tuple(stranded),
+        edge_served=assignment.edge_served_count,
+        cloud_forwarded=assignment.cloud_count,
+    )

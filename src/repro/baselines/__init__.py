@@ -1,0 +1,20 @@
+"""Comparison allocators: the paper's baselines plus ablation references."""
+
+from repro.baselines.best_response import BestResponseAllocator
+from repro.baselines.cloud_only import CloudOnlyAllocator
+from repro.baselines.dcsp import DCSPAllocator, DCSPPolicy
+from repro.baselines.greedy import GreedyProfitAllocator
+from repro.baselines.nonco import NonCoAllocator
+from repro.baselines.optimal import OptimalILPAllocator
+from repro.baselines.random_alloc import RandomAllocator
+
+__all__ = [
+    "BestResponseAllocator",
+    "CloudOnlyAllocator",
+    "DCSPAllocator",
+    "DCSPPolicy",
+    "GreedyProfitAllocator",
+    "NonCoAllocator",
+    "OptimalILPAllocator",
+    "RandomAllocator",
+]

@@ -1,0 +1,108 @@
+"""Best-response game dynamics (the game-theoretic baseline).
+
+The computation-offloading literature the paper cites (Chen's
+decentralized offloading game; Tianze et al.'s potential game) lets each
+UE *unilaterally* switch to its cheapest feasible BS until no one wants
+to move.  Because a UE's price ``p_{i,u}`` does not depend on who else
+the BS serves, every switch strictly lowers the mover's price and
+leaves everyone else's unchanged — the summed price is a potential
+function, so the dynamics terminate at a pure Nash equilibrium.
+
+The contrast with DMRA: best response is UE-selfish (no BS-side
+preference, no SP coordination), so it reaches an equilibrium that is
+envy-free *for the moving side* but ignores the operators' margins and
+the paper's same-SP mechanism entirely.
+"""
+
+from __future__ import annotations
+
+from repro.compute.cru import LedgerPool
+from repro.core.allocator import Allocator
+from repro.core.assignment import Assignment
+from repro.econ.pricing import PaperPricing, PricingPolicy
+from repro.errors import AllocationError
+from repro.model.network import MECNetwork
+from repro.radio.channel import RadioMap
+
+__all__ = ["BestResponseAllocator"]
+
+
+class BestResponseAllocator(Allocator):
+    """Iterated unilateral switching to the cheapest feasible BS."""
+
+    def __init__(
+        self,
+        pricing: PricingPolicy | None = None,
+        max_sweeps: int = 10_000,
+    ) -> None:
+        if max_sweeps <= 0:
+            raise AllocationError(
+                f"max_sweeps must be > 0, got {max_sweeps}"
+            )
+        self.pricing = pricing if pricing is not None else PaperPricing()
+        self.max_sweeps = max_sweeps
+        self.name = "best-response"
+
+    def allocate(self, network: MECNetwork, radio_map: RadioMap) -> Assignment:
+        ledgers = LedgerPool(network.base_stations)
+        serving: dict[int, int] = {}
+        prices: dict[tuple[int, int], float] = {}
+
+        def price(ue_id: int, bs_id: int) -> float:
+            key = (ue_id, bs_id)
+            if key not in prices:
+                prices[key] = self.pricing.price_per_cru(
+                    network.distance_m(ue_id, bs_id),
+                    network.same_sp(ue_id, bs_id),
+                )
+            return prices[key]
+
+        sweeps = 0
+        moved = True
+        while moved:
+            sweeps += 1
+            if sweeps > self.max_sweeps:
+                raise AllocationError(
+                    f"best response did not converge within "
+                    f"{self.max_sweeps} sweeps"
+                )
+            moved = False
+            for ue in network.user_equipments:
+                current_bs = serving.get(ue.ue_id)
+                current_price = (
+                    price(ue.ue_id, current_bs)
+                    if current_bs is not None
+                    else float("inf")
+                )
+                best_bs = None
+                best_price = current_price
+                for bs_id in network.candidate_base_stations(ue.ue_id):
+                    if bs_id == current_bs:
+                        continue
+                    candidate_price = price(ue.ue_id, bs_id)
+                    if candidate_price >= best_price:
+                        continue
+                    rrbs = radio_map.link(ue.ue_id, bs_id).rrbs_required
+                    if ledgers.ledger(bs_id).can_grant(
+                        ue.ue_id, ue.service_id, ue.cru_demand, rrbs
+                    ):
+                        best_bs = bs_id
+                        best_price = candidate_price
+                if best_bs is None:
+                    continue
+                if current_bs is not None:
+                    ledgers.ledger(current_bs).release(ue.ue_id)
+                ledgers.ledger(best_bs).grant(
+                    ue.ue_id,
+                    ue.service_id,
+                    ue.cru_demand,
+                    radio_map.link(ue.ue_id, best_bs).rrbs_required,
+                )
+                serving[ue.ue_id] = best_bs
+                moved = True
+
+        return Assignment.from_grants(
+            ledgers.all_grants(),
+            (ue.ue_id for ue in network.user_equipments),
+            rounds=sweeps,
+        )

@@ -1,0 +1,31 @@
+"""Cloud-only baseline: forward every task to the remote cloud.
+
+The degenerate lower bound — zero MEC-layer profit and maximal forwarded
+traffic.  Useful as the reference point for the forwarded-load metric of
+Fig. 7 and for exercising the cloud accounting path end to end.
+"""
+
+from __future__ import annotations
+
+from repro.core.allocator import Allocator
+from repro.core.assignment import Assignment
+from repro.model.network import MECNetwork
+from repro.radio.channel import RadioMap
+
+__all__ = ["CloudOnlyAllocator"]
+
+
+class CloudOnlyAllocator(Allocator):
+    """Every UE is forwarded; no edge resources are touched."""
+
+    def __init__(self) -> None:
+        self.name = "cloud-only"
+
+    def allocate(self, network: MECNetwork, radio_map: RadioMap) -> Assignment:
+        return Assignment(
+            grants=(),
+            cloud_ue_ids=frozenset(
+                ue.ue_id for ue in network.user_equipments
+            ),
+            rounds=0,
+        )

@@ -1,0 +1,60 @@
+"""DCSP baseline: Decentralized Collaboration Service Placement.
+
+Per the paper's §VI.B description of the comparison scheme (from Yu et
+al., GLOBECOM 2018): in every round, each UE proposes to the reachable
+BS with the *lowest resource occupation*, and each BS prefers the UE
+*covered by the fewest BSs*; ties go to the UE *consuming the least
+radio resources*.  DCSP does not consider SP ownership or prices.
+
+Resource occupation is the BS's mean utilization across its computing
+and radio pools — the natural reading of "lowest resource occupation"
+for a scheme that jointly tracks both resources.
+"""
+
+from __future__ import annotations
+
+from repro.core.allocator import Allocator
+from repro.core.assignment import Assignment
+from repro.core.matching import (
+    IterativeMatchingEngine,
+    MatchingContext,
+    MatchingPolicy,
+)
+from repro.model.entities import UserEquipment
+from repro.model.network import MECNetwork
+from repro.radio.channel import RadioMap
+
+__all__ = ["DCSPPolicy", "DCSPAllocator"]
+
+
+class DCSPPolicy(MatchingPolicy):
+    """DCSP's ranking rules over the shared matching engine."""
+
+    name = "dcsp"
+
+    def ue_score(
+        self, ue: UserEquipment, bs_id: int, ctx: MatchingContext
+    ) -> float:
+        ledger = ctx.ledgers.ledger(bs_id)
+        cru_util, rrb_util = ledger.utilization()
+        return (cru_util + rrb_util) / 2.0
+
+    def bs_rank_key(
+        self, ue_id: int, bs_id: int, ctx: MatchingContext
+    ) -> tuple:
+        return (
+            ctx.feasible_bs_count(ue_id),
+            ctx.rrbs_required(ue_id, bs_id),
+        )
+
+
+class DCSPAllocator(Allocator):
+    """The DCSP comparison scheme as an :class:`Allocator`."""
+
+    def __init__(self, max_rounds: int = 100_000) -> None:
+        self.max_rounds = max_rounds
+        self.name = "dcsp"
+
+    def allocate(self, network: MECNetwork, radio_map: RadioMap) -> Assignment:
+        engine = IterativeMatchingEngine(DCSPPolicy(), max_rounds=self.max_rounds)
+        return engine.run(network, radio_map)

@@ -1,0 +1,57 @@
+"""Centralized profit-greedy baseline (not in the paper; for ablations).
+
+A strong centralized reference point: sort all feasible (UE, BS) pairs
+by the marginal profit of serving that UE on that BS (Eq. 5 terms,
+computed by :func:`repro.econ.accounting.marginal_profit`) and commit
+them greedily subject to the CRU and RRB budgets, at most one BS per UE.
+
+DMRA is decentralized and cannot beat an unconstrained optimum; the
+greedy gives a cheap near-upper reference for the optimality-gap bench.
+"""
+
+from __future__ import annotations
+
+from repro.compute.cru import LedgerPool
+from repro.core.allocator import Allocator
+from repro.core.assignment import Assignment
+from repro.econ.accounting import marginal_profit
+from repro.econ.pricing import PaperPricing, PricingPolicy
+from repro.model.network import MECNetwork
+from repro.radio.channel import RadioMap
+
+__all__ = ["GreedyProfitAllocator"]
+
+
+class GreedyProfitAllocator(Allocator):
+    """Centralized greedy maximization of summed marginal profit."""
+
+    def __init__(self, pricing: PricingPolicy | None = None) -> None:
+        self.pricing = pricing if pricing is not None else PaperPricing()
+        self.name = "greedy"
+
+    def allocate(self, network: MECNetwork, radio_map: RadioMap) -> Assignment:
+        pairs: list[tuple[float, int, int]] = []
+        for link in radio_map:
+            profit = marginal_profit(
+                network, link.ue_id, link.bs_id, self.pricing
+            )
+            pairs.append((profit, link.ue_id, link.bs_id))
+        # Highest profit first; ids break ties deterministically.
+        pairs.sort(key=lambda item: (-item[0], item[1], item[2]))
+
+        ledgers = LedgerPool(network.base_stations)
+        served: set[int] = set()
+        for _, ue_id, bs_id in pairs:
+            if ue_id in served:
+                continue
+            ue = network.user_equipment(ue_id)
+            rrbs = radio_map.link(ue_id, bs_id).rrbs_required
+            ledger = ledgers.ledger(bs_id)
+            if ledger.can_grant(ue_id, ue.service_id, ue.cru_demand, rrbs):
+                ledger.grant(ue_id, ue.service_id, ue.cru_demand, rrbs)
+                served.add(ue_id)
+        return Assignment.from_grants(
+            ledgers.all_grants(),
+            (ue.ue_id for ue in network.user_equipments),
+            rounds=1,
+        )

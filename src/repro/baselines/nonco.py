@@ -1,0 +1,71 @@
+"""NonCo baseline: non-collaborative max-SINR association.
+
+Per §VI.B: each UE proposes to the reachable BS with the *maximum uplink
+SINR*, and each BS prefers the UEs *consuming the fewest RRBs*.  "The
+collaboration of BSs is not taken into consideration": a UE rejected by
+its max-SINR BS is **not** redirected to another BS — its task goes to
+the remote cloud.  This is what distinguishes NonCo from the matching
+schemes: no load balancing ever happens, so popular cells saturate while
+neighbours idle.
+
+Concretely: every UE nominates its single best-SINR candidate; each BS
+sorts its proposers by ascending RRB demand and admits them while both
+the service's CRUs and the RRB budget hold out; everyone else is
+forwarded.
+"""
+
+from __future__ import annotations
+
+from repro.compute.cru import LedgerPool
+from repro.core.allocator import Allocator
+from repro.core.assignment import Assignment
+from repro.model.network import MECNetwork
+from repro.radio.channel import RadioMap
+
+__all__ = ["NonCoAllocator"]
+
+
+class NonCoAllocator(Allocator):
+    """The NonCo comparison scheme: one-shot max-SINR association."""
+
+    def __init__(self) -> None:
+        self.name = "nonco"
+
+    def allocate(self, network: MECNetwork, radio_map: RadioMap) -> Assignment:
+        # Phase 1: each UE nominates its max-SINR candidate BS.
+        proposals: dict[int, list[int]] = {}
+        for ue in network.user_equipments:
+            candidates = network.candidate_base_stations(ue.ue_id)
+            if not candidates:
+                continue
+            best = max(
+                candidates,
+                key=lambda bs_id: (
+                    radio_map.link(ue.ue_id, bs_id).sinr_linear,
+                    -bs_id,
+                ),
+            )
+            proposals.setdefault(best, []).append(ue.ue_id)
+
+        # Phase 2: each BS admits cheapest-radio-footprint UEs first.
+        ledgers = LedgerPool(network.base_stations)
+        for bs_id in sorted(proposals):
+            ledger = ledgers.ledger(bs_id)
+            queue = sorted(
+                proposals[bs_id],
+                key=lambda ue_id: (
+                    radio_map.link(ue_id, bs_id).rrbs_required,
+                    ue_id,
+                ),
+            )
+            for ue_id in queue:
+                ue = network.user_equipment(ue_id)
+                rrbs = radio_map.link(ue_id, bs_id).rrbs_required
+                if ledger.can_grant(ue_id, ue.service_id, ue.cru_demand, rrbs):
+                    ledger.grant(ue_id, ue.service_id, ue.cru_demand, rrbs)
+
+        return Assignment.from_grants(
+            ledgers.all_grants(),
+            (ue.ue_id for ue in network.user_equipments),
+            rounds=1,
+        )

@@ -1,0 +1,145 @@
+"""Exact TPM optimum via integer linear programming (small instances).
+
+The TPM problem (Def. 1) is a pure 0/1 assignment once prices are fixed:
+
+    max  sum_{(u,i) candidate} profit(u, i) * x_{u,i}
+    s.t. sum_i x_{u,i} <= 1                          (Eq. 15, per UE)
+         sum_{u req j} c^u x_{u,i} <= c_{i,j}        (Eq. 12, per BS+service)
+         sum_u n_{u,i} x_{u,i} <= N_i                (Eq. 14, per BS)
+
+Solved with :func:`scipy.optimize.milp` (HiGHS).  Intended for the
+optimality-gap ablation bench on paper-scale-or-smaller scenarios; the
+solver is exponential in the worst case, so a variable-count guard
+refuses oversized inputs rather than hanging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.compute.cru import Grant
+from repro.core.allocator import Allocator
+from repro.core.assignment import Assignment
+from repro.econ.accounting import marginal_profit
+from repro.econ.pricing import PaperPricing, PricingPolicy
+from repro.errors import AllocationError, ConfigurationError
+from repro.model.network import MECNetwork
+from repro.radio.channel import RadioMap
+
+__all__ = ["OptimalILPAllocator"]
+
+
+class OptimalILPAllocator(Allocator):
+    """Globally optimal TPM association via MILP (HiGHS backend)."""
+
+    def __init__(
+        self,
+        pricing: PricingPolicy | None = None,
+        max_variables: int = 50_000,
+        time_limit_s: float | None = 60.0,
+    ) -> None:
+        if max_variables <= 0:
+            raise ConfigurationError(
+                f"max_variables must be > 0, got {max_variables}"
+            )
+        self.pricing = pricing if pricing is not None else PaperPricing()
+        self.max_variables = max_variables
+        self.time_limit_s = time_limit_s
+        self.name = "ilp-optimal"
+
+    def allocate(self, network: MECNetwork, radio_map: RadioMap) -> Assignment:
+        links = [link for link in radio_map if link.feasible]
+        all_ue_ids = [ue.ue_id for ue in network.user_equipments]
+        if not links:
+            return Assignment.from_grants((), all_ue_ids, rounds=0)
+        if len(links) > self.max_variables:
+            raise ConfigurationError(
+                f"{len(links)} candidate links exceed the "
+                f"{self.max_variables}-variable ILP guard; use a heuristic "
+                f"allocator for instances this large"
+            )
+
+        profits = np.array(
+            [
+                marginal_profit(network, link.ue_id, link.bs_id, self.pricing)
+                for link in links
+            ]
+        )
+
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        upper: list[float] = []
+        row_count = 0
+
+        def add_constraint(entries: list[tuple[int, float]], bound: float) -> None:
+            nonlocal row_count
+            for col, val in entries:
+                rows.append(row_count)
+                cols.append(col)
+                vals.append(val)
+            upper.append(bound)
+            row_count += 1
+
+        by_ue: dict[int, list[int]] = {}
+        by_bs_service: dict[tuple[int, int], list[int]] = {}
+        by_bs: dict[int, list[int]] = {}
+        for index, link in enumerate(links):
+            by_ue.setdefault(link.ue_id, []).append(index)
+            service_id = network.user_equipment(link.ue_id).service_id
+            by_bs_service.setdefault((link.bs_id, service_id), []).append(index)
+            by_bs.setdefault(link.bs_id, []).append(index)
+
+        for indices in by_ue.values():  # Eq. 15
+            add_constraint([(i, 1.0) for i in indices], 1.0)
+        for (bs_id, service_id), indices in by_bs_service.items():  # Eq. 12
+            add_constraint(
+                [
+                    (i, float(network.user_equipment(links[i].ue_id).cru_demand))
+                    for i in indices
+                ],
+                float(network.base_station(bs_id).cru_capacity[service_id]),
+            )
+        for bs_id, indices in by_bs.items():  # Eq. 14
+            add_constraint(
+                [(i, float(links[i].rrbs_required)) for i in indices],
+                float(network.base_station(bs_id).rrb_capacity),
+            )
+
+        matrix = sparse.csr_matrix(
+            (vals, (rows, cols)), shape=(row_count, len(links))
+        )
+        constraint = LinearConstraint(
+            matrix, lb=-np.inf, ub=np.asarray(upper)
+        )
+        options = {}
+        if self.time_limit_s is not None:
+            options["time_limit"] = self.time_limit_s
+        result = milp(
+            c=-profits,  # milp minimizes
+            integrality=np.ones(len(links)),
+            bounds=Bounds(0, 1),
+            constraints=[constraint],
+            options=options,
+        )
+        if result.x is None:
+            raise AllocationError(f"ILP solve failed: {result.message}")
+
+        grants: list[Grant] = []
+        for index, chosen in enumerate(np.round(result.x).astype(int)):
+            if chosen != 1:
+                continue
+            link = links[index]
+            ue = network.user_equipment(link.ue_id)
+            grants.append(
+                Grant(
+                    bs_id=link.bs_id,
+                    ue_id=link.ue_id,
+                    service_id=ue.service_id,
+                    crus=ue.cru_demand,
+                    rrbs=link.rrbs_required,
+                )
+            )
+        return Assignment.from_grants(grants, all_ue_ids, rounds=1)

@@ -1,0 +1,55 @@
+"""Random feasible association (sanity-floor baseline).
+
+Visits UEs in random order and assigns each to a uniformly random
+candidate BS that still fits its demand; UEs with no fitting candidate
+go to the cloud.  Any scheme worth publishing must beat this floor,
+which the integration tests assert for DMRA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compute.cru import LedgerPool
+from repro.core.allocator import Allocator
+from repro.core.assignment import Assignment
+from repro.model.network import MECNetwork
+from repro.radio.channel import RadioMap
+
+__all__ = ["RandomAllocator"]
+
+
+class RandomAllocator(Allocator):
+    """Uniformly random feasible association, reproducible from a seed."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.name = "random"
+
+    def allocate(self, network: MECNetwork, radio_map: RadioMap) -> Assignment:
+        rng = np.random.default_rng(self.seed)
+        ledgers = LedgerPool(network.base_stations)
+        ue_ids = [ue.ue_id for ue in network.user_equipments]
+        order = rng.permutation(len(ue_ids))
+        for index in order:
+            ue = network.user_equipment(ue_ids[int(index)])
+            fitting = [
+                bs_id
+                for bs_id in network.candidate_base_stations(ue.ue_id)
+                if ledgers.ledger(bs_id).can_grant(
+                    ue.ue_id,
+                    ue.service_id,
+                    ue.cru_demand,
+                    radio_map.link(ue.ue_id, bs_id).rrbs_required,
+                )
+            ]
+            if not fitting:
+                continue
+            choice = fitting[int(rng.integers(len(fitting)))]
+            ledgers.ledger(choice).grant(
+                ue.ue_id,
+                ue.service_id,
+                ue.cru_demand,
+                radio_map.link(ue.ue_id, choice).rrbs_required,
+            )
+        return Assignment.from_grants(ledgers.all_grants(), ue_ids, rounds=1)

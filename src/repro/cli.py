@@ -1,0 +1,602 @@
+"""Command-line interface: ``python -m repro`` / the ``dmra`` script.
+
+Subcommands
+-----------
+``figure``   reproduce one paper figure (or ``all``) and print the chart
+``run``      run one allocator on one scenario and print the metrics
+``inspect``  describe a generated scenario (coverage, capacities)
+``compare``  run several allocators on one scenario side by side
+``analyze``  fairness / envy / convergence / map report for one run
+``online``   event-driven simulation with arrivals and departures
+``mobility`` epoch-based movement with handover accounting
+``failures`` BS outage injection and recovery report
+``crossover`` bisect the load where one scheme overtakes another
+``map``      write the deployment/association as an SVG file
+``report``   one-page markdown comparison report
+``summarize`` render stored result CSVs as charts and tables
+
+Examples::
+
+    dmra figure fig2 --scale smoke --out results/
+    dmra run --allocator dmra --ues 600 --seed 1
+    dmra compare --ues 600 --seed 1 --placement random
+    dmra inspect --ues 400 --seed 0
+    dmra analyze --ues 1100 --seed 3
+    dmra online --rate 5 --horizon 600 --holding 120
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.baselines import (
+    CloudOnlyAllocator,
+    DCSPAllocator,
+    GreedyProfitAllocator,
+    NonCoAllocator,
+    OptimalILPAllocator,
+    RandomAllocator,
+)
+from repro.core.allocator import Allocator
+from repro.core.dmra import DMRAAllocator
+from repro.experiments import (
+    EXPERIMENTS,
+    Scale,
+    all_experiments,
+    render_chart,
+    render_table,
+    write_series_csv,
+)
+from repro.errors import ConfigurationError
+from repro.sim.config import ScenarioConfig
+from repro.sim.runner import run_allocation
+from repro.sim.scenario import Scenario, build_scenario
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    handler = {
+        "figure": _cmd_figure,
+        "run": _cmd_run,
+        "inspect": _cmd_inspect,
+        "compare": _cmd_compare,
+        "analyze": _cmd_analyze,
+        "online": _cmd_online,
+        "report": _cmd_report,
+        "mobility": _cmd_mobility,
+        "crossover": _cmd_crossover,
+        "failures": _cmd_failures,
+        "map": _cmd_map,
+        "summarize": _cmd_summarize,
+    }[args.command]
+    return handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dmra",
+        description="DMRA (ICDCS 2019) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    figure = sub.add_parser(
+        "figure", help="reproduce a paper figure or extension experiment"
+    )
+    figure.add_argument(
+        "exp_id",
+        help=(
+            f"figure id ({', '.join(sorted(all_experiments()))}), "
+            f"'all' (paper figures), or 'extensions'"
+        ),
+    )
+    figure.add_argument(
+        "--scale",
+        choices=("smoke", "paper"),
+        default="paper",
+        help="sweep size (default: paper)",
+    )
+    figure.add_argument(
+        "--out", type=Path, default=None, help="directory for CSV output"
+    )
+
+    for name, help_text in (
+        ("run", "run one allocator on one scenario"),
+        ("inspect", "describe a generated scenario"),
+        ("compare", "run several allocators side by side"),
+        ("analyze", "fairness / envy / convergence report for one run"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        _add_scenario_arguments(cmd)
+        if name == "run":
+            cmd.add_argument(
+                "--allocator",
+                default="dmra",
+                choices=sorted(_ALLOCATOR_BUILDERS),
+            )
+        if name in ("compare", "analyze"):
+            cmd.add_argument(
+                "--allocators",
+                nargs="+",
+                default=(
+                    ["dmra", "dcsp", "nonco"]
+                    if name == "compare"
+                    else ["dmra", "nonco"]
+                ),
+                choices=sorted(_ALLOCATOR_BUILDERS),
+            )
+
+    report = sub.add_parser(
+        "report", help="write a markdown comparison report for one scenario"
+    )
+    _add_scenario_arguments(report)
+    report.add_argument(
+        "--allocators",
+        nargs="+",
+        default=["dmra", "dcsp", "nonco"],
+        choices=sorted(_ALLOCATOR_BUILDERS),
+    )
+    report.add_argument(
+        "--out", type=Path, default=None,
+        help="output file (default: stdout)",
+    )
+
+    online = sub.add_parser(
+        "online", help="event-driven simulation with arrivals/departures"
+    )
+    online.add_argument("--rate", type=float, default=3.0,
+                        help="Poisson arrival rate (tasks/s)")
+    online.add_argument("--horizon", type=float, default=600.0,
+                        help="simulated horizon in seconds")
+    online.add_argument("--holding", type=float, default=120.0,
+                        help="mean task holding time in seconds")
+    online.add_argument("--seed", type=int, default=0)
+    online.add_argument("--rho", type=float, default=10.0)
+    online.add_argument("--iota", type=float, default=2.0)
+
+    mobility = sub.add_parser(
+        "mobility", help="epoch-based movement with handover accounting"
+    )
+    _add_scenario_arguments(mobility)
+    mobility.add_argument("--epochs", type=int, default=10)
+    mobility.add_argument("--epoch-duration", type=float, default=30.0,
+                          help="epoch length in seconds")
+    mobility.add_argument("--speed", type=float, default=1.5,
+                          help="UE speed in m/s (random walk)")
+    mobility.add_argument("--no-sticky", action="store_true",
+                          help="re-optimize everyone every epoch")
+
+    failures = sub.add_parser(
+        "failures", help="inject BS outages and report the recovery"
+    )
+    _add_scenario_arguments(failures)
+    failures.add_argument(
+        "--bs", type=int, nargs="+", required=True,
+        help="ids of the base stations to fail",
+    )
+
+    crossover = sub.add_parser(
+        "crossover",
+        help="bisect the load where one scheme overtakes another",
+    )
+    crossover.add_argument("--a", default="dmra",
+                           choices=sorted(_ALLOCATOR_BUILDERS))
+    crossover.add_argument("--b", default="nonco",
+                           choices=sorted(_ALLOCATOR_BUILDERS))
+    crossover.add_argument("--lo", type=int, default=600)
+    crossover.add_argument("--hi", type=int, default=1600)
+    crossover.add_argument("--seed", type=int, default=0)
+    crossover.add_argument("--tolerance", type=int, default=25)
+
+    svg_map = sub.add_parser(
+        "map", help="write the deployment/association as an SVG file"
+    )
+    _add_scenario_arguments(svg_map)
+    svg_map.add_argument("--out", type=Path, required=True)
+    svg_map.add_argument("--coverage", action="store_true",
+                         help="draw coverage circles")
+    svg_map.add_argument(
+        "--allocator", default="dmra",
+        choices=sorted(_ALLOCATOR_BUILDERS),
+    )
+
+    summarize = sub.add_parser(
+        "summarize",
+        help="render stored result CSVs as charts and tables",
+    )
+    summarize.add_argument(
+        "--results",
+        type=Path,
+        default=Path("benchmarks/results/paper"),
+        help="directory of CSVs written by the benches",
+    )
+    summarize.add_argument(
+        "--only", nargs="+", default=None,
+        help="experiment ids to include (default: everything found)",
+    )
+    return parser
+
+
+def _add_scenario_arguments(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--ues", type=int, default=600, help="number of UEs")
+    cmd.add_argument("--seed", type=int, default=0)
+    cmd.add_argument(
+        "--placement", choices=("regular", "random", "clustered"),
+        default="regular",
+    )
+    cmd.add_argument("--iota", type=float, default=2.0, help="cross-SP markup")
+    cmd.add_argument("--rho", type=float, default=10.0, help="DMRA rho weight")
+
+
+def _scenario_from_args(args: argparse.Namespace) -> Scenario:
+    config = ScenarioConfig.paper(
+        placement=args.placement, cross_sp_markup=args.iota, rho=args.rho
+    )
+    return build_scenario(config, ue_count=args.ues, seed=args.seed)
+
+
+_ALLOCATOR_BUILDERS = {
+    "dmra": lambda sc: DMRAAllocator(pricing=sc.pricing, rho=sc.config.rho),
+    "dcsp": lambda sc: DCSPAllocator(),
+    "nonco": lambda sc: NonCoAllocator(),
+    "greedy": lambda sc: GreedyProfitAllocator(pricing=sc.pricing),
+    "random": lambda sc: RandomAllocator(seed=sc.seed),
+    "cloud-only": lambda sc: CloudOnlyAllocator(),
+    "ilp": lambda sc: OptimalILPAllocator(pricing=sc.pricing),
+}
+
+
+def _build_allocator(name: str, scenario: Scenario) -> Allocator:
+    return _ALLOCATOR_BUILDERS[name](scenario)
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import EXTENSIONS
+
+    scale = Scale.paper() if args.scale == "paper" else Scale.smoke()
+    registry = all_experiments()
+    if args.exp_id == "all":
+        exp_ids = sorted(EXPERIMENTS)
+    elif args.exp_id == "extensions":
+        exp_ids = sorted(EXTENSIONS)
+    else:
+        exp_ids = [args.exp_id]
+    for exp_id in exp_ids:
+        if exp_id not in registry:
+            raise ConfigurationError(
+                f"unknown experiment {exp_id!r}; "
+                f"available: {sorted(registry)}"
+            )
+        experiment = registry[exp_id]
+        print(f"running {experiment.exp_id}: {experiment.title}")
+        result = experiment.run(scale)
+        series = [result[label] for label in result.labels()]
+        print(render_chart(
+            series,
+            title=experiment.title,
+            x_label=experiment.x_label,
+            y_label=experiment.y_label,
+        ))
+        print()
+        print(render_table(series, x_header=experiment.x_label))
+        print()
+        if args.out is not None:
+            path = write_series_csv(
+                args.out / f"{exp_id}.csv", series, x_header=experiment.x_label
+            )
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    allocator = _build_allocator(args.allocator, scenario)
+    outcome = run_allocation(scenario, allocator)
+    metrics = outcome.metrics
+    print(scenario.network.describe())
+    print(f"allocator:          {outcome.allocator_name}")
+    print(f"total profit:       {metrics.total_profit:.1f}")
+    for sp_id, profit in sorted(metrics.profit_by_sp.items()):
+        print(f"  SP {sp_id} profit:      {profit:.1f}")
+    print(f"edge served:        {metrics.edge_served}/{metrics.ue_count}")
+    print(f"cloud forwarded:    {metrics.cloud_forwarded}")
+    print(f"forwarded traffic:  {metrics.forwarded_traffic_bps / 1e6:.1f} Mbps")
+    print(f"same-SP fraction:   {metrics.same_sp_fraction:.2f}")
+    print(f"mean RRB util:      {metrics.mean_rrb_utilization:.2f}")
+    print(f"mean CRU util:      {metrics.mean_cru_utilization:.2f}")
+    print(f"matching rounds:    {metrics.rounds}")
+    print(f"wall time:          {outcome.wall_time_s * 1e3:.1f} ms")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    network = scenario.network
+    print(network.describe())
+    print(f"seed: {scenario.seed}")
+    print("per-SP deployments:")
+    for sp in network.providers:
+        bss = network.base_stations_of_sp(sp.sp_id)
+        ues = network.user_equipments_of_sp(sp.sp_id)
+        print(
+            f"  {sp.name}: {len(bss)} BSs, {len(ues)} subscribers, "
+            f"m_k={sp.cru_price}, m_k^o={sp.other_cost}"
+        )
+    uncovered = sum(
+        1
+        for ue in network.user_equipments
+        if not network.candidate_base_stations(ue.ue_id)
+    )
+    print(f"UEs with no candidate BS: {uncovered}")
+    total_rrbs = sum(bs.rrb_capacity for bs in network.base_stations)
+    total_crus = sum(bs.total_cru_capacity for bs in network.base_stations)
+    print(f"aggregate capacity: {total_rrbs} RRBs, {total_crus} CRUs")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    print(scenario.network.describe())
+    header = (
+        f"{'allocator':<12} {'profit':>10} {'edge':>6} {'cloud':>6} "
+        f"{'sameSP':>7} {'fwd Mbps':>9} {'rounds':>7} {'ms':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in args.allocators:
+        outcome = run_allocation(
+            scenario, _build_allocator(name, scenario)
+        )
+        m = outcome.metrics
+        print(
+            f"{name:<12} {m.total_profit:>10.1f} {m.edge_served:>6} "
+            f"{m.cloud_forwarded:>6} {m.same_sp_fraction:>7.2f} "
+            f"{m.forwarded_traffic_bps / 1e6:>9.1f} {m.rounds:>7} "
+            f"{outcome.wall_time_s * 1e3:>8.1f}"
+        )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        analyze_stability,
+        fairness_report,
+        render_network_map,
+        trace_convergence,
+    )
+    from repro.core.dmra import DMRAPolicy
+
+    scenario = _scenario_from_args(args)
+    print(scenario.network.describe())
+    for name in args.allocators:
+        allocator = _build_allocator(name, scenario)
+        outcome = run_allocation(scenario, allocator)
+        assignment = outcome.assignment
+        stability = analyze_stability(
+            scenario.network, scenario.radio_map, assignment, scenario.pricing
+        )
+        fairness = fairness_report(
+            scenario.network, outcome.metrics.profit_by_sp
+        )
+        print(f"\n=== {name} ===")
+        print(f"total profit:      {outcome.metrics.total_profit:.1f}")
+        print(f"edge / cloud:      {assignment.edge_served_count} / "
+              f"{assignment.cloud_count}")
+        print(f"envy pairs:        {stability.envy_count} "
+              f"({stability.envy_fraction:.1%} of served)")
+        print(f"stranded UEs:      {stability.stranded_count}")
+        print(f"Jain fairness:     {fairness.jain:.4f} "
+              f"(per-subscriber {fairness.jain_per_subscriber:.4f})")
+        if name == "dmra":
+            trace = trace_convergence(
+                DMRAPolicy(pricing=scenario.pricing, rho=args.rho),
+                scenario.network,
+                scenario.radio_map,
+            )
+            print(f"rounds:            {trace.round_count} "
+                  f"(95% associated by round "
+                  f"{trace.rounds_to_fraction(0.95)})")
+            print(f"signalling:        {trace.total_proposals} proposals, "
+                  f"{trace.proposals_per_association:.2f} per association")
+    dmra_assignment = run_allocation(
+        scenario, _build_allocator("dmra", scenario)
+    ).assignment
+    print()
+    print(render_network_map(scenario.network, dmra_assignment))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import scenario_report
+
+    scenario = _scenario_from_args(args)
+    allocators = [
+        _build_allocator(name, scenario) for name in args.allocators
+    ]
+    report = scenario_report(scenario, allocators)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_online(args: argparse.Namespace) -> int:
+    from repro.dynamics import (
+        ExponentialHolding,
+        OnlineConfig,
+        PoissonArrivals,
+        run_online,
+    )
+
+    config = ScenarioConfig.paper(cross_sp_markup=args.iota, rho=args.rho)
+    online = OnlineConfig(
+        horizon_s=args.horizon,
+        arrivals=PoissonArrivals(rate_per_s=args.rate),
+        holding=ExponentialHolding(mean_s=args.holding),
+    )
+    outcome = run_online(config, online, seed=args.seed)
+    print(outcome.scenario.network.describe())
+    print(f"horizon:             {args.horizon:.0f} s, "
+          f"rate {args.rate}/s, mean holding {args.holding:.0f} s")
+    print(f"offered load:        ~{args.rate * args.holding:.0f} "
+          f"concurrent tasks")
+    print(f"arrivals:            {outcome.arrivals}")
+    print(f"edge admitted:       {outcome.admitted_edge}")
+    print(f"cloud (blocked):     {outcome.admitted_cloud}")
+    print(f"blocking prob.:      {outcome.blocking_probability:.3f}")
+    print(f"profit rate:         {outcome.profit_rate_per_s:.2f}/s")
+    print(f"mean active (edge):  {outcome.mean_edge_active:.1f}")
+    print(f"peak active (edge):  {outcome.edge_active.peak:.0f}")
+    print(f"mean RRB util:       {outcome.mean_rrb_utilization:.1%}")
+    return 0
+
+
+def _cmd_mobility(args: argparse.Namespace) -> int:
+    from repro.dynamics import RandomWalk, run_mobility
+
+    config = ScenarioConfig.paper(
+        placement=args.placement, cross_sp_markup=args.iota, rho=args.rho
+    )
+    outcome = run_mobility(
+        config,
+        ue_count=args.ues,
+        epochs=args.epochs,
+        epoch_duration_s=args.epoch_duration,
+        seed=args.seed,
+        mobility=RandomWalk(speed_mps=args.speed),
+        sticky=not args.no_sticky,
+    )
+    mode = "re-optimize" if args.no_sticky else "sticky"
+    print(f"mobility run ({mode}), {args.ues} UEs, "
+          f"{args.epochs} x {args.epoch_duration:.0f} s epochs, "
+          f"{args.speed} m/s")
+    print(f"{'epoch':>6} {'profit':>9} {'handovers':>10} "
+          f"{'drops':>6} {'cloud':>6}")
+    for record in outcome.records:
+        print(f"{record.epoch:>6} {record.total_profit:>9.0f} "
+              f"{record.handovers:>10} {record.drops_to_cloud:>6} "
+              f"{record.cloud:>6}")
+    print(f"mean profit {outcome.mean_profit:.0f}, "
+          f"handover rate {outcome.handover_rate:.3f}/UE/epoch")
+    return 0
+
+
+def _cmd_failures(args: argparse.Namespace) -> int:
+    from repro.dynamics import inject_bs_failures
+
+    config = ScenarioConfig.paper(
+        placement=args.placement, cross_sp_markup=args.iota, rho=args.rho
+    )
+    outcome = inject_bs_failures(
+        config, ue_count=args.ues, failed_bs_ids=args.bs, seed=args.seed
+    )
+    print(f"failed BSs:        {list(outcome.failed_bs_ids)}")
+    print(f"orphaned UEs:      {outcome.orphaned_ues}")
+    print(f"recovered at edge: {outcome.recovered_ues} "
+          f"({outcome.recovery_fraction:.0%})")
+    print(f"dropped to cloud:  {outcome.dropped_to_cloud}")
+    print(f"profit before:     {outcome.profit_before:.1f}")
+    print(f"profit after:      {outcome.profit_after:.1f} "
+          f"(-{outcome.profit_loss_fraction:.1%})")
+    print(f"edge served:       {outcome.edge_served_before} -> "
+          f"{outcome.edge_served_after}")
+    return 0
+
+
+def _cmd_crossover(args: argparse.Namespace) -> int:
+    from repro.analysis import find_crossover
+
+    config = ScenarioConfig.paper()
+    result = find_crossover(
+        config,
+        lambda s: _build_allocator(args.a, s),
+        lambda s: _build_allocator(args.b, s),
+        seed=args.seed,
+        lo_ue_count=args.lo,
+        hi_ue_count=args.hi,
+        tolerance=args.tolerance,
+    )
+    if not result.found:
+        leader = args.a if result.lower_difference > 0 else args.b
+        print(f"no crossover in [{args.lo}, {args.hi}]: "
+              f"{leader} leads across the whole bracket")
+        print(f"difference at {args.lo}: {result.lower_difference:+.1f}; "
+              f"at {args.hi}: {result.upper_difference:+.1f}")
+        return 0
+    print(f"{args.a} vs {args.b} profit crossover at ~"
+          f"{result.midpoint:.0f} UEs "
+          f"(bracket [{result.lower_ue_count}, {result.upper_ue_count}], "
+          f"seed {args.seed})")
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from repro.viz import write_svg
+
+    scenario = _scenario_from_args(args)
+    assignment = run_allocation(
+        scenario, _build_allocator(args.allocator, scenario)
+    ).assignment
+    path = write_svg(
+        args.out,
+        scenario.network,
+        assignment,
+        show_coverage=args.coverage,
+        title=(
+            f"{args.allocator} on {scenario.network.ue_count} UEs "
+            f"(seed {scenario.seed})"
+        ),
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    from repro.experiments import all_experiments, read_series_csv
+
+    registry = all_experiments()
+    if not args.results.is_dir():
+        raise ConfigurationError(
+            f"{args.results} is not a directory; run the benches first "
+            f"(BENCH_SCALE=paper pytest benchmarks/ --benchmark-only)"
+        )
+    wanted = set(args.only) if args.only else None
+    rendered = 0
+    for csv_path in sorted(args.results.glob("*.csv")):
+        exp_id = csv_path.stem
+        if wanted is not None and exp_id not in wanted:
+            continue
+        experiment = registry.get(exp_id)
+        x_label = experiment.x_label if experiment else "x"
+        title = experiment.title if experiment else exp_id
+        series = read_series_csv(csv_path, x_header=x_label)
+        print(render_chart(
+            series,
+            title=f"{title}  [{csv_path}]",
+            x_label=x_label,
+            y_label=experiment.y_label if experiment else "value",
+        ))
+        print()
+        print(render_table(series, x_header=x_label))
+        print()
+        rendered += 1
+    if rendered == 0:
+        raise ConfigurationError(
+            f"no matching CSVs under {args.results}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Compute substrate: CRU/RRB ledgers, service catalog, remote cloud."""
+
+from repro.compute.catalog import ServiceCatalog
+from repro.compute.cloud import ForwardedTask, RemoteCloud
+from repro.compute.cru import BSLedger, Grant, LedgerPool
+from repro.compute.placement_opt import (
+    empirical_popularity,
+    plan_hosting,
+    rehost_scenario,
+)
+
+__all__ = [
+    "BSLedger",
+    "ForwardedTask",
+    "Grant",
+    "LedgerPool",
+    "RemoteCloud",
+    "empirical_popularity",
+    "plan_hosting",
+    "rehost_scenario",
+    "ServiceCatalog",
+]

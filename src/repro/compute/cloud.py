@@ -1,0 +1,77 @@
+"""The remote cloud layer.
+
+The paper models the cloud as an unlimited-capacity sink of last resort:
+tasks no BS can take are forwarded there, which costs transmission
+through the backbone and contributes nothing to MEC-layer SP profit.
+:class:`RemoteCloud` records every forwarded task so the harness can
+report the "total forwarded traffic load" metric of Fig. 7.
+
+Forwarded load is measured as the sum of the UEs' uplink rate demands
+(bits/s) — the traffic that would otherwise have stayed at the edge;
+the CRU view is also kept for ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.model.entities import UserEquipment
+
+__all__ = ["ForwardedTask", "RemoteCloud"]
+
+
+@dataclass(frozen=True, slots=True)
+class ForwardedTask:
+    """One task forwarded to the remote cloud."""
+
+    ue_id: int
+    sp_id: int
+    service_id: int
+    crus: int
+    rate_demand_bps: float
+
+
+@dataclass
+class RemoteCloud:
+    """Unlimited-capacity cloud sink with forwarding accounting."""
+
+    _tasks: dict[int, ForwardedTask] = field(default_factory=dict)
+
+    def forward(self, ue: UserEquipment) -> ForwardedTask:
+        """Record a UE's task as cloud-served."""
+        if ue.ue_id in self._tasks:
+            raise ConfigurationError(
+                f"UE {ue.ue_id} was already forwarded to the cloud"
+            )
+        task = ForwardedTask(
+            ue_id=ue.ue_id,
+            sp_id=ue.sp_id,
+            service_id=ue.service_id,
+            crus=ue.cru_demand,
+            rate_demand_bps=ue.rate_demand_bps,
+        )
+        self._tasks[ue.ue_id] = task
+        return task
+
+    @property
+    def forwarded_ue_ids(self) -> frozenset[int]:
+        return frozenset(self._tasks)
+
+    @property
+    def task_count(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def forwarded_traffic_bps(self) -> float:
+        """Total forwarded traffic load (Fig. 7's metric)."""
+        return sum(task.rate_demand_bps for task in self._tasks.values())
+
+    @property
+    def forwarded_crus(self) -> int:
+        """Total CRU demand pushed to the cloud."""
+        return sum(task.crus for task in self._tasks.values())
+
+    def tasks_of_sp(self, sp_id: int) -> tuple[ForwardedTask, ...]:
+        """Forwarded tasks belonging to one SP's subscribers."""
+        return tuple(t for t in self._tasks.values() if t.sp_id == sp_id)

@@ -1,0 +1,170 @@
+"""Demand-aware service placement (which services should a BS host?).
+
+The paper's model allows each BS to host only a subset ``S_i ⊆ S``
+(its evaluation hosts everything everywhere, so placement never binds).
+When hosting slots are scarce — the regime of the DCSP baseline's
+source paper, which is *about* collaborative service placement — the
+question becomes real: spreading slots uniformly wastes them on
+services nobody requests, while chasing only the most popular service
+leaves the tail completely uncovered.
+
+:func:`plan_hosting` allocates hosting slots across BSs proportionally
+to service popularity, guaranteeing every service at least one slot,
+then deals each service's slots across distinct BSs so coverage is
+spatially spread.  :func:`rehost_scenario` applies a plan to an
+existing scenario (keeping everything else — positions, demands, seeds
+— identical) so planned and unplanned hosting can be compared in a
+paired fashion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.model.network import MECNetwork
+from repro.radio.channel import build_radio_map
+from repro.sim.scenario import Scenario
+
+__all__ = ["plan_hosting", "rehost_scenario", "empirical_popularity"]
+
+
+def empirical_popularity(network: MECNetwork) -> tuple[float, ...]:
+    """Observed service-request shares of the UE population."""
+    counts = [0] * network.service_count
+    for ue in network.user_equipments:
+        counts[ue.service_id] += 1
+    total = sum(counts)
+    if total == 0:
+        raise ConfigurationError("network has no UEs to estimate demand from")
+    return tuple(c / total for c in counts)
+
+
+def plan_hosting(
+    bs_count: int,
+    slots_per_bs: int,
+    weights: Sequence[float],
+) -> list[frozenset[int]]:
+    """Allocate per-BS hosting sets proportional to demand weights.
+
+    Returns one service-id set per BS, each of size ``slots_per_bs``.
+    Every service receives at least one slot network-wide; the rest are
+    apportioned by weight (largest-remainder), then dealt round-robin
+    so one service's replicas land on different BSs.
+    """
+    service_count = len(weights)
+    if bs_count <= 0:
+        raise ConfigurationError(f"bs_count must be > 0, got {bs_count}")
+    if not 0 < slots_per_bs <= service_count:
+        raise ConfigurationError(
+            f"slots_per_bs must be in [1, {service_count}], got {slots_per_bs}"
+        )
+    total_weight = sum(weights)
+    if total_weight <= 0 or any(w < 0 for w in weights):
+        raise ConfigurationError(f"invalid demand weights {weights!r}")
+    total_slots = bs_count * slots_per_bs
+    if total_slots < service_count:
+        raise ConfigurationError(
+            f"{total_slots} slots cannot cover {service_count} services"
+        )
+
+    # Largest-remainder apportionment with a floor of 1 slot per service
+    # and a cap of bs_count (a service cannot be hosted twice on one BS).
+    shares = [w / total_weight * total_slots for w in weights]
+    counts = [max(1, min(bs_count, int(s))) for s in shares]
+    remainders = sorted(
+        range(service_count),
+        key=lambda j: shares[j] - int(shares[j]),
+        reverse=True,
+    )
+    index = 0
+    while sum(counts) < total_slots:
+        j = remainders[index % service_count]
+        if counts[j] < bs_count:
+            counts[j] += 1
+        index += 1
+        if index > 10 * total_slots:  # every service capped out
+            break
+    while sum(counts) > total_slots:
+        # Trim the most-replicated services first, never below 1.
+        j = max(range(service_count), key=lambda k: counts[k])
+        if counts[j] <= 1:
+            break
+        counts[j] -= 1
+
+    # Deal each service's replicas across BSs, most popular first, each
+    # replica on the currently least-loaded BS that lacks the service.
+    hosting: list[set[int]] = [set() for _ in range(bs_count)]
+    order = sorted(range(service_count), key=lambda j: -counts[j])
+    for service_id in order:
+        for _ in range(counts[service_id]):
+            candidates = [
+                i
+                for i in range(bs_count)
+                if service_id not in hosting[i]
+                and len(hosting[i]) < slots_per_bs
+            ]
+            if not candidates:
+                break
+            target = min(candidates, key=lambda i: (len(hosting[i]), i))
+            hosting[target].add(service_id)
+    # Fill any leftover capacity with the most popular absent services.
+    popularity_order = sorted(
+        range(service_count), key=lambda j: -weights[j]
+    )
+    for i in range(bs_count):
+        for service_id in popularity_order:
+            if len(hosting[i]) >= slots_per_bs:
+                break
+            hosting[i].add(service_id)
+    return [frozenset(h) for h in hosting]
+
+
+def rehost_scenario(
+    scenario: Scenario, plan: Sequence[frozenset[int]], seed: int = 0
+) -> Scenario:
+    """Apply a hosting plan to a scenario, leaving everything else fixed.
+
+    Hosted services get fresh CRU capacities from the config's range
+    (seeded, so results are reproducible); positions, demands, and the
+    UE population are untouched, making comparisons against the original
+    scenario paired.
+    """
+    network = scenario.network
+    if len(plan) != network.bs_count:
+        raise ConfigurationError(
+            f"plan covers {len(plan)} BSs, network has {network.bs_count}"
+        )
+    rng = np.random.default_rng(seed)
+    config = scenario.config
+    new_bss = []
+    for bs, hosted in zip(network.base_stations, plan):
+        capacities = {
+            int(service_id): int(
+                rng.integers(
+                    config.cru_capacity_min, config.cru_capacity_max + 1
+                )
+            )
+            for service_id in sorted(hosted)
+        }
+        new_bss.append(replace(bs, cru_capacity=capacities))
+    new_network = MECNetwork(
+        providers=network.providers,
+        base_stations=new_bss,
+        user_equipments=network.user_equipments,
+        services=network.services,
+        region=network.region,
+        coverage_radius_m=network.coverage_radius_m,
+    )
+    radio_map = build_radio_map(
+        new_network, config.link_budget(), rate_model=config.rate_model_fn()
+    )
+    return Scenario(
+        config=config,
+        network=new_network,
+        radio_map=radio_map,
+        seed=scenario.seed,
+    )

@@ -1,0 +1,437 @@
+"""Agent-based decentralized DMRA: UE, BS, and SP agents passing messages.
+
+This is the deployment-shaped implementation of Alg. 1.  Where
+:class:`~repro.core.dmra.DMRAAllocator` runs the matching as one loop
+over shared state, here every entity is an agent with private state:
+
+* a :class:`UEAgent` sees only the resource broadcasts of the BSs that
+  cover it and decides proposals locally (Eq. 17);
+* a :class:`BSAgent` sees only the service requests in its mailbox and
+  decides acceptances locally (BS-side preference + RRB budget);
+* a :class:`SPAgent` relays messages between its subscribers and the
+  BSs, and forwards unserveable tasks to the remote cloud — the "middle
+  layer" role the paper assigns to SPs.
+
+:class:`DecentralizedDMRAAllocator` drives synchronous rounds of this
+message exchange.  Its output is bit-identical to the direct engine's
+(asserted by the equivalence integration tests), demonstrating that
+DMRA genuinely needs no central coordinator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.compute.cru import BSLedger
+from repro.core.allocator import Allocator
+from repro.core.assignment import Assignment
+from repro.core.messages import (
+    AssociationGrant,
+    CloudFallbackNotice,
+    ResourceBroadcast,
+    ServiceRequest,
+)
+from repro.econ.pricing import PaperPricing, PricingPolicy
+from repro.errors import AllocationError, ConfigurationError
+from repro.model.entities import BaseStation, UserEquipment
+from repro.model.network import MECNetwork
+from repro.radio.channel import RadioMap
+
+__all__ = ["UEAgent", "BSAgent", "SPAgent", "DecentralizedDMRAAllocator"]
+
+
+@dataclass(frozen=True, slots=True)
+class _CandidateInfo:
+    """What a UE knows statically about one reachable BS."""
+
+    bs_id: int
+    price_per_cru: float
+    rrbs_required: int
+
+
+class UEAgent:
+    """One user equipment: proposes per Eq. 17, from broadcasts only."""
+
+    def __init__(
+        self,
+        ue: UserEquipment,
+        candidates: list[_CandidateInfo],
+        rho: float,
+    ) -> None:
+        self.ue = ue
+        self.rho = rho
+        self._candidates: dict[int, _CandidateInfo] = {
+            info.bs_id: info for info in candidates
+        }
+        self._broadcasts: dict[int, ResourceBroadcast] = {}
+        self.associated_bs: int | None = None
+        self.gave_up = False
+
+    @property
+    def ue_id(self) -> int:
+        return self.ue.ue_id
+
+    @property
+    def candidate_bs_ids(self) -> tuple[int, ...]:
+        """The UE's current ``B_u``."""
+        return tuple(sorted(self._candidates))
+
+    def observe(self, broadcast: ResourceBroadcast) -> None:
+        """Receive a BS's resource broadcast (only covering BSs send us one)."""
+        self._broadcasts[broadcast.bs_id] = broadcast
+
+    def receive_grant(self, grant: AssociationGrant) -> None:
+        """Accept an association grant addressed to this UE."""
+        if grant.ue_id != self.ue_id:
+            raise AllocationError(
+                f"UE {self.ue_id} received a grant addressed to {grant.ue_id}"
+            )
+        self.associated_bs = grant.bs_id
+
+    # ------------------------------------------------------------------
+    # Decision logic (Alg. 1 lines 3--10, run locally)
+    # ------------------------------------------------------------------
+
+    def _slack(self, bs_id: int) -> int:
+        broadcast = self._broadcasts.get(bs_id)
+        if broadcast is None:
+            # No broadcast yet means the first round: assume the static
+            # capacities the candidate list was built against are intact.
+            return -1
+        return (
+            broadcast.remaining_crus.get(self.ue.service_id, 0)
+            + broadcast.remaining_rrbs
+        )
+
+    def _fits(self, info: _CandidateInfo) -> bool:
+        broadcast = self._broadcasts.get(info.bs_id)
+        if broadcast is None:
+            return True
+        return (
+            broadcast.remaining_crus.get(self.ue.service_id, 0)
+            >= self.ue.cru_demand
+            and broadcast.remaining_rrbs >= info.rrbs_required
+        )
+
+    def _score(self, info: _CandidateInfo) -> float:
+        slack = self._slack(info.bs_id)
+        if slack < 0:
+            # No broadcast seen yet: price-only ordering is exact because
+            # all slacks are at full capacity... which the UE does not
+            # know numerically; DecentralizedDMRAAllocator always sends
+            # an initial broadcast before round 1, so this path is only
+            # a safety net.
+            return info.price_per_cru
+        if slack == 0:
+            return math.inf if self.rho > 0 else info.price_per_cru
+        return info.price_per_cru + self.rho / slack
+
+    def coverage_count(self) -> int:
+        """``f_u``: candidates that still fit per the latest broadcasts."""
+        return sum(1 for info in self._candidates.values() if self._fits(info))
+
+    def propose(self) -> ServiceRequest | CloudFallbackNotice | None:
+        """Run one proposal step; ``None`` when already associated."""
+        if self.associated_bs is not None or self.gave_up:
+            return None
+        while self._candidates:
+            best = min(
+                self._candidates.values(),
+                key=lambda info: (self._score(info), info.bs_id),
+            )
+            if self._fits(best):
+                return ServiceRequest(
+                    ue_id=self.ue_id,
+                    sp_id=self.ue.sp_id,
+                    target_bs_id=best.bs_id,
+                    service_id=self.ue.service_id,
+                    cru_demand=self.ue.cru_demand,
+                    rrbs_required=best.rrbs_required,
+                    coverage_count=self.coverage_count(),
+                )
+            del self._candidates[best.bs_id]
+        self.gave_up = True
+        return CloudFallbackNotice(ue_id=self.ue_id, sp_id=self.ue.sp_id)
+
+
+class BSAgent:
+    """One base station: accepts per the BS-side preference, from its
+    mailbox only."""
+
+    def __init__(self, base_station: BaseStation) -> None:
+        self.bs = base_station
+        self.ledger = BSLedger(base_station)
+        self._mailbox: list[ServiceRequest] = []
+
+    @property
+    def bs_id(self) -> int:
+        return self.bs.bs_id
+
+    def deliver(self, request: ServiceRequest) -> None:
+        """Queue a service request addressed to this BS."""
+        if request.target_bs_id != self.bs_id:
+            raise AllocationError(
+                f"BS {self.bs_id} received a request targeting "
+                f"{request.target_bs_id}"
+            )
+        self._mailbox.append(request)
+
+    def _rank_key(self, request: ServiceRequest) -> tuple[int, int, int, int]:
+        """Smaller = preferred: own subscribers, then smallest f_u, then
+        lightest footprint, then UE id for determinism."""
+        return (
+            0 if request.sp_id == self.bs.sp_id else 1,
+            request.coverage_count,
+            request.rrbs_required + request.cru_demand,
+            request.ue_id,
+        )
+
+    def process_round(self) -> list[AssociationGrant]:
+        """Alg. 1 lines 12--25 over the current mailbox.
+
+        Requests that no longer fit the BS's *actual* remaining
+        resources are discarded up front.  With fresh broadcasts this
+        filter never fires (the UE checked the same state before
+        proposing); it exists for the stale-broadcast regime, where UEs
+        may propose on outdated information and the BS — which always
+        knows its own ledger — must be the backstop.
+        """
+        if not self._mailbox:
+            return []
+        by_service: dict[int, list[ServiceRequest]] = {}
+        for request in self._mailbox:
+            if (
+                self.ledger.remaining_crus(request.service_id)
+                < request.cru_demand
+                or self.ledger.remaining_rrbs < request.rrbs_required
+            ):
+                continue
+            by_service.setdefault(request.service_id, []).append(request)
+        self._mailbox.clear()
+        if not by_service:
+            return []
+
+        picks = [
+            min(candidates, key=self._rank_key)
+            for _, candidates in sorted(by_service.items())
+        ]
+        total_rrbs = sum(p.rrbs_required for p in picks)
+        if total_rrbs > self.ledger.remaining_rrbs:
+            ranked = sorted(picks, key=self._rank_key)
+            while ranked and total_rrbs > self.ledger.remaining_rrbs:
+                evicted = ranked.pop()
+                total_rrbs -= evicted.rrbs_required
+            picks = ranked
+
+        grants: list[AssociationGrant] = []
+        for request in picks:
+            self.ledger.grant(
+                ue_id=request.ue_id,
+                service_id=request.service_id,
+                crus=request.cru_demand,
+                rrbs=request.rrbs_required,
+            )
+            grants.append(
+                AssociationGrant(
+                    bs_id=self.bs_id,
+                    ue_id=request.ue_id,
+                    service_id=request.service_id,
+                    crus=request.cru_demand,
+                    rrbs=request.rrbs_required,
+                )
+            )
+        return grants
+
+    def broadcast(self) -> ResourceBroadcast:
+        """Advertise remaining resources (Alg. 1 line 26)."""
+        return ResourceBroadcast(
+            bs_id=self.bs_id,
+            remaining_crus={
+                service_id: self.ledger.remaining_crus(service_id)
+                for service_id in self.bs.cru_capacity
+            },
+            remaining_rrbs=self.ledger.remaining_rrbs,
+        )
+
+
+@dataclass
+class SPAgent:
+    """One service provider: the relay layer between UEs and BSs.
+
+    The SP never makes allocation decisions in DMRA; it routes requests
+    and grants for its subscribers and forwards hopeless tasks to the
+    remote cloud.  Message counters expose the relay load for the
+    decentralization overhead bench.
+    """
+
+    sp_id: int
+    requests_relayed: int = 0
+    grants_relayed: int = 0
+    cloud_forwards: int = 0
+    _cloud_ue_ids: set[int] = field(default_factory=set)
+
+    def relay_request(self, request: ServiceRequest) -> ServiceRequest:
+        """Forward a subscriber's service request toward its target BS."""
+        if request.sp_id != self.sp_id:
+            raise AllocationError(
+                f"SP {self.sp_id} asked to relay a request from a "
+                f"subscriber of SP {request.sp_id}"
+            )
+        self.requests_relayed += 1
+        return request
+
+    def relay_grant(self, grant: AssociationGrant) -> AssociationGrant:
+        """Forward a BS's grant back to the subscriber."""
+        self.grants_relayed += 1
+        return grant
+
+    def forward_to_cloud(self, notice: CloudFallbackNotice) -> None:
+        """Send a subscriber's unserveable task to the remote cloud."""
+        if notice.sp_id != self.sp_id:
+            raise AllocationError(
+                f"SP {self.sp_id} asked to forward a task of SP "
+                f"{notice.sp_id}"
+            )
+        self.cloud_forwards += 1
+        self._cloud_ue_ids.add(notice.ue_id)
+
+    @property
+    def cloud_ue_ids(self) -> frozenset[int]:
+        return frozenset(self._cloud_ue_ids)
+
+
+class DecentralizedDMRAAllocator(Allocator):
+    """DMRA as synchronous rounds of agent message exchange.
+
+    Produces the same association as :class:`DMRAAllocator` (verified by
+    integration tests); additionally exposes per-SP relay statistics via
+    :attr:`last_sp_agents` for overhead analysis.
+    """
+
+    def __init__(
+        self,
+        pricing: PricingPolicy | None = None,
+        rho: float = 10.0,
+        max_rounds: int = 100_000,
+        broadcast_delay_rounds: int = 0,
+    ) -> None:
+        if rho < 0:
+            raise ConfigurationError(f"rho must be >= 0, got {rho}")
+        if max_rounds <= 0:
+            raise ConfigurationError(
+                f"max_rounds must be > 0, got {max_rounds}"
+            )
+        if broadcast_delay_rounds < 0:
+            raise ConfigurationError(
+                f"broadcast delay must be >= 0, got {broadcast_delay_rounds}"
+            )
+        self.pricing = pricing if pricing is not None else PaperPricing()
+        self.rho = rho
+        self.max_rounds = max_rounds
+        self.broadcast_delay_rounds = broadcast_delay_rounds
+        self.name = "dmra-agents"
+        self.last_sp_agents: dict[int, SPAgent] = {}
+
+    def allocate(self, network: MECNetwork, radio_map: RadioMap) -> Assignment:
+        ue_agents = {
+            ue.ue_id: UEAgent(
+                ue,
+                candidates=[
+                    _CandidateInfo(
+                        bs_id=bs_id,
+                        price_per_cru=self.pricing.price_per_cru(
+                            network.distance_m(ue.ue_id, bs_id),
+                            network.same_sp(ue.ue_id, bs_id),
+                        ),
+                        rrbs_required=radio_map.link(
+                            ue.ue_id, bs_id
+                        ).rrbs_required,
+                    )
+                    for bs_id in network.candidate_base_stations(ue.ue_id)
+                ],
+                rho=self.rho,
+            )
+            for ue in network.user_equipments
+        }
+        bs_agents = {
+            bs.bs_id: BSAgent(bs) for bs in network.base_stations
+        }
+        sp_agents = {sp.sp_id: SPAgent(sp.sp_id) for sp in network.providers}
+        coverage = {
+            ue_id: set(agent.candidate_bs_ids)
+            for ue_id, agent in ue_agents.items()
+        }
+
+        # Stale-broadcast pipeline: UEs observe the broadcast a BS sent
+        # ``broadcast_delay_rounds`` rounds ago (0 = fresh, the paper's
+        # implicit assumption).  Each BS's pipeline starts filled with
+        # its initial full-capacity state, which is what a UE would have
+        # cached from the attach procedure.
+        pipelines: dict[int, list[ResourceBroadcast]] = {
+            bs_id: [agent.broadcast()] * (self.broadcast_delay_rounds + 1)
+            for bs_id, agent in bs_agents.items()
+        }
+
+        rounds = 0
+        while True:
+            rounds += 1
+            if rounds > self.max_rounds:
+                raise AllocationError(
+                    f"agent matching did not terminate within "
+                    f"{self.max_rounds} rounds"
+                )
+
+            # BSs broadcast remaining resources to the UEs they cover,
+            # delivered through the (possibly delayed) pipeline: the
+            # head of the pipeline is the broadcast sent ``delay``
+            # rounds ago.
+            for bs_id, bs_agent in bs_agents.items():
+                pipeline = pipelines[bs_id]
+                pipeline.append(bs_agent.broadcast())
+                while len(pipeline) > self.broadcast_delay_rounds + 1:
+                    pipeline.pop(0)
+                delivered = pipeline[0]
+                for ue_id, covered in coverage.items():
+                    if bs_id in covered:
+                        ue_agents[ue_id].observe(delivered)
+
+            # UEs propose; SPs relay requests to the target BSs.
+            any_request = False
+            for ue_id in sorted(ue_agents):
+                message = ue_agents[ue_id].propose()
+                if message is None:
+                    continue
+                sp_agent = sp_agents[message.sp_id]
+                if isinstance(message, CloudFallbackNotice):
+                    sp_agent.forward_to_cloud(message)
+                    continue
+                any_request = True
+                relayed = sp_agent.relay_request(message)
+                bs_agents[relayed.target_bs_id].deliver(relayed)
+            if not any_request:
+                break
+
+            # BSs decide; SPs relay grants back to their subscribers.
+            for bs_id in sorted(bs_agents):
+                for grant in bs_agents[bs_id].process_round():
+                    ue_agent = ue_agents[grant.ue_id]
+                    sp_agent = sp_agents[ue_agent.ue.sp_id]
+                    ue_agent.receive_grant(sp_agent.relay_grant(grant))
+
+        self.last_sp_agents = sp_agents
+        grants = [
+            grant
+            for bs_agent in bs_agents.values()
+            for grant in bs_agent.ledger.grants.values()
+        ]
+        cloud = {
+            ue_id
+            for ue_id, agent in ue_agents.items()
+            if agent.associated_bs is None
+        }
+        return Assignment(
+            grants=tuple(grants),
+            cloud_ue_ids=frozenset(cloud),
+            rounds=rounds,
+        )

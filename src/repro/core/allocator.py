@@ -1,0 +1,40 @@
+"""The allocator interface every scheme implements.
+
+An allocator maps a network plus its precomputed radio map to an
+:class:`~repro.core.assignment.Assignment`.  DMRA and every baseline
+(DCSP, NonCo, greedy, random, ILP optimum) share this interface, which is
+what lets the simulation harness sweep schemes uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.assignment import Assignment
+from repro.model.network import MECNetwork
+from repro.radio.channel import RadioMap
+
+__all__ = ["Allocator"]
+
+
+class Allocator(ABC):
+    """Base class for UE--BS association schemes.
+
+    Subclasses must be stateless across calls (any per-run state lives in
+    local variables of :meth:`allocate`), so one instance can be reused
+    over many scenarios and replications.
+    """
+
+    #: Short identifier used in result tables and plots.
+    name: str = "allocator"
+
+    @abstractmethod
+    def allocate(self, network: MECNetwork, radio_map: RadioMap) -> Assignment:
+        """Associate every UE with a BS or the cloud.
+
+        Implementations must return an assignment that passes
+        :meth:`Assignment.validate` for the same inputs.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,173 @@
+"""Allocation results: the ``a_{u,i}`` association plus cloud fallbacks.
+
+An :class:`Assignment` is what every allocator returns: the set of
+resource grants realized at the edge and the set of UEs forwarded to the
+remote cloud.  :meth:`Assignment.validate` re-checks every constraint of
+the TPM problem (Eqs. 12--15) against the network and radio map, so a
+buggy allocator cannot silently report an infeasible solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.compute.cru import Grant
+from repro.errors import AllocationError
+from repro.model.network import MECNetwork
+from repro.radio.channel import RadioMap
+
+__all__ = ["Assignment"]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A complete UE-to-{BS, cloud} association.
+
+    ``grants`` holds one :class:`~repro.compute.cru.Grant` per edge-served
+    UE; ``cloud_ue_ids`` lists the UEs whose tasks went to the remote
+    cloud.  Together they must partition the UE population (checked by
+    :meth:`validate`).
+    """
+
+    grants: tuple[Grant, ...]
+    cloud_ue_ids: frozenset[int]
+    rounds: int = 0
+    _by_ue: Mapping[int, Grant] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "grants", tuple(self.grants))
+        object.__setattr__(self, "cloud_ue_ids", frozenset(self.cloud_ue_ids))
+        by_ue: dict[int, Grant] = {}
+        for grant in self.grants:
+            if grant.ue_id in by_ue:
+                raise AllocationError(
+                    f"UE {grant.ue_id} appears in multiple grants "
+                    f"(violates Eq. 15)"
+                )
+            by_ue[grant.ue_id] = grant
+        overlap = set(by_ue) & self.cloud_ue_ids
+        if overlap:
+            raise AllocationError(
+                f"UEs both edge-served and cloud-forwarded: {sorted(overlap)}"
+            )
+        object.__setattr__(self, "_by_ue", by_ue)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def edge_served_ue_ids(self) -> frozenset[int]:
+        return frozenset(self._by_ue)
+
+    def serving_bs(self, ue_id: int) -> int | None:
+        """The BS serving a UE, or ``None`` when cloud-forwarded/unknown."""
+        grant = self._by_ue.get(ue_id)
+        return grant.bs_id if grant is not None else None
+
+    def grant_of(self, ue_id: int) -> Grant | None:
+        """The UE's grant, or ``None`` when it is not edge-served."""
+        return self._by_ue.get(ue_id)
+
+    def grants_of_bs(self, bs_id: int) -> tuple[Grant, ...]:
+        """All grants realized on one BS (the paper's ``U'_i``)."""
+        return tuple(g for g in self.grants if g.bs_id == bs_id)
+
+    @property
+    def edge_served_count(self) -> int:
+        return len(self._by_ue)
+
+    @property
+    def cloud_count(self) -> int:
+        return len(self.cloud_ue_ids)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self, network: MECNetwork, radio_map: RadioMap) -> None:
+        """Check the TPM constraints (Eqs. 12--15) and coverage of all UEs.
+
+        Raises :class:`AllocationError` with a specific message on the
+        first violation found.
+        """
+        all_ue_ids = {ue.ue_id for ue in network.user_equipments}
+        assigned = self.edge_served_ue_ids | self.cloud_ue_ids
+        missing = all_ue_ids - assigned
+        if missing:
+            raise AllocationError(
+                f"UEs neither served nor forwarded: {sorted(missing)[:10]}"
+            )
+        unknown = assigned - all_ue_ids
+        if unknown:
+            raise AllocationError(
+                f"assignment references unknown UEs: {sorted(unknown)[:10]}"
+            )
+
+        crus_used: dict[tuple[int, int], int] = {}
+        rrbs_used: dict[int, int] = {}
+        for grant in self.grants:
+            ue = network.user_equipment(grant.ue_id)
+            bs = network.base_station(grant.bs_id)
+            # Eq. 13: the BS must host the requested service, and the UE
+            # must actually request the granted service.
+            if grant.service_id != ue.service_id:
+                raise AllocationError(
+                    f"UE {ue.ue_id} requests service {ue.service_id} but was "
+                    f"granted service {grant.service_id}"
+                )
+            if not bs.hosts_service(grant.service_id):
+                raise AllocationError(
+                    f"BS {bs.bs_id} does not host service {grant.service_id} "
+                    f"(violates Eq. 13)"
+                )
+            if not network.covers(bs.bs_id, ue.ue_id):
+                raise AllocationError(
+                    f"BS {bs.bs_id} does not cover UE {ue.ue_id}"
+                )
+            if grant.crus != ue.cru_demand:
+                raise AllocationError(
+                    f"UE {ue.ue_id}: granted {grant.crus} CRUs, "
+                    f"demand is {ue.cru_demand}"
+                )
+            expected_rrbs = radio_map.link(ue.ue_id, bs.bs_id).rrbs_required
+            if grant.rrbs != expected_rrbs:
+                raise AllocationError(
+                    f"UE {ue.ue_id} on BS {bs.bs_id}: granted {grant.rrbs} "
+                    f"RRBs, link requires {expected_rrbs}"
+                )
+            key = (grant.bs_id, grant.service_id)
+            crus_used[key] = crus_used.get(key, 0) + grant.crus
+            rrbs_used[grant.bs_id] = rrbs_used.get(grant.bs_id, 0) + grant.rrbs
+
+        for (bs_id, service_id), used in crus_used.items():
+            capacity = network.base_station(bs_id).cru_capacity.get(service_id, 0)
+            if used > capacity:
+                raise AllocationError(
+                    f"BS {bs_id} service {service_id}: {used} CRUs used, "
+                    f"capacity {capacity} (violates Eq. 12)"
+                )
+        for bs_id, used in rrbs_used.items():
+            capacity = network.base_station(bs_id).rrb_capacity
+            if used > capacity:
+                raise AllocationError(
+                    f"BS {bs_id}: {used} RRBs used, capacity {capacity} "
+                    f"(violates Eq. 14)"
+                )
+
+    def association_pairs(self) -> tuple[tuple[int, int], ...]:
+        """All ``(ue_id, bs_id)`` pairs with ``a_{u,i} = 1``."""
+        return tuple((g.ue_id, g.bs_id) for g in self.grants)
+
+    @staticmethod
+    def from_grants(
+        grants: Iterable[Grant],
+        all_ue_ids: Iterable[int],
+        rounds: int = 0,
+    ) -> "Assignment":
+        """Build an assignment, cloud-forwarding every unserved UE."""
+        grants = tuple(grants)
+        served = {g.ue_id for g in grants}
+        cloud = frozenset(set(all_ue_ids) - served)
+        return Assignment(grants=grants, cloud_ue_ids=cloud, rounds=rounds)

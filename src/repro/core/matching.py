@@ -1,0 +1,354 @@
+"""The iterative UE--BS matching engine (the skeleton of Alg. 1).
+
+DMRA, DCSP, and NonCo all follow the same deferred-acceptance loop; they
+differ only in *how UEs rank BSs* and *how BSs rank UEs*.  The engine
+factors out the loop; a :class:`MatchingPolicy` supplies the two ranking
+rules.  Per round:
+
+1. every still-unassociated UE walks its candidate set ``B_u`` in
+   preference order, discarding BSs that can no longer fit its demand
+   (Alg. 1 lines 3--10), and sends one service request;
+2. every BS picks, per requested service, its single most preferred
+   candidate (lines 12--21);
+3. the BS then checks the picks against its remaining RRB budget and, if
+   they exceed it, drops its least preferred picks until the rest fit
+   (lines 22--25); survivors are granted resources atomically;
+4. rejected UEs try again next round; a UE whose ``B_u`` empties is
+   forwarded to the remote cloud.
+
+Termination: every round with outstanding requests either grants at
+least one association or strictly shrinks some ``B_u`` (a UE whose
+proposal-time feasibility check fails removes that BS permanently —
+"resources in BS cannot increase", §V), both of which are finite.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.compute.cru import BSLedger, LedgerPool
+from repro.core.assignment import Assignment
+from repro.errors import AllocationError
+from repro.model.entities import UserEquipment
+from repro.model.network import MECNetwork
+from repro.radio.channel import RadioMap
+
+__all__ = [
+    "MatchingContext",
+    "MatchingPolicy",
+    "IterativeMatchingEngine",
+    "RoundStats",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class RoundStats:
+    """Per-round progress numbers handed to an engine observer."""
+
+    round_number: int
+    proposals: int
+    accepted: int
+    newly_cloud: int
+    unassociated_left: int
+
+
+@dataclass
+class MatchingContext:
+    """Live matching state exposed to policies.
+
+    Policies read remaining resources and coverage facts from here when
+    computing preference scores; they never mutate it.
+    """
+
+    network: MECNetwork
+    radio_map: RadioMap
+    ledgers: LedgerPool
+    candidate_sets: dict[int, list[int]] = field(default_factory=dict)
+    f_u_snapshot: dict[int, int] = field(default_factory=dict)
+
+    def rrbs_required(self, ue_id: int, bs_id: int) -> int:
+        """``n_{u,i}`` for a candidate link."""
+        return self.radio_map.link(ue_id, bs_id).rrbs_required
+
+    def link_fits(self, ue: UserEquipment, bs_id: int) -> bool:
+        """Alg. 1 line 6: the BS currently has room for this UE's demand."""
+        ledger = self.ledgers.ledger(bs_id)
+        return (
+            ledger.remaining_crus(ue.service_id) >= ue.cru_demand
+            and ledger.remaining_rrbs >= self.rrbs_required(ue.ue_id, bs_id)
+        )
+
+    def feasible_bs_count(self, ue_id: int) -> int:
+        """The paper's ``f_u``: BSs still in ``B_u`` that can fit the UE.
+
+        Dynamic by design — it shrinks as resources are consumed, which
+        is what makes DMRA prioritize UEs with few remaining options.
+        When a per-round snapshot exists (filled at proposal time, i.e.
+        the value the UE itself put in its service request) it takes
+        precedence: BSs must rank by the advertised ``f_u``, not by state
+        that changed while other BSs processed their queues — that
+        information would not exist in the decentralized deployment.
+        """
+        snapshot = self.f_u_snapshot.get(ue_id)
+        if snapshot is not None:
+            return snapshot
+        return self.live_feasible_bs_count(ue_id)
+
+    def live_feasible_bs_count(self, ue_id: int) -> int:
+        """``f_u`` recomputed from current ledgers (snapshot source)."""
+        ue = self.network.user_equipment(ue_id)
+        return sum(
+            1
+            for bs_id in self.candidate_sets.get(ue_id, ())
+            if self.link_fits(ue, bs_id)
+        )
+
+
+class MatchingPolicy(ABC):
+    """The two ranking rules that differentiate matching-based schemes."""
+
+    name: str = "policy"
+
+    @abstractmethod
+    def ue_score(
+        self, ue: UserEquipment, bs_id: int, ctx: MatchingContext
+    ) -> float:
+        """UE-side preference; the UE proposes to the BS with the
+        *smallest* score among its remaining candidates."""
+
+    @abstractmethod
+    def bs_rank_key(
+        self, ue_id: int, bs_id: int, ctx: MatchingContext
+    ) -> tuple:
+        """BS-side preference; *smaller tuples are preferred*.
+
+        Used both to pick one candidate per service and to decide which
+        tentative picks to evict when the round's grants exceed the BS's
+        remaining RRBs.
+        """
+
+
+class IterativeMatchingEngine:
+    """Runs the round loop of Alg. 1 under a given policy."""
+
+    def __init__(self, policy: MatchingPolicy, max_rounds: int = 100_000) -> None:
+        if max_rounds <= 0:
+            raise AllocationError(f"max_rounds must be > 0, got {max_rounds}")
+        self.policy = policy
+        self.max_rounds = max_rounds
+
+    def run(
+        self,
+        network: MECNetwork,
+        radio_map: RadioMap,
+        ledgers: LedgerPool | None = None,
+        ue_ids: Iterable[int] | None = None,
+        observer: Callable[[RoundStats], None] | None = None,
+    ) -> Assignment:
+        """Execute the matching and return the final association.
+
+        ``ledgers`` and ``ue_ids`` support *incremental* matching (the
+        online simulation): pass a pool that already holds grants from
+        earlier arrivals plus the ids of the newly arrived UEs, and only
+        those UEs are matched against the remaining capacity.  The
+        returned assignment covers exactly ``ue_ids``; pre-existing
+        grants are left untouched and not reported.
+
+        ``observer`` receives one :class:`RoundStats` per round — the
+        hook the convergence diagnostics build on.
+        """
+        ledgers = ledgers if ledgers is not None else LedgerPool(
+            network.base_stations
+        )
+        if ue_ids is None:
+            target_ids = sorted(ue.ue_id for ue in network.user_equipments)
+        else:
+            target_ids = sorted(set(ue_ids))
+        preexisting = {
+            (grant.bs_id, grant.ue_id) for grant in ledgers.all_grants()
+        }
+        ctx = MatchingContext(
+            network=network,
+            radio_map=radio_map,
+            ledgers=ledgers,
+            candidate_sets={
+                ue_id: list(network.candidate_base_stations(ue_id))
+                for ue_id in target_ids
+            },
+        )
+        unassociated = list(target_ids)
+        cloud: set[int] = set()
+        rounds = 0
+
+        while True:
+            rounds += 1
+            if rounds > self.max_rounds:
+                raise AllocationError(
+                    f"matching did not terminate within {self.max_rounds} rounds"
+                )
+            cloud_before = len(cloud)
+            requests = self._collect_proposals(ctx, unassociated, cloud)
+            proposals = sum(
+                len(ue_list)
+                for by_service in requests.values()
+                for ue_list in by_service.values()
+            )
+            if not requests:
+                if observer is not None:
+                    observer(RoundStats(
+                        round_number=rounds,
+                        proposals=0,
+                        accepted=0,
+                        newly_cloud=len(cloud) - cloud_before,
+                        unassociated_left=len(unassociated),
+                    ))
+                break
+            accepted = self._process_base_stations(ctx, requests)
+            if accepted:
+                remaining = set(unassociated) - accepted
+                unassociated = sorted(remaining)
+            if observer is not None:
+                observer(RoundStats(
+                    round_number=rounds,
+                    proposals=proposals,
+                    accepted=len(accepted),
+                    newly_cloud=len(cloud) - cloud_before,
+                    unassociated_left=len(unassociated),
+                ))
+
+        # Any UE still unassociated at termination has an empty B_u.
+        cloud.update(unassociated)
+        new_grants = tuple(
+            grant
+            for grant in ledgers.all_grants()
+            if (grant.bs_id, grant.ue_id) not in preexisting
+        )
+        return Assignment(
+            grants=new_grants,
+            cloud_ue_ids=frozenset(cloud),
+            rounds=rounds,
+        )
+
+    # ------------------------------------------------------------------
+    # Round phases
+    # ------------------------------------------------------------------
+
+    def _collect_proposals(
+        self,
+        ctx: MatchingContext,
+        unassociated: list[int],
+        cloud: set[int],
+    ) -> dict[int, dict[int, list[int]]]:
+        """Phase 1: each unassociated UE proposes to its best feasible BS.
+
+        Returns ``bs_id -> service_id -> [ue_id, ...]`` (the candidate
+        sets ``U^c_{i,j}``).  UEs whose ``B_u`` empties are moved to
+        ``cloud`` and removed from ``unassociated`` in place.
+        """
+        requests: dict[int, dict[int, list[int]]] = {}
+        newly_cloud: list[int] = []
+        ctx.f_u_snapshot.clear()
+        for ue_id in unassociated:
+            if ue_id in cloud:
+                continue
+            ue = ctx.network.user_equipment(ue_id)
+            candidates = ctx.candidate_sets[ue_id]
+            proposed = False
+            while candidates:
+                best = min(
+                    candidates,
+                    key=lambda bs_id: (
+                        self.policy.ue_score(ue, bs_id, ctx),
+                        bs_id,
+                    ),
+                )
+                if ctx.link_fits(ue, best):
+                    requests.setdefault(best, {}).setdefault(
+                        ue.service_id, []
+                    ).append(ue_id)
+                    # The f_u the UE advertises in its service request
+                    # (Alg. 1): computed from the resources broadcast at
+                    # the end of the previous round.
+                    ctx.f_u_snapshot[ue_id] = ctx.live_feasible_bs_count(
+                        ue_id
+                    )
+                    proposed = True
+                    break
+                candidates.remove(best)
+            if not proposed:
+                newly_cloud.append(ue_id)
+        for ue_id in newly_cloud:
+            cloud.add(ue_id)
+            unassociated.remove(ue_id)
+        return requests
+
+    def _process_base_stations(
+        self,
+        ctx: MatchingContext,
+        requests: dict[int, dict[int, list[int]]],
+    ) -> set[int]:
+        """Phases 2--3: per-service selection plus the RRB budget check.
+
+        Returns the set of UE ids granted an association this round.
+        """
+        accepted: set[int] = set()
+        for bs_id in sorted(requests):
+            ledger = ctx.ledgers.ledger(bs_id)
+            picks = self._pick_per_service(ctx, bs_id, requests[bs_id])
+            survivors = self._fit_radio_budget(ctx, bs_id, ledger, picks)
+            for ue_id in survivors:
+                ue = ctx.network.user_equipment(ue_id)
+                ledger.grant(
+                    ue_id=ue_id,
+                    service_id=ue.service_id,
+                    crus=ue.cru_demand,
+                    rrbs=ctx.rrbs_required(ue_id, bs_id),
+                )
+                accepted.add(ue_id)
+        return accepted
+
+    def _pick_per_service(
+        self,
+        ctx: MatchingContext,
+        bs_id: int,
+        by_service: dict[int, list[int]],
+    ) -> list[int]:
+        """Alg. 1 lines 13--21: one most-preferred candidate per service."""
+        picks: list[int] = []
+        for service_id in sorted(by_service):
+            candidates = by_service[service_id]
+            best = min(
+                candidates,
+                key=lambda ue_id: (
+                    self.policy.bs_rank_key(ue_id, bs_id, ctx),
+                    ue_id,
+                ),
+            )
+            picks.append(best)
+        return picks
+
+    def _fit_radio_budget(
+        self,
+        ctx: MatchingContext,
+        bs_id: int,
+        ledger: BSLedger,
+        picks: list[int],
+    ) -> list[int]:
+        """Alg. 1 lines 22--25: evict least preferred picks until the
+        round's combined RRB demand fits the remaining budget."""
+        demand = {
+            ue_id: ctx.rrbs_required(ue_id, bs_id) for ue_id in picks
+        }
+        total = sum(demand.values())
+        if total <= ledger.remaining_rrbs:
+            return picks
+        ranked = sorted(
+            picks,
+            key=lambda ue_id: (self.policy.bs_rank_key(ue_id, bs_id, ctx), ue_id),
+        )
+        while ranked and total > ledger.remaining_rrbs:
+            evicted = ranked.pop()  # least preferred = largest rank key
+            total -= demand[evicted]
+        return ranked

@@ -1,0 +1,72 @@
+"""Wire messages of the decentralized DMRA deployment.
+
+The paper's architecture is message-driven: UEs talk to their SP, the SP
+relays to BSs, BSs answer with association grants and periodically
+broadcast their remaining resources.  These frozen dataclasses are the
+complete vocabulary; agents (:mod:`repro.core.agents`) exchange nothing
+else, which is what makes the decentralization claim checkable — a BS
+decides using only the fields a :class:`ServiceRequest` carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = [
+    "ServiceRequest",
+    "AssociationGrant",
+    "ResourceBroadcast",
+    "CloudFallbackNotice",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceRequest:
+    """A UE's proposal to one BS (Alg. 1 line 7).
+
+    Carries exactly what the paper says the request includes: the UE's
+    identity and subscription, its service demands, and the number of
+    BSs that can still serve it (``f_u``, as computed by the UE from the
+    latest broadcasts).  ``rrbs_required`` is ``n_{u,i}`` for the target
+    BS — in a real deployment the BS derives it from the measured uplink
+    SINR; here the UE ships the precomputed value for both sides.
+    """
+
+    ue_id: int
+    sp_id: int
+    target_bs_id: int
+    service_id: int
+    cru_demand: int
+    rrbs_required: int
+    coverage_count: int  # f_u at send time
+
+
+@dataclass(frozen=True, slots=True)
+class AssociationGrant:
+    """A BS's acceptance of a service request (``a_{u,i} = 1``)."""
+
+    bs_id: int
+    ue_id: int
+    service_id: int
+    crus: int
+    rrbs: int
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceBroadcast:
+    """A BS's end-of-round advertisement of its remaining resources
+    (Alg. 1 line 26)."""
+
+    bs_id: int
+    remaining_crus: Mapping[int, int]
+    remaining_rrbs: int
+
+
+@dataclass(frozen=True, slots=True)
+class CloudFallbackNotice:
+    """A UE telling its SP that no BS can serve it; the SP forwards the
+    task to the remote cloud."""
+
+    ue_id: int
+    sp_id: int

@@ -1,0 +1,62 @@
+"""DMRA preference functions (Eq. 17 and the BS-side selection rule).
+
+UE side — Eq. 17::
+
+    v_{u,i} = p_{i,u} + rho / [ (c_{i,j} - used CRUs) + (N_i - used RRBs) ]
+
+Lower is better: the UE balances the price the BS would charge against
+how much slack the BS still has; ``rho`` tunes the trade-off (swept in
+Figs. 6--7).  When a BS has no slack at all the score is infinite — the
+UE will never propose there (and the engine's feasibility check would
+discard it anyway).
+
+BS side — §V: a service prefers (1) UEs of its own SP, then (2) the UE
+reachable by the fewest still-feasible BSs (smallest ``f_u``), then
+(3) the UE with the smallest combined footprint ``n_{u,i} + c_j^u``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.matching import MatchingContext
+from repro.econ.pricing import PricingPolicy
+from repro.errors import ConfigurationError
+from repro.model.entities import UserEquipment
+
+__all__ = ["dmra_ue_score", "dmra_bs_rank_key"]
+
+
+def dmra_ue_score(
+    ue: UserEquipment,
+    bs_id: int,
+    ctx: MatchingContext,
+    pricing: PricingPolicy,
+    rho: float,
+) -> float:
+    """Eq. 17: the UE's preference value ``v_{u,i}`` (smaller = better)."""
+    if rho < 0:
+        raise ConfigurationError(f"rho must be >= 0, got {rho}")
+    price = pricing.price_per_cru(
+        ctx.network.distance_m(ue.ue_id, bs_id),
+        ctx.network.same_sp(ue.ue_id, bs_id),
+    )
+    ledger = ctx.ledgers.ledger(bs_id)
+    slack = ledger.remaining_crus(ue.service_id) + ledger.remaining_rrbs
+    if slack <= 0:
+        return math.inf if rho > 0 else price
+    return price + rho / slack
+
+
+def dmra_bs_rank_key(
+    ue_id: int, bs_id: int, ctx: MatchingContext
+) -> tuple[int, int, int]:
+    """BS-side ranking tuple (smaller = preferred).
+
+    ``(cross-SP flag, f_u, n_{u,i} + c_j^u)`` — same-SP UEs first, then
+    the most constrained UE, then the lightest footprint.
+    """
+    ue = ctx.network.user_equipment(ue_id)
+    same_sp = ctx.network.same_sp(ue_id, bs_id)
+    footprint = ctx.rrbs_required(ue_id, bs_id) + ue.cru_demand
+    return (0 if same_sp else 1, ctx.feasible_bs_count(ue_id), footprint)

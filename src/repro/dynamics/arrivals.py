@@ -1,0 +1,146 @@
+"""Arrival and holding-time processes for the online simulation.
+
+The paper treats allocation as a batch problem over "a batch of UEs with
+computing tasks" but motivates DMRA with the need to "adjust its
+resource allocation strategy in real time to adapt to the changing
+environment" (§V).  These processes generate that changing environment:
+task arrivals over a time horizon and how long each admitted task holds
+its resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BatchArrivals",
+    "HoldingTimeModel",
+    "ExponentialHolding",
+    "DeterministicHolding",
+]
+
+
+class ArrivalProcess(Protocol):
+    """Generates arrival timestamps over ``[0, horizon_s)``."""
+
+    def arrival_times(
+        self, horizon_s: float, rng: np.random.Generator
+    ) -> list[float]:
+        """Sorted arrival timestamps in ``[0, horizon_s)``."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class PoissonArrivals:
+    """Homogeneous Poisson arrivals at ``rate_per_s``."""
+
+    rate_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ConfigurationError(
+                f"arrival rate must be > 0, got {self.rate_per_s}"
+            )
+
+    def arrival_times(
+        self, horizon_s: float, rng: np.random.Generator
+    ) -> list[float]:
+        """Exponential inter-arrival times accumulated up to the horizon."""
+        if horizon_s <= 0:
+            raise ConfigurationError(
+                f"horizon must be > 0, got {horizon_s}"
+            )
+        times: list[float] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / self.rate_per_s))
+            if t >= horizon_s:
+                return times
+            times.append(t)
+
+
+@dataclass(frozen=True, slots=True)
+class BatchArrivals:
+    """``batch_size`` simultaneous arrivals every ``interval_s``.
+
+    The online analogue of the paper's batch framing: a burst of
+    offloading requests lands together and the matching runs once per
+    burst.
+    """
+
+    interval_s: float
+    batch_size: int
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ConfigurationError(
+                f"interval must be > 0, got {self.interval_s}"
+            )
+        if self.batch_size <= 0:
+            raise ConfigurationError(
+                f"batch size must be > 0, got {self.batch_size}"
+            )
+
+    def arrival_times(
+        self, horizon_s: float, rng: np.random.Generator
+    ) -> list[float]:
+        """``batch_size`` identical timestamps every ``interval_s``."""
+        if horizon_s <= 0:
+            raise ConfigurationError(
+                f"horizon must be > 0, got {horizon_s}"
+            )
+        times: list[float] = []
+        t = self.interval_s
+        while t < horizon_s:
+            times.extend([t] * self.batch_size)
+            t += self.interval_s
+        return times
+
+
+class HoldingTimeModel(Protocol):
+    """Draws how long an admitted task occupies its resources."""
+
+    def holding_time_s(self, rng: np.random.Generator) -> float:
+        """Duration one admitted task occupies its resources."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class ExponentialHolding:
+    """Memoryless task durations with the given mean."""
+
+    mean_s: float
+
+    def __post_init__(self) -> None:
+        if self.mean_s <= 0:
+            raise ConfigurationError(
+                f"mean holding time must be > 0, got {self.mean_s}"
+            )
+
+    def holding_time_s(self, rng: np.random.Generator) -> float:
+        """One exponential draw with the configured mean."""
+        return float(rng.exponential(self.mean_s))
+
+
+@dataclass(frozen=True, slots=True)
+class DeterministicHolding:
+    """Every task holds resources for exactly ``duration_s``."""
+
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError(
+                f"holding duration must be > 0, got {self.duration_s}"
+            )
+
+    def holding_time_s(self, rng: np.random.Generator) -> float:
+        """The fixed duration (the RNG is accepted but unused)."""
+        return self.duration_s

@@ -1,0 +1,63 @@
+"""Analytic Erlang-B blocking, for cross-validating the online simulator.
+
+Approximating the whole edge as one M/M/c/c loss system — ``c`` parallel
+"task slots" (aggregate RRBs over the typical per-task RRB demand),
+Poisson arrivals of intensity λ, mean holding time T — Erlang's B
+formula predicts the blocking probability at offered load ``a = λT``:
+
+    B(c, a) = (a^c / c!) / Σ_{k=0..c} a^k / k!
+
+computed with the standard numerically-stable recurrence.  The edge is
+*not* literally M/M/c/c (two resource types, spatial coverage, per-BS
+pools), so the analytic value is a sanity anchor rather than ground
+truth: the simulated curve should sit near it and share its shape,
+which the validation tests assert.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.model.network import MECNetwork
+from repro.radio.channel import RadioMap
+
+__all__ = ["erlang_b_blocking", "edge_server_estimate"]
+
+
+def erlang_b_blocking(servers: int, offered_erlangs: float) -> float:
+    """Erlang-B blocking probability ``B(c, a)``.
+
+    Uses the recurrence ``B_0 = 1``, ``B_k = a B_{k-1} / (k + a B_{k-1})``,
+    which is stable for large ``c`` where factorials overflow.
+    """
+    if servers < 0:
+        raise ConfigurationError(f"servers must be >= 0, got {servers}")
+    if offered_erlangs < 0:
+        raise ConfigurationError(
+            f"offered load must be >= 0, got {offered_erlangs}"
+        )
+    if offered_erlangs == 0:
+        return 0.0
+    blocking = 1.0
+    for k in range(1, servers + 1):
+        blocking = (
+            offered_erlangs * blocking / (k + offered_erlangs * blocking)
+        )
+    return blocking
+
+
+def edge_server_estimate(network: MECNetwork, radio_map: RadioMap) -> int:
+    """Equivalent server count ``c`` for the M/M/c/c approximation.
+
+    Total RRBs across all BSs divided by the mean per-task RRB demand
+    over the candidate links — how many typical tasks the radio pool
+    holds concurrently.  (Compute capacity is much looser in the paper's
+    parameterization, so radio defines ``c``.)
+    """
+    total_rrbs = sum(bs.rrb_capacity for bs in network.base_stations)
+    demands = [link.rrbs_required for link in radio_map]
+    if not demands:
+        raise ConfigurationError(
+            "radio map has no links; cannot estimate task size"
+        )
+    mean_demand = sum(demands) / len(demands)
+    return max(1, int(total_rrbs / mean_demand))

@@ -1,0 +1,166 @@
+"""Failure injection: BS outages and DMRA's recovery behaviour.
+
+A resilience question the paper leaves open: when a base station dies,
+what happens to the UEs it was serving?  Under DMRA the answer is
+mechanical — the orphaned UEs re-enter the matching against the
+surviving BSs' residual capacity — and this module measures how well
+that works: how many orphans the surviving edge absorbs, how much
+profit the outage costs, and how both degrade as more of the
+infrastructure fails.
+
+The survivor network keeps its ledgers: UEs that were on healthy BSs
+are *not* disturbed (their grants carry over), exactly like the sticky
+mobility repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.compute.cru import LedgerPool
+from repro.core.dmra import DMRAPolicy
+from repro.core.matching import IterativeMatchingEngine, MatchingPolicy
+from repro.econ.accounting import marginal_profit
+from repro.errors import ConfigurationError, UnknownEntityError
+from repro.model.network import MECNetwork
+from repro.radio.channel import build_radio_map
+from repro.sim.config import ScenarioConfig
+from repro.sim.scenario import Scenario, build_scenario
+
+__all__ = ["FailureOutcome", "inject_bs_failures"]
+
+
+@dataclass(frozen=True)
+class FailureOutcome:
+    """Before/after picture of one BS-outage event."""
+
+    failed_bs_ids: tuple[int, ...]
+    orphaned_ues: int
+    recovered_ues: int
+    dropped_to_cloud: int
+    profit_before: float
+    profit_after: float
+    edge_served_before: int
+    edge_served_after: int
+
+    @property
+    def recovery_fraction(self) -> float:
+        """Share of orphaned UEs the surviving edge re-absorbed."""
+        if self.orphaned_ues == 0:
+            return 1.0
+        return self.recovered_ues / self.orphaned_ues
+
+    @property
+    def profit_loss(self) -> float:
+        return self.profit_before - self.profit_after
+
+    @property
+    def profit_loss_fraction(self) -> float:
+        if self.profit_before == 0:
+            return 0.0
+        return self.profit_loss / self.profit_before
+
+
+def inject_bs_failures(
+    config: ScenarioConfig,
+    ue_count: int,
+    failed_bs_ids: Sequence[int],
+    seed: int,
+    policy_factory=None,
+) -> FailureOutcome:
+    """Allocate, kill the given BSs, repair, and report the damage.
+
+    Steps: (1) build the scenario and run DMRA normally; (2) remove the
+    failed BSs from the network; (3) carry every surviving grant over
+    into fresh ledgers; (4) re-match only the orphaned UEs (plus any
+    previously cloud-bound ones, who get another chance now as they
+    would in a live system) with the incremental engine.
+    """
+    scenario = build_scenario(config, ue_count, seed)
+    failed = tuple(sorted(set(failed_bs_ids)))
+    known = {bs.bs_id for bs in scenario.network.base_stations}
+    unknown = set(failed) - known
+    if unknown:
+        raise UnknownEntityError(
+            f"cannot fail unknown BS ids {sorted(unknown)}"
+        )
+    if len(failed) >= len(known):
+        raise ConfigurationError("cannot fail every BS in the network")
+
+    def make_policy(current: Scenario) -> MatchingPolicy:
+        if policy_factory is not None:
+            return policy_factory(current)
+        return DMRAPolicy(pricing=current.pricing, rho=config.rho)
+
+    engine = IterativeMatchingEngine(make_policy(scenario))
+    before = engine.run(scenario.network, scenario.radio_map)
+    profit_before = _total_profit(scenario, before.grants)
+
+    survivors = [
+        bs
+        for bs in scenario.network.base_stations
+        if bs.bs_id not in failed
+    ]
+    degraded_network = MECNetwork(
+        providers=scenario.network.providers,
+        base_stations=survivors,
+        user_equipments=scenario.network.user_equipments,
+        services=scenario.network.services,
+        region=scenario.network.region,
+        coverage_radius_m=scenario.network.coverage_radius_m,
+    )
+    budget = config.link_budget()
+    degraded_map = build_radio_map(
+        degraded_network, budget, rate_model=config.rate_model_fn()
+    )
+    degraded = Scenario(
+        config=config,
+        network=degraded_network,
+        radio_map=degraded_map,
+        seed=seed,
+    )
+
+    ledgers = LedgerPool(survivors)
+    orphans: list[int] = []
+    carried_grants = []
+    for grant in before.grants:
+        if grant.bs_id in failed:
+            orphans.append(grant.ue_id)
+            continue
+        ledgers.ledger(grant.bs_id).grant(
+            grant.ue_id, grant.service_id, grant.crus, grant.rrbs
+        )
+        carried_grants.append(grant)
+
+    rematch_pool = sorted(set(orphans) | set(before.cloud_ue_ids))
+    engine = IterativeMatchingEngine(make_policy(degraded))
+    repair = engine.run(
+        degraded_network, degraded_map, ledgers=ledgers, ue_ids=rematch_pool
+    )
+
+    orphan_set = set(orphans)
+    recovered = sum(1 for g in repair.grants if g.ue_id in orphan_set)
+    dropped = len(orphan_set) - recovered
+    after_grants = carried_grants + list(repair.grants)
+    profit_after = _total_profit(degraded, after_grants)
+
+    return FailureOutcome(
+        failed_bs_ids=failed,
+        orphaned_ues=len(orphan_set),
+        recovered_ues=recovered,
+        dropped_to_cloud=dropped,
+        profit_before=profit_before,
+        profit_after=profit_after,
+        edge_served_before=before.edge_served_count,
+        edge_served_after=len(after_grants),
+    )
+
+
+def _total_profit(scenario: Scenario, grants: Iterable) -> float:
+    return sum(
+        marginal_profit(
+            scenario.network, grant.ue_id, grant.bs_id, scenario.pricing
+        )
+        for grant in grants
+    )

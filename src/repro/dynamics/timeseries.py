@@ -1,0 +1,80 @@
+"""Time-series recording for the online simulation.
+
+Piecewise-constant series: a sample ``(t, v)`` means the value was ``v``
+from ``t`` until the next sample.  That matches how event-driven state
+evolves and makes the time average exact rather than sampled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["StepSeries"]
+
+
+@dataclass
+class StepSeries:
+    """A piecewise-constant time series built by appending samples."""
+
+    name: str
+    _times: list[float] = field(default_factory=list)
+    _values: list[float] = field(default_factory=list)
+
+    def record(self, time_s: float, value: float) -> None:
+        """Append a sample; timestamps must be non-decreasing."""
+        if self._times and time_s < self._times[-1]:
+            raise ConfigurationError(
+                f"{self.name}: time went backwards "
+                f"({time_s} < {self._times[-1]})"
+            )
+        if self._times and time_s == self._times[-1]:
+            # Same-instant update: the later write wins (event batches).
+            self._values[-1] = value
+            return
+        self._times.append(time_s)
+        self._values.append(value)
+
+    @property
+    def samples(self) -> tuple[tuple[float, float], ...]:
+        return tuple(zip(self._times, self._values))
+
+    @property
+    def last_value(self) -> float:
+        if not self._values:
+            raise ConfigurationError(f"{self.name}: series is empty")
+        return self._values[-1]
+
+    @property
+    def peak(self) -> float:
+        if not self._values:
+            raise ConfigurationError(f"{self.name}: series is empty")
+        return max(self._values)
+
+    def time_average(self, until_s: float) -> float:
+        """Exact time-weighted mean over ``[first sample, until_s]``."""
+        if not self._times:
+            raise ConfigurationError(f"{self.name}: series is empty")
+        if until_s < self._times[0]:
+            raise ConfigurationError(
+                f"{self.name}: until={until_s} precedes first sample"
+            )
+        if until_s == self._times[0]:
+            return self._values[0]
+        total = 0.0
+        for index, (t, v) in enumerate(zip(self._times, self._values)):
+            t_next = (
+                self._times[index + 1]
+                if index + 1 < len(self._times)
+                else until_s
+            )
+            t_next = min(t_next, until_s)
+            if t_next > t:
+                total += v * (t_next - t)
+            if t_next >= until_s:
+                break
+        return total / (until_s - self._times[0])
+
+    def __len__(self) -> int:
+        return len(self._times)

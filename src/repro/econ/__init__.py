@@ -1,0 +1,22 @@
+"""Economics substrate: pricing, tariff validation, profit accounting."""
+
+from repro.econ.accounting import (
+    ProfitStatement,
+    SPProfit,
+    compute_profit,
+    marginal_profit,
+)
+from repro.econ.pricing import FlatPricing, PaperPricing, PricingPolicy
+from repro.econ.tariffs import max_margin, validate_tariffs
+
+__all__ = [
+    "FlatPricing",
+    "PaperPricing",
+    "PricingPolicy",
+    "ProfitStatement",
+    "SPProfit",
+    "compute_profit",
+    "marginal_profit",
+    "max_margin",
+    "validate_tariffs",
+]

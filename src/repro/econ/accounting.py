@@ -1,0 +1,131 @@
+"""Profit accounting: the SP utility of Eqs. 5--8.
+
+For SP ``k`` and the set ``U_k`` of its subscribers served at the edge::
+
+    W_k   = W_k^r - W_k^B - W_k^S
+    W_k^r = sum_u c^u * m_k          (revenue from subscribers)
+    W_k^B = sum_u c^u * p_{i(u),u}   (payments to serving BSs)
+    W_k^S = sum_u c^u * m_k^o        (other serving costs)
+
+Cloud-served subscribers contribute nothing at the MEC layer; the paper
+reports their load separately (Fig. 7).  :class:`ProfitStatement` keeps
+all three components so tests can verify the accounting identity, not
+just the bottom line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.compute.cru import Grant
+from repro.econ.pricing import PricingPolicy
+from repro.model.network import MECNetwork
+
+__all__ = ["SPProfit", "ProfitStatement", "compute_profit"]
+
+
+@dataclass(frozen=True, slots=True)
+class SPProfit:
+    """Eq. 5 decomposition for one SP."""
+
+    sp_id: int
+    revenue: float  # W_k^r
+    bs_payments: float  # W_k^B
+    other_costs: float  # W_k^S
+    served_ue_count: int
+
+    @property
+    def profit(self) -> float:
+        """``W_k = W_k^r - W_k^B - W_k^S``."""
+        return self.revenue - self.bs_payments - self.other_costs
+
+
+@dataclass(frozen=True)
+class ProfitStatement:
+    """Per-SP profits plus the TPM objective value (Eq. 11)."""
+
+    by_sp: Mapping[int, SPProfit]
+
+    @property
+    def total_profit(self) -> float:
+        """The TPM objective: ``sum_k W_k``."""
+        return sum(entry.profit for entry in self.by_sp.values())
+
+    @property
+    def total_revenue(self) -> float:
+        return sum(entry.revenue for entry in self.by_sp.values())
+
+    @property
+    def total_bs_payments(self) -> float:
+        return sum(entry.bs_payments for entry in self.by_sp.values())
+
+    @property
+    def total_served_ues(self) -> int:
+        return sum(entry.served_ue_count for entry in self.by_sp.values())
+
+    def profit_of(self, sp_id: int) -> float:
+        """``W_k`` for one SP (0 for an SP with no edge-served UEs)."""
+        entry = self.by_sp.get(sp_id)
+        return entry.profit if entry is not None else 0.0
+
+
+def compute_profit(
+    network: MECNetwork,
+    grants: Iterable[Grant],
+    pricing: PricingPolicy,
+) -> ProfitStatement:
+    """Evaluate Eqs. 5--8 over a set of realized grants.
+
+    Each grant attributes its CRU volume to the UE's subscribed SP; the
+    BS payment uses the realized link's distance and ownership through
+    the pricing policy — exactly the terms the optimization in Eq. 11
+    sums.
+    """
+    revenue: dict[int, float] = {}
+    payments: dict[int, float] = {}
+    other: dict[int, float] = {}
+    counts: dict[int, int] = {}
+    for grant in grants:
+        ue = network.user_equipment(grant.ue_id)
+        sp = network.provider(ue.sp_id)
+        distance = network.distance_m(grant.ue_id, grant.bs_id)
+        same_sp = network.same_sp(grant.ue_id, grant.bs_id)
+        price = pricing.price_per_cru(distance, same_sp)
+        revenue[sp.sp_id] = revenue.get(sp.sp_id, 0.0) + grant.crus * sp.cru_price
+        payments[sp.sp_id] = payments.get(sp.sp_id, 0.0) + grant.crus * price
+        other[sp.sp_id] = other.get(sp.sp_id, 0.0) + grant.crus * sp.other_cost
+        counts[sp.sp_id] = counts.get(sp.sp_id, 0) + 1
+    by_sp = {
+        sp.sp_id: SPProfit(
+            sp_id=sp.sp_id,
+            revenue=revenue.get(sp.sp_id, 0.0),
+            bs_payments=payments.get(sp.sp_id, 0.0),
+            other_costs=other.get(sp.sp_id, 0.0),
+            served_ue_count=counts.get(sp.sp_id, 0),
+        )
+        for sp in network.providers
+    }
+    return ProfitStatement(by_sp=by_sp)
+
+
+def marginal_profit(
+    network: MECNetwork,
+    ue_id: int,
+    bs_id: int,
+    pricing: PricingPolicy,
+) -> float:
+    """The profit delta of serving ``ue_id`` on ``bs_id``.
+
+    This is the quantity a profit-greedy allocator maximizes per step:
+    ``c^u * (m_k - m_k^o - p_{i,u})``.
+    """
+    ue = network.user_equipment(ue_id)
+    sp = network.provider(ue.sp_id)
+    price = pricing.price_per_cru(
+        network.distance_m(ue_id, bs_id), network.same_sp(ue_id, bs_id)
+    )
+    return ue.cru_demand * (sp.cru_price - sp.other_cost - price)
+
+
+__all__.append("marginal_profit")

@@ -1,0 +1,115 @@
+"""BS pricing: the paper's dual-rate distance-dependent CRU price.
+
+Eqs. 9--10 set the price per CRU that BS ``i`` charges for serving UE
+``u``::
+
+    p_{i,u} = b        + sigma * d_{i,u} * b    (same SP)
+    p_{i,u} = iota * b + sigma * d_{i,u} * b    (different SP, iota > 1)
+
+``b`` is the base computing-resource price, the distance term is the
+transmission cost, and ``iota`` is the cross-SP markup.  The paper
+typesets the transmission term as ``d^sigma b`` but states in prose that
+the price grows with distance "in a linear fashion" and that "when
+iota = 1, p_{i,u} is only determined by the distance" — both only hold
+for the linear reading with sigma as a weight, which we adopt (with the
+paper's ``sigma = 0.01`` per meter the exponent reading would make the
+term a constant ~1.05 and distance irrelevant).  See DESIGN.md §5.
+
+With distance in meters, ``b = 1`` and ``sigma = 0.01``, the ownership
+gap ``(iota - 1) b`` competes with the transmission term ``0.01 d``:
+at ``iota = 2`` ownership dominates out to 100 m, at ``iota = 1.1``
+distance dominates almost everywhere — exactly the regimes Figs. 2--5
+contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PricingPolicy", "PaperPricing", "FlatPricing"]
+
+
+class PricingPolicy(Protocol):
+    """Maps (distance, same-SP?) to a per-CRU price."""
+
+    def price_per_cru(self, distance_m: float, same_sp: bool) -> float:
+        """The price ``p_{i,u}`` for one CRU."""
+        ...
+
+    def max_price(self, max_distance_m: float) -> float:
+        """Upper bound of the price over links up to ``max_distance_m``.
+
+        Used to validate the profitability constraint (Eq. 16) once per
+        scenario instead of per link.
+        """
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class PaperPricing:
+    """Eqs. 9--10 with configurable ``b``, ``iota``, ``sigma``."""
+
+    base_price: float = 1.0
+    cross_sp_markup: float = 2.0  # iota
+    distance_weight: float = 0.01  # sigma, per meter
+
+    def __post_init__(self) -> None:
+        if self.base_price <= 0:
+            raise ConfigurationError(
+                f"base_price must be > 0, got {self.base_price}"
+            )
+        if self.cross_sp_markup < 1.0:
+            raise ConfigurationError(
+                f"cross-SP markup iota must be >= 1, got {self.cross_sp_markup}"
+            )
+        if self.distance_weight < 0:
+            raise ConfigurationError(
+                f"distance weight sigma must be >= 0, "
+                f"got {self.distance_weight}"
+            )
+
+    def price_per_cru(self, distance_m: float, same_sp: bool) -> float:
+        """Eq. 9 (same SP) / Eq. 10 (cross SP) with the linear distance term."""
+        if distance_m < 0:
+            raise ConfigurationError(f"distance must be >= 0, got {distance_m}")
+        ownership_term = 1.0 if same_sp else self.cross_sp_markup
+        transmission_term = self.distance_weight * distance_m
+        return self.base_price * (ownership_term + transmission_term)
+
+    def max_price(self, max_distance_m: float) -> float:
+        """Worst-case price over links up to ``max_distance_m``.
+
+        Both terms are non-decreasing in distance and the cross-SP rate
+        dominates the same-SP rate, so the maximum sits at the corner.
+        """
+        return self.price_per_cru(max_distance_m, same_sp=False)
+
+
+@dataclass(frozen=True, slots=True)
+class FlatPricing:
+    """Distance-free pricing, isolating the ownership effect (ablations)."""
+
+    same_sp_price: float = 1.0
+    cross_sp_price: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.same_sp_price <= 0 or self.cross_sp_price <= 0:
+            raise ConfigurationError("prices must be > 0")
+        if self.cross_sp_price < self.same_sp_price:
+            raise ConfigurationError(
+                "cross-SP price must be >= same-SP price "
+                f"({self.cross_sp_price} < {self.same_sp_price})"
+            )
+
+    def price_per_cru(self, distance_m: float, same_sp: bool) -> float:
+        """Ownership-only price; distance is validated but ignored."""
+        if distance_m < 0:
+            raise ConfigurationError(f"distance must be >= 0, got {distance_m}")
+        return self.same_sp_price if same_sp else self.cross_sp_price
+
+    def max_price(self, max_distance_m: float) -> float:
+        """The cross-SP rate bounds every price."""
+        return self.cross_sp_price

@@ -1,0 +1,43 @@
+"""SP tariff validation: the profitability constraint of Eq. 16.
+
+The paper requires ``m_k > p_{i,u} + m_k^o`` for every SP ``k`` and every
+feasible link — serving a subscriber at the edge must always net the SP a
+positive margin.  :func:`validate_tariffs` checks the constraint for a
+whole scenario at once using the pricing policy's worst-case price over
+the coverage radius.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.econ.pricing import PricingPolicy
+from repro.errors import TariffViolationError
+from repro.model.entities import ServiceProvider
+
+__all__ = ["validate_tariffs", "max_margin"]
+
+
+def validate_tariffs(
+    providers: Iterable[ServiceProvider],
+    pricing: PricingPolicy,
+    max_distance_m: float,
+) -> None:
+    """Raise :class:`TariffViolationError` unless Eq. 16 holds for all SPs.
+
+    ``max_distance_m`` should be the coverage radius: no realized link can
+    be longer, so the worst-case BS price occurs there.
+    """
+    worst_price = pricing.max_price(max_distance_m)
+    for sp in providers:
+        if sp.cru_price <= worst_price + sp.other_cost:
+            raise TariffViolationError(
+                f"SP {sp.sp_id}: m_k={sp.cru_price} must exceed "
+                f"worst-case p_iu + m_k^o = {worst_price} + {sp.other_cost} "
+                f"= {worst_price + sp.other_cost} (Eq. 16)"
+            )
+
+
+def max_margin(sp: ServiceProvider, price_per_cru: float) -> float:
+    """Per-CRU margin ``m_k - m_k^o - p_{i,u}`` for one realized link."""
+    return sp.cru_price - sp.other_cost - price_per_cru

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything produced by this package with a single ``except`` clause
+while still being able to distinguish configuration mistakes from runtime
+allocation failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario or model was configured with invalid parameters."""
+
+
+class CapacityError(ReproError):
+    """A resource ledger was asked to grant more than it holds."""
+
+
+class UnknownEntityError(ReproError):
+    """A lookup referenced a UE, BS, SP, or service that does not exist."""
+
+
+class InfeasibleLinkError(ReproError):
+    """A radio computation was requested for a link that cannot carry data.
+
+    Raised, for example, when the achievable per-RRB rate between a UE and
+    a BS is zero (the UE is out of any practical range) and the caller asked
+    for the number of RRBs needed to reach a target rate.
+    """
+
+
+class TariffViolationError(ReproError):
+    """SP tariffs violate the profitability constraint (Eq. 16 of the paper).
+
+    The paper requires ``m_k > p_{i,u} + m_k^o`` for every SP ``k`` and every
+    feasible UE--BS link, i.e. serving a subscriber at the edge must always
+    be profitable for its SP.
+    """
+
+
+class AllocationError(ReproError):
+    """An allocator produced or was given an inconsistent association."""

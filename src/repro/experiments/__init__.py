@@ -1,0 +1,29 @@
+"""Experiment registry: one runnable definition per paper figure."""
+
+from repro.experiments.ascii_plot import render_chart, render_table
+from repro.experiments.extensions import (
+    EXTENSIONS,
+    all_experiments,
+    get_extension,
+)
+from repro.experiments.figures import (
+    EXPERIMENTS,
+    Experiment,
+    Scale,
+    get_experiment,
+)
+from repro.experiments.io import read_series_csv, write_series_csv
+
+__all__ = [
+    "EXPERIMENTS",
+    "EXTENSIONS",
+    "Experiment",
+    "Scale",
+    "all_experiments",
+    "get_experiment",
+    "get_extension",
+    "read_series_csv",
+    "render_chart",
+    "render_table",
+    "write_series_csv",
+]

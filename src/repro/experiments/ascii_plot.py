@@ -1,0 +1,126 @@
+"""Terminal plotting: render result series as ASCII line charts.
+
+The offline environment has no matplotlib, so figure reproductions are
+emitted as CSV files plus these terminal charts.  The renderer scales a
+set of series onto a character grid, one marker glyph per series, with
+axis labels and a legend — enough to eyeball the shapes the paper's
+figures show.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.results import Series
+
+__all__ = ["render_chart", "render_table"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def render_chart(
+    series_list: Sequence[Series],
+    title: str,
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """Render one or more series as a multi-line ASCII chart string."""
+    if not series_list:
+        raise ConfigurationError("need at least one series to plot")
+    if width < 16 or height < 4:
+        raise ConfigurationError("chart must be at least 16x4 characters")
+
+    xs = sorted({x for series in series_list for x in series.xs})
+    ys = [p.value.mean for series in series_list for p in series.points]
+    if not xs or not ys:
+        raise ConfigurationError("series contain no points")
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return round((x - x_min) / (x_max - x_min) * (width - 1))
+
+    def to_row(y: float) -> int:
+        return (height - 1) - round((y - y_min) / (y_max - y_min) * (height - 1))
+
+    for index, series in enumerate(series_list):
+        marker = _MARKERS[index % len(_MARKERS)]
+        previous: tuple[int, int] | None = None
+        for point in sorted(series.points, key=lambda p: p.x):
+            col, row = to_col(point.x), to_row(point.value.mean)
+            if previous is not None:
+                _draw_segment(grid, previous, (col, row))
+            previous = (col, row)
+        # Markers drawn last so they sit on top of connecting lines.
+        for point in series.points:
+            grid[to_row(point.value.mean)][to_col(point.x)] = marker
+
+    lines = [title, f"  {y_label}"]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:>10.4g} |"
+        elif row_index == height - 1:
+            label = f"{y_min:>10.4g} |"
+        else:
+            label = " " * 10 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(
+        " " * 11 + f"{x_min:<10.4g}{x_label:^{max(width - 20, 4)}}{x_max:>10.4g}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {series.label}"
+        for i, series in enumerate(series_list)
+    )
+    lines.append(f"  legend: {legend}")
+    return "\n".join(lines)
+
+
+def _draw_segment(
+    grid: list[list[str]], start: tuple[int, int], end: tuple[int, int]
+) -> None:
+    """Draw a light dotted line between two grid cells."""
+    (c0, r0), (c1, r1) = start, end
+    steps = max(abs(c1 - c0), abs(r1 - r0))
+    for step in range(1, steps):
+        col = round(c0 + (c1 - c0) * step / steps)
+        row = round(r0 + (r1 - r0) * step / steps)
+        if grid[row][col] == " ":
+            grid[row][col] = "."
+
+
+def render_table(
+    series_list: Sequence[Series], x_header: str = "x"
+) -> str:
+    """Render series as an aligned text table (one row per x value)."""
+    if not series_list:
+        raise ConfigurationError("need at least one series to tabulate")
+    xs = sorted({x for series in series_list for x in series.xs})
+    headers = [x_header] + [s.label for s in series_list]
+    rows: list[list[str]] = []
+    for x in xs:
+        row = [f"{x:g}"]
+        for series in series_list:
+            try:
+                agg = series.value_at(x)
+                row.append(f"{agg.mean:.1f} ± {agg.ci95_half_width:.1f}")
+            except ConfigurationError:
+                row.append("-")
+        rows.append(row)
+    widths = [
+        max(len(headers[col]), *(len(r[col]) for r in rows))
+        for col in range(len(headers))
+    ]
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    separator = "  ".join("-" * w for w in widths)
+    return "\n".join([fmt(headers), separator] + [fmt(r) for r in rows])

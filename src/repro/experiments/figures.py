@@ -1,0 +1,194 @@
+"""One experiment definition per figure of the paper's evaluation.
+
+Figs. 2--5 sweep the UE population for the three schemes under the four
+(iota, placement) combinations; Fig. 6 sweeps DMRA's ``rho`` against
+total profit and Fig. 7 against forwarded traffic load.  Every
+experiment accepts a :class:`Scale` so the same definition serves quick
+CI runs and full paper-fidelity reproductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.baselines.dcsp import DCSPAllocator
+from repro.baselines.nonco import NonCoAllocator
+from repro.core.allocator import Allocator
+from repro.core.dmra import DMRAAllocator
+from repro.econ.pricing import PaperPricing
+from repro.errors import ConfigurationError
+from repro.sim.config import ScenarioConfig
+from repro.sim.metrics import OutcomeMetrics
+from repro.sim.sweep import SweepResult, rho_sweep, ue_count_sweep
+
+__all__ = ["Scale", "Experiment", "EXPERIMENTS", "get_experiment"]
+
+
+@dataclass(frozen=True, slots=True)
+class Scale:
+    """How big to run an experiment.
+
+    ``paper()`` reproduces the published sweep; ``smoke()`` is a
+    minutes-to-seconds reduction with the same structure, used by tests
+    and quick CLI runs.
+    """
+
+    ue_counts: tuple[int, ...]
+    rho_values: tuple[float, ...]
+    rho_ue_count: int
+    seeds: tuple[int, ...]
+
+    @classmethod
+    def paper(cls) -> "Scale":
+        return cls(
+            ue_counts=(400, 500, 600, 700, 800, 900),
+            rho_values=(0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0),
+            rho_ue_count=1000,
+            seeds=(0, 1, 2, 3, 4),
+        )
+
+    @classmethod
+    def smoke(cls) -> "Scale":
+        return cls(
+            ue_counts=(150, 300),
+            rho_values=(0.0, 50.0, 500.0),
+            rho_ue_count=300,
+            seeds=(0,),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Experiment:
+    """A runnable reproduction of one paper figure."""
+
+    exp_id: str
+    title: str
+    x_label: str
+    y_label: str
+    run: Callable[[Scale], SweepResult]
+
+
+def _scheme_factories(
+    config: ScenarioConfig,
+) -> Mapping[str, Callable[[float], Allocator]]:
+    """The three compared schemes, with DMRA wired to the config's prices."""
+    pricing = PaperPricing(
+        base_price=config.base_price,
+        cross_sp_markup=config.cross_sp_markup,
+        distance_weight=config.distance_weight,
+    )
+    return {
+        "dmra": lambda _x: DMRAAllocator(pricing=pricing, rho=config.rho),
+        "dcsp": lambda _x: DCSPAllocator(),
+        "nonco": lambda _x: NonCoAllocator(),
+    }
+
+
+def _profit(metrics: OutcomeMetrics) -> float:
+    return metrics.total_profit
+
+
+def _forwarded_mbps(metrics: OutcomeMetrics) -> float:
+    return metrics.forwarded_traffic_bps / 1e6
+
+
+def _profit_vs_ue_count(
+    iota: float, placement: str
+) -> Callable[[Scale], SweepResult]:
+    def run(scale: Scale) -> SweepResult:
+        config = ScenarioConfig.paper(
+            cross_sp_markup=iota, placement=placement
+        )
+        return ue_count_sweep(
+            config=config,
+            ue_counts=scale.ue_counts,
+            seeds=scale.seeds,
+            allocator_factories=_scheme_factories(config),
+            metric=_profit,
+        )
+
+    return run
+
+
+def _rho_experiment(
+    iota: float, metric: Callable[[OutcomeMetrics], float]
+) -> Callable[[Scale], SweepResult]:
+    def run(scale: Scale) -> SweepResult:
+        config = ScenarioConfig.paper(cross_sp_markup=iota)
+        pricing = PaperPricing(
+            base_price=config.base_price,
+            cross_sp_markup=config.cross_sp_markup,
+            distance_weight=config.distance_weight,
+        )
+        return rho_sweep(
+            config=config,
+            rhos=scale.rho_values,
+            ue_count=scale.rho_ue_count,
+            seeds=scale.seeds,
+            allocator_factory=lambda rho: DMRAAllocator(
+                pricing=pricing, rho=rho
+            ),
+            metric=metric,
+        )
+
+    return run
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    "fig2": Experiment(
+        exp_id="fig2",
+        title="Fig. 2: total SP profit vs #UEs (iota=2, regular placement)",
+        x_label="#UEs",
+        y_label="total profit",
+        run=_profit_vs_ue_count(iota=2.0, placement="regular"),
+    ),
+    "fig3": Experiment(
+        exp_id="fig3",
+        title="Fig. 3: total SP profit vs #UEs (iota=2, random placement)",
+        x_label="#UEs",
+        y_label="total profit",
+        run=_profit_vs_ue_count(iota=2.0, placement="random"),
+    ),
+    "fig4": Experiment(
+        exp_id="fig4",
+        title="Fig. 4: total SP profit vs #UEs (iota=1.1, regular placement)",
+        x_label="#UEs",
+        y_label="total profit",
+        run=_profit_vs_ue_count(iota=1.1, placement="regular"),
+    ),
+    "fig5": Experiment(
+        exp_id="fig5",
+        title="Fig. 5: total SP profit vs #UEs (iota=1.1, random placement)",
+        x_label="#UEs",
+        y_label="total profit",
+        run=_profit_vs_ue_count(iota=1.1, placement="random"),
+    ),
+    "fig6": Experiment(
+        exp_id="fig6",
+        title="Fig. 6: total SP profit vs rho (iota=2, 1000 UEs, regular)",
+        x_label="rho",
+        y_label="total profit",
+        run=_rho_experiment(iota=2.0, metric=_profit),
+    ),
+    "fig7": Experiment(
+        exp_id="fig7",
+        title=(
+            "Fig. 7: total forwarded traffic vs rho "
+            "(iota=1.1, 1000 UEs, regular)"
+        ),
+        x_label="rho",
+        y_label="forwarded traffic (Mbps)",
+        run=_rho_experiment(iota=1.1, metric=_forwarded_mbps),
+    ),
+}
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    """Look up an experiment by figure id (e.g. ``"fig2"``)."""
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None

@@ -1,0 +1,74 @@
+"""CSV emission for figure reproductions.
+
+Each experiment writes one CSV with the full aggregate per point (mean,
+std, replication count, CI), so downstream plotting outside this offline
+environment can regenerate publication-grade figures.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.results import Series
+
+__all__ = ["write_series_csv", "read_series_csv"]
+
+
+def write_series_csv(
+    path: str | Path, series_list: Sequence[Series], x_header: str = "x"
+) -> Path:
+    """Write series to ``path`` as tidy CSV (one row per series point)."""
+    if not series_list:
+        raise ConfigurationError("need at least one series to write")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [x_header, "series", "mean", "std", "count", "ci95_half_width"]
+        )
+        for series in series_list:
+            for point in series.points:
+                writer.writerow(
+                    [
+                        point.x,
+                        series.label,
+                        point.value.mean,
+                        point.value.std,
+                        point.value.count,
+                        point.value.ci95_half_width,
+                    ]
+                )
+    return target
+
+
+def read_series_csv(path: str | Path, x_header: str = "x") -> list[Series]:
+    """Read back series written by :func:`write_series_csv`."""
+    from repro.sim.results import Aggregate, SeriesPoint
+
+    source = Path(path)
+    by_label: dict[str, list[SeriesPoint]] = {}
+    with source.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or x_header not in reader.fieldnames:
+            raise ConfigurationError(
+                f"{source}: missing {x_header!r} column"
+            )
+        for row in reader:
+            point = SeriesPoint(
+                x=float(row[x_header]),
+                value=Aggregate(
+                    mean=float(row["mean"]),
+                    std=float(row["std"]),
+                    count=int(row["count"]),
+                    ci95_half_width=float(row["ci95_half_width"]),
+                ),
+            )
+            by_label.setdefault(row["series"], []).append(point)
+    return [
+        Series(label=label, points=tuple(points))
+        for label, points in by_label.items()
+    ]

@@ -1,0 +1,117 @@
+"""Planar geometry primitives used by the network model.
+
+The paper places base stations and user equipments on a flat 2-D region
+(regular grid or a 1200 m x 1200 m rectangle).  Everything here works in
+**meters**; radio-level code converts to kilometers where the path-loss
+formula requires it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Point", "Rectangle", "distance_m", "pairwise_distances_m"]
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point in the plane, coordinates in meters."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in meters."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by ``(dx, dy)`` meters."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True, slots=True)
+class Rectangle:
+    """An axis-aligned rectangle ``[x_min, x_max] x [y_min, y_max]``."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max <= self.x_min or self.y_max <= self.y_min:
+            raise ConfigurationError(
+                f"degenerate rectangle: ({self.x_min}, {self.y_min}) .. "
+                f"({self.x_max}, {self.y_max})"
+            )
+
+    @classmethod
+    def square(cls, side_m: float) -> "Rectangle":
+        """A ``side_m x side_m`` square anchored at the origin."""
+        if side_m <= 0:
+            raise ConfigurationError(f"square side must be positive, got {side_m}")
+        return cls(0.0, 0.0, side_m, side_m)
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x_min + self.x_max) / 2, (self.y_min + self.y_max) / 2)
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside the rectangle (borders included)."""
+        return (
+            self.x_min <= point.x <= self.x_max
+            and self.y_min <= point.y <= self.y_max
+        )
+
+    def sample_uniform(self, rng: np.random.Generator, count: int) -> list[Point]:
+        """Draw ``count`` points uniformly at random inside the rectangle."""
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        xs = rng.uniform(self.x_min, self.x_max, size=count)
+        ys = rng.uniform(self.y_min, self.y_max, size=count)
+        return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+def distance_m(a: Point, b: Point) -> float:
+    """Euclidean distance between two points, in meters."""
+    return a.distance_to(b)
+
+
+def pairwise_distances_m(
+    sources: Sequence[Point] | Iterable[Point],
+    targets: Sequence[Point] | Iterable[Point],
+) -> np.ndarray:
+    """Distance matrix (meters) between two point collections.
+
+    Returns an array of shape ``(len(sources), len(targets))``.  This is the
+    vectorized building block used when precomputing UE--BS link metrics for
+    a whole scenario at once.
+    """
+    src = np.asarray([p.as_tuple() for p in sources], dtype=float)
+    tgt = np.asarray([p.as_tuple() for p in targets], dtype=float)
+    if src.size == 0 or tgt.size == 0:
+        return np.zeros((len(src), len(tgt)))
+    diff = src[:, None, :] - tgt[None, :, :]
+    return np.hypot(diff[..., 0], diff[..., 1])

@@ -1,0 +1,259 @@
+"""The immutable network container shared by all allocators.
+
+:class:`MECNetwork` bundles SPs, base stations, user equipments, and the
+service catalog, and precomputes the geometry every allocator needs:
+UE--BS distances, coverage sets, and the per-UE candidate BS sets
+``B_u`` (BSs that cover the UE *and* host its requested service —
+Alg. 1, line 1 of the paper).
+
+The container itself never mutates during an allocation run; allocators
+keep their own resource ledgers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, UnknownEntityError
+from repro.model.entities import BaseStation, Service, ServiceProvider, UserEquipment
+from repro.model.geometry import Rectangle, pairwise_distances_m
+
+__all__ = ["MECNetwork"]
+
+
+@dataclass(frozen=True)
+class MECNetwork:
+    """Immutable snapshot of a multi-SP MEC deployment.
+
+    Build it directly from entity lists or via
+    :func:`repro.sim.scenario.build_scenario` for paper-style scenarios.
+
+    Parameters
+    ----------
+    providers, base_stations, user_equipments, services:
+        The entity populations.  Ids must be unique per entity type.
+    region:
+        The deployment region (used for reporting only).
+    coverage_radius_m:
+        Maximum UE--BS distance at which a BS is considered reachable.
+        The paper assumes dense multi-coverage but states no radius; the
+        default of 500 m (see DESIGN.md §3) produces it for the paper's
+        layouts.
+    """
+
+    providers: Sequence[ServiceProvider]
+    base_stations: Sequence[BaseStation]
+    user_equipments: Sequence[UserEquipment]
+    services: Sequence[Service]
+    region: Rectangle
+    coverage_radius_m: float = 500.0
+    _sp_by_id: Mapping[int, ServiceProvider] = field(init=False, repr=False)
+    _bs_by_id: Mapping[int, BaseStation] = field(init=False, repr=False)
+    _ue_by_id: Mapping[int, UserEquipment] = field(init=False, repr=False)
+    _service_by_id: Mapping[int, Service] = field(init=False, repr=False)
+    _distances: np.ndarray = field(init=False, repr=False)
+    _ue_row: Mapping[int, int] = field(init=False, repr=False)
+    _bs_col: Mapping[int, int] = field(init=False, repr=False)
+    _candidates: Mapping[int, tuple[int, ...]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.coverage_radius_m <= 0:
+            raise ConfigurationError(
+                f"coverage_radius_m must be > 0, got {self.coverage_radius_m}"
+            )
+        object.__setattr__(self, "providers", tuple(self.providers))
+        object.__setattr__(self, "base_stations", tuple(self.base_stations))
+        object.__setattr__(self, "user_equipments", tuple(self.user_equipments))
+        object.__setattr__(self, "services", tuple(self.services))
+
+        sp_by_id = _index_unique("SP", [(sp.sp_id, sp) for sp in self.providers])
+        bs_by_id = _index_unique("BS", [(bs.bs_id, bs) for bs in self.base_stations])
+        ue_by_id = _index_unique(
+            "UE", [(ue.ue_id, ue) for ue in self.user_equipments]
+        )
+        service_by_id = _index_unique(
+            "service", [(s.service_id, s) for s in self.services]
+        )
+        object.__setattr__(self, "_sp_by_id", sp_by_id)
+        object.__setattr__(self, "_bs_by_id", bs_by_id)
+        object.__setattr__(self, "_ue_by_id", ue_by_id)
+        object.__setattr__(self, "_service_by_id", service_by_id)
+
+        for bs in self.base_stations:
+            if bs.sp_id not in sp_by_id:
+                raise ConfigurationError(
+                    f"BS {bs.bs_id} references unknown SP {bs.sp_id}"
+                )
+            for service_id in bs.cru_capacity:
+                if service_id not in service_by_id:
+                    raise ConfigurationError(
+                        f"BS {bs.bs_id} hosts unknown service {service_id}"
+                    )
+        for ue in self.user_equipments:
+            if ue.sp_id not in sp_by_id:
+                raise ConfigurationError(
+                    f"UE {ue.ue_id} references unknown SP {ue.sp_id}"
+                )
+            if ue.service_id not in service_by_id:
+                raise ConfigurationError(
+                    f"UE {ue.ue_id} requests unknown service {ue.service_id}"
+                )
+
+        ue_row = {ue.ue_id: row for row, ue in enumerate(self.user_equipments)}
+        bs_col = {bs.bs_id: col for col, bs in enumerate(self.base_stations)}
+        distances = pairwise_distances_m(
+            [ue.position for ue in self.user_equipments],
+            [bs.position for bs in self.base_stations],
+        )
+        object.__setattr__(self, "_ue_row", ue_row)
+        object.__setattr__(self, "_bs_col", bs_col)
+        object.__setattr__(self, "_distances", distances)
+
+        candidates: dict[int, tuple[int, ...]] = {}
+        for ue in self.user_equipments:
+            row = ue_row[ue.ue_id]
+            eligible = [
+                bs.bs_id
+                for bs in self.base_stations
+                if distances[row, bs_col[bs.bs_id]] <= self.coverage_radius_m
+                and bs.hosts_service(ue.service_id)
+            ]
+            candidates[ue.ue_id] = tuple(eligible)
+        object.__setattr__(self, "_candidates", candidates)
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def provider(self, sp_id: int) -> ServiceProvider:
+        """Return the SP with id ``sp_id``."""
+        return _get(self._sp_by_id, sp_id, "SP")
+
+    def base_station(self, bs_id: int) -> BaseStation:
+        """Return the BS with id ``bs_id``."""
+        return _get(self._bs_by_id, bs_id, "BS")
+
+    def user_equipment(self, ue_id: int) -> UserEquipment:
+        """Return the UE with id ``ue_id``."""
+        return _get(self._ue_by_id, ue_id, "UE")
+
+    def service(self, service_id: int) -> Service:
+        """Return the service with id ``service_id``."""
+        return _get(self._service_by_id, service_id, "service")
+
+    def provider_of_ue(self, ue_id: int) -> ServiceProvider:
+        """The SP the UE subscribes to."""
+        return self.provider(self.user_equipment(ue_id).sp_id)
+
+    def base_stations_of_sp(self, sp_id: int) -> tuple[BaseStation, ...]:
+        """All BSs deployed by SP ``sp_id``."""
+        self.provider(sp_id)  # validate the id
+        return tuple(bs for bs in self.base_stations if bs.sp_id == sp_id)
+
+    def user_equipments_of_sp(self, sp_id: int) -> tuple[UserEquipment, ...]:
+        """All UEs subscribing to SP ``sp_id``."""
+        self.provider(sp_id)  # validate the id
+        return tuple(ue for ue in self.user_equipments if ue.sp_id == sp_id)
+
+    # ------------------------------------------------------------------
+    # Geometry and coverage
+    # ------------------------------------------------------------------
+
+    def distance_m(self, ue_id: int, bs_id: int) -> float:
+        """UE--BS distance ``d_{i,u}`` in meters."""
+        try:
+            return float(self._distances[self._ue_row[ue_id], self._bs_col[bs_id]])
+        except KeyError as exc:
+            raise UnknownEntityError(f"unknown entity id {exc.args[0]}") from None
+
+    def distance_matrix_m(self) -> np.ndarray:
+        """Copy of the full ``(n_ue, n_bs)`` distance matrix in meters."""
+        return self._distances.copy()
+
+    def covers(self, bs_id: int, ue_id: int) -> bool:
+        """Whether the BS is within coverage radius of the UE."""
+        return self.distance_m(ue_id, bs_id) <= self.coverage_radius_m
+
+    def covering_base_stations(self, ue_id: int) -> tuple[int, ...]:
+        """Ids of all BSs within coverage radius of the UE (any service)."""
+        row = self._row_of(ue_id)
+        return tuple(
+            bs.bs_id
+            for bs in self.base_stations
+            if self._distances[row, self._bs_col[bs.bs_id]]
+            <= self.coverage_radius_m
+        )
+
+    def candidate_base_stations(self, ue_id: int) -> tuple[int, ...]:
+        """The paper's ``B_u``: BSs covering the UE that host its service."""
+        try:
+            return self._candidates[ue_id]
+        except KeyError:
+            raise UnknownEntityError(f"unknown UE id {ue_id}") from None
+
+    def same_sp(self, ue_id: int, bs_id: int) -> bool:
+        """Whether the UE and the BS belong to the same SP."""
+        return self.user_equipment(ue_id).sp_id == self.base_station(bs_id).sp_id
+
+    # ------------------------------------------------------------------
+    # Summary statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def ue_count(self) -> int:
+        return len(self.user_equipments)
+
+    @property
+    def bs_count(self) -> int:
+        return len(self.base_stations)
+
+    @property
+    def sp_count(self) -> int:
+        return len(self.providers)
+
+    @property
+    def service_count(self) -> int:
+        return len(self.services)
+
+    def mean_coverage_degree(self) -> float:
+        """Average number of candidate BSs per UE (the paper's ``f_u``)."""
+        if not self.user_equipments:
+            return 0.0
+        return float(
+            np.mean([len(self._candidates[ue.ue_id]) for ue in self.user_equipments])
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-paragraph summary of the deployment."""
+        return (
+            f"MECNetwork: {self.sp_count} SPs, {self.bs_count} BSs, "
+            f"{self.ue_count} UEs, {self.service_count} services, "
+            f"region {self.region.width:.0f} m x {self.region.height:.0f} m, "
+            f"coverage radius {self.coverage_radius_m:.0f} m, "
+            f"mean coverage degree {self.mean_coverage_degree():.2f}"
+        )
+
+    def _row_of(self, ue_id: int) -> int:
+        try:
+            return self._ue_row[ue_id]
+        except KeyError:
+            raise UnknownEntityError(f"unknown UE id {ue_id}") from None
+
+
+def _index_unique(kind: str, pairs: Iterable[tuple[int, object]]) -> dict:
+    index: dict = {}
+    for key, value in pairs:
+        if key in index:
+            raise ConfigurationError(f"duplicate {kind} id {key}")
+        index[key] = value
+    return index
+
+
+def _get(mapping: Mapping, key: int, kind: str):
+    try:
+        return mapping[key]
+    except KeyError:
+        raise UnknownEntityError(f"unknown {kind} id {key}") from None

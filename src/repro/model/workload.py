@@ -1,0 +1,114 @@
+"""Workload generation: UE demands per the paper's simulation setup.
+
+§VI.A fixes, per UE: a uniformly chosen requested service, a CRU demand
+``c_j^u ~ U{3..5}``, a rate demand ``w_u ~ U[2, 6] Mbps``, and 10 dBm
+transmit power.  :class:`WorkloadModel` captures those distributions with
+configurable bounds so ablations can stress other regimes (e.g. heavy
+tasks or skewed service popularity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.model.entities import UserEquipment
+from repro.model.geometry import Point
+
+__all__ = ["WorkloadModel", "generate_user_equipments"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadModel:
+    """Distributions for per-UE demands.
+
+    ``service_popularity`` optionally skews which service a UE requests;
+    when ``None`` all services are equally likely (the paper's setting).
+    """
+
+    cru_demand_min: int = 3
+    cru_demand_max: int = 5
+    rate_demand_min_bps: float = 2e6
+    rate_demand_max_bps: float = 6e6
+    tx_power_dbm: float = 10.0
+    service_popularity: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.cru_demand_min <= 0 or self.cru_demand_max < self.cru_demand_min:
+            raise ConfigurationError(
+                f"invalid CRU demand range "
+                f"[{self.cru_demand_min}, {self.cru_demand_max}]"
+            )
+        if (
+            self.rate_demand_min_bps <= 0
+            or self.rate_demand_max_bps < self.rate_demand_min_bps
+        ):
+            raise ConfigurationError(
+                f"invalid rate demand range "
+                f"[{self.rate_demand_min_bps}, {self.rate_demand_max_bps}]"
+            )
+        if self.service_popularity is not None:
+            weights = np.asarray(self.service_popularity, dtype=float)
+            if weights.size == 0 or np.any(weights < 0) or weights.sum() <= 0:
+                raise ConfigurationError(
+                    f"invalid service_popularity {self.service_popularity!r}"
+                )
+
+    def draw_service(self, service_count: int, rng: np.random.Generator) -> int:
+        """Pick the requested service id for one UE."""
+        if service_count <= 0:
+            raise ConfigurationError("service_count must be > 0")
+        if self.service_popularity is None:
+            return int(rng.integers(service_count))
+        weights = np.asarray(self.service_popularity, dtype=float)
+        if weights.size != service_count:
+            raise ConfigurationError(
+                f"service_popularity has {weights.size} entries "
+                f"but there are {service_count} services"
+            )
+        probabilities = weights / weights.sum()
+        return int(rng.choice(service_count, p=probabilities))
+
+    def draw_cru_demand(self, rng: np.random.Generator) -> int:
+        """Draw ``c_j^u`` (integer, inclusive bounds)."""
+        return int(rng.integers(self.cru_demand_min, self.cru_demand_max + 1))
+
+    def draw_rate_demand_bps(self, rng: np.random.Generator) -> float:
+        """Draw ``w_u`` in bits/s."""
+        return float(
+            rng.uniform(self.rate_demand_min_bps, self.rate_demand_max_bps)
+        )
+
+
+def generate_user_equipments(
+    positions: Sequence[Point],
+    sp_count: int,
+    service_count: int,
+    workload: WorkloadModel,
+    rng: np.random.Generator,
+    start_ue_id: int = 0,
+) -> list[UserEquipment]:
+    """Materialize UEs at the given positions with sampled demands.
+
+    Each UE subscribes to a uniformly random SP (the paper gives no
+    subscription skew) and requests one service per ``workload``.
+    """
+    if sp_count <= 0:
+        raise ConfigurationError(f"sp_count must be > 0, got {sp_count}")
+    ues: list[UserEquipment] = []
+    for offset, position in enumerate(positions):
+        ues.append(
+            UserEquipment(
+                ue_id=start_ue_id + offset,
+                sp_id=int(rng.integers(sp_count)),
+                position=position,
+                service_id=workload.draw_service(service_count, rng),
+                cru_demand=workload.draw_cru_demand(rng),
+                rate_demand_bps=workload.draw_rate_demand_bps(rng),
+                tx_power_dbm=workload.tx_power_dbm,
+            )
+        )
+    return ues

@@ -1,0 +1,118 @@
+"""The radio map: precomputed link metrics for every candidate UE--BS pair.
+
+Allocators never call path-loss or SINR code directly; they consume a
+:class:`RadioMap` built once per scenario.  For each UE ``u`` and each BS
+``i`` in its candidate set ``B_u`` the map stores the distance, the SINR
+``lambda_{u,i}``, the per-RRB rate ``e_{u,i}``, and the RRB demand
+``n_{u,i}`` — everything Eqs. 2--4 derive from geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+from repro.errors import UnknownEntityError
+from repro.model.network import MECNetwork
+from repro.radio.ofdma import per_rrb_rate_bps, rrbs_required
+from repro.radio.sinr import LinkBudget
+
+__all__ = ["LinkMetrics", "RadioMap", "build_radio_map"]
+
+#: Signature of a per-RRB rate model: (rrb_bandwidth_hz, sinr) -> bits/s.
+RateModel = Callable[[float, float], float]
+
+
+@dataclass(frozen=True, slots=True)
+class LinkMetrics:
+    """Radio-level facts about one candidate UE--BS link."""
+
+    ue_id: int
+    bs_id: int
+    distance_m: float
+    sinr_linear: float
+    per_rrb_rate_bps: float
+    rrbs_required: int
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the link can carry the UE's demand with >= 1 RRB."""
+        return self.rrbs_required >= 1 and self.per_rrb_rate_bps > 0
+
+
+@dataclass(frozen=True)
+class RadioMap:
+    """Immutable lookup of :class:`LinkMetrics` per (UE, BS) pair.
+
+    Only candidate links (BS covers the UE and hosts its service) are
+    present; querying any other pair raises :class:`UnknownEntityError`.
+    """
+
+    _links: Mapping[tuple[int, int], LinkMetrics]
+
+    def link(self, ue_id: int, bs_id: int) -> LinkMetrics:
+        """Metrics for one candidate link."""
+        try:
+            return self._links[(ue_id, bs_id)]
+        except KeyError:
+            raise UnknownEntityError(
+                f"no candidate link UE {ue_id} -> BS {bs_id}"
+            ) from None
+
+    def has_link(self, ue_id: int, bs_id: int) -> bool:
+        """Whether the pair is a candidate link."""
+        return (ue_id, bs_id) in self._links
+
+    def links_of_ue(self, ue_id: int) -> tuple[LinkMetrics, ...]:
+        """All candidate links of one UE."""
+        return tuple(
+            metrics
+            for (u, _), metrics in self._links.items()
+            if u == ue_id
+        )
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def __iter__(self) -> Iterator[LinkMetrics]:
+        return iter(self._links.values())
+
+
+def build_radio_map(
+    network: MECNetwork,
+    budget: LinkBudget,
+    rate_model: RateModel | None = None,
+) -> RadioMap:
+    """Evaluate the link budget over every candidate UE--BS pair.
+
+    ``rate_model`` maps ``(rrb_bandwidth_hz, sinr)`` to a per-RRB rate;
+    the default is the paper's Shannon bound (Eq. 2), and
+    :func:`repro.radio.mcs.mcs_rate_bps` gives the quantized LTE
+    alternative.
+
+    Links whose per-RRB rate is zero (out of practical range) are kept
+    with ``rrbs_required`` set high enough to exceed any BS budget, so
+    allocators uniformly treat them as infeasible rather than special-
+    casing missing entries.
+    """
+    if rate_model is None:
+        rate_model = per_rrb_rate_bps
+    links: dict[tuple[int, int], LinkMetrics] = {}
+    for ue in network.user_equipments:
+        for bs_id in network.candidate_base_stations(ue.ue_id):
+            distance = network.distance_m(ue.ue_id, bs_id)
+            sinr = budget.sinr(distance, ue.tx_power_dbm)
+            rate = rate_model(budget.rrb_bandwidth_hz, sinr)
+            if rate > 0:
+                demand = rrbs_required(ue.rate_demand_bps, rate)
+            else:
+                demand = network.base_station(bs_id).rrb_capacity + 1
+            links[(ue.ue_id, bs_id)] = LinkMetrics(
+                ue_id=ue.ue_id,
+                bs_id=bs_id,
+                distance_m=distance,
+                sinr_linear=sinr,
+                per_rrb_rate_bps=rate,
+                rrbs_required=demand,
+            )
+    return RadioMap(_links=links)

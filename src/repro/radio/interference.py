@@ -1,0 +1,114 @@
+"""Uplink interference models.
+
+The paper uses an SINR ``lambda_{u,i}`` whose interference term "increases
+with the distance between UE u and BS i" but never specifies a co-channel
+model (DESIGN.md §5, substitution 1).  We therefore provide:
+
+* :class:`NoInterference` — noise-limited SNR (the default; path loss
+  already yields the monotone distance/RRB relation the paper relies on);
+* :class:`ConstantInterference` — a fixed interference floor in dBm,
+  modelling a uniformly loaded neighbouring deployment;
+* :class:`LoadInterference` — interference proportional to the aggregate
+  received power of a sampled set of concurrent uplink transmitters,
+  computed from actual UE positions through the same path-loss model.
+
+All models return interference power in **milliwatts** at the BS receiver.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.errors import ConfigurationError
+from repro.radio.pathloss import PathLossModel
+from repro.radio.units import db_to_linear, dbm_to_mw
+
+__all__ = [
+    "InterferenceModel",
+    "NoInterference",
+    "ConstantInterference",
+    "LoadInterference",
+]
+
+
+class InterferenceModel(Protocol):
+    """Maps a (UE, BS) link context to interference power in mW."""
+
+    def interference_mw(
+        self,
+        distance_m: float,
+        other_distances_m: Sequence[float],
+        tx_power_dbm: float,
+    ) -> float:
+        """Interference at the BS for a link of length ``distance_m``.
+
+        ``other_distances_m`` are the distances from *other* concurrently
+        transmitting UEs to the same BS; models may ignore them.
+        """
+        ...
+
+
+class NoInterference:
+    """Noise-limited regime: zero interference."""
+
+    def interference_mw(
+        self,
+        distance_m: float,
+        other_distances_m: Sequence[float],
+        tx_power_dbm: float,
+    ) -> float:
+        """Always zero."""
+        return 0.0
+
+
+class ConstantInterference:
+    """A flat interference floor, e.g. from an always-on neighbour system."""
+
+    def __init__(self, floor_dbm: float = -110.0) -> None:
+        self.floor_dbm = floor_dbm
+
+    def interference_mw(
+        self,
+        distance_m: float,
+        other_distances_m: Sequence[float],
+        tx_power_dbm: float,
+    ) -> float:
+        """The configured floor, independent of the link."""
+        return dbm_to_mw(self.floor_dbm)
+
+
+class LoadInterference:
+    """Interference from a fraction of concurrent co-channel uplinks.
+
+    Each other UE is assumed to transmit at ``tx_power_dbm`` and to collide
+    on the same RRB with probability ``activity_factor`` (OFDMA schedules
+    different UEs of one cell onto orthogonal RRBs, so only cross-cell
+    reuse collides; the activity factor captures that reuse probability).
+    """
+
+    def __init__(
+        self, pathloss: PathLossModel, activity_factor: float = 0.1
+    ) -> None:
+        if not 0.0 <= activity_factor <= 1.0:
+            raise ConfigurationError(
+                f"activity_factor must be in [0, 1], got {activity_factor}"
+            )
+        self.pathloss = pathloss
+        self.activity_factor = activity_factor
+
+    def interference_mw(
+        self,
+        distance_m: float,
+        other_distances_m: Sequence[float],
+        tx_power_dbm: float,
+    ) -> float:
+        """Aggregate received power of concurrent uplinks, scaled by
+        the reuse-collision probability."""
+        if self.activity_factor == 0.0 or not other_distances_m:
+            return 0.0
+        tx_mw = dbm_to_mw(tx_power_dbm)
+        total = 0.0
+        for other_distance in other_distances_m:
+            loss_linear = db_to_linear(self.pathloss.loss_db(other_distance))
+            total += tx_mw / loss_linear
+        return self.activity_factor * total

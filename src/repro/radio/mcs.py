@@ -1,0 +1,85 @@
+"""Discrete modulation-and-coding (MCS) rate mapping.
+
+The paper's Eq. 2 uses the Shannon bound; real LTE links quantize to a
+modulation-and-coding scheme chosen from the measured SINR.  This
+module provides the standard 15-level CQI table (QPSK 78/1024 up to
+64-QAM 948/1024) so sensitivity runs can ask: *do the paper's
+conclusions survive rate quantization?*  (They do — see the
+``ext``-style test in the suite — because the high-SNR regime pins
+almost every link at the top MCS either way.)
+
+Spectral efficiencies are the 3GPP TS 36.213 Table 7.2.3-1 values in
+bits/s/Hz; the SINR thresholds are the conventional ~10%-BLER switching
+points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MCS_TABLE", "McsEntry", "mcs_for_sinr", "mcs_rate_bps"]
+
+
+@dataclass(frozen=True, slots=True)
+class McsEntry:
+    """One CQI level: minimum SINR and achieved spectral efficiency."""
+
+    cqi: int
+    min_sinr_db: float
+    modulation: str
+    efficiency_bps_hz: float
+
+
+#: CQI 1..15; a link below CQI 1's threshold carries no data.
+MCS_TABLE: tuple[McsEntry, ...] = (
+    McsEntry(1, -6.7, "QPSK", 0.1523),
+    McsEntry(2, -4.7, "QPSK", 0.2344),
+    McsEntry(3, -2.3, "QPSK", 0.3770),
+    McsEntry(4, 0.2, "QPSK", 0.6016),
+    McsEntry(5, 2.4, "QPSK", 0.8770),
+    McsEntry(6, 4.3, "QPSK", 1.1758),
+    McsEntry(7, 5.9, "16QAM", 1.4766),
+    McsEntry(8, 8.1, "16QAM", 1.9141),
+    McsEntry(9, 10.3, "16QAM", 2.4063),
+    McsEntry(10, 11.7, "64QAM", 2.7305),
+    McsEntry(11, 14.1, "64QAM", 3.3223),
+    McsEntry(12, 16.3, "64QAM", 3.9023),
+    McsEntry(13, 18.7, "64QAM", 4.5234),
+    McsEntry(14, 21.0, "64QAM", 5.1152),
+    McsEntry(15, 22.7, "64QAM", 5.5547),
+)
+
+
+def mcs_for_sinr(sinr_linear: float) -> McsEntry | None:
+    """The highest CQI whose threshold the SINR meets; ``None`` below CQI 1."""
+    if sinr_linear < 0:
+        raise ConfigurationError(f"SINR must be >= 0, got {sinr_linear}")
+    if sinr_linear == 0:
+        return None
+    sinr_db = 10.0 * math.log10(sinr_linear)
+    chosen: McsEntry | None = None
+    for entry in MCS_TABLE:
+        if sinr_db >= entry.min_sinr_db:
+            chosen = entry
+        else:
+            break
+    return chosen
+
+
+def mcs_rate_bps(rrb_bandwidth_hz: float, sinr_linear: float) -> float:
+    """Per-RRB rate under the MCS table (the quantized Eq. 2).
+
+    Always at most the Shannon rate for the same SINR, equal to zero
+    below the lowest CQI threshold.
+    """
+    if rrb_bandwidth_hz <= 0:
+        raise ConfigurationError(
+            f"rrb_bandwidth_hz must be > 0, got {rrb_bandwidth_hz}"
+        )
+    entry = mcs_for_sinr(sinr_linear)
+    if entry is None:
+        return 0.0
+    return rrb_bandwidth_hz * entry.efficiency_bps_hz

@@ -1,0 +1,59 @@
+"""OFDMA radio-resource-block (RRB) arithmetic.
+
+Implements Eqs. 2--4 of the paper:
+
+* per-RRB achievable rate  ``e_{u,i} = W_sub * log2(1 + lambda_{u,i})``;
+* RRB demand               ``n_{u,i} = ceil(w_u / e_{u,i})``;
+* per-BS RRB budget        ``N_i = floor(W_i / W_sub)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError, InfeasibleLinkError
+
+__all__ = ["per_rrb_rate_bps", "rrbs_required", "rrb_budget"]
+
+
+def per_rrb_rate_bps(rrb_bandwidth_hz: float, sinr_linear: float) -> float:
+    """Shannon rate of one RRB at the given linear SINR (Eq. 2)."""
+    if rrb_bandwidth_hz <= 0:
+        raise ConfigurationError(
+            f"rrb_bandwidth_hz must be > 0, got {rrb_bandwidth_hz}"
+        )
+    if sinr_linear < 0:
+        raise ConfigurationError(f"SINR must be >= 0, got {sinr_linear}")
+    return rrb_bandwidth_hz * math.log2(1.0 + sinr_linear)
+
+
+def rrbs_required(rate_demand_bps: float, per_rrb_bps: float) -> int:
+    """Number of RRBs needed to reach ``rate_demand_bps`` (Eq. 3).
+
+    Raises :class:`InfeasibleLinkError` when the link carries no data at
+    all (``per_rrb_bps == 0``): no finite number of RRBs can help then.
+    """
+    if rate_demand_bps <= 0:
+        raise ConfigurationError(
+            f"rate demand must be > 0, got {rate_demand_bps}"
+        )
+    if per_rrb_bps <= 0:
+        raise InfeasibleLinkError(
+            "per-RRB rate is zero; the link cannot carry the demanded rate"
+        )
+    return math.ceil(rate_demand_bps / per_rrb_bps)
+
+
+def rrb_budget(uplink_bandwidth_hz: float, rrb_bandwidth_hz: float) -> int:
+    """``N_i``: how many RRBs fit in the uplink band."""
+    if uplink_bandwidth_hz <= 0 or rrb_bandwidth_hz <= 0:
+        raise ConfigurationError(
+            f"bandwidths must be > 0, got W_i={uplink_bandwidth_hz}, "
+            f"W_sub={rrb_bandwidth_hz}"
+        )
+    budget = int(uplink_bandwidth_hz // rrb_bandwidth_hz)
+    if budget == 0:
+        raise ConfigurationError(
+            "uplink bandwidth is smaller than one RRB; budget would be zero"
+        )
+    return budget

@@ -1,0 +1,128 @@
+"""Path-loss models.
+
+The paper's uplink follows the distance-dependent model (Eq. 18)::
+
+    PL(dB) = 140.7 + 36.7 * log10(d_km)
+
+which is the 3GPP non-line-of-sight macro model commonly used in LTE
+uplink studies.  :class:`PaperPathLoss` implements it; a free-space model
+and a log-normal-shadowing wrapper are provided for sensitivity studies.
+
+All models take distances in **meters** (the model layer's unit) and
+return attenuation in dB.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PathLossModel",
+    "PaperPathLoss",
+    "FreeSpacePathLoss",
+    "ShadowedPathLoss",
+]
+
+
+class PathLossModel(Protocol):
+    """Anything that maps a distance in meters to a loss in dB."""
+
+    def loss_db(self, distance_m: float) -> float:
+        """Path loss in dB at the given distance."""
+        ...
+
+
+class PaperPathLoss:
+    """The paper's Eq. 18: ``140.7 + 36.7 log10(d_km)`` dB.
+
+    A ``min_distance_m`` floor avoids the formula's singularity at d = 0
+    (physically, a UE is never at zero distance from the antenna).
+    """
+
+    def __init__(
+        self,
+        fixed_db: float = 140.7,
+        slope_db_per_decade: float = 36.7,
+        min_distance_m: float = 1.0,
+    ) -> None:
+        if min_distance_m <= 0:
+            raise ConfigurationError(
+                f"min_distance_m must be > 0, got {min_distance_m}"
+            )
+        self.fixed_db = fixed_db
+        self.slope_db_per_decade = slope_db_per_decade
+        self.min_distance_m = min_distance_m
+
+    def loss_db(self, distance_m: float) -> float:
+        """Eq. 18 attenuation, floored at ``min_distance_m``."""
+        if distance_m < 0:
+            raise ConfigurationError(f"distance must be >= 0, got {distance_m}")
+        d_km = max(distance_m, self.min_distance_m) / 1000.0
+        return self.fixed_db + self.slope_db_per_decade * math.log10(d_km)
+
+
+class FreeSpacePathLoss:
+    """Free-space path loss at a given carrier frequency (for ablations)."""
+
+    def __init__(
+        self, carrier_frequency_hz: float = 2.0e9, min_distance_m: float = 1.0
+    ) -> None:
+        if carrier_frequency_hz <= 0:
+            raise ConfigurationError(
+                f"carrier frequency must be > 0, got {carrier_frequency_hz}"
+            )
+        if min_distance_m <= 0:
+            raise ConfigurationError(
+                f"min_distance_m must be > 0, got {min_distance_m}"
+            )
+        self.carrier_frequency_hz = carrier_frequency_hz
+        self.min_distance_m = min_distance_m
+
+    def loss_db(self, distance_m: float) -> float:
+        """Free-space attenuation at the configured carrier."""
+        if distance_m < 0:
+            raise ConfigurationError(f"distance must be >= 0, got {distance_m}")
+        d = max(distance_m, self.min_distance_m)
+        # FSPL(dB) = 20 log10(d_m) + 20 log10(f_Hz) - 147.55
+        return (
+            20.0 * math.log10(d)
+            + 20.0 * math.log10(self.carrier_frequency_hz)
+            - 147.55
+        )
+
+
+class ShadowedPathLoss:
+    """Adds frozen log-normal shadowing on top of a base model.
+
+    Shadowing is sampled per link lazily and cached, so repeated queries
+    for the same (quantized) distance within one scenario are consistent.
+    A dedicated RNG keeps shadowing reproducible and independent from the
+    scenario's other random draws.
+    """
+
+    def __init__(
+        self,
+        base: PathLossModel,
+        sigma_db: float = 8.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if sigma_db < 0:
+            raise ConfigurationError(f"sigma_db must be >= 0, got {sigma_db}")
+        self.base = base
+        self.sigma_db = sigma_db
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._cache: dict[int, float] = {}
+
+    def loss_db(self, distance_m: float) -> float:
+        """Base loss plus this link's frozen shadowing draw."""
+        key = int(round(distance_m * 1000.0))  # mm resolution
+        shadow = self._cache.get(key)
+        if shadow is None:
+            shadow = float(self._rng.normal(0.0, self.sigma_db))
+            self._cache[key] = shadow
+        return self.base.loss_db(distance_m) + shadow

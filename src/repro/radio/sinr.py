@@ -1,0 +1,131 @@
+"""Link budget: received power, noise, and SINR.
+
+Implements the paper's uplink model: UE transmit power (10 dBm by
+default), the Eq. 18 path loss, the paper's noise figure (−170 dBm,
+taken literally as the noise power a receiver sees on one RRB), and a
+pluggable interference model.
+
+The −170 dBm noise floor is far below thermal for a 180 kHz channel
+(−121 dBm); it is nevertheless what §VI.A states, and adopting it
+reproduces the paper's operating regime: per-RRB Shannon rates of
+3--5 Mbps across the whole deployment, so a UE needs only 1--2 RRBs
+and the radio pool saturates around 900--1000 UEs — exactly where the
+paper's profit curves flatten.  Use ``thermal_noise_dbm`` for a
+physically conventional floor in sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.radio.interference import InterferenceModel, NoInterference
+from repro.radio.pathloss import PathLossModel, PaperPathLoss
+from repro.radio.units import db_to_linear, dbm_to_mw, mw_to_dbm
+
+__all__ = [
+    "LinkBudget",
+    "received_power_mw",
+    "noise_power_mw",
+    "thermal_noise_dbm",
+]
+
+#: Thermal noise power spectral density at 290 K, dBm/Hz.
+THERMAL_NOISE_DENSITY_DBM_HZ = -174.0
+
+
+def received_power_mw(
+    tx_power_dbm: float, pathloss_db: float
+) -> float:
+    """Received power in mW after the given path loss."""
+    return dbm_to_mw(tx_power_dbm) / db_to_linear(pathloss_db)
+
+
+def noise_power_mw(noise_density_dbm_hz: float, bandwidth_hz: float) -> float:
+    """Noise of the given spectral density integrated over a band, in mW."""
+    if bandwidth_hz <= 0:
+        raise ConfigurationError(f"bandwidth must be > 0, got {bandwidth_hz}")
+    return dbm_to_mw(noise_density_dbm_hz) * bandwidth_hz
+
+
+def thermal_noise_dbm(bandwidth_hz: float, noise_figure_db: float = 0.0) -> float:
+    """Conventional thermal noise power over a band, in dBm.
+
+    Provided for sensitivity studies that swap the paper's −170 dBm
+    figure for a physically standard floor (≈ −121.4 dBm for one RRB).
+    """
+    power_mw = noise_power_mw(THERMAL_NOISE_DENSITY_DBM_HZ, bandwidth_hz)
+    return mw_to_dbm(power_mw) + noise_figure_db
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Computes SINR ``lambda_{u,i}`` for UE--BS links.
+
+    Parameters
+    ----------
+    pathloss:
+        Distance -> attenuation model (defaults to the paper's Eq. 18).
+    interference:
+        Interference model (defaults to noise-limited).
+    noise_dbm:
+        Noise power per RRB; −170 dBm per §VI.A (see module docstring).
+    rrb_bandwidth_hz:
+        ``W_sub``; 180 kHz in the paper.
+    """
+
+    pathloss: PathLossModel = None  # type: ignore[assignment]
+    interference: InterferenceModel = None  # type: ignore[assignment]
+    noise_dbm: float = -170.0
+    rrb_bandwidth_hz: float = 180e3
+
+    def __post_init__(self) -> None:
+        if self.pathloss is None:
+            object.__setattr__(self, "pathloss", PaperPathLoss())
+        if self.interference is None:
+            object.__setattr__(self, "interference", NoInterference())
+        if self.rrb_bandwidth_hz <= 0:
+            raise ConfigurationError(
+                f"rrb_bandwidth_hz must be > 0, got {self.rrb_bandwidth_hz}"
+            )
+
+    @property
+    def noise_mw(self) -> float:
+        """Noise power over one RRB, in mW."""
+        return dbm_to_mw(self.noise_dbm)
+
+    def sinr(
+        self,
+        distance_m: float,
+        tx_power_dbm: float,
+        other_distances_m: Sequence[float] = (),
+    ) -> float:
+        """Linear SINR ``lambda_{u,i}`` for a link of length ``distance_m``.
+
+        ``other_distances_m`` feeds the interference model (distances of
+        other concurrent transmitters to the same BS); the default model
+        ignores it.
+        """
+        if distance_m < 0:
+            raise ConfigurationError(f"distance must be >= 0, got {distance_m}")
+        signal = received_power_mw(
+            tx_power_dbm, self.pathloss.loss_db(distance_m)
+        )
+        interference = self.interference.interference_mw(
+            distance_m, other_distances_m, tx_power_dbm
+        )
+        return signal / (self.noise_mw + interference)
+
+    def sinr_db(
+        self,
+        distance_m: float,
+        tx_power_dbm: float,
+        other_distances_m: Sequence[float] = (),
+    ) -> float:
+        """SINR in dB (convenience wrapper over :meth:`sinr`)."""
+        value = self.sinr(distance_m, tx_power_dbm, other_distances_m)
+        if value <= 0:
+            raise ConfigurationError("SINR is non-positive; cannot express in dB")
+        return 10.0 * math.log10(value)

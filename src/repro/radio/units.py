@@ -1,0 +1,63 @@
+"""Unit conversions for link-budget arithmetic.
+
+The radio substrate works internally in linear units (milliwatts, Hz,
+bits/s); configuration and the paper's parameters use dBm/dB.  These
+helpers keep conversions in one tested place.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "db_to_linear",
+    "linear_to_db",
+    "mbps",
+    "mhz",
+    "khz",
+]
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert a power in dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert a power in milliwatts to dBm.
+
+    Raises ``ValueError`` for non-positive powers, which have no dB
+    representation.
+    """
+    if mw <= 0:
+        raise ValueError(f"power must be > 0 mW to express in dBm, got {mw}")
+    return 10.0 * math.log10(mw)
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a dB ratio to a linear ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear ratio to dB."""
+    if ratio <= 0:
+        raise ValueError(f"ratio must be > 0 to express in dB, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def mbps(value: float) -> float:
+    """Megabits per second -> bits per second."""
+    return value * 1e6
+
+
+def mhz(value: float) -> float:
+    """Megahertz -> hertz."""
+    return value * 1e6
+
+
+def khz(value: float) -> float:
+    """Kilohertz -> hertz."""
+    return value * 1e3

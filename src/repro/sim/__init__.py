@@ -1,0 +1,39 @@
+"""Simulation harness: config, scenarios, runner, metrics, sweeps."""
+
+from repro.sim.config import ScenarioConfig
+from repro.sim.metrics import OutcomeMetrics, compute_metrics
+from repro.sim.persistence import load_assignment, save_assignment
+from repro.sim.results import Aggregate, Series, SeriesPoint, aggregate
+from repro.sim.runner import AllocationOutcome, run_allocation
+from repro.sim.scenario import Scenario, build_scenario
+from repro.sim.stats import PairedComparison, compare_allocators
+from repro.sim.sweep import (
+    SweepResult,
+    SweepSpec,
+    rho_sweep,
+    run_sweep,
+    ue_count_sweep,
+)
+
+__all__ = [
+    "Aggregate",
+    "AllocationOutcome",
+    "OutcomeMetrics",
+    "PairedComparison",
+    "Scenario",
+    "ScenarioConfig",
+    "Series",
+    "SeriesPoint",
+    "SweepResult",
+    "SweepSpec",
+    "aggregate",
+    "build_scenario",
+    "compare_allocators",
+    "compute_metrics",
+    "load_assignment",
+    "rho_sweep",
+    "run_allocation",
+    "run_sweep",
+    "save_assignment",
+    "ue_count_sweep",
+]

@@ -1,0 +1,216 @@
+"""Scenario configuration with the paper's §VI.A defaults.
+
+Every knob of the simulated system is gathered in one frozen dataclass
+so a scenario is fully described by ``(config, ue_count, seed)``.  The
+``paper()`` constructor yields exactly the published setup; experiments
+derive variants with :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.compute.catalog import ServiceCatalog
+from repro.errors import ConfigurationError
+from repro.model.workload import WorkloadModel
+
+__all__ = ["ScenarioConfig"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """All parameters of a multi-SP MEC scenario.
+
+    Defaults reproduce the paper's simulation setup; see DESIGN.md §3 for
+    the handful of constants the paper leaves unstated.
+    """
+
+    # --- population -----------------------------------------------------
+    sp_count: int = 5
+    bs_per_sp: int = 5
+    # Optional per-SP fleet sizes (asymmetric operators).  None (the
+    # paper) means every SP deploys ``bs_per_sp`` BSs; otherwise one
+    # entry per SP overrides ``bs_per_sp`` entirely.
+    sp_bs_counts: tuple[int, ...] | None = None
+    service_count: int = 6
+
+    # --- geometry -------------------------------------------------------
+    region_side_m: float = 1200.0
+    placement: str = "regular"  # "regular" | "random" | "clustered"
+    inter_site_distance_m: float = 300.0
+    coverage_radius_m: float = 500.0
+
+    # --- compute resources ----------------------------------------------
+    cru_capacity_min: int = 100
+    cru_capacity_max: int = 150
+    hosted_fraction: float = 1.0
+
+    # --- radio ----------------------------------------------------------
+    uplink_bandwidth_hz: float = 10e6
+    rrb_bandwidth_hz: float = 180e3
+    tx_power_dbm: float = 10.0
+    noise_dbm: float = -170.0  # per-RRB noise power (paper: "-170dBm")
+    rate_model: str = "shannon"  # "shannon" (Eq. 2) | "mcs" (CQI table)
+    # Optional flat co-channel interference floor at the BS receivers
+    # (dBm).  None (the paper's implicit setting) means noise-limited.
+    interference_floor_dbm: float | None = None
+
+    # --- workload -------------------------------------------------------
+    cru_demand_min: int = 3
+    cru_demand_max: int = 5
+    rate_demand_min_bps: float = 2e6
+    rate_demand_max_bps: float = 6e6
+    # Optional per-service request weights; None = uniform (the paper).
+    service_popularity: tuple[float, ...] | None = None
+
+    # --- economics ------------------------------------------------------
+    base_price: float = 1.0  # b
+    cross_sp_markup: float = 2.0  # iota
+    distance_weight: float = 0.01  # sigma (price per meter weight)
+    sp_cru_price: float = 10.0  # m_k
+    sp_other_cost: float = 0.5  # m_k^o
+    # Optional per-SP subscriber prices (heterogeneous tariffs); None
+    # (the paper) applies ``sp_cru_price`` uniformly.
+    sp_cru_prices: tuple[float, ...] | None = None
+
+    # --- algorithm ------------------------------------------------------
+    rho: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.sp_count <= 0:
+            raise ConfigurationError(f"sp_count must be > 0, got {self.sp_count}")
+        if self.bs_per_sp <= 0:
+            raise ConfigurationError(
+                f"bs_per_sp must be > 0, got {self.bs_per_sp}"
+            )
+        if self.placement not in ("regular", "random", "clustered"):
+            raise ConfigurationError(
+                f"unknown placement {self.placement!r}"
+            )
+        if self.coverage_radius_m <= 0:
+            raise ConfigurationError(
+                f"coverage_radius_m must be > 0, got {self.coverage_radius_m}"
+            )
+        if self.rho < 0:
+            raise ConfigurationError(f"rho must be >= 0, got {self.rho}")
+        if self.rate_model not in ("shannon", "mcs"):
+            raise ConfigurationError(
+                f"unknown rate_model {self.rate_model!r}; "
+                f"expected 'shannon' or 'mcs'"
+            )
+        if self.sp_bs_counts is not None:
+            if len(self.sp_bs_counts) != self.sp_count:
+                raise ConfigurationError(
+                    f"sp_bs_counts has {len(self.sp_bs_counts)} entries "
+                    f"for {self.sp_count} SPs"
+                )
+            if any(count <= 0 for count in self.sp_bs_counts):
+                raise ConfigurationError(
+                    f"every SP must deploy >= 1 BS, got {self.sp_bs_counts}"
+                )
+        if self.sp_cru_prices is not None and (
+            len(self.sp_cru_prices) != self.sp_count
+        ):
+            raise ConfigurationError(
+                f"sp_cru_prices has {len(self.sp_cru_prices)} entries "
+                f"for {self.sp_count} SPs"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def paper(cls, **overrides) -> "ScenarioConfig":
+        """The published setup; keyword overrides tweak single knobs."""
+        return cls(**overrides)
+
+    def with_(self, **overrides) -> "ScenarioConfig":
+        """A modified copy (thin wrapper over :func:`dataclasses.replace`)."""
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # Derived pieces
+    # ------------------------------------------------------------------
+
+    @property
+    def bs_count(self) -> int:
+        if self.sp_bs_counts is not None:
+            return sum(self.sp_bs_counts)
+        return self.sp_count * self.bs_per_sp
+
+    def bs_ownership(self) -> tuple[int, ...]:
+        """SP id for each BS index, interleaved for spatial mixing.
+
+        Symmetric fleets cycle ``0, 1, ..., sp_count-1`` (the paper's
+        layout); asymmetric fleets interleave each SP's BSs at evenly
+        spaced fractional positions so a big operator's sites spread
+        across the region instead of clumping at low indices.
+        """
+        if self.sp_bs_counts is None:
+            return tuple(
+                index % self.sp_count for index in range(self.bs_count)
+            )
+        slots: list[tuple[float, int, int]] = []
+        for sp_id, count in enumerate(self.sp_bs_counts):
+            for j in range(count):
+                slots.append(((j + 0.5) / count, sp_id, j))
+        slots.sort()
+        return tuple(sp_id for _, sp_id, _ in slots)
+
+    def workload_model(self) -> WorkloadModel:
+        """The UE demand distributions implied by this config."""
+        return WorkloadModel(
+            cru_demand_min=self.cru_demand_min,
+            cru_demand_max=self.cru_demand_max,
+            rate_demand_min_bps=self.rate_demand_min_bps,
+            rate_demand_max_bps=self.rate_demand_max_bps,
+            tx_power_dbm=self.tx_power_dbm,
+            service_popularity=self.service_popularity,
+        )
+
+    def cru_price_of_sp(self, sp_id: int) -> float:
+        """``m_k`` for one SP (heterogeneous tariffs when configured)."""
+        if self.sp_cru_prices is not None:
+            return self.sp_cru_prices[sp_id]
+        return self.sp_cru_price
+
+    def link_budget(self):
+        """The :class:`~repro.radio.sinr.LinkBudget` this config implies."""
+        from repro.radio.interference import (
+            ConstantInterference,
+            NoInterference,
+        )
+        from repro.radio.sinr import LinkBudget
+
+        interference = (
+            NoInterference()
+            if self.interference_floor_dbm is None
+            else ConstantInterference(
+                floor_dbm=self.interference_floor_dbm
+            )
+        )
+        return LinkBudget(
+            interference=interference,
+            noise_dbm=self.noise_dbm,
+            rrb_bandwidth_hz=self.rrb_bandwidth_hz,
+        )
+
+    def rate_model_fn(self):
+        """The per-RRB rate function this config selects."""
+        if self.rate_model == "mcs":
+            from repro.radio.mcs import mcs_rate_bps
+
+            return mcs_rate_bps
+        from repro.radio.ofdma import per_rrb_rate_bps
+
+        return per_rrb_rate_bps
+
+    def service_catalog(self) -> ServiceCatalog:
+        """The service/CRU-capacity sampler implied by this config."""
+        return ServiceCatalog(
+            service_count=self.service_count,
+            cru_capacity_min=self.cru_capacity_min,
+            cru_capacity_max=self.cru_capacity_max,
+            hosted_fraction=self.hosted_fraction,
+        )

@@ -1,0 +1,103 @@
+"""Outcome metrics computed from an assignment.
+
+Besides the paper's two reported metrics — total SP profit (Figs. 2--6)
+and total forwarded traffic load (Fig. 7) — the harness records the
+supporting quantities that explain *why* an allocator wins: edge-served
+fraction, same-SP association fraction, resource utilization, and
+matching rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.assignment import Assignment
+from repro.econ.accounting import ProfitStatement, compute_profit
+from repro.econ.pricing import PricingPolicy
+from repro.model.network import MECNetwork
+
+__all__ = ["OutcomeMetrics", "compute_metrics"]
+
+
+@dataclass(frozen=True)
+class OutcomeMetrics:
+    """Everything we measure about one allocation outcome."""
+
+    total_profit: float
+    profit_by_sp: Mapping[int, float]
+    edge_served: int
+    cloud_forwarded: int
+    forwarded_traffic_bps: float
+    forwarded_crus: int
+    same_sp_fraction: float
+    mean_cru_utilization: float
+    mean_rrb_utilization: float
+    rounds: int
+
+    @property
+    def ue_count(self) -> int:
+        return self.edge_served + self.cloud_forwarded
+
+    @property
+    def edge_served_fraction(self) -> float:
+        total = self.ue_count
+        return self.edge_served / total if total else 0.0
+
+
+def compute_metrics(
+    network: MECNetwork,
+    assignment: Assignment,
+    pricing: PricingPolicy,
+) -> OutcomeMetrics:
+    """Evaluate all metrics for one (network, assignment) pair."""
+    statement: ProfitStatement = compute_profit(
+        network, assignment.grants, pricing
+    )
+
+    same_sp = sum(
+        1
+        for grant in assignment.grants
+        if network.same_sp(grant.ue_id, grant.bs_id)
+    )
+    same_sp_fraction = (
+        same_sp / len(assignment.grants) if assignment.grants else 0.0
+    )
+
+    forwarded_traffic = sum(
+        network.user_equipment(ue_id).rate_demand_bps
+        for ue_id in assignment.cloud_ue_ids
+    )
+    forwarded_crus = sum(
+        network.user_equipment(ue_id).cru_demand
+        for ue_id in assignment.cloud_ue_ids
+    )
+
+    cru_utils: list[float] = []
+    rrb_utils: list[float] = []
+    for bs in network.base_stations:
+        grants = assignment.grants_of_bs(bs.bs_id)
+        used_crus = sum(g.crus for g in grants)
+        used_rrbs = sum(g.rrbs for g in grants)
+        total_crus = bs.total_cru_capacity
+        cru_utils.append(used_crus / total_crus if total_crus else 0.0)
+        rrb_utils.append(used_rrbs / bs.rrb_capacity)
+
+    return OutcomeMetrics(
+        total_profit=statement.total_profit,
+        profit_by_sp={
+            sp_id: entry.profit for sp_id, entry in statement.by_sp.items()
+        },
+        edge_served=assignment.edge_served_count,
+        cloud_forwarded=assignment.cloud_count,
+        forwarded_traffic_bps=forwarded_traffic,
+        forwarded_crus=forwarded_crus,
+        same_sp_fraction=same_sp_fraction,
+        mean_cru_utilization=(
+            sum(cru_utils) / len(cru_utils) if cru_utils else 0.0
+        ),
+        mean_rrb_utilization=(
+            sum(rrb_utils) / len(rrb_utils) if rrb_utils else 0.0
+        ),
+        rounds=assignment.rounds,
+    )

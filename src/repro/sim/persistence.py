@@ -1,0 +1,105 @@
+"""Persistence: save and reload allocation results as JSON.
+
+Experiments that take minutes to sweep should not have to re-run to be
+re-analyzed.  An :class:`~repro.core.assignment.Assignment` (plus enough
+context to validate it later) serializes to a stable, human-diffable
+JSON document; loading re-validates against the scenario rebuilt from
+the stored ``(config, ue_count, seed)`` triple, so a stale file that no
+longer matches the code fails loudly instead of silently mis-reporting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.compute.cru import Grant
+from repro.core.assignment import Assignment
+from repro.errors import ConfigurationError
+from repro.sim.config import ScenarioConfig
+from repro.sim.scenario import Scenario, build_scenario
+
+__all__ = ["save_assignment", "load_assignment"]
+
+_FORMAT_VERSION = 1
+
+
+def save_assignment(
+    path: str | Path, scenario: Scenario, assignment: Assignment
+) -> Path:
+    """Write an assignment plus its scenario coordinates to JSON."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    config_dict = dataclasses.asdict(scenario.config)
+    # Tuples JSON-ify to lists; normalize None popularity explicitly.
+    document = {
+        "format_version": _FORMAT_VERSION,
+        "config": config_dict,
+        "ue_count": scenario.ue_count,
+        "seed": scenario.seed,
+        "rounds": assignment.rounds,
+        "grants": [
+            {
+                "bs_id": g.bs_id,
+                "ue_id": g.ue_id,
+                "service_id": g.service_id,
+                "crus": g.crus,
+                "rrbs": g.rrbs,
+            }
+            for g in sorted(assignment.grants, key=lambda g: g.ue_id)
+        ],
+        "cloud_ue_ids": sorted(assignment.cloud_ue_ids),
+    }
+    target.write_text(json.dumps(document, indent=2, sort_keys=True))
+    return target
+
+
+def load_assignment(
+    path: str | Path, validate: bool = True
+) -> tuple[Scenario, Assignment]:
+    """Rebuild the scenario and assignment stored by :func:`save_assignment`.
+
+    With ``validate=True`` (default) the assignment is re-checked
+    against the freshly rebuilt scenario, which catches both corrupted
+    files and semantic drift (e.g. a changed scenario-generation order
+    that makes old grants meaningless).
+    """
+    source = Path(path)
+    try:
+        document = json.loads(source.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read {source}: {exc}") from exc
+    version = document.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"{source}: unsupported format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    config_dict = dict(document["config"])
+    popularity = config_dict.get("service_popularity")
+    if popularity is not None:
+        config_dict["service_popularity"] = tuple(popularity)
+    config = ScenarioConfig(**config_dict)
+    scenario = build_scenario(
+        config, ue_count=int(document["ue_count"]), seed=int(document["seed"])
+    )
+    assignment = Assignment(
+        grants=tuple(
+            Grant(
+                bs_id=int(entry["bs_id"]),
+                ue_id=int(entry["ue_id"]),
+                service_id=int(entry["service_id"]),
+                crus=int(entry["crus"]),
+                rrbs=int(entry["rrbs"]),
+            )
+            for entry in document["grants"]
+        ),
+        cloud_ue_ids=frozenset(
+            int(ue_id) for ue_id in document["cloud_ue_ids"]
+        ),
+        rounds=int(document.get("rounds", 0)),
+    )
+    if validate:
+        assignment.validate(scenario.network, scenario.radio_map)
+    return scenario, assignment

@@ -1,0 +1,97 @@
+"""Replication aggregation: means, standard deviations, confidence bands.
+
+The paper plots single curves; we run several seeded replications per
+point and report the mean with a normal-approximation 95% confidence
+half-width, so shape claims in EXPERIMENTS.md rest on more than one
+draw.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Aggregate", "aggregate", "SeriesPoint", "Series"]
+
+
+@dataclass(frozen=True, slots=True)
+class Aggregate:
+    """Summary statistics of one metric over replications."""
+
+    mean: float
+    std: float
+    count: int
+    ci95_half_width: float
+
+    @property
+    def ci_low(self) -> float:
+        return self.mean - self.ci95_half_width
+
+    @property
+    def ci_high(self) -> float:
+        return self.mean + self.ci95_half_width
+
+
+def aggregate(values: Iterable[float]) -> Aggregate:
+    """Mean / sample std / 95% CI half-width of a sample."""
+    data = list(values)
+    if not data:
+        raise ConfigurationError("cannot aggregate an empty sample")
+    count = len(data)
+    mean = sum(data) / count
+    if count == 1:
+        return Aggregate(mean=mean, std=0.0, count=1, ci95_half_width=0.0)
+    variance = sum((x - mean) ** 2 for x in data) / (count - 1)
+    std = math.sqrt(variance)
+    half_width = 1.96 * std / math.sqrt(count)
+    return Aggregate(mean=mean, std=std, count=count, ci95_half_width=half_width)
+
+
+@dataclass(frozen=True, slots=True)
+class SeriesPoint:
+    """One x-position of a result series."""
+
+    x: float
+    value: Aggregate
+
+
+@dataclass(frozen=True)
+class Series:
+    """A named curve: what one line in a paper figure is made of."""
+
+    label: str
+    points: tuple[SeriesPoint, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", tuple(self.points))
+
+    @property
+    def xs(self) -> tuple[float, ...]:
+        return tuple(p.x for p in self.points)
+
+    @property
+    def means(self) -> tuple[float, ...]:
+        return tuple(p.value.mean for p in self.points)
+
+    def value_at(self, x: float) -> Aggregate:
+        """The aggregate at grid position ``x`` (exact match required)."""
+        for point in self.points:
+            if point.x == x:
+                return point.value
+        raise ConfigurationError(f"series {self.label!r} has no point at x={x}")
+
+    @staticmethod
+    def from_samples(
+        label: str, samples: Sequence[tuple[float, Sequence[float]]]
+    ) -> "Series":
+        """Build a series from ``[(x, [replication values...]), ...]``."""
+        return Series(
+            label=label,
+            points=tuple(
+                SeriesPoint(x=float(x), value=aggregate(values))
+                for x, values in samples
+            ),
+        )

@@ -1,0 +1,140 @@
+"""Parameter sweeps: the engine behind every figure reproduction.
+
+A sweep runs a set of allocators over a grid of x-values (UE counts,
+``rho`` values, ...) with several seeded replications per point.  All
+allocators see *identical* scenarios per (x, seed) pair — paired
+comparisons, so "DMRA beats DCSP" is never an artifact of different
+random draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.core.allocator import Allocator
+from repro.errors import ConfigurationError
+from repro.sim.config import ScenarioConfig
+from repro.sim.metrics import OutcomeMetrics
+from repro.sim.results import Series
+from repro.sim.runner import run_allocation
+from repro.sim.scenario import Scenario, build_scenario
+
+__all__ = ["SweepSpec", "SweepResult", "run_sweep", "ue_count_sweep", "rho_sweep"]
+
+MetricExtractor = Callable[[OutcomeMetrics], float]
+AllocatorFactory = Callable[[float], Allocator]
+ScenarioFactory = Callable[[float, int], Scenario]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of one sweep.
+
+    ``scenario_factory(x, seed)`` builds the scenario at grid point ``x``;
+    ``allocator_factories`` maps a curve label to a factory called as
+    ``factory(x)`` (so algorithm parameters may track the x-axis, as in
+    the ``rho`` sweeps); ``metric`` extracts the plotted value.
+    """
+
+    xs: tuple[float, ...]
+    seeds: tuple[int, ...]
+    scenario_factory: ScenarioFactory
+    allocator_factories: Mapping[str, AllocatorFactory]
+    metric: MetricExtractor
+
+    def __post_init__(self) -> None:
+        if not self.xs:
+            raise ConfigurationError("sweep needs at least one x value")
+        if not self.seeds:
+            raise ConfigurationError("sweep needs at least one seed")
+        if not self.allocator_factories:
+            raise ConfigurationError("sweep needs at least one allocator")
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All series produced by one sweep, keyed by curve label."""
+
+    series: Mapping[str, Series]
+
+    def labels(self) -> tuple[str, ...]:
+        """The curve labels, in insertion order."""
+        return tuple(self.series)
+
+    def __getitem__(self, label: str) -> Series:
+        return self.series[label]
+
+
+def run_sweep(spec: SweepSpec) -> SweepResult:
+    """Execute a sweep: scenarios are built once per (x, seed) and shared."""
+    samples: dict[str, list[tuple[float, list[float]]]] = {
+        label: [] for label in spec.allocator_factories
+    }
+    for x in spec.xs:
+        per_label: dict[str, list[float]] = {
+            label: [] for label in spec.allocator_factories
+        }
+        for seed in spec.seeds:
+            scenario = spec.scenario_factory(x, seed)
+            for label, factory in spec.allocator_factories.items():
+                outcome = run_allocation(scenario, factory(x))
+                per_label[label].append(spec.metric(outcome.metrics))
+        for label, values in per_label.items():
+            samples[label].append((x, values))
+    return SweepResult(
+        series={
+            label: Series.from_samples(label, data)
+            for label, data in samples.items()
+        }
+    )
+
+
+def ue_count_sweep(
+    config: ScenarioConfig,
+    ue_counts: Sequence[int],
+    seeds: Sequence[int],
+    allocator_factories: Mapping[str, AllocatorFactory],
+    metric: MetricExtractor,
+) -> SweepResult:
+    """Sweep the UE population size (the x-axis of Figs. 2--5)."""
+    spec = SweepSpec(
+        xs=tuple(float(n) for n in ue_counts),
+        seeds=tuple(seeds),
+        scenario_factory=lambda x, seed: build_scenario(config, int(x), seed),
+        allocator_factories=allocator_factories,
+        metric=metric,
+    )
+    return run_sweep(spec)
+
+
+def rho_sweep(
+    config: ScenarioConfig,
+    rhos: Sequence[float],
+    ue_count: int,
+    seeds: Sequence[int],
+    allocator_factory: Callable[[float], Allocator],
+    metric: MetricExtractor,
+    label: str = "dmra",
+) -> SweepResult:
+    """Sweep DMRA's ``rho`` at a fixed UE count (Figs. 6--7).
+
+    The scenario depends only on the seed; ``rho`` reaches the allocator
+    through the factory, so all grid points share identical scenarios
+    (built once per seed and cached).
+    """
+    cache: dict[int, Scenario] = {}
+
+    def cached_scenario(x: float, seed: int) -> Scenario:
+        if seed not in cache:
+            cache[seed] = build_scenario(config, ue_count, seed)
+        return cache[seed]
+
+    spec = SweepSpec(
+        xs=tuple(float(r) for r in rhos),
+        seeds=tuple(seeds),
+        scenario_factory=cached_scenario,
+        allocator_factories={label: allocator_factory},
+        metric=metric,
+    )
+    return run_sweep(spec)

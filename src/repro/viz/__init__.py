@@ -1,0 +1,5 @@
+"""Visualization: dependency-free SVG rendering of deployments."""
+
+from repro.viz.svg import render_svg, write_svg
+
+__all__ = ["render_svg", "write_svg"]

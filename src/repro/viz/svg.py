@@ -1,0 +1,172 @@
+"""SVG rendering of deployments and associations (no plotting deps).
+
+The offline environment has no matplotlib; SVG needs none.  These
+renderers emit standalone ``.svg`` documents: base stations as squares
+colored by owning SP, UEs as dots (colored by subscription), association
+lines from each served UE to its BS, and dashed coverage circles on
+request.  Open the file in any browser.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+from repro.core.assignment import Assignment
+from repro.errors import ConfigurationError
+from repro.model.network import MECNetwork
+
+__all__ = ["render_svg", "write_svg"]
+
+#: Color-blind-safe palette (Okabe-Ito), cycled over SP ids.
+_SP_COLORS = (
+    "#0072B2",  # blue
+    "#D55E00",  # vermillion
+    "#009E73",  # green
+    "#CC79A7",  # purple-pink
+    "#E69F00",  # orange
+    "#56B4E9",  # sky
+    "#F0E442",  # yellow
+    "#000000",  # black
+)
+
+_CLOUD_COLOR = "#999999"
+
+
+def _sp_color(sp_id: int) -> str:
+    return _SP_COLORS[sp_id % len(_SP_COLORS)]
+
+
+def render_svg(
+    network: MECNetwork,
+    assignment: Assignment | None = None,
+    size_px: int = 800,
+    show_coverage: bool = False,
+    title: str | None = None,
+) -> str:
+    """Render the deployment to an SVG document string."""
+    if size_px < 100:
+        raise ConfigurationError(f"size_px must be >= 100, got {size_px}")
+    region = network.region
+    margin = 40
+    scale = (size_px - 2 * margin) / max(region.width, region.height)
+
+    def sx(x: float) -> float:
+        return margin + (x - region.x_min) * scale
+
+    def sy(y: float) -> float:
+        # SVG's y axis points down; flip so north is up.
+        return size_px - margin - (y - region.y_min) * scale
+
+    parts: list[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{size_px}" height="{size_px}" '
+        f'viewBox="0 0 {size_px} {size_px}">'
+    )
+    parts.append(
+        f'<rect width="{size_px}" height="{size_px}" fill="#ffffff"/>'
+    )
+    parts.append(
+        f'<rect x="{margin}" y="{margin}" '
+        f'width="{region.width * scale:.1f}" '
+        f'height="{region.height * scale:.1f}" '
+        f'fill="none" stroke="#cccccc" stroke-width="1"/>'
+    )
+    if title:
+        parts.append(
+            f'<text x="{size_px / 2:.0f}" y="24" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="14">{escape(title)}</text>'
+        )
+
+    if show_coverage:
+        radius_px = network.coverage_radius_m * scale
+        for bs in network.base_stations:
+            parts.append(
+                f'<circle cx="{sx(bs.position.x):.1f}" '
+                f'cy="{sy(bs.position.y):.1f}" r="{radius_px:.1f}" '
+                f'fill="none" stroke="{_sp_color(bs.sp_id)}" '
+                f'stroke-width="0.5" stroke-dasharray="4 4" opacity="0.4"/>'
+            )
+
+    if assignment is not None:
+        for grant in assignment.grants:
+            ue = network.user_equipment(grant.ue_id)
+            bs = network.base_station(grant.bs_id)
+            same_sp = ue.sp_id == bs.sp_id
+            parts.append(
+                f'<line x1="{sx(ue.position.x):.1f}" '
+                f'y1="{sy(ue.position.y):.1f}" '
+                f'x2="{sx(bs.position.x):.1f}" '
+                f'y2="{sy(bs.position.y):.1f}" '
+                f'stroke="{_sp_color(ue.sp_id)}" '
+                f'stroke-width="{1.0 if same_sp else 0.5}" '
+                f'opacity="{0.55 if same_sp else 0.3}"/>'
+            )
+
+    for ue in network.user_equipments:
+        cloud_bound = (
+            assignment is not None and ue.ue_id in assignment.cloud_ue_ids
+        )
+        color = _CLOUD_COLOR if cloud_bound else _sp_color(ue.sp_id)
+        parts.append(
+            f'<circle cx="{sx(ue.position.x):.1f}" '
+            f'cy="{sy(ue.position.y):.1f}" r="2.2" fill="{color}" '
+            f'opacity="{0.5 if cloud_bound else 0.85}"/>'
+        )
+
+    half = 6.0
+    for bs in network.base_stations:
+        parts.append(
+            f'<rect x="{sx(bs.position.x) - half:.1f}" '
+            f'y="{sy(bs.position.y) - half:.1f}" '
+            f'width="{2 * half}" height="{2 * half}" '
+            f'fill="{_sp_color(bs.sp_id)}" stroke="#222222" '
+            f'stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{sx(bs.position.x):.1f}" '
+            f'y="{sy(bs.position.y) - half - 3:.1f}" '
+            f'text-anchor="middle" font-family="sans-serif" '
+            f'font-size="8" fill="#444444">{bs.bs_id}</text>'
+        )
+
+    # Legend: one swatch per SP plus the cloud marker.
+    legend_y = size_px - 14
+    legend_x = margin
+    for sp in network.providers:
+        parts.append(
+            f'<rect x="{legend_x}" y="{legend_y - 9}" width="10" '
+            f'height="10" fill="{_sp_color(sp.sp_id)}"/>'
+        )
+        label = escape(sp.name or f"SP-{sp.sp_id}")
+        parts.append(
+            f'<text x="{legend_x + 14}" y="{legend_y}" '
+            f'font-family="sans-serif" font-size="11">{label}</text>'
+        )
+        legend_x += 14 + 8 * max(4, len(label))
+    if assignment is not None:
+        parts.append(
+            f'<circle cx="{legend_x + 5}" cy="{legend_y - 4}" r="3" '
+            f'fill="{_CLOUD_COLOR}"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 14}" y="{legend_y}" '
+            f'font-family="sans-serif" font-size="11">cloud-forwarded</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(
+    path: str | Path,
+    network: MECNetwork,
+    assignment: Assignment | None = None,
+    **kwargs,
+) -> Path:
+    """Render and write an SVG file; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_svg(network, assignment, **kwargs))
+    return target

@@ -1,0 +1,98 @@
+"""Shared fixtures: hand-built micro networks and seeded paper scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.entities import BaseStation, Service, ServiceProvider, UserEquipment
+from repro.model.geometry import Point, Rectangle
+from repro.model.network import MECNetwork
+from repro.radio.channel import build_radio_map
+from repro.radio.sinr import LinkBudget
+from repro.sim.config import ScenarioConfig
+from repro.sim.scenario import Scenario, build_scenario
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def make_tiny_network(
+    ue_specs: list[dict] | None = None,
+    bs_specs: list[dict] | None = None,
+    coverage_radius_m: float = 600.0,
+) -> MECNetwork:
+    """A 2-SP / 2-BS / 2-service network with precise, overridable numbers.
+
+    Defaults: BS 0 (SP 0) at (0, 0) and BS 1 (SP 1) at (400, 0), both
+    hosting both services with 20 CRUs each and 10 RRBs; UEs default to
+    SP 0, service 0, 4 CRUs, 2 Mbps at (100, 0).
+    """
+    providers = [
+        ServiceProvider(sp_id=0, name="SP-0", cru_price=10.0, other_cost=0.5),
+        ServiceProvider(sp_id=1, name="SP-1", cru_price=10.0, other_cost=0.5),
+    ]
+    services = [Service(0, "svc-0"), Service(1, "svc-1")]
+    default_bs = [
+        dict(bs_id=0, sp_id=0, position=Point(0.0, 0.0)),
+        dict(bs_id=1, sp_id=1, position=Point(400.0, 0.0)),
+    ]
+    base_stations = []
+    for spec in bs_specs if bs_specs is not None else default_bs:
+        merged = dict(
+            cru_capacity={0: 20, 1: 20},
+            rrb_capacity=10,
+            uplink_bandwidth_hz=10e6,
+        )
+        merged.update(spec)
+        base_stations.append(BaseStation(**merged))
+    default_ues = [dict(ue_id=0)]
+    user_equipments = []
+    for spec in ue_specs if ue_specs is not None else default_ues:
+        merged = dict(
+            sp_id=0,
+            position=Point(100.0, 0.0),
+            service_id=0,
+            cru_demand=4,
+            rate_demand_bps=2e6,
+            tx_power_dbm=10.0,
+        )
+        merged.update(spec)
+        user_equipments.append(UserEquipment(**merged))
+    return MECNetwork(
+        providers=providers,
+        base_stations=base_stations,
+        user_equipments=user_equipments,
+        services=services,
+        region=Rectangle.square(1200.0),
+        coverage_radius_m=coverage_radius_m,
+    )
+
+
+@pytest.fixture
+def tiny_network() -> MECNetwork:
+    return make_tiny_network()
+
+
+@pytest.fixture
+def tiny_radio_map(tiny_network):
+    return build_radio_map(tiny_network, LinkBudget())
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> ScenarioConfig:
+    return ScenarioConfig.paper()
+
+
+@pytest.fixture(scope="session")
+def small_scenario(paper_config) -> Scenario:
+    """A paper-topology scenario small enough for fast per-test runs."""
+    return build_scenario(paper_config, ue_count=120, seed=7)
+
+
+@pytest.fixture(scope="session")
+def loaded_scenario(paper_config) -> Scenario:
+    """A scenario loaded past the radio saturation point."""
+    return build_scenario(paper_config, ue_count=1100, seed=11)

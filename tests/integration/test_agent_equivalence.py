@@ -1,0 +1,105 @@
+"""Integration: the message-passing DMRA equals the direct engine.
+
+This is the decentralization proof of the reproduction: an agent system
+where BSs see only mailbox contents and UEs see only broadcasts produces
+*bit-identical* associations to the shared-state matching loop, on paper
+scenarios across placements, loads, and rho values.
+"""
+
+import pytest
+
+from repro.core.agents import DecentralizedDMRAAllocator
+from repro.core.dmra import DMRAAllocator
+from repro.sim.config import ScenarioConfig
+from repro.sim.runner import run_allocation
+from repro.sim.scenario import build_scenario
+
+
+def assert_equivalent(scenario, rho=10.0):
+    direct = DMRAAllocator(pricing=scenario.pricing, rho=rho).allocate(
+        scenario.network, scenario.radio_map
+    )
+    agents = DecentralizedDMRAAllocator(
+        pricing=scenario.pricing, rho=rho
+    ).allocate(scenario.network, scenario.radio_map)
+    agents.validate(scenario.network, scenario.radio_map)
+    assert sorted(direct.association_pairs()) == sorted(
+        agents.association_pairs()
+    )
+    assert direct.cloud_ue_ids == agents.cloud_ue_ids
+    assert direct.rounds == agents.rounds
+    return agents
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_underloaded(self, seed):
+        scenario = build_scenario(ScenarioConfig.paper(), 150, seed)
+        assert_equivalent(scenario)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_overloaded(self, seed):
+        scenario = build_scenario(ScenarioConfig.paper(), 1200, seed)
+        assert_equivalent(scenario)
+
+    @pytest.mark.parametrize("placement", ["random", "clustered"])
+    def test_other_placements(self, placement):
+        scenario = build_scenario(
+            ScenarioConfig.paper(placement=placement), 400, 7
+        )
+        assert_equivalent(scenario)
+
+    @pytest.mark.parametrize("rho", [0.0, 50.0, 500.0])
+    def test_rho_values(self, rho):
+        scenario = build_scenario(ScenarioConfig.paper(), 600, 5)
+        assert_equivalent(scenario, rho=rho)
+
+    @pytest.mark.parametrize("iota", [1.0, 1.1, 2.0])
+    def test_iota_values(self, iota):
+        scenario = build_scenario(
+            ScenarioConfig.paper(cross_sp_markup=iota), 500, 2
+        )
+        assert_equivalent(scenario)
+
+    def test_partial_hosting(self):
+        scenario = build_scenario(
+            ScenarioConfig.paper(hosted_fraction=0.5), 300, 9
+        )
+        assert_equivalent(scenario)
+
+
+class TestMessageOverhead:
+    def test_relay_counts_are_conserved(self):
+        """Every edge-served UE got >= 1 request and exactly 1 grant
+        relayed by its SP; every cloud UE produced one forward."""
+        scenario = build_scenario(ScenarioConfig.paper(), 1200, 3)
+        allocator = DecentralizedDMRAAllocator(pricing=scenario.pricing)
+        assignment = allocator.allocate(
+            scenario.network, scenario.radio_map
+        )
+        total_grants = sum(
+            sp.grants_relayed for sp in allocator.last_sp_agents.values()
+        )
+        total_forwards = sum(
+            sp.cloud_forwards for sp in allocator.last_sp_agents.values()
+        )
+        total_requests = sum(
+            sp.requests_relayed for sp in allocator.last_sp_agents.values()
+        )
+        assert total_grants == assignment.edge_served_count
+        assert total_forwards == assignment.cloud_count
+        assert total_requests >= assignment.edge_served_count
+
+    def test_outcome_metrics_match_direct(self):
+        scenario = build_scenario(ScenarioConfig.paper(), 800, 4)
+        direct = run_allocation(
+            scenario, DMRAAllocator(pricing=scenario.pricing)
+        ).metrics
+        agents = run_allocation(
+            scenario, DecentralizedDMRAAllocator(pricing=scenario.pricing)
+        ).metrics
+        assert direct.total_profit == pytest.approx(agents.total_profit)
+        assert direct.edge_served == agents.edge_served
+        assert direct.forwarded_traffic_bps == pytest.approx(
+            agents.forwarded_traffic_bps
+        )

@@ -1,0 +1,118 @@
+"""End-to-end integration: full pipeline, optimality gap, cross-module
+consistency."""
+
+import pytest
+
+from repro.baselines.greedy import GreedyProfitAllocator
+from repro.baselines.optimal import OptimalILPAllocator
+from repro.compute.cloud import RemoteCloud
+from repro.core.dmra import DMRAAllocator
+from repro.econ.accounting import compute_profit
+from repro.experiments import get_experiment, render_chart, write_series_csv
+from repro.experiments.figures import Scale
+from repro.experiments.io import read_series_csv
+from repro.sim.config import ScenarioConfig
+from repro.sim.runner import run_allocation
+from repro.sim.scenario import build_scenario
+
+
+class TestOptimalityGap:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_dmra_within_5_percent_of_optimum(self, seed):
+        """On paper-sized underloaded instances the decentralized DMRA
+        lands within a few percent of the centralized ILP optimum."""
+        scenario = build_scenario(ScenarioConfig.paper(), 150, seed)
+        ilp = run_allocation(
+            scenario, OptimalILPAllocator(pricing=scenario.pricing)
+        ).metrics.total_profit
+        dmra = run_allocation(
+            scenario, DMRAAllocator(pricing=scenario.pricing)
+        ).metrics.total_profit
+        assert dmra >= 0.95 * ilp
+
+    def test_greedy_within_optimum(self):
+        scenario = build_scenario(ScenarioConfig.paper(), 150, 4)
+        ilp = run_allocation(
+            scenario, OptimalILPAllocator(pricing=scenario.pricing)
+        ).metrics.total_profit
+        greedy = run_allocation(
+            scenario, GreedyProfitAllocator(pricing=scenario.pricing)
+        ).metrics.total_profit
+        assert greedy <= ilp + 1e-6
+        assert greedy >= 0.9 * ilp
+
+
+class TestCrossModuleConsistency:
+    def test_cloud_accounting_matches_assignment(self, loaded_scenario):
+        """RemoteCloud fed from the assignment reproduces the metrics."""
+        assignment = DMRAAllocator(
+            pricing=loaded_scenario.pricing
+        ).allocate(loaded_scenario.network, loaded_scenario.radio_map)
+        cloud = RemoteCloud()
+        for ue_id in assignment.cloud_ue_ids:
+            cloud.forward(loaded_scenario.network.user_equipment(ue_id))
+        outcome = run_allocation(
+            loaded_scenario, DMRAAllocator(pricing=loaded_scenario.pricing)
+        )
+        assert cloud.task_count == outcome.metrics.cloud_forwarded
+        assert cloud.forwarded_traffic_bps == pytest.approx(
+            outcome.metrics.forwarded_traffic_bps
+        )
+        assert cloud.forwarded_crus == outcome.metrics.forwarded_crus
+
+    def test_profit_statement_identity(self, loaded_scenario):
+        """W_k = W_k^r - W_k^B - W_k^S holds per SP and in total."""
+        assignment = DMRAAllocator(
+            pricing=loaded_scenario.pricing
+        ).allocate(loaded_scenario.network, loaded_scenario.radio_map)
+        statement = compute_profit(
+            loaded_scenario.network, assignment.grants, loaded_scenario.pricing
+        )
+        for entry in statement.by_sp.values():
+            assert entry.profit == pytest.approx(
+                entry.revenue - entry.bs_payments - entry.other_costs
+            )
+        assert statement.total_profit == pytest.approx(
+            statement.total_revenue
+            - statement.total_bs_payments
+            - sum(e.other_costs for e in statement.by_sp.values())
+        )
+
+    def test_per_ue_margin_recomposition(self, small_scenario):
+        """Total profit equals the sum of per-grant marginal profits."""
+        from repro.econ.accounting import marginal_profit
+
+        assignment = DMRAAllocator(
+            pricing=small_scenario.pricing
+        ).allocate(small_scenario.network, small_scenario.radio_map)
+        statement = compute_profit(
+            small_scenario.network, assignment.grants, small_scenario.pricing
+        )
+        recomposed = sum(
+            marginal_profit(
+                small_scenario.network, g.ue_id, g.bs_id, small_scenario.pricing
+            )
+            for g in assignment.grants
+        )
+        assert statement.total_profit == pytest.approx(recomposed)
+
+
+class TestFigurePipeline:
+    def test_smoke_figure_to_csv_and_back(self, tmp_path):
+        experiment = get_experiment("fig4")
+        result = experiment.run(Scale.smoke())
+        series = [result[label] for label in result.labels()]
+        chart = render_chart(series, title=experiment.title)
+        assert experiment.title in chart
+        path = write_series_csv(tmp_path / "fig4.csv", series, x_header="#UEs")
+        restored = read_series_csv(path, x_header="#UEs")
+        assert {s.label for s in restored} == set(result.labels())
+
+    def test_smoke_fig2_preserves_dominance(self):
+        """Even at smoke scale, DMRA's curve dominates DCSP's."""
+        result = get_experiment("fig2").run(Scale.smoke())
+        for x in result["dmra"].xs:
+            assert (
+                result["dmra"].value_at(x).mean
+                >= result["dcsp"].value_at(x).mean
+            )

@@ -1,0 +1,64 @@
+"""Integration: every shipped example must run and tell its story.
+
+Examples are documentation that executes; a refactor that silently
+breaks one defeats their purpose.  Each test runs the script in a
+subprocess (as a user would) and checks for the output that carries the
+example's point.  ``capacity_planning`` sweeps to 2000 UEs and is the
+one script exercised import-only to keep the suite's wall-clock sane.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent.parent / "examples"
+
+#: script stem -> a string its output must contain.
+EXPECTED_OUTPUT = {
+    "quickstart": "DMRA per-SP profit:",
+    "decentralized_trace": "identical to the direct matching engine: True",
+    "resilience_drill": "concentrated vs spread",
+    "service_placement": "planned",
+    "mobility_handover": "handover rate",
+    "operator_asymmetry": "near-monopoly",
+    "online_arrivals": "Erlang-style blocking curve",
+    "diurnal_day": "trace replay:",
+    "dense_urban_competition": "Per-SP profit at 1000 UEs",
+}
+
+
+@pytest.mark.parametrize("stem", sorted(EXPECTED_OUTPUT))
+def test_example_runs(stem):
+    script = EXAMPLES_DIR / f"{stem}.py"
+    assert script.exists(), f"example {script} is missing"
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_OUTPUT[stem] in result.stdout
+
+
+def test_capacity_planning_importable():
+    """The long-running example at least parses and exposes main()."""
+    script = EXAMPLES_DIR / "capacity_planning.py"
+    spec = importlib.util.spec_from_file_location(
+        "capacity_planning", script
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(module.main)
+
+
+def test_every_example_is_covered():
+    """New example scripts must be added to this test's table."""
+    stems = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    covered = set(EXPECTED_OUTPUT) | {"capacity_planning"}
+    assert stems == covered, (
+        f"examples missing from the integration table: {stems - covered}"
+    )

@@ -1,0 +1,165 @@
+"""Property-based tests: every allocator satisfies the TPM constraints
+on randomized scenarios, and the optimum dominates every heuristic."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dcsp import DCSPAllocator
+from repro.baselines.greedy import GreedyProfitAllocator
+from repro.baselines.nonco import NonCoAllocator
+from repro.baselines.optimal import OptimalILPAllocator
+from repro.baselines.random_alloc import RandomAllocator
+from repro.core.dmra import DMRAAllocator
+from repro.econ.accounting import compute_profit
+from repro.sim.config import ScenarioConfig
+from repro.sim.scenario import build_scenario
+
+scenario_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "ue_count": st.integers(min_value=1, max_value=80),
+        "placement": st.sampled_from(["regular", "random"]),
+        "iota": st.sampled_from([1.0, 1.1, 2.0, 5.0]),
+        "coverage": st.sampled_from([300.0, 500.0, 800.0]),
+        "hosted_fraction": st.sampled_from([0.5, 1.0]),
+    }
+)
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def make_scenario(params):
+    # Scale m_k with the worst-case BS price so Eq. 16 stays satisfiable
+    # for every generated (iota, coverage) combination.
+    worst_price = 1.0 * (params["iota"] + 0.01 * params["coverage"])
+    config = ScenarioConfig.paper(
+        placement=params["placement"],
+        cross_sp_markup=params["iota"],
+        coverage_radius_m=params["coverage"],
+        hosted_fraction=params["hosted_fraction"],
+        sp_cru_price=worst_price + 0.5 + 1.0,
+    )
+    return build_scenario(config, params["ue_count"], params["seed"])
+
+
+@RELAXED
+@given(params=scenario_params)
+def test_dmra_always_valid(params):
+    scenario = make_scenario(params)
+    assignment = DMRAAllocator(pricing=scenario.pricing).allocate(
+        scenario.network, scenario.radio_map
+    )
+    assignment.validate(scenario.network, scenario.radio_map)
+
+
+@RELAXED
+@given(params=scenario_params)
+def test_all_heuristics_valid_and_partition_ues(params):
+    scenario = make_scenario(params)
+    allocators = [
+        DMRAAllocator(pricing=scenario.pricing),
+        DCSPAllocator(),
+        NonCoAllocator(),
+        GreedyProfitAllocator(pricing=scenario.pricing),
+        RandomAllocator(seed=params["seed"]),
+    ]
+    all_ue_ids = {ue.ue_id for ue in scenario.network.user_equipments}
+    for allocator in allocators:
+        assignment = allocator.allocate(scenario.network, scenario.radio_map)
+        assignment.validate(scenario.network, scenario.radio_map)
+        assert assignment.edge_served_ue_ids | assignment.cloud_ue_ids == all_ue_ids
+        assert not assignment.edge_served_ue_ids & assignment.cloud_ue_ids
+
+
+@RELAXED
+@given(params=scenario_params)
+def test_edge_profit_is_non_negative(params):
+    """Eq. 16 guarantees every edge grant is individually profitable, so
+    no allocator can produce negative total profit."""
+    scenario = make_scenario(params)
+    for allocator in (
+        DMRAAllocator(pricing=scenario.pricing),
+        NonCoAllocator(),
+        RandomAllocator(seed=1),
+    ):
+        assignment = allocator.allocate(scenario.network, scenario.radio_map)
+        statement = compute_profit(
+            scenario.network, assignment.grants, scenario.pricing
+        )
+        assert statement.total_profit >= -1e-9
+        for entry in statement.by_sp.values():
+            assert entry.profit >= -1e-9
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    ue_count=st.integers(min_value=1, max_value=40),
+)
+def test_optimum_dominates_heuristics(seed, ue_count):
+    scenario = build_scenario(ScenarioConfig.paper(), ue_count, seed)
+    ilp = OptimalILPAllocator(pricing=scenario.pricing).allocate(
+        scenario.network, scenario.radio_map
+    )
+    best = compute_profit(
+        scenario.network, ilp.grants, scenario.pricing
+    ).total_profit
+    for allocator in (
+        DMRAAllocator(pricing=scenario.pricing),
+        DCSPAllocator(),
+        NonCoAllocator(),
+        GreedyProfitAllocator(pricing=scenario.pricing),
+    ):
+        assignment = allocator.allocate(scenario.network, scenario.radio_map)
+        profit = compute_profit(
+            scenario.network, assignment.grants, scenario.pricing
+        ).total_profit
+        assert profit <= best + 1e-6
+
+
+@RELAXED
+@given(params=scenario_params)
+def test_dmra_serves_every_ue_it_could(params):
+    """After DMRA terminates, no cloud-forwarded UE has a candidate BS
+    that could still fit its whole demand (no stranded capacity)."""
+    scenario = make_scenario(params)
+    assignment = DMRAAllocator(pricing=scenario.pricing).allocate(
+        scenario.network, scenario.radio_map
+    )
+    remaining_crus: dict[tuple[int, int], int] = {}
+    remaining_rrbs: dict[int, int] = {}
+    for bs in scenario.network.base_stations:
+        for service_id, capacity in bs.cru_capacity.items():
+            remaining_crus[(bs.bs_id, service_id)] = capacity
+        remaining_rrbs[bs.bs_id] = bs.rrb_capacity
+    for grant in assignment.grants:
+        remaining_crus[(grant.bs_id, grant.service_id)] -= grant.crus
+        remaining_rrbs[grant.bs_id] -= grant.rrbs
+    for ue_id in assignment.cloud_ue_ids:
+        ue = scenario.network.user_equipment(ue_id)
+        for bs_id in scenario.network.candidate_base_stations(ue_id):
+            fits = (
+                remaining_crus.get((bs_id, ue.service_id), 0) >= ue.cru_demand
+                and remaining_rrbs[bs_id]
+                >= scenario.radio_map.link(ue_id, bs_id).rrbs_required
+            )
+            assert not fits, (
+                f"UE {ue_id} was forwarded although BS {bs_id} still fits it"
+            )
+
+
+@RELAXED
+@given(params=scenario_params)
+def test_dmra_is_deterministic(params):
+    scenario = make_scenario(params)
+    allocator = DMRAAllocator(pricing=scenario.pricing)
+    a = allocator.allocate(scenario.network, scenario.radio_map)
+    b = allocator.allocate(scenario.network, scenario.radio_map)
+    assert a.association_pairs() == b.association_pairs()
+    assert a.cloud_ue_ids == b.cloud_ue_ids

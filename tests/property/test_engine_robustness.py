@@ -1,0 +1,118 @@
+"""Property-based engine robustness: *any* policy yields a valid matching.
+
+The engine must uphold the TPM constraints and terminate regardless of
+how perverse the plugged-in preference rules are — adversarial scores
+(random, constant, inverted) can change *who* gets served, never
+*whether the result is feasible*.  Hypothesis generates policies from
+random score tables and the suite asserts the invariants hold.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import IterativeMatchingEngine, MatchingPolicy
+from repro.sim.config import ScenarioConfig
+from repro.sim.scenario import build_scenario
+
+
+class TablePolicy(MatchingPolicy):
+    """Preferences driven by a hash-salted pseudo-random table.
+
+    Deterministic for a given salt (so failures are reproducible) while
+    being structureless — the adversarial case for the engine.
+    """
+
+    name = "table"
+
+    def __init__(self, salt: int) -> None:
+        self.salt = salt
+
+    def _value(self, *parts: int) -> int:
+        value = self.salt & 0xFFFFFFFF
+        for part in parts:
+            value = (value * 1_000_003 + part + 0x9E3779B9) & 0xFFFFFFFF
+        return value
+
+    def ue_score(self, ue, bs_id, ctx):
+        return float(self._value(0, ue.ue_id, bs_id))
+
+    def bs_rank_key(self, ue_id, bs_id, ctx):
+        return (self._value(1, ue_id, bs_id),)
+
+
+class ConstantPolicy(MatchingPolicy):
+    """Everything ties: pure tie-break behaviour."""
+
+    name = "constant"
+
+    def ue_score(self, ue, bs_id, ctx):
+        return 0.0
+
+    def bs_rank_key(self, ue_id, bs_id, ctx):
+        return (0,)
+
+
+RELAXED = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@RELAXED
+@given(
+    salt=st.integers(min_value=0, max_value=2**32 - 1),
+    ue_count=st.integers(min_value=1, max_value=120),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_random_policy_always_valid(salt, ue_count, seed):
+    scenario = build_scenario(ScenarioConfig.paper(), ue_count, seed)
+    engine = IterativeMatchingEngine(TablePolicy(salt))
+    assignment = engine.run(scenario.network, scenario.radio_map)
+    assignment.validate(scenario.network, scenario.radio_map)
+    # Partition property: every UE accounted for exactly once.
+    assert (
+        assignment.edge_served_count + assignment.cloud_count == ue_count
+    )
+
+
+@RELAXED
+@given(
+    ue_count=st.integers(min_value=1, max_value=120),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_constant_policy_always_valid(ue_count, seed):
+    scenario = build_scenario(ScenarioConfig.paper(), ue_count, seed)
+    engine = IterativeMatchingEngine(ConstantPolicy())
+    assignment = engine.run(scenario.network, scenario.radio_map)
+    assignment.validate(scenario.network, scenario.radio_map)
+
+
+@RELAXED
+@given(salt=st.integers(min_value=0, max_value=2**32 - 1))
+def test_random_policy_no_stranded_capacity(salt):
+    """Even an arbitrary policy must not forward a UE some BS could
+    still fully fit — that guarantee comes from the engine's proposal
+    walk, not the policy."""
+    scenario = build_scenario(ScenarioConfig.paper(), 80, 9)
+    engine = IterativeMatchingEngine(TablePolicy(salt))
+    assignment = engine.run(scenario.network, scenario.radio_map)
+
+    remaining_crus = {}
+    remaining_rrbs = {}
+    for bs in scenario.network.base_stations:
+        for service_id, capacity in bs.cru_capacity.items():
+            remaining_crus[(bs.bs_id, service_id)] = capacity
+        remaining_rrbs[bs.bs_id] = bs.rrb_capacity
+    for grant in assignment.grants:
+        remaining_crus[(grant.bs_id, grant.service_id)] -= grant.crus
+        remaining_rrbs[grant.bs_id] -= grant.rrbs
+    for ue_id in assignment.cloud_ue_ids:
+        ue = scenario.network.user_equipment(ue_id)
+        for bs_id in scenario.network.candidate_base_stations(ue_id):
+            fits = (
+                remaining_crus[(bs_id, ue.service_id)] >= ue.cru_demand
+                and remaining_rrbs[bs_id]
+                >= scenario.radio_map.link(ue_id, bs_id).rrbs_required
+            )
+            assert not fits

@@ -1,0 +1,101 @@
+"""Property-based round-trips for the IO layers (CSV series, traces,
+assignment persistence) and SVG well-formedness."""
+
+import xml.etree.ElementTree as ET
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dynamics.trace import ArrivalTrace, read_trace_csv, write_trace_csv
+from repro.experiments.io import read_series_csv, write_series_csv
+from repro.sim.results import Series
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestSeriesCsvRoundTrip:
+    @RELAXED
+    @given(
+        data=st.dictionaries(
+            keys=st.text(
+                alphabet="abcdefghij-_", min_size=1, max_size=12
+            ),
+            values=st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=10_000),
+                    st.lists(finite_floats, min_size=1, max_size=5),
+                ),
+                min_size=1,
+                max_size=6,
+                unique_by=lambda pair: pair[0],
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_round_trip_preserves_everything(self, data, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("csv")
+        original = [
+            Series.from_samples(label, samples)
+            for label, samples in data.items()
+        ]
+        path = write_series_csv(tmp_path / "series.csv", original)
+        restored = {s.label: s for s in read_series_csv(path)}
+        assert set(restored) == set(data)
+        for series in original:
+            twin = restored[series.label]
+            assert twin.xs == series.xs
+            for point, other in zip(series.points, twin.points):
+                assert other.value.mean == point.value.mean
+                assert other.value.std == point.value.std
+                assert other.value.count == point.value.count
+
+
+class TestTraceRoundTrip:
+    @RELAXED
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            max_size=50,
+        ).map(sorted)
+    )
+    def test_round_trip(self, times, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("trace")
+        original = ArrivalTrace(times_s=tuple(times))
+        path = write_trace_csv(tmp_path / "t.csv", original.times_s)
+        restored = read_trace_csv(path)
+        assert len(restored.times_s) == len(original.times_s)
+        for a, b in zip(restored.times_s, original.times_s):
+            assert abs(a - b) < 1e-5  # CSV keeps 6 decimals
+
+
+class TestSvgProperties:
+    @RELAXED
+    @given(
+        ue_count=st.integers(min_value=0, max_value=60),
+        seed=st.integers(min_value=0, max_value=100),
+        coverage=st.booleans(),
+    )
+    def test_always_well_formed(self, ue_count, seed, coverage):
+        from repro.core.dmra import DMRAAllocator
+        from repro.sim.config import ScenarioConfig
+        from repro.sim.scenario import build_scenario
+        from repro.viz.svg import render_svg
+
+        scenario = build_scenario(ScenarioConfig.paper(), ue_count, seed)
+        assignment = DMRAAllocator(pricing=scenario.pricing).allocate(
+            scenario.network, scenario.radio_map
+        )
+        document = render_svg(
+            scenario.network, assignment, show_coverage=coverage
+        )
+        root = ET.fromstring(document)
+        assert root.tag.endswith("svg")

@@ -1,0 +1,128 @@
+"""Property-based tests: the BS ledger conserves resources under any
+sequence of grants and releases."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.compute.cru import BSLedger
+from repro.errors import CapacityError, ConfigurationError, UnknownEntityError
+from repro.model.entities import BaseStation
+from repro.model.geometry import Point
+
+
+def make_bs(cru0=30, cru1=25, rrbs=12):
+    return BaseStation(
+        bs_id=0,
+        sp_id=0,
+        position=Point(0, 0),
+        cru_capacity={0: cru0, 1: cru1},
+        rrb_capacity=rrbs,
+    )
+
+
+@given(
+    crus=st.integers(min_value=1, max_value=40),
+    rrbs=st.integers(min_value=1, max_value=20),
+)
+def test_single_grant_accepted_iff_it_fits(crus, rrbs):
+    ledger = BSLedger(make_bs())
+    fits = crus <= 30 and rrbs <= 12
+    if fits:
+        ledger.grant(ue_id=1, service_id=0, crus=crus, rrbs=rrbs)
+        assert ledger.remaining_crus(0) == 30 - crus
+        assert ledger.remaining_rrbs == 12 - rrbs
+    else:
+        with pytest.raises(CapacityError):
+            ledger.grant(ue_id=1, service_id=0, crus=crus, rrbs=rrbs)
+        assert ledger.remaining_crus(0) == 30
+        assert ledger.remaining_rrbs == 12
+    ledger.check_invariants()
+
+
+@given(
+    demands=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1),  # service id
+            st.integers(min_value=1, max_value=8),  # crus
+            st.integers(min_value=1, max_value=4),  # rrbs
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_grant_stream_never_oversubscribes(demands):
+    ledger = BSLedger(make_bs())
+    for ue_id, (service_id, crus, rrbs) in enumerate(demands):
+        if ledger.can_grant(ue_id, service_id, crus, rrbs):
+            ledger.grant(ue_id, service_id, crus, rrbs)
+    granted_crus_0 = sum(
+        g.crus for g in ledger.grants.values() if g.service_id == 0
+    )
+    granted_crus_1 = sum(
+        g.crus for g in ledger.grants.values() if g.service_id == 1
+    )
+    granted_rrbs = sum(g.rrbs for g in ledger.grants.values())
+    assert granted_crus_0 <= 30
+    assert granted_crus_1 <= 25
+    assert granted_rrbs <= 12
+    ledger.check_invariants()
+
+
+class LedgerMachine(RuleBasedStateMachine):
+    """Random interleavings of grant/release must conserve resources."""
+
+    def __init__(self):
+        super().__init__()
+        self.ledger = BSLedger(make_bs())
+        self.next_ue = 0
+        self.model_grants: dict[int, tuple[int, int, int]] = {}
+
+    @rule(
+        service_id=st.integers(min_value=0, max_value=2),
+        crus=st.integers(min_value=0, max_value=12),
+        rrbs=st.integers(min_value=0, max_value=6),
+    )
+    def try_grant(self, service_id, crus, rrbs):
+        ue_id = self.next_ue
+        self.next_ue += 1
+        try:
+            self.ledger.grant(ue_id, service_id, crus, rrbs)
+        except (CapacityError, ConfigurationError):
+            return
+        self.model_grants[ue_id] = (service_id, crus, rrbs)
+
+    @rule(offset=st.integers(min_value=0, max_value=40))
+    def try_release(self, offset):
+        if not self.model_grants:
+            with pytest.raises(UnknownEntityError):
+                self.ledger.release(999_999)
+            return
+        ue_id = sorted(self.model_grants)[offset % len(self.model_grants)]
+        self.ledger.release(ue_id)
+        del self.model_grants[ue_id]
+
+    @invariant()
+    def ledger_matches_model(self):
+        self.ledger.check_invariants()
+        assert self.ledger.served_ue_ids == set(self.model_grants)
+        for service_id, capacity in ((0, 30), (1, 25)):
+            used = sum(
+                crus
+                for sid, crus, _ in self.model_grants.values()
+                if sid == service_id
+            )
+            assert self.ledger.remaining_crus(service_id) == capacity - used
+        used_rrbs = sum(r for _, _, r in self.model_grants.values())
+        assert self.ledger.remaining_rrbs == 12 - used_rrbs
+
+
+TestLedgerStateMachine = LedgerMachine.TestCase
+TestLedgerStateMachine.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,69 @@
+"""Property-based tests for the hosting planner and ownership interleave."""
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.compute.placement_opt import plan_hosting
+from repro.sim.config import ScenarioConfig
+
+weights_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=100.0),
+    min_size=2,
+    max_size=10,
+).filter(lambda ws: sum(ws) > 0)
+
+
+class TestPlanHostingProperties:
+    @given(
+        bs_count=st.integers(min_value=1, max_value=40),
+        weights=weights_strategy,
+        slots=st.integers(min_value=1, max_value=10),
+    )
+    def test_structural_invariants(self, bs_count, weights, slots):
+        service_count = len(weights)
+        assume(slots <= service_count)
+        assume(bs_count * slots >= service_count)
+        plan = plan_hosting(bs_count, slots, weights)
+        # One hosting set per BS, each exactly the slot budget, all valid
+        # service ids, full catalog coverage.
+        assert len(plan) == bs_count
+        assert all(len(h) == slots for h in plan)
+        assert all(
+            all(0 <= j < service_count for j in h) for h in plan
+        )
+        assert set().union(*plan) == set(range(service_count))
+
+    @given(
+        bs_count=st.integers(min_value=2, max_value=40),
+        weights=weights_strategy,
+        slots=st.integers(min_value=1, max_value=10),
+    )
+    def test_replication_weakly_follows_weights(
+        self, bs_count, weights, slots
+    ):
+        service_count = len(weights)
+        assume(slots < service_count)
+        assume(bs_count * slots >= service_count)
+        plan = plan_hosting(bs_count, slots, weights)
+        replicas = [
+            sum(1 for h in plan if j in h) for j in range(service_count)
+        ]
+        heaviest = max(range(service_count), key=lambda j: weights[j])
+        lightest = min(range(service_count), key=lambda j: weights[j])
+        assert replicas[heaviest] >= replicas[lightest]
+
+
+class TestOwnershipProperties:
+    @given(
+        counts=st.lists(
+            st.integers(min_value=1, max_value=20), min_size=1, max_size=8
+        )
+    )
+    def test_ownership_is_a_permutation_of_fleets(self, counts):
+        config = ScenarioConfig.paper(
+            sp_count=len(counts), sp_bs_counts=tuple(counts)
+        )
+        ownership = config.bs_ownership()
+        assert len(ownership) == sum(counts)
+        for sp_id, count in enumerate(counts):
+            assert ownership.count(sp_id) == count

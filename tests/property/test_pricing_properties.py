@@ -1,0 +1,100 @@
+"""Property-based tests for pricing, tariffs, and radio arithmetic."""
+
+import math
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.econ.pricing import PaperPricing
+from repro.econ.tariffs import max_margin
+from repro.model.entities import ServiceProvider
+from repro.radio.ofdma import per_rrb_rate_bps, rrbs_required
+from repro.radio.pathloss import PaperPathLoss
+from repro.radio.sinr import LinkBudget
+
+distances = st.floats(min_value=0.0, max_value=5000.0, allow_nan=False)
+positive_prices = st.floats(min_value=0.01, max_value=100.0)
+markups = st.floats(min_value=1.0, max_value=10.0)
+weights = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestPricingProperties:
+    @given(d=distances, b=positive_prices, iota=markups, sigma=weights)
+    def test_cross_sp_never_cheaper(self, d, b, iota, sigma):
+        pricing = PaperPricing(
+            base_price=b, cross_sp_markup=iota, distance_weight=sigma
+        )
+        assert pricing.price_per_cru(d, False) >= pricing.price_per_cru(d, True)
+
+    @given(
+        d1=distances, d2=distances, b=positive_prices,
+        iota=markups, sigma=weights,
+    )
+    def test_price_monotone_in_distance(self, d1, d2, b, iota, sigma):
+        assume(d1 <= d2)
+        pricing = PaperPricing(
+            base_price=b, cross_sp_markup=iota, distance_weight=sigma
+        )
+        for same_sp in (True, False):
+            assert pricing.price_per_cru(d1, same_sp) <= pricing.price_per_cru(
+                d2, same_sp
+            )
+
+    @given(d=distances, b=positive_prices, iota=markups, sigma=weights)
+    def test_max_price_is_supremum(self, d, b, iota, sigma):
+        pricing = PaperPricing(
+            base_price=b, cross_sp_markup=iota, distance_weight=sigma
+        )
+        bound = pricing.max_price(5000.0)
+        for same_sp in (True, False):
+            assert pricing.price_per_cru(d, same_sp) <= bound + 1e-9
+
+    @given(d=distances, price=positive_prices)
+    def test_margin_definition(self, d, price):
+        sp = ServiceProvider(sp_id=0, cru_price=200.0, other_cost=1.0)
+        assert max_margin(sp, price) == 200.0 - 1.0 - price
+
+
+class TestRadioProperties:
+    @given(
+        sinr1=st.floats(min_value=0.0, max_value=1e9),
+        sinr2=st.floats(min_value=0.0, max_value=1e9),
+    )
+    def test_rate_monotone_in_sinr(self, sinr1, sinr2):
+        assume(sinr1 <= sinr2)
+        assert per_rrb_rate_bps(180e3, sinr1) <= per_rrb_rate_bps(180e3, sinr2)
+
+    @given(
+        demand=st.floats(min_value=1.0, max_value=1e8),
+        rate=st.floats(min_value=1.0, max_value=1e8),
+    )
+    def test_rrbs_required_is_minimal_cover(self, demand, rate):
+        n = rrbs_required(demand, rate)
+        assert n * rate >= demand  # enough capacity
+        assert (n - 1) * rate < demand  # and not one RRB more than needed
+
+    @given(
+        d1=st.floats(min_value=0.0, max_value=5000.0),
+        d2=st.floats(min_value=0.0, max_value=5000.0),
+    )
+    def test_pathloss_monotone(self, d1, d2):
+        assume(d1 <= d2)
+        model = PaperPathLoss()
+        assert model.loss_db(d1) <= model.loss_db(d2)
+
+    @given(
+        d=st.floats(min_value=1.0, max_value=5000.0),
+        tx=st.floats(min_value=-20.0, max_value=40.0),
+    )
+    def test_sinr_positive_and_finite(self, d, tx):
+        sinr = LinkBudget().sinr(d, tx)
+        assert sinr > 0.0
+        assert math.isfinite(sinr)
+
+    @given(
+        d=st.floats(min_value=1.0, max_value=5000.0),
+        extra_db=st.floats(min_value=0.1, max_value=30.0),
+    )
+    def test_more_power_more_sinr(self, d, extra_db):
+        budget = LinkBudget()
+        assert budget.sinr(d, 10.0 + extra_db) > budget.sinr(d, 10.0)

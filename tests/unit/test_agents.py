@@ -1,0 +1,249 @@
+"""Unit tests for the message-passing agent layer."""
+
+import pytest
+
+from conftest import make_tiny_network
+from repro.core.agents import (
+    BSAgent,
+    DecentralizedDMRAAllocator,
+    SPAgent,
+    UEAgent,
+    _CandidateInfo,
+)
+from repro.core.messages import (
+    AssociationGrant,
+    CloudFallbackNotice,
+    ResourceBroadcast,
+    ServiceRequest,
+)
+from repro.econ.pricing import PaperPricing
+from repro.errors import AllocationError, ConfigurationError
+from repro.model.entities import BaseStation, UserEquipment
+from repro.model.geometry import Point
+from repro.radio.channel import build_radio_map
+from repro.radio.sinr import LinkBudget
+
+PRICING = PaperPricing(base_price=1.0, cross_sp_markup=2.0, distance_weight=0.01)
+
+
+def make_ue(ue_id=0, sp_id=0, crus=4):
+    return UserEquipment(
+        ue_id=ue_id,
+        sp_id=sp_id,
+        position=Point(100, 0),
+        service_id=0,
+        cru_demand=crus,
+        rate_demand_bps=2e6,
+    )
+
+
+def make_bs_agent(bs_id=0, sp_id=0, crus=None, rrbs=10):
+    return BSAgent(
+        BaseStation(
+            bs_id=bs_id,
+            sp_id=sp_id,
+            position=Point(0, 0),
+            cru_capacity=crus if crus is not None else {0: 20, 1: 20},
+            rrb_capacity=rrbs,
+        )
+    )
+
+
+def request(ue_id=0, sp_id=0, bs_id=0, service_id=0, crus=4, rrbs=2, f_u=3):
+    return ServiceRequest(
+        ue_id=ue_id,
+        sp_id=sp_id,
+        target_bs_id=bs_id,
+        service_id=service_id,
+        cru_demand=crus,
+        rrbs_required=rrbs,
+        coverage_count=f_u,
+    )
+
+
+def broadcast(bs_id=0, crus=None, rrbs=10):
+    return ResourceBroadcast(
+        bs_id=bs_id,
+        remaining_crus=crus if crus is not None else {0: 20, 1: 20},
+        remaining_rrbs=rrbs,
+    )
+
+
+class TestUEAgent:
+    def two_bs_agent(self, rho=0.0):
+        return UEAgent(
+            make_ue(),
+            candidates=[
+                _CandidateInfo(bs_id=0, price_per_cru=2.0, rrbs_required=1),
+                _CandidateInfo(bs_id=1, price_per_cru=5.0, rrbs_required=2),
+            ],
+            rho=rho,
+        )
+
+    def test_proposes_cheapest_fitting_bs(self):
+        agent = self.two_bs_agent()
+        agent.observe(broadcast(0))
+        agent.observe(broadcast(1))
+        message = agent.propose()
+        assert isinstance(message, ServiceRequest)
+        assert message.target_bs_id == 0
+        assert message.coverage_count == 2
+
+    def test_skips_full_bs_and_prunes_it(self):
+        agent = self.two_bs_agent()
+        agent.observe(broadcast(0, crus={0: 2, 1: 20}))  # 2 < demand of 4
+        agent.observe(broadcast(1))
+        message = agent.propose()
+        assert message.target_bs_id == 1
+        assert agent.candidate_bs_ids == (1,)
+
+    def test_cloud_fallback_when_all_full(self):
+        agent = self.two_bs_agent()
+        agent.observe(broadcast(0, rrbs=0))
+        agent.observe(broadcast(1, crus={0: 0, 1: 0}))
+        message = agent.propose()
+        assert isinstance(message, CloudFallbackNotice)
+        assert agent.gave_up
+
+    def test_silent_once_associated(self):
+        agent = self.two_bs_agent()
+        agent.observe(broadcast(0))
+        agent.receive_grant(
+            AssociationGrant(bs_id=0, ue_id=0, service_id=0, crus=4, rrbs=1)
+        )
+        assert agent.propose() is None
+
+    def test_misaddressed_grant_rejected(self):
+        agent = self.two_bs_agent()
+        with pytest.raises(AllocationError):
+            agent.receive_grant(
+                AssociationGrant(bs_id=0, ue_id=9, service_id=0, crus=4, rrbs=1)
+            )
+
+    def test_rho_prefers_emptier_bs(self):
+        """With a huge rho, the emptier (but pricier) BS wins."""
+        agent = self.two_bs_agent(rho=1000.0)
+        agent.observe(broadcast(0, crus={0: 4, 1: 0}, rrbs=1))  # slack 5
+        agent.observe(broadcast(1))  # slack 30
+        message = agent.propose()
+        assert message.target_bs_id == 1
+
+    def test_coverage_count_tracks_broadcasts(self):
+        agent = self.two_bs_agent()
+        agent.observe(broadcast(0))
+        agent.observe(broadcast(1))
+        assert agent.coverage_count() == 2
+        agent.observe(broadcast(1, rrbs=1))  # needs 2 RRBs there
+        assert agent.coverage_count() == 1
+
+
+class TestBSAgent:
+    def test_accepts_one_per_service(self):
+        agent = make_bs_agent()
+        agent.deliver(request(ue_id=0, service_id=0))
+        agent.deliver(request(ue_id=1, service_id=0))
+        agent.deliver(request(ue_id=2, service_id=1))
+        grants = agent.process_round()
+        assert len(grants) == 2
+        assert {g.service_id for g in grants} == {0, 1}
+
+    def test_same_sp_request_wins(self):
+        agent = make_bs_agent(sp_id=0)
+        agent.deliver(request(ue_id=0, sp_id=1, f_u=1))
+        agent.deliver(request(ue_id=1, sp_id=0, f_u=5))
+        (grant,) = agent.process_round()
+        assert grant.ue_id == 1  # own subscriber despite larger f_u
+
+    def test_smaller_f_u_wins_within_same_sp(self):
+        agent = make_bs_agent(sp_id=0)
+        agent.deliver(request(ue_id=0, sp_id=0, f_u=5))
+        agent.deliver(request(ue_id=1, sp_id=0, f_u=2))
+        (grant,) = agent.process_round()
+        assert grant.ue_id == 1
+
+    def test_footprint_breaks_remaining_ties(self):
+        agent = make_bs_agent(sp_id=0)
+        agent.deliver(request(ue_id=0, sp_id=0, f_u=2, crus=5, rrbs=3))
+        agent.deliver(request(ue_id=1, sp_id=0, f_u=2, crus=4, rrbs=2))
+        (grant,) = agent.process_round()
+        assert grant.ue_id == 1
+
+    def test_rrb_budget_eviction(self):
+        agent = make_bs_agent(rrbs=3)
+        agent.deliver(request(ue_id=0, service_id=0, rrbs=2, f_u=1))
+        agent.deliver(request(ue_id=1, service_id=1, rrbs=2, f_u=2))
+        grants = agent.process_round()
+        # Combined 4 > 3: the less preferred (larger f_u) pick is evicted.
+        assert [g.ue_id for g in grants] == [0]
+
+    def test_mailbox_cleared_between_rounds(self):
+        agent = make_bs_agent()
+        agent.deliver(request(ue_id=0))
+        assert len(agent.process_round()) == 1
+        assert agent.process_round() == []
+
+    def test_misrouted_request_rejected(self):
+        agent = make_bs_agent(bs_id=0)
+        with pytest.raises(AllocationError):
+            agent.deliver(request(bs_id=7))
+
+    def test_broadcast_reflects_ledger(self):
+        agent = make_bs_agent()
+        agent.deliver(request(ue_id=0, crus=4, rrbs=2))
+        agent.process_round()
+        advertised = agent.broadcast()
+        assert advertised.remaining_crus[0] == 16
+        assert advertised.remaining_rrbs == 8
+
+
+class TestSPAgent:
+    def test_relays_and_counts(self):
+        sp = SPAgent(sp_id=0)
+        req = request(sp_id=0)
+        assert sp.relay_request(req) is req
+        grant = AssociationGrant(bs_id=0, ue_id=0, service_id=0, crus=4, rrbs=1)
+        assert sp.relay_grant(grant) is grant
+        sp.forward_to_cloud(CloudFallbackNotice(ue_id=5, sp_id=0))
+        assert sp.requests_relayed == 1
+        assert sp.grants_relayed == 1
+        assert sp.cloud_forwards == 1
+        assert sp.cloud_ue_ids == {5}
+
+    def test_rejects_foreign_subscribers(self):
+        sp = SPAgent(sp_id=0)
+        with pytest.raises(AllocationError):
+            sp.relay_request(request(sp_id=1))
+        with pytest.raises(AllocationError):
+            sp.forward_to_cloud(CloudFallbackNotice(ue_id=1, sp_id=1))
+
+
+class TestDecentralizedAllocator:
+    def test_valid_on_tiny_network(self):
+        network = make_tiny_network(
+            ue_specs=[
+                dict(ue_id=0, position=Point(100, 0)),
+                dict(ue_id=1, position=Point(350, 0), service_id=1),
+            ]
+        )
+        radio_map = build_radio_map(network, LinkBudget())
+        allocator = DecentralizedDMRAAllocator(pricing=PRICING)
+        assignment = allocator.allocate(network, radio_map)
+        assignment.validate(network, radio_map)
+        assert assignment.edge_served_count == 2
+
+    def test_sp_relay_statistics_populated(self):
+        network = make_tiny_network(
+            ue_specs=[dict(ue_id=0, position=Point(100, 0))]
+        )
+        radio_map = build_radio_map(network, LinkBudget())
+        allocator = DecentralizedDMRAAllocator(pricing=PRICING)
+        allocator.allocate(network, radio_map)
+        sp0 = allocator.last_sp_agents[0]
+        assert sp0.requests_relayed == 1
+        assert sp0.grants_relayed == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            DecentralizedDMRAAllocator(rho=-1.0)
+        with pytest.raises(ConfigurationError):
+            DecentralizedDMRAAllocator(max_rounds=0)

@@ -1,0 +1,216 @@
+"""Unit tests for the analysis package (fairness, convergence, stability,
+network maps)."""
+
+import pytest
+
+from conftest import make_tiny_network
+from repro.analysis.convergence import trace_convergence
+from repro.analysis.fairness import fairness_report, jain_index
+from repro.analysis.netmap import render_network_map
+from repro.analysis.stability import analyze_stability
+from repro.baselines.nonco import NonCoAllocator
+from repro.core.dmra import DMRAAllocator, DMRAPolicy
+from repro.errors import ConfigurationError
+from repro.model.geometry import Point
+from repro.radio.channel import build_radio_map
+from repro.radio.sinr import LinkBudget
+
+
+class TestJainIndex:
+    def test_equal_values_are_perfectly_fair(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_taker_is_1_over_n(self):
+        assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_defined_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_scale_invariant(self):
+        values = [1.0, 2.0, 3.0]
+        assert jain_index(values) == pytest.approx(
+            jain_index([10 * v for v in values])
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            jain_index([])
+        with pytest.raises(ConfigurationError):
+            jain_index([1.0, -1.0])
+
+
+class TestFairnessReport:
+    def test_report_fields(self, small_scenario):
+        from repro.sim.runner import run_allocation
+
+        outcome = run_allocation(
+            small_scenario, DMRAAllocator(pricing=small_scenario.pricing)
+        )
+        report = fairness_report(
+            small_scenario.network, outcome.metrics.profit_by_sp
+        )
+        assert 0.0 < report.jain <= 1.0
+        assert 0.0 < report.jain_per_subscriber <= 1.0
+        assert report.min_sp_profit <= report.max_sp_profit
+        assert report.total_profit == pytest.approx(
+            outcome.metrics.total_profit
+        )
+        assert report.max_min_ratio >= 1.0
+
+    def test_empty_mapping_rejected(self, small_scenario):
+        with pytest.raises(ConfigurationError):
+            fairness_report(small_scenario.network, {})
+
+    def test_zero_profit_sp_gives_infinite_ratio(self, tiny_network):
+        report = fairness_report(tiny_network, {0: 10.0, 1: 0.0})
+        assert report.max_min_ratio == float("inf")
+
+
+class TestConvergenceTrace:
+    def test_trace_totals_match_assignment(self, small_scenario):
+        trace = trace_convergence(
+            DMRAPolicy(pricing=small_scenario.pricing),
+            small_scenario.network,
+            small_scenario.radio_map,
+        )
+        assert trace.total_accepted == trace.assignment.edge_served_count
+        assert trace.round_count == trace.assignment.rounds
+        assert trace.total_proposals >= trace.total_accepted
+
+    def test_acceptance_curve_monotone(self, small_scenario):
+        trace = trace_convergence(
+            DMRAPolicy(pricing=small_scenario.pricing),
+            small_scenario.network,
+            small_scenario.radio_map,
+        )
+        curve = trace.acceptance_curve()
+        values = [v for _, v in curve]
+        assert values == sorted(values)
+        assert values[-1] == trace.total_accepted
+
+    def test_rounds_to_fraction(self, small_scenario):
+        trace = trace_convergence(
+            DMRAPolicy(pricing=small_scenario.pricing),
+            small_scenario.network,
+            small_scenario.radio_map,
+        )
+        half = trace.rounds_to_fraction(0.5)
+        full = trace.rounds_to_fraction(1.0)
+        assert 1 <= half <= full <= trace.round_count
+        with pytest.raises(ConfigurationError):
+            trace.rounds_to_fraction(0.0)
+        with pytest.raises(ConfigurationError):
+            trace.rounds_to_fraction(1.5)
+
+    def test_overhead_ratio(self, small_scenario):
+        trace = trace_convergence(
+            DMRAPolicy(pricing=small_scenario.pricing),
+            small_scenario.network,
+            small_scenario.radio_map,
+        )
+        assert trace.proposals_per_association >= 1.0
+
+
+class TestStability:
+    def test_dmra_is_envy_free_and_unstranded(self, loaded_scenario):
+        assignment = DMRAAllocator(
+            pricing=loaded_scenario.pricing
+        ).allocate(loaded_scenario.network, loaded_scenario.radio_map)
+        report = analyze_stability(
+            loaded_scenario.network,
+            loaded_scenario.radio_map,
+            assignment,
+            loaded_scenario.pricing,
+        )
+        assert report.is_envy_free
+        assert not report.has_stranded_demand
+
+    def test_nonco_strands_demand_under_load(self, loaded_scenario):
+        assignment = NonCoAllocator().allocate(
+            loaded_scenario.network, loaded_scenario.radio_map
+        )
+        report = analyze_stability(
+            loaded_scenario.network,
+            loaded_scenario.radio_map,
+            assignment,
+            loaded_scenario.pricing,
+        )
+        assert report.has_stranded_demand
+        assert report.stranded_count > 0
+
+    def test_detects_manufactured_envy(self):
+        """A UE parked on the far cross-SP BS while the near same-SP BS
+        is free must register as an envy pair."""
+        network = make_tiny_network()
+        radio_map = build_radio_map(network, LinkBudget())
+        from repro.compute.cru import Grant
+        from repro.core.assignment import Assignment
+
+        bad = Assignment(
+            grants=(
+                Grant(
+                    bs_id=1,
+                    ue_id=0,
+                    service_id=0,
+                    crus=4,
+                    rrbs=radio_map.link(0, 1).rrbs_required,
+                ),
+            ),
+            cloud_ue_ids=frozenset(),
+        )
+        from repro.econ.pricing import PaperPricing
+
+        report = analyze_stability(
+            network, radio_map, bad, PaperPricing()
+        )
+        assert report.envy_count == 1
+        pair = report.envy_pairs[0]
+        assert pair.better_bs_id == 0
+        assert pair.saving > 0
+
+    def test_envy_fraction_bounds(self, small_scenario):
+        assignment = DMRAAllocator(
+            pricing=small_scenario.pricing
+        ).allocate(small_scenario.network, small_scenario.radio_map)
+        report = analyze_stability(
+            small_scenario.network,
+            small_scenario.radio_map,
+            assignment,
+            small_scenario.pricing,
+        )
+        assert 0.0 <= report.envy_fraction <= 1.0
+
+
+class TestNetworkMap:
+    def test_map_contains_all_sps(self, small_scenario):
+        text = render_network_map(small_scenario.network)
+        for sp_digit in "01234":
+            assert sp_digit in text
+
+    def test_map_marks_associations(self, small_scenario):
+        assignment = DMRAAllocator(
+            pricing=small_scenario.pricing
+        ).allocate(small_scenario.network, small_scenario.radio_map)
+        text = render_network_map(small_scenario.network, assignment)
+        assert "*" in text
+        assert "legend" not in text  # legend line uses explicit wording
+        assert "edge-served" in text
+
+    def test_map_size(self, small_scenario):
+        text = render_network_map(
+            small_scenario.network, width=30, height=10
+        )
+        body = text.splitlines()[1:-1]
+        assert len(body) == 10
+        assert all(len(line) == 30 for line in body)
+
+    def test_invalid_size_rejected(self, small_scenario):
+        with pytest.raises(ConfigurationError):
+            render_network_map(small_scenario.network, width=5, height=5)
+
+    def test_cloud_marker_under_overload(self, loaded_scenario):
+        assignment = NonCoAllocator().allocate(
+            loaded_scenario.network, loaded_scenario.radio_map
+        )
+        text = render_network_map(loaded_scenario.network, assignment)
+        assert "c" in text.splitlines()[3]  # some cloud cell in the body

@@ -1,0 +1,89 @@
+"""Unit tests for asymmetric per-SP fleet sizes."""
+
+import pytest
+
+from repro.core.dmra import DMRAAllocator
+from repro.errors import ConfigurationError
+from repro.sim.config import ScenarioConfig
+from repro.sim.runner import run_allocation
+from repro.sim.scenario import build_scenario
+
+
+class TestOwnershipInterleaving:
+    def test_symmetric_default_cycles_sps(self):
+        ownership = ScenarioConfig.paper().bs_ownership()
+        assert ownership == tuple(i % 5 for i in range(25))
+
+    def test_asymmetric_counts_respected(self):
+        config = ScenarioConfig.paper(sp_bs_counts=(13, 3, 3, 3, 3))
+        ownership = config.bs_ownership()
+        assert len(ownership) == 25
+        assert ownership.count(0) == 13
+        for sp_id in range(1, 5):
+            assert ownership.count(sp_id) == 3
+
+    def test_big_fleet_interleaved_not_clumped(self):
+        """The dominant SP's BSs must spread across the index range (and
+        hence across the grid), not occupy a contiguous prefix."""
+        config = ScenarioConfig.paper(sp_bs_counts=(13, 3, 3, 3, 3))
+        ownership = config.bs_ownership()
+        positions = [i for i, sp in enumerate(ownership) if sp == 0]
+        assert positions[0] < 5
+        assert positions[-1] >= 20
+        gaps = [b - a for a, b in zip(positions, positions[1:])]
+        # With a 13/25 share, SP-0 sites recur every ~2 slots on average;
+        # the worst drought (where the four small SPs bunch) stays short.
+        assert max(gaps) <= 5
+
+    def test_bs_count_property(self):
+        config = ScenarioConfig.paper(sp_bs_counts=(10, 5, 4, 3, 3))
+        assert config.bs_count == 25
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig.paper(sp_bs_counts=(5, 5))  # wrong arity
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig.paper(sp_bs_counts=(25, 0, 0, 0, 0))
+
+
+class TestAsymmetricScenarios:
+    def test_network_reflects_fleet_sizes(self):
+        config = ScenarioConfig.paper(sp_bs_counts=(13, 3, 3, 3, 3))
+        scenario = build_scenario(config, 100, 1)
+        assert len(scenario.network.base_stations_of_sp(0)) == 13
+        assert len(scenario.network.base_stations_of_sp(4)) == 3
+        assert scenario.network.bs_count == 25
+
+    def test_allocation_runs_and_validates(self):
+        config = ScenarioConfig.paper(
+            sp_bs_counts=(13, 3, 3, 3, 3), placement="random"
+        )
+        scenario = build_scenario(config, 400, 2)
+        outcome = run_allocation(
+            scenario, DMRAAllocator(pricing=scenario.pricing)
+        )
+        assert outcome.metrics.total_profit > 0
+
+    def test_infrastructure_advantage_shows_in_margin(self):
+        """The SP owning most of the edge should earn at least as much
+        per subscriber as the small operators (its users find cheap
+        same-SP capacity more often)."""
+        config = ScenarioConfig.paper(sp_bs_counts=(13, 3, 3, 3, 3))
+        big_margin = 0.0
+        small_margin = 0.0
+        for seed in range(3):
+            scenario = build_scenario(config, 700, seed)
+            metrics = run_allocation(
+                scenario, DMRAAllocator(pricing=scenario.pricing)
+            ).metrics
+            for sp_id, profit in metrics.profit_by_sp.items():
+                subscribers = len(
+                    scenario.network.user_equipments_of_sp(sp_id)
+                )
+                if subscribers == 0:
+                    continue
+                if sp_id == 0:
+                    big_margin += profit / subscribers
+                else:
+                    small_margin += profit / subscribers / 4
+        assert big_margin >= small_margin

@@ -1,0 +1,221 @@
+"""Unit tests for the baseline allocators (DCSP, NonCo, greedy, random,
+cloud-only, ILP)."""
+
+import pytest
+
+from conftest import make_tiny_network
+from repro.baselines.cloud_only import CloudOnlyAllocator
+from repro.baselines.dcsp import DCSPAllocator
+from repro.baselines.greedy import GreedyProfitAllocator
+from repro.baselines.nonco import NonCoAllocator
+from repro.baselines.optimal import OptimalILPAllocator
+from repro.baselines.random_alloc import RandomAllocator
+from repro.econ.accounting import compute_profit
+from repro.econ.pricing import PaperPricing
+from repro.errors import ConfigurationError
+from repro.model.geometry import Point
+from repro.radio.channel import build_radio_map
+from repro.radio.sinr import LinkBudget
+
+PRICING = PaperPricing(base_price=1.0, cross_sp_markup=2.0, distance_weight=0.01)
+
+
+def run(allocator, network):
+    radio_map = build_radio_map(network, LinkBudget())
+    assignment = allocator.allocate(network, radio_map)
+    assignment.validate(network, radio_map)
+    return assignment
+
+
+class TestDCSP:
+    def test_picks_least_occupied_bs(self):
+        """With one BS pre-loaded (smaller CRU pool left), a lone UE goes
+        to the emptier one even though it is farther."""
+        network = make_tiny_network(
+            ue_specs=[
+                # UE 0 fills most of BS 0's service-0 pool first (closer).
+                dict(ue_id=0, cru_demand=18, position=Point(50.0, 0.0)),
+                dict(ue_id=1, cru_demand=4, position=Point(200.0, 0.0)),
+            ]
+        )
+        assignment = run(DCSPAllocator(), network)
+        assert assignment.serving_bs(0) == 0
+        assert assignment.serving_bs(1) == 1  # emptier despite equal distance
+
+    def test_serves_everyone_when_space_exists(self, small_scenario):
+        assignment = DCSPAllocator().allocate(
+            small_scenario.network, small_scenario.radio_map
+        )
+        assignment.validate(small_scenario.network, small_scenario.radio_map)
+        assert assignment.cloud_count == 0
+
+    def test_deterministic(self, small_scenario):
+        a = DCSPAllocator().allocate(
+            small_scenario.network, small_scenario.radio_map
+        )
+        b = DCSPAllocator().allocate(
+            small_scenario.network, small_scenario.radio_map
+        )
+        assert a.association_pairs() == b.association_pairs()
+
+
+class TestNonCo:
+    def test_ue_goes_to_max_sinr_bs_only(self):
+        network = make_tiny_network(
+            ue_specs=[dict(ue_id=0, position=Point(300.0, 0.0))]
+        )
+        # BS 1 at 100 m beats BS 0 at 300 m on SINR.
+        assignment = run(NonCoAllocator(), network)
+        assert assignment.serving_bs(0) == 1
+
+    def test_no_fallback_to_second_choice(self):
+        """NonCo's defining behaviour: overflow goes to the cloud even
+        when another BS has room."""
+        network = make_tiny_network(
+            ue_specs=[
+                dict(ue_id=0, cru_demand=15, position=Point(100.0, 0.0)),
+                dict(ue_id=1, cru_demand=15, position=Point(110.0, 0.0)),
+            ]
+        )
+        assignment = run(NonCoAllocator(), network)
+        # Both UEs nominate BS 0 (nearest); only one fits its 20-CRU pool.
+        assert assignment.edge_served_count == 1
+        assert assignment.cloud_count == 1
+        assert assignment.grants_of_bs(1) == ()
+
+    def test_bs_admits_cheapest_rrb_first(self):
+        """When the RRB budget covers only one UE, the lower-rate UE (which
+        needs fewer RRBs) wins regardless of arrival order."""
+        network = make_tiny_network(
+            ue_specs=[
+                dict(ue_id=0, rate_demand_bps=6e6, position=Point(100.0, 0.0)),
+                dict(
+                    ue_id=1,
+                    rate_demand_bps=2e6,
+                    position=Point(140.0, 0.0),
+                    service_id=1,
+                ),
+            ],
+            bs_specs=[
+                dict(bs_id=0, sp_id=0, position=Point(0, 0), rrb_capacity=1),
+                dict(bs_id=1, sp_id=1, position=Point(2000, 0)),
+            ],
+            coverage_radius_m=500.0,
+        )
+        assignment = run(NonCoAllocator(), network)
+        assert assignment.serving_bs(1) == 0
+        assert assignment.cloud_ue_ids == {0}
+
+    def test_uncovered_ue_forwarded(self):
+        network = make_tiny_network(
+            ue_specs=[dict(ue_id=0, position=Point(1199.0, 1199.0))],
+            coverage_radius_m=100.0,
+        )
+        assignment = run(NonCoAllocator(), network)
+        assert assignment.cloud_ue_ids == {0}
+
+
+class TestGreedy:
+    def test_takes_most_profitable_assignment(self):
+        network = make_tiny_network(
+            ue_specs=[dict(ue_id=0, sp_id=0, position=Point(200.0, 0.0))]
+        )
+        assignment = run(GreedyProfitAllocator(pricing=PRICING), network)
+        # Equal distance; the same-SP BS yields the larger margin.
+        assert assignment.serving_bs(0) == 0
+
+    def test_respects_capacity(self):
+        network = make_tiny_network(
+            ue_specs=[
+                dict(ue_id=i, cru_demand=15, position=Point(100.0 + i, 0.0))
+                for i in range(3)
+            ]
+        )
+        assignment = run(GreedyProfitAllocator(pricing=PRICING), network)
+        assert assignment.edge_served_count == 2
+        assert assignment.cloud_count == 1
+
+
+class TestRandom:
+    def test_seed_reproducibility(self, small_scenario):
+        a = RandomAllocator(seed=5).allocate(
+            small_scenario.network, small_scenario.radio_map
+        )
+        b = RandomAllocator(seed=5).allocate(
+            small_scenario.network, small_scenario.radio_map
+        )
+        assert a.association_pairs() == b.association_pairs()
+
+    def test_different_seeds_differ(self, small_scenario):
+        a = RandomAllocator(seed=1).allocate(
+            small_scenario.network, small_scenario.radio_map
+        )
+        b = RandomAllocator(seed=2).allocate(
+            small_scenario.network, small_scenario.radio_map
+        )
+        assert a.association_pairs() != b.association_pairs()
+
+    def test_result_is_valid(self, small_scenario):
+        assignment = RandomAllocator(seed=3).allocate(
+            small_scenario.network, small_scenario.radio_map
+        )
+        assignment.validate(small_scenario.network, small_scenario.radio_map)
+
+
+class TestCloudOnly:
+    def test_everything_forwarded(self, small_scenario):
+        assignment = CloudOnlyAllocator().allocate(
+            small_scenario.network, small_scenario.radio_map
+        )
+        assignment.validate(small_scenario.network, small_scenario.radio_map)
+        assert assignment.edge_served_count == 0
+        assert assignment.cloud_count == small_scenario.ue_count
+
+    def test_zero_profit(self, small_scenario):
+        assignment = CloudOnlyAllocator().allocate(
+            small_scenario.network, small_scenario.radio_map
+        )
+        statement = compute_profit(
+            small_scenario.network, assignment.grants, PRICING
+        )
+        assert statement.total_profit == 0.0
+
+
+class TestOptimalILP:
+    def test_beats_or_matches_heuristics(self, small_scenario):
+        pricing = small_scenario.pricing
+        ilp = OptimalILPAllocator(pricing=pricing).allocate(
+            small_scenario.network, small_scenario.radio_map
+        )
+        ilp.validate(small_scenario.network, small_scenario.radio_map)
+        ilp_profit = compute_profit(
+            small_scenario.network, ilp.grants, pricing
+        ).total_profit
+        for allocator in (
+            GreedyProfitAllocator(pricing=pricing),
+            NonCoAllocator(),
+            DCSPAllocator(),
+        ):
+            other = allocator.allocate(
+                small_scenario.network, small_scenario.radio_map
+            )
+            other_profit = compute_profit(
+                small_scenario.network, other.grants, pricing
+            ).total_profit
+            assert ilp_profit >= other_profit - 1e-6
+
+    def test_variable_guard(self, small_scenario):
+        allocator = OptimalILPAllocator(max_variables=10)
+        with pytest.raises(ConfigurationError, match="guard"):
+            allocator.allocate(
+                small_scenario.network, small_scenario.radio_map
+            )
+
+    def test_invalid_guard_value(self):
+        with pytest.raises(ConfigurationError):
+            OptimalILPAllocator(max_variables=0)
+
+    def test_empty_network(self):
+        network = make_tiny_network(ue_specs=[])
+        assignment = run(OptimalILPAllocator(pricing=PRICING), network)
+        assert assignment.edge_served_count == 0

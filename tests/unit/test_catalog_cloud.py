@@ -1,0 +1,107 @@
+"""Unit tests for the service catalog and the remote cloud sink."""
+
+import numpy as np
+import pytest
+
+from repro.compute.catalog import ServiceCatalog
+from repro.compute.cloud import RemoteCloud
+from repro.errors import ConfigurationError
+from repro.model.entities import UserEquipment
+from repro.model.geometry import Point
+
+
+class TestServiceCatalog:
+    def test_build_services(self):
+        services = ServiceCatalog(service_count=6).build_services()
+        assert [s.service_id for s in services] == list(range(6))
+        assert all(s.name for s in services)
+
+    def test_sample_hosting_full_fraction(self, rng):
+        catalog = ServiceCatalog(service_count=6, hosted_fraction=1.0)
+        hosting = catalog.sample_hosting(rng)
+        assert set(hosting) == set(range(6))
+        assert all(100 <= c <= 150 for c in hosting.values())
+
+    def test_sample_hosting_partial_fraction(self, rng):
+        catalog = ServiceCatalog(service_count=6, hosted_fraction=0.5)
+        hosting = catalog.sample_hosting(rng)
+        assert len(hosting) == 3
+        assert set(hosting) <= set(range(6))
+
+    def test_at_least_one_service_hosted(self, rng):
+        catalog = ServiceCatalog(service_count=6, hosted_fraction=0.01)
+        assert len(catalog.sample_hosting(rng)) == 1
+
+    def test_capacity_bounds_inclusive(self):
+        catalog = ServiceCatalog(
+            service_count=1, cru_capacity_min=5, cru_capacity_max=5
+        )
+        hosting = catalog.sample_hosting(np.random.default_rng(0))
+        assert hosting == {0: 5}
+
+    def test_sampling_is_seed_deterministic(self):
+        catalog = ServiceCatalog()
+        a = catalog.sample_hosting(np.random.default_rng(3))
+        b = catalog.sample_hosting(np.random.default_rng(3))
+        assert a == b
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ServiceCatalog(service_count=0)
+        with pytest.raises(ConfigurationError):
+            ServiceCatalog(cru_capacity_min=0)
+        with pytest.raises(ConfigurationError):
+            ServiceCatalog(cru_capacity_min=10, cru_capacity_max=5)
+        with pytest.raises(ConfigurationError):
+            ServiceCatalog(hosted_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            ServiceCatalog(hosted_fraction=1.5)
+
+
+def make_ue(ue_id=0, sp_id=0, crus=4, rate=3e6):
+    return UserEquipment(
+        ue_id=ue_id,
+        sp_id=sp_id,
+        position=Point(0, 0),
+        service_id=0,
+        cru_demand=crus,
+        rate_demand_bps=rate,
+    )
+
+
+class TestRemoteCloud:
+    def test_forward_records_task(self):
+        cloud = RemoteCloud()
+        task = cloud.forward(make_ue(ue_id=3, crus=5, rate=4e6))
+        assert task.ue_id == 3
+        assert cloud.task_count == 1
+        assert cloud.forwarded_ue_ids == {3}
+        assert cloud.forwarded_traffic_bps == pytest.approx(4e6)
+        assert cloud.forwarded_crus == 5
+
+    def test_double_forward_rejected(self):
+        cloud = RemoteCloud()
+        cloud.forward(make_ue(ue_id=3))
+        with pytest.raises(ConfigurationError):
+            cloud.forward(make_ue(ue_id=3))
+
+    def test_traffic_accumulates(self):
+        cloud = RemoteCloud()
+        cloud.forward(make_ue(ue_id=1, rate=2e6))
+        cloud.forward(make_ue(ue_id=2, rate=6e6))
+        assert cloud.forwarded_traffic_bps == pytest.approx(8e6)
+
+    def test_tasks_of_sp_filters(self):
+        cloud = RemoteCloud()
+        cloud.forward(make_ue(ue_id=1, sp_id=0))
+        cloud.forward(make_ue(ue_id=2, sp_id=1))
+        cloud.forward(make_ue(ue_id=3, sp_id=0))
+        assert {t.ue_id for t in cloud.tasks_of_sp(0)} == {1, 3}
+        assert {t.ue_id for t in cloud.tasks_of_sp(1)} == {2}
+        assert cloud.tasks_of_sp(9) == ()
+
+    def test_empty_cloud(self):
+        cloud = RemoteCloud()
+        assert cloud.task_count == 0
+        assert cloud.forwarded_traffic_bps == 0.0
+        assert cloud.forwarded_crus == 0

@@ -1,0 +1,89 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliBasics:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestRunCommand:
+    def test_run_dmra(self, capsys):
+        assert main(["run", "--ues", "60", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "total profit:" in output
+        assert "edge served:" in output
+        assert "allocator:          dmra" in output
+
+    def test_run_each_allocator(self, capsys):
+        for name in ("dcsp", "nonco", "greedy", "random", "cloud-only"):
+            assert main(["run", "--allocator", name, "--ues", "40"]) == 0
+            assert "total profit:" in capsys.readouterr().out
+
+    def test_run_with_scenario_options(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--ues", "40",
+                    "--placement", "random",
+                    "--iota", "1.1",
+                    "--rho", "50",
+                ]
+            )
+            == 0
+        )
+        assert "total profit:" in capsys.readouterr().out
+
+
+class TestInspectCommand:
+    def test_inspect_reports_populations(self, capsys):
+        assert main(["inspect", "--ues", "40"]) == 0
+        output = capsys.readouterr().out
+        assert "5 SPs" in output
+        assert "25 BSs" in output
+        assert "per-SP deployments:" in output
+        assert "aggregate capacity:" in output
+
+
+class TestCompareCommand:
+    def test_compare_table(self, capsys):
+        assert (
+            main(["compare", "--ues", "60", "--allocators", "dmra", "nonco"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "dmra" in output and "nonco" in output
+        assert "profit" in output
+
+
+class TestFigureCommand:
+    def test_figure_smoke_with_csv(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "figure", "fig2",
+                    "--scale", "smoke",
+                    "--out", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "Fig. 2" in output
+        assert "legend:" in output
+        assert (tmp_path / "fig2.csv").exists()
+
+    def test_figure_unknown_id(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["figure", "fig99", "--scale", "smoke"])

@@ -1,0 +1,65 @@
+"""Unit tests for the mobility / failures / map CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestMobilityCli:
+    def test_mobility_table(self, capsys):
+        assert (
+            main(["mobility", "--ues", "80", "--epochs", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "handover rate" in out
+        assert "epoch" in out
+
+    def test_no_sticky_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "mobility", "--ues", "80", "--epochs", "2",
+                    "--no-sticky",
+                ]
+            )
+            == 0
+        )
+        assert "re-optimize" in capsys.readouterr().out
+
+
+class TestFailuresCli:
+    def test_failure_report(self, capsys):
+        assert main(["failures", "--ues", "200", "--bs", "0", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "failed BSs:        [0, 1]" in out
+        assert "recovered at edge:" in out
+        assert "profit before:" in out
+
+    def test_unknown_bs_errors(self):
+        from repro.errors import UnknownEntityError
+
+        with pytest.raises(UnknownEntityError):
+            main(["failures", "--ues", "100", "--bs", "999"])
+
+    def test_bs_argument_required(self):
+        with pytest.raises(SystemExit):
+            main(["failures", "--ues", "100"])
+
+
+class TestMapCli:
+    def test_writes_svg(self, tmp_path, capsys):
+        target = tmp_path / "net.svg"
+        assert (
+            main(
+                [
+                    "map", "--ues", "60", "--out", str(target),
+                    "--coverage", "--allocator", "nonco",
+                ]
+            )
+            == 0
+        )
+        assert target.exists()
+        content = target.read_text()
+        assert content.startswith("<svg")
+        assert "nonco" in content  # title mentions the allocator
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,142 @@
+"""Unit tests for ScenarioConfig and scenario construction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radio.ofdma import rrb_budget
+from repro.sim.config import ScenarioConfig
+from repro.sim.scenario import build_scenario
+
+
+class TestScenarioConfig:
+    def test_paper_defaults(self):
+        config = ScenarioConfig.paper()
+        assert config.sp_count == 5
+        assert config.bs_per_sp == 5
+        assert config.bs_count == 25
+        assert config.service_count == 6
+        assert config.region_side_m == 1200.0
+        assert config.inter_site_distance_m == 300.0
+        assert config.cru_capacity_min == 100
+        assert config.cru_capacity_max == 150
+        assert config.cru_demand_min == 3
+        assert config.cru_demand_max == 5
+        assert config.rate_demand_min_bps == 2e6
+        assert config.rate_demand_max_bps == 6e6
+        assert config.uplink_bandwidth_hz == 10e6
+        assert config.rrb_bandwidth_hz == 180e3
+        assert config.tx_power_dbm == 10.0
+        assert config.noise_dbm == -170.0
+        assert config.distance_weight == 0.01
+
+    def test_paper_overrides(self):
+        config = ScenarioConfig.paper(cross_sp_markup=1.1, placement="random")
+        assert config.cross_sp_markup == 1.1
+        assert config.placement == "random"
+
+    def test_with_creates_modified_copy(self):
+        base = ScenarioConfig.paper()
+        derived = base.with_(rho=99.0)
+        assert derived.rho == 99.0
+        assert base.rho == 10.0
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(sp_count=0)
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(bs_per_sp=0)
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(placement="hex")
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(coverage_radius_m=0.0)
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(rho=-1.0)
+
+    def test_workload_model_reflects_config(self):
+        workload = ScenarioConfig.paper().workload_model()
+        assert workload.cru_demand_min == 3
+        assert workload.cru_demand_max == 5
+        assert workload.tx_power_dbm == 10.0
+
+    def test_service_catalog_reflects_config(self):
+        catalog = ScenarioConfig.paper().service_catalog()
+        assert catalog.service_count == 6
+        assert catalog.cru_capacity_min == 100
+
+
+class TestBuildScenario:
+    def test_population_sizes(self, small_scenario):
+        network = small_scenario.network
+        assert network.sp_count == 5
+        assert network.bs_count == 25
+        assert network.ue_count == 120
+        assert network.service_count == 6
+
+    def test_each_sp_deploys_five_bss(self, small_scenario):
+        for sp in small_scenario.network.providers:
+            assert len(small_scenario.network.base_stations_of_sp(sp.sp_id)) == 5
+
+    def test_rrb_budget_is_55(self, small_scenario):
+        for bs in small_scenario.network.base_stations:
+            assert bs.rrb_capacity == rrb_budget(10e6, 180e3) == 55
+
+    def test_cru_capacities_in_paper_range(self, small_scenario):
+        for bs in small_scenario.network.base_stations:
+            assert set(bs.cru_capacity) == set(range(6))
+            assert all(100 <= c <= 150 for c in bs.cru_capacity.values())
+
+    def test_ue_demands_in_paper_range(self, small_scenario):
+        for ue in small_scenario.network.user_equipments:
+            assert 3 <= ue.cru_demand <= 5
+            assert 2e6 <= ue.rate_demand_bps <= 6e6
+            assert ue.tx_power_dbm == 10.0
+            assert 0 <= ue.service_id < 6
+            assert 0 <= ue.sp_id < 5
+
+    def test_seed_determinism(self, paper_config):
+        a = build_scenario(paper_config, ue_count=50, seed=3)
+        b = build_scenario(paper_config, ue_count=50, seed=3)
+        assert [ue.position for ue in a.network.user_equipments] == [
+            ue.position for ue in b.network.user_equipments
+        ]
+        assert [bs.cru_capacity for bs in a.network.base_stations] == [
+            bs.cru_capacity for bs in b.network.base_stations
+        ]
+
+    def test_different_seeds_differ(self, paper_config):
+        a = build_scenario(paper_config, ue_count=50, seed=3)
+        b = build_scenario(paper_config, ue_count=50, seed=4)
+        assert [ue.position for ue in a.network.user_equipments] != [
+            ue.position for ue in b.network.user_equipments
+        ]
+
+    def test_random_placement_differs_from_regular(self, paper_config):
+        regular = build_scenario(paper_config, ue_count=10, seed=3)
+        random_cfg = paper_config.with_(placement="random")
+        randomized = build_scenario(random_cfg, ue_count=10, seed=3)
+        assert [bs.position for bs in regular.network.base_stations] != [
+            bs.position for bs in randomized.network.base_stations
+        ]
+
+    def test_radio_map_covers_all_candidates(self, small_scenario):
+        for ue in small_scenario.network.user_equipments:
+            for bs_id in small_scenario.network.candidate_base_stations(
+                ue.ue_id
+            ):
+                assert small_scenario.radio_map.has_link(ue.ue_id, bs_id)
+
+    def test_pricing_property_matches_config(self, small_scenario):
+        pricing = small_scenario.pricing
+        assert pricing.cross_sp_markup == small_scenario.config.cross_sp_markup
+        assert pricing.distance_weight == small_scenario.config.distance_weight
+
+    def test_tariff_violation_caught_at_build(self, paper_config):
+        bad = paper_config.with_(sp_cru_price=3.0)
+        from repro.errors import TariffViolationError
+
+        with pytest.raises(TariffViolationError):
+            build_scenario(bad, ue_count=10, seed=0)
+
+    def test_dense_multi_coverage_premise(self, small_scenario):
+        """The paper's premise: a UE tends to reach several BSs."""
+        assert small_scenario.network.mean_coverage_degree() > 3.0

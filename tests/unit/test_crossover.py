@@ -1,0 +1,84 @@
+"""Unit tests for the crossover finder."""
+
+import pytest
+
+from repro.analysis.crossover import find_crossover
+from repro.baselines.nonco import NonCoAllocator
+from repro.baselines.random_alloc import RandomAllocator
+from repro.core.dmra import DMRAAllocator
+from repro.errors import ConfigurationError
+from repro.sim.config import ScenarioConfig
+
+CONFIG = ScenarioConfig.paper()
+
+
+def dmra(scenario):
+    return DMRAAllocator(pricing=scenario.pricing)
+
+
+def nonco(scenario):
+    return NonCoAllocator()
+
+
+class TestFindCrossover:
+    def test_dmra_nonco_crossover_is_past_paper_range(self):
+        """The load where NonCo catches DMRA sits beyond the paper's
+        plotted 400-1000 range — EXPERIMENTS.md deviation 2, measured."""
+        result = find_crossover(
+            CONFIG, dmra, nonco, seed=0,
+            lo_ue_count=600, hi_ue_count=1600, tolerance=50,
+        )
+        assert result.found
+        assert result.lower_difference > 0  # DMRA ahead at 600
+        assert result.upper_difference < 0  # NonCo ahead at 1600
+        assert 1000 <= result.midpoint <= 1300
+
+    def test_no_crossover_reported_when_one_side_dominates(self):
+        """DMRA beats the random floor across the whole bracket."""
+        result = find_crossover(
+            CONFIG,
+            dmra,
+            lambda s: RandomAllocator(seed=s.seed),
+            seed=1,
+            lo_ue_count=200,
+            hi_ue_count=800,
+            tolerance=100,
+        )
+        assert not result.found
+        assert result.lower_difference > 0
+        assert result.upper_difference > 0
+
+    def test_bracket_width_respects_tolerance(self):
+        result = find_crossover(
+            CONFIG, dmra, nonco, seed=0,
+            lo_ue_count=900, hi_ue_count=1300, tolerance=30,
+        )
+        if result.found:
+            assert result.upper_ue_count - result.lower_ue_count <= 30
+
+    def test_self_comparison_hits_zero_at_bracket_edge(self):
+        result = find_crossover(
+            CONFIG, dmra, dmra, seed=2,
+            lo_ue_count=100, hi_ue_count=300, tolerance=50,
+        )
+        # Identical allocators difference is exactly zero at the first
+        # probe, reported as an exact crossover.
+        assert result.found
+        assert result.lower_ue_count == result.upper_ue_count
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            find_crossover(
+                CONFIG, dmra, nonco, seed=0,
+                lo_ue_count=0, hi_ue_count=100,
+            )
+        with pytest.raises(ConfigurationError):
+            find_crossover(
+                CONFIG, dmra, nonco, seed=0,
+                lo_ue_count=500, hi_ue_count=400,
+            )
+        with pytest.raises(ConfigurationError):
+            find_crossover(
+                CONFIG, dmra, nonco, seed=0,
+                lo_ue_count=100, hi_ue_count=200, tolerance=0,
+            )

@@ -1,0 +1,133 @@
+"""Unit tests for the DMRA allocator."""
+
+import pytest
+
+from conftest import make_tiny_network
+from repro.core.dmra import DMRAAllocator, DMRAPolicy
+from repro.econ.pricing import PaperPricing
+from repro.errors import ConfigurationError
+from repro.model.geometry import Point
+from repro.radio.channel import build_radio_map
+from repro.radio.sinr import LinkBudget
+
+PRICING = PaperPricing(base_price=1.0, cross_sp_markup=2.0, distance_weight=0.01)
+
+
+def allocate(network, **kwargs):
+    radio_map = build_radio_map(network, LinkBudget())
+    assignment = DMRAAllocator(pricing=PRICING, **kwargs).allocate(
+        network, radio_map
+    )
+    assignment.validate(network, radio_map)
+    return assignment
+
+
+class TestDMRAAllocator:
+    def test_prefers_cheaper_same_sp_bs(self):
+        # Both BSs at 200 m; DMRA must pick the same-SP one.
+        network = make_tiny_network(
+            ue_specs=[dict(ue_id=0, sp_id=0, position=Point(200.0, 0.0))]
+        )
+        assignment = allocate(network)
+        assert assignment.serving_bs(0) == 0
+
+    def test_distance_overrides_ownership_when_cheaper(self):
+        # Same-SP BS 0 is 380 m away; cross-SP BS 1 is 20 m away.
+        # Prices: same = 1 + 3.8 = 4.8; cross = 2 + 0.2 = 2.2.
+        network = make_tiny_network(
+            ue_specs=[dict(ue_id=0, sp_id=0, position=Point(380.0, 0.0))]
+        )
+        assignment = allocate(network)
+        assert assignment.serving_bs(0) == 1
+
+    def test_bs_side_same_sp_priority(self):
+        """When two UEs contest one slot, the BS keeps its own subscriber."""
+        network = make_tiny_network(
+            ue_specs=[
+                dict(ue_id=0, sp_id=1, position=Point(100.0, 0.0), cru_demand=5),
+                dict(ue_id=1, sp_id=0, position=Point(101.0, 0.0), cru_demand=5),
+            ],
+            bs_specs=[
+                # Only BS 0 exists and only 5 CRUs: one UE must lose.
+                dict(
+                    bs_id=0,
+                    sp_id=0,
+                    position=Point(0, 0),
+                    cru_capacity={0: 5, 1: 5},
+                ),
+                dict(
+                    bs_id=1,
+                    sp_id=1,
+                    position=Point(2000.0, 0.0),
+                    cru_capacity={0: 5, 1: 5},
+                ),
+            ],
+            coverage_radius_m=500.0,
+        )
+        assignment = allocate(network)
+        # UE 1 shares SP 0 with BS 0 and wins; UE 0 has no alternative.
+        assert assignment.serving_bs(1) == 0
+        assert assignment.cloud_ue_ids == {0}
+
+    def test_same_sp_priority_ablation_flag(self):
+        """Without SP priority the same contest is decided by footprint."""
+        network = make_tiny_network(
+            ue_specs=[
+                dict(ue_id=0, sp_id=1, position=Point(100.0, 0.0), cru_demand=3),
+                dict(ue_id=1, sp_id=0, position=Point(101.0, 0.0), cru_demand=5),
+            ],
+            bs_specs=[
+                dict(
+                    bs_id=0,
+                    sp_id=0,
+                    position=Point(0, 0),
+                    cru_capacity={0: 5, 1: 5},
+                ),
+                dict(
+                    bs_id=1,
+                    sp_id=1,
+                    position=Point(2000.0, 0.0),
+                    cru_capacity={0: 5, 1: 5},
+                ),
+            ],
+            coverage_radius_m=500.0,
+        )
+        with_priority = allocate(network, same_sp_priority=True)
+        without_priority = allocate(network, same_sp_priority=False)
+        assert with_priority.serving_bs(1) == 0  # own subscriber wins
+        assert without_priority.serving_bs(0) == 0  # lighter UE wins
+
+    def test_full_coverage_goes_to_cloud(self):
+        network = make_tiny_network(
+            ue_specs=[dict(ue_id=0, position=Point(1199.0, 1199.0))],
+            coverage_radius_m=100.0,
+        )
+        assignment = allocate(network)
+        assert assignment.cloud_ue_ids == {0}
+
+    def test_invalid_rho_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DMRAAllocator(pricing=PRICING, rho=-1.0)
+        with pytest.raises(ConfigurationError):
+            DMRAPolicy(pricing=PRICING, rho=-0.5)
+
+    def test_default_pricing_is_paper(self):
+        allocator = DMRAAllocator()
+        assert isinstance(allocator.pricing, PaperPricing)
+        assert allocator.name == "dmra"
+
+    def test_determinism_on_paper_scenario(self, small_scenario):
+        allocator = DMRAAllocator(pricing=small_scenario.pricing)
+        a = allocator.allocate(small_scenario.network, small_scenario.radio_map)
+        b = allocator.allocate(small_scenario.network, small_scenario.radio_map)
+        assert a.association_pairs() == b.association_pairs()
+        assert a.cloud_ue_ids == b.cloud_ue_ids
+
+    def test_validates_on_paper_scenario(self, small_scenario):
+        allocator = DMRAAllocator(pricing=small_scenario.pricing)
+        assignment = allocator.allocate(
+            small_scenario.network, small_scenario.radio_map
+        )
+        assignment.validate(small_scenario.network, small_scenario.radio_map)
+        # At 120 UEs the network is underloaded: everyone is edge-served.
+        assert assignment.cloud_count == 0

@@ -1,0 +1,151 @@
+"""Unit tests for the event queue, arrival processes, and time series."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.arrivals import (
+    BatchArrivals,
+    DeterministicHolding,
+    ExponentialHolding,
+    PoissonArrivals,
+)
+from repro.dynamics.events import Event, EventKind, EventQueue
+from repro.dynamics.timeseries import StepSeries
+from repro.errors import ConfigurationError
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.push(Event(5.0, EventKind.ARRIVAL, 1))
+        queue.push(Event(2.0, EventKind.DEPARTURE, 2))
+        queue.push(Event(8.0, EventKind.ARRIVAL, 3))
+        assert queue.pop().time_s == 2.0
+        assert queue.pop().time_s == 5.0
+        assert queue.pop().time_s == 8.0
+
+    def test_ties_pop_in_insertion_order(self):
+        queue = EventQueue()
+        for ue_id in (7, 3, 9):
+            queue.push(Event(1.0, EventKind.ARRIVAL, ue_id))
+        assert [queue.pop().ue_id for _ in range(3)] == [7, 3, 9]
+
+    def test_peek_does_not_remove(self):
+        queue = EventQueue()
+        queue.push(Event(4.0, EventKind.ARRIVAL, 0))
+        assert queue.peek_time() == 4.0
+        assert len(queue) == 1
+
+    def test_empty_behaviour(self):
+        queue = EventQueue()
+        assert not queue
+        assert queue.peek_time() is None
+        with pytest.raises(ConfigurationError):
+            queue.pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Event(-1.0, EventKind.ARRIVAL, 0)
+
+
+class TestArrivalProcesses:
+    def test_poisson_rate_roughly_respected(self):
+        times = PoissonArrivals(rate_per_s=5.0).arrival_times(
+            1000.0, np.random.default_rng(1)
+        )
+        assert 4200 <= len(times) <= 5800  # ~5000 expected
+        assert all(0 <= t < 1000.0 for t in times)
+        assert times == sorted(times)
+
+    def test_poisson_seed_determinism(self):
+        a = PoissonArrivals(2.0).arrival_times(100.0, np.random.default_rng(3))
+        b = PoissonArrivals(2.0).arrival_times(100.0, np.random.default_rng(3))
+        assert a == b
+
+    def test_poisson_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(0.0)
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(1.0).arrival_times(0.0, np.random.default_rng(0))
+
+    def test_batch_arrivals_structure(self):
+        times = BatchArrivals(interval_s=10.0, batch_size=3).arrival_times(
+            35.0, np.random.default_rng(0)
+        )
+        assert times == [10.0, 10.0, 10.0, 20.0, 20.0, 20.0, 30.0, 30.0, 30.0]
+
+    def test_batch_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            BatchArrivals(interval_s=0.0, batch_size=1)
+        with pytest.raises(ConfigurationError):
+            BatchArrivals(interval_s=1.0, batch_size=0)
+
+
+class TestHoldingTimes:
+    def test_exponential_mean(self):
+        rng = np.random.default_rng(0)
+        model = ExponentialHolding(mean_s=60.0)
+        draws = [model.holding_time_s(rng) for _ in range(5000)]
+        assert sum(draws) / len(draws) == pytest.approx(60.0, rel=0.1)
+        assert all(d >= 0 for d in draws)
+
+    def test_deterministic_constant(self):
+        model = DeterministicHolding(duration_s=42.0)
+        rng = np.random.default_rng(0)
+        assert model.holding_time_s(rng) == 42.0
+        assert model.holding_time_s(rng) == 42.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialHolding(0.0)
+        with pytest.raises(ConfigurationError):
+            DeterministicHolding(0.0)
+
+
+class TestStepSeries:
+    def test_time_average_piecewise(self):
+        series = StepSeries("x")
+        series.record(0.0, 10.0)
+        series.record(4.0, 20.0)  # 10 for 4 s, then 20 for 6 s
+        assert series.time_average(10.0) == pytest.approx(
+            (10 * 4 + 20 * 6) / 10
+        )
+
+    def test_same_instant_overwrites(self):
+        series = StepSeries("x")
+        series.record(1.0, 5.0)
+        series.record(1.0, 9.0)
+        assert len(series) == 1
+        assert series.last_value == 9.0
+
+    def test_backwards_time_rejected(self):
+        series = StepSeries("x")
+        series.record(2.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            series.record(1.0, 1.0)
+
+    def test_peak_and_last(self):
+        series = StepSeries("x")
+        for t, v in ((0.0, 1.0), (1.0, 7.0), (2.0, 3.0)):
+            series.record(t, v)
+        assert series.peak == 7.0
+        assert series.last_value == 3.0
+        assert series.samples == ((0.0, 1.0), (1.0, 7.0), (2.0, 3.0))
+
+    def test_empty_series_errors(self):
+        series = StepSeries("x")
+        with pytest.raises(ConfigurationError):
+            series.last_value
+        with pytest.raises(ConfigurationError):
+            series.time_average(1.0)
+
+    def test_average_until_before_first_sample_rejected(self):
+        series = StepSeries("x")
+        series.record(5.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            series.time_average(4.0)
+
+    def test_average_at_first_sample_is_value(self):
+        series = StepSeries("x")
+        series.record(5.0, 3.5)
+        assert series.time_average(5.0) == 3.5

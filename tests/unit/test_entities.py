@@ -1,0 +1,118 @@
+"""Unit tests for the domain entities."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.entities import (
+    BaseStation,
+    Service,
+    ServiceProvider,
+    UserEquipment,
+)
+from repro.model.geometry import Point
+
+
+class TestService:
+    def test_valid_service(self):
+        svc = Service(service_id=3, name="video")
+        assert svc.service_id == 3
+        assert svc.name == "video"
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Service(service_id=-1)
+
+
+class TestServiceProvider:
+    def test_defaults(self):
+        sp = ServiceProvider(sp_id=0)
+        assert sp.cru_price > 0
+        assert sp.other_cost >= 0
+
+    def test_margin_ceiling(self):
+        sp = ServiceProvider(sp_id=1, cru_price=10.0, other_cost=0.5)
+        assert sp.margin_ceiling == pytest.approx(9.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ServiceProvider(sp_id=-1)
+        with pytest.raises(ConfigurationError):
+            ServiceProvider(sp_id=0, cru_price=0.0)
+        with pytest.raises(ConfigurationError):
+            ServiceProvider(sp_id=0, other_cost=-0.1)
+
+    def test_immutability(self):
+        sp = ServiceProvider(sp_id=0)
+        with pytest.raises(AttributeError):
+            sp.cru_price = 99.0
+
+
+class TestBaseStation:
+    def make(self, **overrides):
+        spec = dict(
+            bs_id=0,
+            sp_id=0,
+            position=Point(0, 0),
+            cru_capacity={0: 100, 1: 150, 2: 0},
+            rrb_capacity=55,
+        )
+        spec.update(overrides)
+        return BaseStation(**spec)
+
+    def test_hosts_service_requires_positive_crus(self):
+        bs = self.make()
+        assert bs.hosts_service(0)
+        assert bs.hosts_service(1)
+        assert not bs.hosts_service(2)  # zero CRUs => z_{i,j} = 0
+        assert not bs.hosts_service(9)  # absent from the map
+
+    def test_hosted_services(self):
+        assert self.make().hosted_services == frozenset({0, 1})
+
+    def test_total_cru_capacity(self):
+        assert self.make().total_cru_capacity == 250
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            self.make(bs_id=-1)
+        with pytest.raises(ConfigurationError):
+            self.make(rrb_capacity=0)
+        with pytest.raises(ConfigurationError):
+            self.make(cru_capacity={0: -5})
+
+    def test_empty_hosting_allowed(self):
+        bs = self.make(cru_capacity={})
+        assert bs.hosted_services == frozenset()
+        assert bs.total_cru_capacity == 0
+
+
+class TestUserEquipment:
+    def make(self, **overrides):
+        spec = dict(
+            ue_id=0,
+            sp_id=0,
+            position=Point(10, 10),
+            service_id=2,
+            cru_demand=4,
+            rate_demand_bps=3e6,
+        )
+        spec.update(overrides)
+        return UserEquipment(**spec)
+
+    def test_valid_ue(self):
+        ue = self.make()
+        assert ue.service_id == 2
+        assert ue.tx_power_dbm == 10.0  # the paper's default
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            self.make(ue_id=-1)
+        with pytest.raises(ConfigurationError):
+            self.make(cru_demand=0)
+        with pytest.raises(ConfigurationError):
+            self.make(rate_demand_bps=0.0)
+
+    def test_immutability(self):
+        ue = self.make()
+        with pytest.raises(AttributeError):
+            ue.cru_demand = 99

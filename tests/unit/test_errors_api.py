@@ -1,0 +1,67 @@
+"""Unit tests for the exception hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AllocationError,
+    CapacityError,
+    ConfigurationError,
+    InfeasibleLinkError,
+    ReproError,
+    TariffViolationError,
+    UnknownEntityError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for error_type in (
+            ConfigurationError,
+            CapacityError,
+            UnknownEntityError,
+            InfeasibleLinkError,
+            TariffViolationError,
+            AllocationError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_catch_all_pattern(self):
+        with pytest.raises(ReproError):
+            raise CapacityError("x")
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_surface(self):
+        """The names the README quickstart uses must exist at top level."""
+        for name in (
+            "DMRAAllocator",
+            "DCSPAllocator",
+            "NonCoAllocator",
+            "ScenarioConfig",
+            "build_scenario",
+            "run_allocation",
+        ):
+            assert hasattr(repro, name)
+
+    def test_allocator_names_are_distinct(self):
+        names = {
+            repro.DMRAAllocator().name,
+            repro.DCSPAllocator().name,
+            repro.NonCoAllocator().name,
+            repro.GreedyProfitAllocator().name,
+            repro.RandomAllocator().name,
+            repro.CloudOnlyAllocator().name,
+            repro.OptimalILPAllocator().name,
+        }
+        assert len(names) == 7

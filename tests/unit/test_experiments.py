@@ -1,0 +1,133 @@
+"""Unit tests for the experiment registry, ASCII plots, and CSV IO."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.ascii_plot import render_chart, render_table
+from repro.experiments.figures import EXPERIMENTS, Scale, get_experiment
+from repro.experiments.io import read_series_csv, write_series_csv
+from repro.sim.results import Series
+
+
+def sample_series(label="dmra", values=((400, 10.0), (500, 12.0), (600, 13.0))):
+    return Series.from_samples(label, [(x, [v]) for x, v in values])
+
+
+class TestRegistry:
+    def test_all_six_figures_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+        }
+
+    def test_experiment_metadata(self):
+        fig2 = get_experiment("fig2")
+        assert fig2.exp_id == "fig2"
+        assert "iota=2" in fig2.title
+        assert fig2.x_label == "#UEs"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_scales(self):
+        paper = Scale.paper()
+        smoke = Scale.smoke()
+        assert paper.ue_counts == (400, 500, 600, 700, 800, 900)
+        assert paper.rho_ue_count == 1000
+        assert len(paper.seeds) >= 3
+        assert max(smoke.ue_counts) < min(paper.ue_counts)
+
+    def test_smoke_run_fig2_structure(self):
+        result = get_experiment("fig2").run(Scale.smoke())
+        assert set(result.labels()) == {"dmra", "dcsp", "nonco"}
+        for label in result.labels():
+            assert len(result[label].points) == len(Scale.smoke().ue_counts)
+
+    def test_smoke_run_fig7_structure(self):
+        result = get_experiment("fig7").run(Scale.smoke())
+        assert result.labels() == ("dmra",)
+        assert result["dmra"].xs == tuple(Scale.smoke().rho_values)
+
+
+class TestAsciiPlot:
+    def test_chart_contains_title_and_legend(self):
+        chart = render_chart(
+            [sample_series("dmra"), sample_series("nonco", ((400, 8.0), (600, 9.0)))],
+            title="demo",
+            x_label="#UEs",
+            y_label="profit",
+        )
+        assert "demo" in chart
+        assert "o dmra" in chart
+        assert "x nonco" in chart
+        assert "#UEs" in chart
+
+    def test_chart_has_requested_size(self):
+        chart = render_chart(
+            [sample_series()], title="t", width=40, height=10
+        )
+        grid_lines = [l for l in chart.splitlines() if "|" in l]
+        assert len(grid_lines) == 10
+
+    def test_flat_series_does_not_crash(self):
+        chart = render_chart(
+            [sample_series(values=((1, 5.0), (2, 5.0)))], title="flat"
+        )
+        assert "flat" in chart
+
+    def test_single_point_series(self):
+        chart = render_chart([sample_series(values=((1, 5.0),))], title="dot")
+        assert "o" in chart
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_chart([], title="x")
+        with pytest.raises(ConfigurationError):
+            render_chart([sample_series()], title="x", width=5)
+
+    def test_table_rendering(self):
+        table = render_table(
+            [sample_series("dmra"), sample_series("dcsp")], x_header="#UEs"
+        )
+        lines = table.splitlines()
+        assert "#UEs" in lines[0]
+        assert "dmra" in lines[0] and "dcsp" in lines[0]
+        assert len(lines) == 2 + 3  # header + separator + 3 x-values
+
+    def test_table_missing_points_dash(self):
+        table = render_table(
+            [
+                sample_series("a", ((1, 1.0),)),
+                sample_series("b", ((2, 2.0),)),
+            ]
+        )
+        assert "-" in table.splitlines()[-1]
+
+
+class TestCsvIO:
+    def test_round_trip(self, tmp_path):
+        original = [sample_series("dmra"), sample_series("nonco")]
+        path = write_series_csv(tmp_path / "fig.csv", original, x_header="ues")
+        loaded = read_series_csv(path, x_header="ues")
+        by_label = {s.label: s for s in loaded}
+        assert set(by_label) == {"dmra", "nonco"}
+        for series in original:
+            restored = by_label[series.label]
+            assert restored.xs == series.xs
+            assert restored.means == series.means
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_series_csv(
+            tmp_path / "deep" / "nested" / "fig.csv", [sample_series()]
+        )
+        assert path.exists()
+
+    def test_empty_series_list_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_series_csv(tmp_path / "x.csv", [])
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ConfigurationError):
+            read_series_csv(path, x_header="x")

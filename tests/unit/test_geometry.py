@@ -1,0 +1,120 @@
+"""Unit tests for planar geometry primitives."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.geometry import Point, Rectangle, distance_m, pairwise_distances_m
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-3.0, 7.25)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(12.0, -8.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_translated_shifts_coordinates(self):
+        assert Point(1.0, 2.0).translated(3.0, -1.0) == Point(4.0, 1.0)
+
+    def test_as_tuple(self):
+        assert Point(2.0, 9.0).as_tuple() == (2.0, 9.0)
+
+    def test_points_are_hashable_and_comparable(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert len({Point(1, 2), Point(1, 2), Point(3, 4)}) == 2
+
+
+class TestRectangle:
+    def test_square_constructor(self):
+        square = Rectangle.square(1200.0)
+        assert square.width == 1200.0
+        assert square.height == 1200.0
+        assert square.area == pytest.approx(1200.0**2)
+
+    def test_square_rejects_non_positive_side(self):
+        with pytest.raises(ConfigurationError):
+            Rectangle.square(0.0)
+
+    def test_degenerate_rectangle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Rectangle(0.0, 0.0, 0.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            Rectangle(0.0, 5.0, 10.0, 5.0)
+
+    def test_center(self):
+        rect = Rectangle(0.0, 0.0, 10.0, 20.0)
+        assert rect.center == Point(5.0, 10.0)
+
+    def test_contains_includes_borders(self):
+        rect = Rectangle(0.0, 0.0, 10.0, 10.0)
+        assert rect.contains(Point(0.0, 0.0))
+        assert rect.contains(Point(10.0, 10.0))
+        assert rect.contains(Point(5.0, 5.0))
+        assert not rect.contains(Point(10.01, 5.0))
+        assert not rect.contains(Point(-0.01, 5.0))
+
+    def test_sample_uniform_stays_inside(self, rng):
+        rect = Rectangle(100.0, 200.0, 300.0, 350.0)
+        points = rect.sample_uniform(rng, 500)
+        assert len(points) == 500
+        assert all(rect.contains(p) for p in points)
+
+    def test_sample_uniform_zero_count(self, rng):
+        assert Rectangle.square(10.0).sample_uniform(rng, 0) == []
+
+    def test_sample_uniform_negative_count_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            Rectangle.square(10.0).sample_uniform(rng, -1)
+
+    def test_sample_uniform_is_seed_deterministic(self):
+        rect = Rectangle.square(100.0)
+        a = rect.sample_uniform(np.random.default_rng(5), 20)
+        b = rect.sample_uniform(np.random.default_rng(5), 20)
+        assert a == b
+
+
+class TestDistances:
+    def test_distance_m_matches_method(self):
+        a, b = Point(0, 0), Point(6, 8)
+        assert distance_m(a, b) == pytest.approx(10.0)
+
+    def test_pairwise_shape_and_values(self):
+        sources = [Point(0, 0), Point(0, 10)]
+        targets = [Point(3, 4), Point(0, 0), Point(-6, -8)]
+        matrix = pairwise_distances_m(sources, targets)
+        assert matrix.shape == (2, 3)
+        assert matrix[0, 0] == pytest.approx(5.0)
+        assert matrix[0, 1] == pytest.approx(0.0)
+        assert matrix[0, 2] == pytest.approx(10.0)
+        assert matrix[1, 1] == pytest.approx(10.0)
+
+    def test_pairwise_matches_pointwise(self, rng):
+        sources = Rectangle.square(50.0).sample_uniform(rng, 7)
+        targets = Rectangle.square(50.0).sample_uniform(rng, 9)
+        matrix = pairwise_distances_m(sources, targets)
+        for i, s in enumerate(sources):
+            for j, t in enumerate(targets):
+                assert matrix[i, j] == pytest.approx(s.distance_to(t))
+
+    def test_pairwise_empty_inputs(self):
+        assert pairwise_distances_m([], []).shape == (0, 0)
+        assert pairwise_distances_m([Point(0, 0)], []).shape == (1, 0)
+
+    def test_distance_never_negative(self):
+        assert distance_m(Point(-5, -5), Point(-1, -2)) >= 0.0
+
+    def test_triangle_inequality(self):
+        a, b, c = Point(0, 0), Point(13, -7), Point(4, 22)
+        assert distance_m(a, c) <= distance_m(a, b) + distance_m(b, c) + 1e-12
+
+    def test_large_coordinates_no_overflow(self):
+        a, b = Point(1e8, 1e8), Point(-1e8, -1e8)
+        assert math.isfinite(distance_m(a, b))

@@ -1,0 +1,70 @@
+"""Unit tests for the interference models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radio.interference import (
+    ConstantInterference,
+    LoadInterference,
+    NoInterference,
+)
+from repro.radio.pathloss import PaperPathLoss
+from repro.radio.units import dbm_to_mw
+
+
+class TestNoInterference:
+    def test_always_zero(self):
+        model = NoInterference()
+        assert model.interference_mw(100.0, [], 10.0) == 0.0
+        assert model.interference_mw(100.0, [50.0, 60.0], 10.0) == 0.0
+
+
+class TestConstantInterference:
+    def test_floor_value(self):
+        model = ConstantInterference(floor_dbm=-110.0)
+        assert model.interference_mw(100.0, [], 10.0) == pytest.approx(
+            dbm_to_mw(-110.0)
+        )
+
+    def test_independent_of_link(self):
+        model = ConstantInterference(floor_dbm=-110.0)
+        assert model.interference_mw(10.0, [], 10.0) == model.interference_mw(
+            900.0, [1.0, 2.0], 20.0
+        )
+
+
+class TestLoadInterference:
+    def test_zero_without_other_transmitters(self):
+        model = LoadInterference(PaperPathLoss(), activity_factor=0.5)
+        assert model.interference_mw(100.0, [], 10.0) == 0.0
+
+    def test_zero_activity_factor(self):
+        model = LoadInterference(PaperPathLoss(), activity_factor=0.0)
+        assert model.interference_mw(100.0, [50.0, 60.0], 10.0) == 0.0
+
+    def test_scales_with_activity_factor(self):
+        low = LoadInterference(PaperPathLoss(), activity_factor=0.1)
+        high = LoadInterference(PaperPathLoss(), activity_factor=0.2)
+        others = [100.0, 200.0]
+        assert high.interference_mw(50.0, others, 10.0) == pytest.approx(
+            2.0 * low.interference_mw(50.0, others, 10.0)
+        )
+
+    def test_sums_received_powers(self):
+        model = LoadInterference(PaperPathLoss(), activity_factor=1.0)
+        single_a = model.interference_mw(50.0, [100.0], 10.0)
+        single_b = model.interference_mw(50.0, [200.0], 10.0)
+        combined = model.interference_mw(50.0, [100.0, 200.0], 10.0)
+        assert combined == pytest.approx(single_a + single_b)
+
+    def test_nearer_interferers_hurt_more(self):
+        model = LoadInterference(PaperPathLoss(), activity_factor=1.0)
+        near = model.interference_mw(50.0, [50.0], 10.0)
+        far = model.interference_mw(50.0, [500.0], 10.0)
+        assert near > far
+
+    def test_invalid_activity_factor(self):
+        with pytest.raises(ConfigurationError):
+            LoadInterference(PaperPathLoss(), activity_factor=-0.1)
+        with pytest.raises(ConfigurationError):
+            LoadInterference(PaperPathLoss(), activity_factor=1.1)

@@ -1,0 +1,61 @@
+"""Unit tests for the interference-floor configuration knob."""
+
+import pytest
+
+from repro.core.dmra import DMRAAllocator
+from repro.radio.interference import ConstantInterference, NoInterference
+from repro.sim.config import ScenarioConfig
+from repro.sim.runner import run_allocation
+from repro.sim.scenario import build_scenario
+
+
+class TestInterferenceKnob:
+    def test_default_is_noise_limited(self):
+        budget = ScenarioConfig.paper().link_budget()
+        assert isinstance(budget.interference, NoInterference)
+        assert budget.noise_dbm == -170.0
+
+    def test_floor_selects_constant_interference(self):
+        config = ScenarioConfig.paper(interference_floor_dbm=-150.0)
+        budget = config.link_budget()
+        assert isinstance(budget.interference, ConstantInterference)
+        assert budget.interference.floor_dbm == -150.0
+
+    def test_interference_lowers_sinr_and_raises_rrb_demand(self):
+        quiet = build_scenario(ScenarioConfig.paper(), 120, 3)
+        noisy = build_scenario(
+            ScenarioConfig.paper(interference_floor_dbm=-150.0), 120, 3
+        )
+        for link in quiet.radio_map:
+            counterpart = noisy.radio_map.link(link.ue_id, link.bs_id)
+            assert counterpart.sinr_linear < link.sinr_linear
+            assert counterpart.rrbs_required >= link.rrbs_required
+
+    def test_interference_shrinks_edge_capacity(self):
+        """With a -150 dBm floor the radio pool holds fewer UEs, so the
+        same overload produces more cloud forwarding."""
+        quiet_cfg = ScenarioConfig.paper()
+        noisy_cfg = ScenarioConfig.paper(interference_floor_dbm=-150.0)
+        quiet_cloud = 0
+        noisy_cloud = 0
+        for seed in range(2):
+            quiet = build_scenario(quiet_cfg, 900, seed)
+            noisy = build_scenario(noisy_cfg, 900, seed)
+            quiet_cloud += run_allocation(
+                quiet, DMRAAllocator(pricing=quiet.pricing)
+            ).metrics.cloud_forwarded
+            noisy_cloud += run_allocation(
+                noisy, DMRAAllocator(pricing=noisy.pricing)
+            ).metrics.cloud_forwarded
+        assert noisy_cloud > quiet_cloud
+
+    def test_dmra_ordering_survives_interference(self):
+        from repro.baselines.dcsp import DCSPAllocator
+
+        config = ScenarioConfig.paper(interference_floor_dbm=-150.0)
+        scenario = build_scenario(config, 500, 1)
+        dmra = run_allocation(
+            scenario, DMRAAllocator(pricing=scenario.pricing)
+        ).metrics.total_profit
+        dcsp = run_allocation(scenario, DCSPAllocator()).metrics.total_profit
+        assert dmra > dcsp

@@ -1,0 +1,224 @@
+"""Unit tests for the iterative matching engine (Alg. 1 skeleton).
+
+Uses a minimal deterministic policy so engine mechanics — proposal
+walks, per-service selection, RRB eviction, cloud fallback, termination
+— can be asserted precisely on hand-built networks.
+"""
+
+import pytest
+
+from conftest import make_tiny_network
+from repro.core.matching import (
+    IterativeMatchingEngine,
+    MatchingContext,
+    MatchingPolicy,
+)
+from repro.errors import AllocationError
+from repro.model.geometry import Point
+from repro.radio.channel import build_radio_map
+from repro.radio.sinr import LinkBudget
+
+
+class NearestPolicy(MatchingPolicy):
+    """UEs prefer the closest BS; BSs prefer the lowest UE id."""
+
+    name = "nearest"
+
+    def ue_score(self, ue, bs_id, ctx):
+        return ctx.network.distance_m(ue.ue_id, bs_id)
+
+    def bs_rank_key(self, ue_id, bs_id, ctx):
+        return (ue_id,)
+
+
+def run_engine(network, policy=None, max_rounds=1000):
+    radio_map = build_radio_map(network, LinkBudget())
+    engine = IterativeMatchingEngine(
+        policy if policy is not None else NearestPolicy(), max_rounds=max_rounds
+    )
+    assignment = engine.run(network, radio_map)
+    assignment.validate(network, radio_map)
+    return assignment
+
+
+class TestBasicMatching:
+    def test_single_ue_gets_nearest_bs(self):
+        assignment = run_engine(make_tiny_network())
+        assert assignment.serving_bs(0) == 0
+        assert assignment.cloud_count == 0
+
+    def test_unreachable_ue_goes_to_cloud(self):
+        network = make_tiny_network(
+            ue_specs=[dict(ue_id=0, position=Point(1200.0, 1200.0))],
+            coverage_radius_m=200.0,
+        )
+        assignment = run_engine(network)
+        assert assignment.cloud_ue_ids == {0}
+
+    def test_two_ues_share_a_bs_when_it_fits(self):
+        network = make_tiny_network(
+            ue_specs=[
+                dict(ue_id=0, position=Point(100, 0)),
+                dict(ue_id=1, position=Point(90, 0), service_id=1),
+            ]
+        )
+        assignment = run_engine(network)
+        assert assignment.serving_bs(0) == 0
+        assert assignment.serving_bs(1) == 0
+
+    def test_one_per_service_per_round(self):
+        """Two same-service UEs at one BS need two rounds: the BS accepts
+        one candidate per service per round (Alg. 1 lines 13--21)."""
+        network = make_tiny_network(
+            ue_specs=[
+                dict(ue_id=0, position=Point(100, 0)),
+                dict(ue_id=1, position=Point(90, 0)),
+            ]
+        )
+        assignment = run_engine(network)
+        assert assignment.edge_served_count == 2
+        assert assignment.rounds >= 3  # 2 grant rounds + 1 empty closing round
+
+
+class TestResourceExhaustion:
+    def test_cru_exhaustion_spills_to_other_bs(self):
+        # Service 0 has 20 CRUs at each BS; three 8-CRU UEs near BS 0.
+        network = make_tiny_network(
+            ue_specs=[
+                dict(ue_id=i, cru_demand=8, position=Point(50.0 + i, 0.0))
+                for i in range(3)
+            ]
+        )
+        assignment = run_engine(network)
+        assert assignment.edge_served_count == 3
+        by_bs = {bs: len(assignment.grants_of_bs(bs)) for bs in (0, 1)}
+        assert by_bs[0] == 2 and by_bs[1] == 1
+
+    def test_everything_full_goes_to_cloud(self):
+        network = make_tiny_network(
+            ue_specs=[
+                dict(ue_id=i, cru_demand=19, position=Point(50.0 + i, 0.0))
+                for i in range(3)
+            ]
+        )
+        assignment = run_engine(network)
+        assert assignment.edge_served_count == 2  # one per BS
+        assert assignment.cloud_count == 1
+
+    def test_rrb_exhaustion_respected(self):
+        # Each UE needs 2 RRBs (6 Mbps) on a 3-RRB budget: only one fits
+        # per BS.
+        network = make_tiny_network(
+            ue_specs=[
+                dict(
+                    ue_id=i,
+                    rate_demand_bps=6e6,
+                    position=Point(50.0 + i, 0.0),
+                    service_id=i % 2,
+                )
+                for i in range(4)
+            ],
+            bs_specs=[
+                dict(bs_id=0, sp_id=0, position=Point(0, 0), rrb_capacity=3),
+                dict(bs_id=1, sp_id=1, position=Point(400, 0), rrb_capacity=3),
+            ],
+        )
+        assignment = run_engine(network)
+        for bs_id in (0, 1):
+            used = sum(g.rrbs for g in assignment.grants_of_bs(bs_id))
+            assert used <= 3
+
+
+class TestEviction:
+    def test_round_eviction_keeps_most_preferred(self):
+        """Two different-service UEs picked in one round exceed the RRB
+        budget; the BS must keep its preferred pick (lower ue_id under
+        NearestPolicy) and evict the other."""
+        network = make_tiny_network(
+            ue_specs=[
+                dict(ue_id=0, rate_demand_bps=6e6, position=Point(50, 0)),
+                dict(
+                    ue_id=1,
+                    rate_demand_bps=6e6,
+                    position=Point(60, 0),
+                    service_id=1,
+                ),
+            ],
+            bs_specs=[
+                dict(bs_id=0, sp_id=0, position=Point(0, 0), rrb_capacity=2),
+                dict(bs_id=1, sp_id=1, position=Point(400, 0), rrb_capacity=2),
+            ],
+        )
+        # Each UE needs 2 RRBs at ~50 m; together 4 > 2.
+        assignment = run_engine(network)
+        assert assignment.serving_bs(0) == 0
+        # UE 1 was evicted in round 1 but reassigned later (BS 0 is full,
+        # so it lands on BS 1).
+        assert assignment.serving_bs(1) == 1
+
+
+class TestTermination:
+    def test_rounds_bounded_on_paper_scenario(self, small_scenario):
+        engine = IterativeMatchingEngine(NearestPolicy())
+        assignment = engine.run(
+            small_scenario.network, small_scenario.radio_map
+        )
+        assert assignment.rounds < 100
+
+    def test_max_rounds_guard_triggers(self):
+        network = make_tiny_network(
+            ue_specs=[
+                dict(ue_id=0, position=Point(100, 0)),
+                dict(ue_id=1, position=Point(90, 0)),
+            ]
+        )
+        radio_map = build_radio_map(network, LinkBudget())
+        engine = IterativeMatchingEngine(NearestPolicy(), max_rounds=1)
+        with pytest.raises(AllocationError, match="terminate"):
+            engine.run(network, radio_map)
+
+    def test_invalid_max_rounds(self):
+        with pytest.raises(AllocationError):
+            IterativeMatchingEngine(NearestPolicy(), max_rounds=0)
+
+    def test_empty_network_terminates_immediately(self):
+        network = make_tiny_network(ue_specs=[])
+        assignment = run_engine(network)
+        assert assignment.edge_served_count == 0
+        assert assignment.cloud_count == 0
+
+
+class TestContextHelpers:
+    def test_feasible_bs_count_shrinks_with_load(self):
+        network = make_tiny_network(
+            ue_specs=[dict(ue_id=0, cru_demand=15, position=Point(100, 0))]
+        )
+        radio_map = build_radio_map(network, LinkBudget())
+        from repro.compute.cru import LedgerPool
+
+        ctx = MatchingContext(
+            network=network,
+            radio_map=radio_map,
+            ledgers=LedgerPool(network.base_stations),
+            candidate_sets={0: [0, 1]},
+        )
+        assert ctx.feasible_bs_count(0) == 2
+        # Exhaust service 0 on BS 0 below the UE's 15-CRU demand.
+        ctx.ledgers.ledger(0).grant(ue_id=9, service_id=0, crus=10, rrbs=1)
+        assert ctx.feasible_bs_count(0) == 1
+
+    def test_link_fits_checks_both_resources(self, tiny_network):
+        radio_map = build_radio_map(tiny_network, LinkBudget())
+        from repro.compute.cru import LedgerPool
+
+        ctx = MatchingContext(
+            network=tiny_network,
+            radio_map=radio_map,
+            ledgers=LedgerPool(tiny_network.base_stations),
+            candidate_sets={0: [0, 1]},
+        )
+        ue = tiny_network.user_equipment(0)
+        assert ctx.link_fits(ue, 0)
+        ledger = ctx.ledgers.ledger(0)
+        ledger.grant(ue_id=9, service_id=0, crus=17, rrbs=1)  # 3 CRUs < 4 left
+        assert not ctx.link_fits(ue, 0)

@@ -1,0 +1,110 @@
+"""Unit tests for the discrete MCS rate model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radio.mcs import MCS_TABLE, mcs_for_sinr, mcs_rate_bps
+from repro.radio.ofdma import per_rrb_rate_bps
+from repro.radio.units import db_to_linear
+from repro.sim.config import ScenarioConfig
+from repro.sim.scenario import build_scenario
+
+
+class TestMcsTable:
+    def test_fifteen_levels(self):
+        assert len(MCS_TABLE) == 15
+        assert [e.cqi for e in MCS_TABLE] == list(range(1, 16))
+
+    def test_thresholds_and_efficiencies_monotone(self):
+        thresholds = [e.min_sinr_db for e in MCS_TABLE]
+        efficiencies = [e.efficiency_bps_hz for e in MCS_TABLE]
+        assert thresholds == sorted(thresholds)
+        assert efficiencies == sorted(efficiencies)
+
+    def test_modulations_progress(self):
+        assert MCS_TABLE[0].modulation == "QPSK"
+        assert MCS_TABLE[-1].modulation == "64QAM"
+
+
+class TestMcsForSinr:
+    def test_below_lowest_threshold_is_none(self):
+        assert mcs_for_sinr(db_to_linear(-10.0)) is None
+
+    def test_zero_sinr_is_none(self):
+        assert mcs_for_sinr(0.0) is None
+
+    def test_high_sinr_reaches_top_cqi(self):
+        assert mcs_for_sinr(db_to_linear(60.0)).cqi == 15
+
+    def test_threshold_boundaries(self):
+        # Exactly at CQI 9's threshold (10.3 dB) -> CQI 9.
+        entry = mcs_for_sinr(db_to_linear(10.3))
+        assert entry.cqi == 9
+        # Just below -> CQI 8.
+        entry = mcs_for_sinr(db_to_linear(10.29))
+        assert entry.cqi == 8
+
+    def test_selection_monotone_in_sinr(self):
+        cqis = []
+        for db in range(-7, 41):
+            entry = mcs_for_sinr(db_to_linear(float(db)))
+            cqis.append(entry.cqi if entry else 0)
+        assert cqis == sorted(cqis)
+
+    def test_negative_sinr_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mcs_for_sinr(-0.1)
+
+
+class TestMcsRate:
+    def test_rate_zero_below_cqi1(self):
+        assert mcs_rate_bps(180e3, db_to_linear(-10.0)) == 0.0
+
+    def test_rate_at_top_cqi(self):
+        rate = mcs_rate_bps(180e3, db_to_linear(60.0))
+        assert rate == pytest.approx(180e3 * 5.5547)
+
+    def test_never_exceeds_shannon(self):
+        for db in range(-6, 40):
+            sinr = db_to_linear(float(db))
+            assert mcs_rate_bps(180e3, sinr) <= per_rrb_rate_bps(180e3, sinr)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            mcs_rate_bps(0.0, 1.0)
+
+
+class TestMcsScenarioIntegration:
+    def test_config_selects_rate_model(self):
+        assert ScenarioConfig.paper().rate_model == "shannon"
+        mcs_config = ScenarioConfig.paper(rate_model="mcs")
+        assert mcs_config.rate_model_fn() is mcs_rate_bps
+
+    def test_unknown_rate_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig.paper(rate_model="magic")
+
+    def test_mcs_links_demand_more_rrbs(self):
+        shannon = build_scenario(ScenarioConfig.paper(), 80, 3)
+        quantized = build_scenario(
+            ScenarioConfig.paper(rate_model="mcs"), 80, 3
+        )
+        for link in shannon.radio_map:
+            counterpart = quantized.radio_map.link(link.ue_id, link.bs_id)
+            assert counterpart.rrbs_required >= link.rrbs_required
+
+    def test_dmra_ordering_survives_quantization(self):
+        """The headline DMRA > DCSP ordering is not an artifact of the
+        Shannon bound."""
+        from repro.baselines.dcsp import DCSPAllocator
+        from repro.core.dmra import DMRAAllocator
+        from repro.sim.runner import run_allocation
+
+        scenario = build_scenario(
+            ScenarioConfig.paper(rate_model="mcs"), 500, 2
+        )
+        dmra = run_allocation(
+            scenario, DMRAAllocator(pricing=scenario.pricing)
+        ).metrics.total_profit
+        dcsp = run_allocation(scenario, DCSPAllocator()).metrics.total_profit
+        assert dmra > dcsp

@@ -1,0 +1,136 @@
+"""Unit tests for the mobility simulation."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.mobility import (
+    RandomWalk,
+    RandomWaypoint,
+    run_mobility,
+)
+from repro.errors import ConfigurationError
+from repro.model.geometry import Point, Rectangle
+from repro.sim.config import ScenarioConfig
+
+CONFIG = ScenarioConfig.paper()
+REGION = Rectangle.square(1200.0)
+
+
+class TestMobilityModels:
+    def test_random_walk_distance_bounded_by_speed(self):
+        model = RandomWalk(speed_mps=2.0)
+        rng = np.random.default_rng(1)
+        start = Point(600.0, 600.0)
+        end = model.step(0, start, dt_s=10.0, region=REGION, rng=rng)
+        assert start.distance_to(end) <= 20.0 + 1e-9
+
+    def test_random_walk_stays_in_region(self):
+        model = RandomWalk(speed_mps=100.0)
+        rng = np.random.default_rng(2)
+        position = Point(0.0, 0.0)  # on a corner
+        for _ in range(50):
+            position = model.step(0, position, 10.0, REGION, rng)
+            assert REGION.contains(position)
+
+    def test_random_walk_zero_speed_is_static(self):
+        model = RandomWalk(speed_mps=0.0)
+        rng = np.random.default_rng(3)
+        start = Point(100.0, 100.0)
+        assert model.step(0, start, 10.0, REGION, rng) == start
+
+    def test_random_walk_invalid_speed(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalk(speed_mps=-1.0)
+
+    def test_waypoint_moves_toward_target(self):
+        model = RandomWaypoint(speed_min_mps=1.0, speed_max_mps=1.0)
+        rng = np.random.default_rng(4)
+        start = Point(600.0, 600.0)
+        first = model.step(0, start, 5.0, REGION, rng)
+        target, _ = model._targets[0]
+        # After the first step the UE is strictly closer to its target.
+        assert first.distance_to(target) < start.distance_to(target)
+
+    def test_waypoint_speed_bounds(self):
+        model = RandomWaypoint(speed_min_mps=2.0, speed_max_mps=3.0)
+        rng = np.random.default_rng(5)
+        position = Point(600.0, 600.0)
+        moved = model.step(0, position, dt_s=4.0, region=REGION, rng=rng)
+        assert 0 < position.distance_to(moved) <= 12.0 + 1e-9
+
+    def test_waypoint_invalid_speeds(self):
+        with pytest.raises(ConfigurationError):
+            RandomWaypoint(speed_min_mps=0.0)
+        with pytest.raises(ConfigurationError):
+            RandomWaypoint(speed_min_mps=3.0, speed_max_mps=1.0)
+
+    def test_waypoint_per_ue_state_is_independent(self):
+        model = RandomWaypoint()
+        rng = np.random.default_rng(6)
+        model.step(0, Point(10, 10), 1.0, REGION, rng)
+        model.step(1, Point(20, 20), 1.0, REGION, rng)
+        assert set(model._targets) == {0, 1}
+
+
+class TestRunMobility:
+    def run(self, **overrides):
+        kwargs = dict(
+            config=CONFIG,
+            ue_count=200,
+            epochs=5,
+            epoch_duration_s=30.0,
+            seed=1,
+            mobility=RandomWalk(speed_mps=5.0),
+        )
+        kwargs.update(overrides)
+        return run_mobility(**kwargs)
+
+    def test_epoch_structure(self):
+        outcome = self.run()
+        assert outcome.epoch_count == 6  # epoch 0 + 5 mobility epochs
+        assert [r.epoch for r in outcome.records] == list(range(6))
+        assert outcome.records[0].handovers == 0
+
+    def test_population_conserved_per_epoch(self):
+        outcome = self.run()
+        for record in outcome.records:
+            assert record.edge_served + record.cloud == 200
+
+    def test_seed_determinism(self):
+        a = self.run()
+        b = self.run()
+        assert a.records == b.records
+
+    def test_faster_ues_cause_more_handovers(self):
+        slow = self.run(mobility=RandomWalk(speed_mps=1.0), epochs=8)
+        fast = self.run(mobility=RandomWalk(speed_mps=30.0), epochs=8)
+        assert fast.total_handovers >= slow.total_handovers
+
+    def test_static_ues_never_hand_over(self):
+        outcome = self.run(mobility=RandomWalk(speed_mps=0.0))
+        assert outcome.total_handovers == 0
+        profits = [r.total_profit for r in outcome.records]
+        assert all(p == pytest.approx(profits[0]) for p in profits)
+
+    def test_reoptimization_beats_sticky_profit(self):
+        sticky = self.run(epochs=8, mobility=RandomWalk(speed_mps=20.0))
+        fresh = self.run(
+            epochs=8, mobility=RandomWalk(speed_mps=20.0), sticky=False
+        )
+        assert fresh.mean_profit >= sticky.mean_profit
+        assert fresh.total_handovers >= sticky.total_handovers
+
+    def test_profit_positive_throughout(self):
+        outcome = self.run()
+        assert all(r.total_profit > 0 for r in outcome.records)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            self.run(epochs=0)
+        with pytest.raises(ConfigurationError):
+            self.run(epoch_duration_s=0.0)
+
+    def test_handover_rate_definition(self):
+        outcome = self.run()
+        expected = outcome.total_handovers / (200 * outcome.epoch_count)
+        assert outcome.handover_rate == pytest.approx(expected)

@@ -1,0 +1,199 @@
+"""Unit tests for the MECNetwork container."""
+
+import pytest
+
+from conftest import make_tiny_network
+from repro.errors import ConfigurationError, UnknownEntityError
+from repro.model.entities import (
+    BaseStation,
+    Service,
+    ServiceProvider,
+    UserEquipment,
+)
+from repro.model.geometry import Point, Rectangle
+from repro.model.network import MECNetwork
+
+
+class TestLookups:
+    def test_entity_lookups(self, tiny_network):
+        assert tiny_network.provider(0).name == "SP-0"
+        assert tiny_network.base_station(1).sp_id == 1
+        assert tiny_network.user_equipment(0).sp_id == 0
+        assert tiny_network.service(1).name == "svc-1"
+
+    def test_unknown_ids_raise(self, tiny_network):
+        with pytest.raises(UnknownEntityError):
+            tiny_network.provider(99)
+        with pytest.raises(UnknownEntityError):
+            tiny_network.base_station(99)
+        with pytest.raises(UnknownEntityError):
+            tiny_network.user_equipment(99)
+        with pytest.raises(UnknownEntityError):
+            tiny_network.service(99)
+
+    def test_provider_of_ue(self, tiny_network):
+        assert tiny_network.provider_of_ue(0).sp_id == 0
+
+    def test_entities_of_sp(self, tiny_network):
+        assert [bs.bs_id for bs in tiny_network.base_stations_of_sp(0)] == [0]
+        assert [ue.ue_id for ue in tiny_network.user_equipments_of_sp(0)] == [0]
+        assert tiny_network.user_equipments_of_sp(1) == ()
+
+    def test_counts(self, tiny_network):
+        assert tiny_network.sp_count == 2
+        assert tiny_network.bs_count == 2
+        assert tiny_network.ue_count == 1
+        assert tiny_network.service_count == 2
+
+
+class TestGeometryQueries:
+    def test_distance_matches_positions(self, tiny_network):
+        # UE 0 at (100, 0); BS 0 at (0, 0); BS 1 at (400, 0).
+        assert tiny_network.distance_m(0, 0) == pytest.approx(100.0)
+        assert tiny_network.distance_m(0, 1) == pytest.approx(300.0)
+
+    def test_distance_unknown_entity(self, tiny_network):
+        with pytest.raises(UnknownEntityError):
+            tiny_network.distance_m(99, 0)
+        with pytest.raises(UnknownEntityError):
+            tiny_network.distance_m(0, 99)
+
+    def test_distance_matrix_shape_and_copy(self, tiny_network):
+        matrix = tiny_network.distance_matrix_m()
+        assert matrix.shape == (1, 2)
+        matrix[0, 0] = -1.0  # mutating the copy must not affect the network
+        assert tiny_network.distance_m(0, 0) == pytest.approx(100.0)
+
+    def test_covers_respects_radius(self):
+        network = make_tiny_network(coverage_radius_m=150.0)
+        assert network.covers(0, 0)  # 100 m <= 150 m
+        assert not network.covers(1, 0)  # 300 m > 150 m
+
+    def test_covering_base_stations(self, tiny_network):
+        assert set(tiny_network.covering_base_stations(0)) == {0, 1}
+
+    def test_same_sp(self, tiny_network):
+        assert tiny_network.same_sp(0, 0)
+        assert not tiny_network.same_sp(0, 1)
+
+
+class TestCandidateSets:
+    def test_candidates_require_coverage_and_service(self):
+        # BS 1 does not host service 0 -> excluded despite coverage.
+        network = make_tiny_network(
+            bs_specs=[
+                dict(bs_id=0, sp_id=0, position=Point(0, 0)),
+                dict(
+                    bs_id=1,
+                    sp_id=1,
+                    position=Point(400, 0),
+                    cru_capacity={1: 20},
+                ),
+            ]
+        )
+        assert network.candidate_base_stations(0) == (0,)
+
+    def test_zero_cru_hosting_excluded(self):
+        network = make_tiny_network(
+            bs_specs=[
+                dict(bs_id=0, sp_id=0, position=Point(0, 0)),
+                dict(
+                    bs_id=1,
+                    sp_id=1,
+                    position=Point(400, 0),
+                    cru_capacity={0: 0, 1: 20},
+                ),
+            ]
+        )
+        assert network.candidate_base_stations(0) == (0,)
+
+    def test_out_of_coverage_ue_has_empty_candidates(self):
+        network = make_tiny_network(
+            ue_specs=[dict(ue_id=0, position=Point(1200.0, 1200.0))],
+            coverage_radius_m=200.0,
+        )
+        assert network.candidate_base_stations(0) == ()
+
+    def test_candidates_unknown_ue(self, tiny_network):
+        with pytest.raises(UnknownEntityError):
+            tiny_network.candidate_base_stations(42)
+
+    def test_mean_coverage_degree(self, tiny_network):
+        assert tiny_network.mean_coverage_degree() == pytest.approx(2.0)
+
+
+class TestValidation:
+    def base_args(self):
+        return dict(
+            providers=[ServiceProvider(sp_id=0)],
+            services=[Service(0)],
+            region=Rectangle.square(100.0),
+        )
+
+    def test_duplicate_ids_rejected(self):
+        args = self.base_args()
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            MECNetwork(
+                base_stations=[
+                    BaseStation(0, 0, Point(0, 0), {0: 10}),
+                    BaseStation(0, 0, Point(1, 1), {0: 10}),
+                ],
+                user_equipments=[],
+                **args,
+            )
+
+    def test_bs_with_unknown_sp_rejected(self):
+        args = self.base_args()
+        with pytest.raises(ConfigurationError, match="unknown SP"):
+            MECNetwork(
+                base_stations=[BaseStation(0, 7, Point(0, 0), {0: 10})],
+                user_equipments=[],
+                **args,
+            )
+
+    def test_bs_hosting_unknown_service_rejected(self):
+        args = self.base_args()
+        with pytest.raises(ConfigurationError, match="unknown service"):
+            MECNetwork(
+                base_stations=[BaseStation(0, 0, Point(0, 0), {5: 10})],
+                user_equipments=[],
+                **args,
+            )
+
+    def test_ue_with_unknown_sp_rejected(self):
+        args = self.base_args()
+        with pytest.raises(ConfigurationError, match="unknown SP"):
+            MECNetwork(
+                base_stations=[],
+                user_equipments=[
+                    UserEquipment(0, 7, Point(0, 0), 0, 3, 2e6)
+                ],
+                **args,
+            )
+
+    def test_ue_requesting_unknown_service_rejected(self):
+        args = self.base_args()
+        with pytest.raises(ConfigurationError, match="unknown service"):
+            MECNetwork(
+                base_stations=[],
+                user_equipments=[
+                    UserEquipment(0, 0, Point(0, 0), 9, 3, 2e6)
+                ],
+                **args,
+            )
+
+    def test_non_positive_coverage_radius_rejected(self):
+        args = self.base_args()
+        with pytest.raises(ConfigurationError):
+            MECNetwork(
+                base_stations=[],
+                user_equipments=[],
+                coverage_radius_m=0.0,
+                **args,
+            )
+
+    def test_describe_mentions_populations(self, tiny_network):
+        text = tiny_network.describe()
+        assert "2 SPs" in text
+        assert "2 BSs" in text
+        assert "1 UEs" in text

@@ -1,0 +1,75 @@
+"""Unit tests for OFDMA RRB arithmetic (Eqs. 2--4)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, InfeasibleLinkError
+from repro.radio.ofdma import per_rrb_rate_bps, rrb_budget, rrbs_required
+
+
+class TestPerRRBRate:
+    def test_shannon_formula(self):
+        # e = W_sub * log2(1 + SINR); at SINR = 3 that is 2 * W_sub.
+        assert per_rrb_rate_bps(180e3, 3.0) == pytest.approx(360e3)
+
+    def test_zero_sinr_gives_zero_rate(self):
+        assert per_rrb_rate_bps(180e3, 0.0) == 0.0
+
+    def test_rate_increases_with_sinr(self):
+        rates = [per_rrb_rate_bps(180e3, s) for s in (0.5, 1, 10, 100, 1e5)]
+        assert rates == sorted(rates)
+
+    def test_rate_scales_with_bandwidth(self):
+        assert per_rrb_rate_bps(360e3, 3.0) == pytest.approx(
+            2 * per_rrb_rate_bps(180e3, 3.0)
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            per_rrb_rate_bps(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            per_rrb_rate_bps(180e3, -0.5)
+
+
+class TestRRBsRequired:
+    def test_exact_division(self):
+        assert rrbs_required(2e6, 1e6) == 2
+
+    def test_ceiling_behaviour(self):
+        assert rrbs_required(2.1e6, 1e6) == 3
+        assert rrbs_required(0.1e6, 1e6) == 1
+
+    def test_matches_paper_eq3(self):
+        w_u, e_ui = 5.5e6, 1.3e6
+        assert rrbs_required(w_u, e_ui) == math.ceil(w_u / e_ui)
+
+    def test_zero_rate_link_is_infeasible(self):
+        with pytest.raises(InfeasibleLinkError):
+            rrbs_required(2e6, 0.0)
+
+    def test_invalid_demand(self):
+        with pytest.raises(ConfigurationError):
+            rrbs_required(0.0, 1e6)
+
+    def test_demand_monotonicity(self):
+        counts = [rrbs_required(w, 1e6) for w in (1e6, 2e6, 3.5e6, 9e6)]
+        assert counts == sorted(counts)
+
+
+class TestRRBBudget:
+    def test_paper_budget_is_55(self):
+        assert rrb_budget(10e6, 180e3) == 55
+
+    def test_floor_division(self):
+        assert rrb_budget(1e6, 300e3) == 3
+
+    def test_sub_rrb_band_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rrb_budget(100e3, 180e3)
+
+    def test_invalid_bandwidths(self):
+        with pytest.raises(ConfigurationError):
+            rrb_budget(0.0, 180e3)
+        with pytest.raises(ConfigurationError):
+            rrb_budget(10e6, 0.0)

@@ -1,0 +1,123 @@
+"""Unit tests for the online (event-driven) simulation."""
+
+import pytest
+
+from repro.dynamics.arrivals import (
+    BatchArrivals,
+    DeterministicHolding,
+    ExponentialHolding,
+    PoissonArrivals,
+)
+from repro.dynamics.online import OnlineConfig, run_online
+from repro.errors import ConfigurationError
+from repro.sim.config import ScenarioConfig
+
+CONFIG = ScenarioConfig.paper()
+
+
+def light_load(horizon=200.0):
+    return OnlineConfig(
+        horizon_s=horizon,
+        arrivals=PoissonArrivals(rate_per_s=0.5),
+        holding=ExponentialHolding(mean_s=60.0),
+    )
+
+
+class TestOnlineBasics:
+    def test_light_load_serves_everything(self):
+        outcome = run_online(CONFIG, light_load(), seed=1)
+        assert outcome.admitted_cloud == 0
+        assert outcome.blocking_probability == 0.0
+        assert outcome.admitted_edge == outcome.arrivals
+        assert outcome.total_admitted_profit > 0
+
+    def test_event_conservation(self):
+        """Every arrival is matched by exactly one departure event."""
+        outcome = run_online(CONFIG, light_load(), seed=2)
+        assert outcome.events_processed == 2 * outcome.arrivals
+
+    def test_seed_determinism(self):
+        a = run_online(CONFIG, light_load(), seed=3)
+        b = run_online(CONFIG, light_load(), seed=3)
+        assert a.total_admitted_profit == b.total_admitted_profit
+        assert a.edge_active.samples == b.edge_active.samples
+
+    def test_different_seeds_differ(self):
+        a = run_online(CONFIG, light_load(), seed=3)
+        b = run_online(CONFIG, light_load(), seed=4)
+        assert a.arrivals != b.arrivals or (
+            a.total_admitted_profit != b.total_admitted_profit
+        )
+
+    def test_profit_by_sp_sums_to_total(self):
+        outcome = run_online(CONFIG, light_load(), seed=5)
+        assert sum(outcome.profit_by_sp.values()) == pytest.approx(
+            outcome.total_admitted_profit
+        )
+
+    def test_series_well_formed(self):
+        outcome = run_online(CONFIG, light_load(), seed=1)
+        assert outcome.edge_active.samples[0] == (0.0, 0.0)
+        assert 0.0 <= outcome.mean_rrb_utilization <= 1.0
+        assert outcome.mean_edge_active >= 0.0
+
+
+class TestOnlineLoadRegimes:
+    def test_overload_produces_blocking(self):
+        heavy = OnlineConfig(
+            horizon_s=300.0,
+            arrivals=PoissonArrivals(rate_per_s=10.0),
+            holding=ExponentialHolding(mean_s=300.0),
+        )
+        outcome = run_online(CONFIG, heavy, seed=1)
+        assert outcome.blocking_probability > 0.1
+        assert outcome.rrb_utilization.peak > 0.8
+
+    def test_blocking_increases_with_offered_load(self):
+        def blocking(rate):
+            online = OnlineConfig(
+                horizon_s=300.0,
+                arrivals=PoissonArrivals(rate_per_s=rate),
+                holding=ExponentialHolding(mean_s=200.0),
+            )
+            return run_online(CONFIG, online, seed=7).blocking_probability
+
+        assert blocking(12.0) > blocking(4.0)
+
+    def test_resources_recycle_after_departures(self):
+        """With short holding times, a long run at moderate rate never
+        blocks: departures keep freeing capacity."""
+        online = OnlineConfig(
+            horizon_s=400.0,
+            arrivals=PoissonArrivals(rate_per_s=3.0),
+            holding=DeterministicHolding(duration_s=10.0),
+        )
+        outcome = run_online(CONFIG, online, seed=2)
+        assert outcome.blocking_probability == 0.0
+        # Occupancy stabilizes near rate * holding = 30, far below peak
+        # capacity, rather than accumulating.
+        assert outcome.edge_active.peak < 80
+
+    def test_batch_arrivals_supported(self):
+        online = OnlineConfig(
+            horizon_s=100.0,
+            arrivals=BatchArrivals(interval_s=20.0, batch_size=15),
+            holding=DeterministicHolding(duration_s=30.0),
+        )
+        outcome = run_online(CONFIG, online, seed=1)
+        assert outcome.arrivals == 4 * 15
+        assert outcome.admitted_edge > 0
+
+
+class TestOnlineValidation:
+    def test_invalid_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OnlineConfig(horizon_s=0.0)
+
+    def test_final_ledger_state_consistent(self):
+        """Active edge count at the end matches edge admissions minus
+        departures (implicitly checked via event conservation and the
+        series' last value being >= 0)."""
+        outcome = run_online(CONFIG, light_load(), seed=9)
+        assert outcome.edge_active.last_value >= 0
+        assert outcome.cloud_active.last_value >= 0

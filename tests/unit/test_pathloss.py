@@ -1,0 +1,118 @@
+"""Unit tests for path-loss models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radio.pathloss import (
+    FreeSpacePathLoss,
+    PaperPathLoss,
+    ShadowedPathLoss,
+)
+
+
+class TestPaperPathLoss:
+    def test_eq18_at_known_distances(self):
+        model = PaperPathLoss()
+        # 1 km: 140.7 + 36.7 * log10(1) = 140.7 dB.
+        assert model.loss_db(1000.0) == pytest.approx(140.7)
+        # 100 m: 140.7 + 36.7 * log10(0.1) = 104.0 dB.
+        assert model.loss_db(100.0) == pytest.approx(140.7 - 36.7)
+        # 300 m (the paper's inter-site distance).
+        assert model.loss_db(300.0) == pytest.approx(
+            140.7 + 36.7 * math.log10(0.3)
+        )
+
+    def test_monotone_increasing(self):
+        model = PaperPathLoss()
+        distances = [1.0, 10.0, 50.0, 100.0, 300.0, 500.0, 1200.0]
+        losses = [model.loss_db(d) for d in distances]
+        assert losses == sorted(losses)
+        assert len(set(losses)) == len(losses)
+
+    def test_slope_is_36_7_db_per_decade(self):
+        model = PaperPathLoss()
+        assert model.loss_db(1000.0) - model.loss_db(100.0) == pytest.approx(36.7)
+
+    def test_min_distance_floor(self):
+        model = PaperPathLoss(min_distance_m=1.0)
+        assert model.loss_db(0.0) == model.loss_db(1.0)
+        assert model.loss_db(0.5) == model.loss_db(1.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PaperPathLoss().loss_db(-1.0)
+
+    def test_invalid_min_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PaperPathLoss(min_distance_m=0.0)
+
+    def test_custom_coefficients(self):
+        model = PaperPathLoss(fixed_db=100.0, slope_db_per_decade=20.0)
+        assert model.loss_db(1000.0) == pytest.approx(100.0)
+        assert model.loss_db(10_000.0) == pytest.approx(120.0)
+
+
+class TestFreeSpacePathLoss:
+    def test_fspl_at_known_point(self):
+        # FSPL at 1 km, 2.4 GHz is ~100.05 dB.
+        model = FreeSpacePathLoss(carrier_frequency_hz=2.4e9)
+        assert model.loss_db(1000.0) == pytest.approx(100.05, abs=0.1)
+
+    def test_20db_per_decade(self):
+        model = FreeSpacePathLoss()
+        assert model.loss_db(1000.0) - model.loss_db(100.0) == pytest.approx(20.0)
+
+    def test_frequency_dependence(self):
+        low = FreeSpacePathLoss(carrier_frequency_hz=1e9)
+        high = FreeSpacePathLoss(carrier_frequency_hz=2e9)
+        assert high.loss_db(100.0) - low.loss_db(100.0) == pytest.approx(
+            20.0 * math.log10(2.0)
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            FreeSpacePathLoss(carrier_frequency_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            FreeSpacePathLoss(min_distance_m=-1.0)
+        with pytest.raises(ConfigurationError):
+            FreeSpacePathLoss().loss_db(-5.0)
+
+
+class TestShadowedPathLoss:
+    def test_shadowing_is_frozen_per_distance(self):
+        model = ShadowedPathLoss(PaperPathLoss(), sigma_db=8.0)
+        assert model.loss_db(250.0) == model.loss_db(250.0)
+
+    def test_shadowing_reproducible_from_rng_seed(self):
+        a = ShadowedPathLoss(
+            PaperPathLoss(), sigma_db=8.0, rng=np.random.default_rng(5)
+        )
+        b = ShadowedPathLoss(
+            PaperPathLoss(), sigma_db=8.0, rng=np.random.default_rng(5)
+        )
+        assert a.loss_db(250.0) == b.loss_db(250.0)
+
+    def test_zero_sigma_equals_base(self):
+        base = PaperPathLoss()
+        model = ShadowedPathLoss(base, sigma_db=0.0)
+        for d in (10.0, 100.0, 500.0):
+            assert model.loss_db(d) == pytest.approx(base.loss_db(d))
+
+    def test_shadowing_spread_matches_sigma(self):
+        model = ShadowedPathLoss(
+            PaperPathLoss(), sigma_db=8.0, rng=np.random.default_rng(0)
+        )
+        base = PaperPathLoss()
+        deviations = [
+            model.loss_db(float(d)) - base.loss_db(float(d))
+            for d in range(50, 1050)
+        ]
+        assert abs(float(np.mean(deviations))) < 1.0
+        assert float(np.std(deviations)) == pytest.approx(8.0, rel=0.15)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShadowedPathLoss(PaperPathLoss(), sigma_db=-1.0)

@@ -1,0 +1,131 @@
+"""Unit tests for JSON persistence and the association-graph analysis."""
+
+import json
+
+import pytest
+
+from repro.analysis.graph import association_graph, graph_report
+from repro.baselines.cloud_only import CloudOnlyAllocator
+from repro.core.dmra import DMRAAllocator
+from repro.errors import AllocationError, ConfigurationError
+from repro.sim.config import ScenarioConfig
+from repro.sim.persistence import load_assignment, save_assignment
+from repro.sim.scenario import build_scenario
+
+
+@pytest.fixture(scope="module")
+def allocated():
+    scenario = build_scenario(ScenarioConfig.paper(), 150, 9)
+    assignment = DMRAAllocator(pricing=scenario.pricing).allocate(
+        scenario.network, scenario.radio_map
+    )
+    return scenario, assignment
+
+
+class TestPersistence:
+    def test_round_trip_identity(self, allocated, tmp_path):
+        scenario, assignment = allocated
+        path = save_assignment(tmp_path / "run.json", scenario, assignment)
+        loaded_scenario, loaded = load_assignment(path)
+        assert sorted(loaded.association_pairs()) == sorted(
+            assignment.association_pairs()
+        )
+        assert loaded.cloud_ue_ids == assignment.cloud_ue_ids
+        assert loaded.rounds == assignment.rounds
+        assert loaded_scenario.seed == scenario.seed
+        assert loaded_scenario.config == scenario.config
+
+    def test_file_is_stable_json(self, allocated, tmp_path):
+        scenario, assignment = allocated
+        a = save_assignment(tmp_path / "a.json", scenario, assignment)
+        b = save_assignment(tmp_path / "b.json", scenario, assignment)
+        assert a.read_text() == b.read_text()
+        document = json.loads(a.read_text())
+        assert document["format_version"] == 1
+        assert len(document["grants"]) == assignment.edge_served_count
+
+    def test_load_validates_by_default(self, allocated, tmp_path):
+        scenario, assignment = allocated
+        path = save_assignment(tmp_path / "run.json", scenario, assignment)
+        document = json.loads(path.read_text())
+        document["grants"][0]["crus"] += 1  # corrupt one grant
+        path.write_text(json.dumps(document))
+        with pytest.raises(AllocationError):
+            load_assignment(path)
+        # Skipping validation loads the corrupted file anyway.
+        _, loaded = load_assignment(path, validate=False)
+        assert loaded.edge_served_count == assignment.edge_served_count
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_assignment(path)
+        with pytest.raises(ConfigurationError):
+            load_assignment(tmp_path / "missing.json")
+
+    def test_wrong_version_rejected(self, allocated, tmp_path):
+        scenario, assignment = allocated
+        path = save_assignment(tmp_path / "run.json", scenario, assignment)
+        document = json.loads(path.read_text())
+        document["format_version"] = 999
+        path.write_text(json.dumps(document))
+        with pytest.raises(ConfigurationError, match="version"):
+            load_assignment(path)
+
+    def test_popularity_tuple_round_trip(self, tmp_path):
+        config = ScenarioConfig.paper(service_popularity=(3, 2, 1, 1, 1, 1))
+        scenario = build_scenario(config, 60, 2)
+        assignment = DMRAAllocator(pricing=scenario.pricing).allocate(
+            scenario.network, scenario.radio_map
+        )
+        path = save_assignment(tmp_path / "p.json", scenario, assignment)
+        loaded_scenario, _ = load_assignment(path)
+        assert loaded_scenario.config.service_popularity == (3, 2, 1, 1, 1, 1)
+
+
+class TestAssociationGraph:
+    def test_graph_structure(self, allocated):
+        scenario, assignment = allocated
+        graph = association_graph(scenario.network, assignment)
+        assert graph.number_of_nodes() == (
+            scenario.network.bs_count + scenario.network.ue_count
+        )
+        assert graph.number_of_edges() == assignment.edge_served_count
+        # Bipartite: every edge joins a UE node and a BS node.
+        for a, b in graph.edges():
+            assert {a[0], b[0]} == {"ue", "bs"}
+
+    def test_report_consistency(self, allocated):
+        scenario, assignment = allocated
+        report = graph_report(scenario.network, assignment)
+        assert sum(report.bs_loads.values()) == assignment.edge_served_count
+        assert report.isolated_ue_count == assignment.cloud_count
+        assert report.min_bs_load <= report.max_bs_load
+        assert sum(report.sp_mixing.values()) == assignment.edge_served_count
+        assert 0.0 <= report.same_sp_edge_fraction <= 1.0
+        assert report.load_imbalance >= 1.0
+
+    def test_cloud_only_graph_has_no_edges(self, allocated):
+        scenario, _ = allocated
+        empty = CloudOnlyAllocator().allocate(
+            scenario.network, scenario.radio_map
+        )
+        report = graph_report(scenario.network, empty)
+        assert report.max_bs_load == 0
+        assert report.idle_bs_count == scenario.network.bs_count
+        assert report.isolated_ue_count == scenario.network.ue_count
+        assert report.load_imbalance == 1.0
+        assert report.same_sp_edge_fraction == 0.0
+
+    def test_mixing_matrix_matches_metrics(self, allocated):
+        scenario, assignment = allocated
+        report = graph_report(scenario.network, assignment)
+        same = sum(
+            count
+            for (ue_sp, bs_sp), count in report.sp_mixing.items()
+            if ue_sp == bs_sp
+        )
+        assert report.same_sp_edge_fraction == pytest.approx(
+            same / assignment.edge_served_count
+        )

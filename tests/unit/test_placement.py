@@ -1,0 +1,171 @@
+"""Unit tests for BS/UE placement strategies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.geometry import Point, Rectangle
+from repro.model.placement import (
+    ClusteredPlacement,
+    RegularGridPlacement,
+    UniformRandomPlacement,
+    coverage_overlap_count,
+    make_placement,
+    scatter_ues,
+)
+
+REGION = Rectangle.square(1200.0)
+
+
+class TestRegularGridPlacement:
+    def test_paper_grid_25_bs(self, rng):
+        points = RegularGridPlacement(300.0).place(REGION, 25, rng)
+        assert len(points) == 25
+        xs = sorted({p.x for p in points})
+        ys = sorted({p.y for p in points})
+        assert len(xs) == 5 and len(ys) == 5
+        # 300 m inter-site distance along both axes.
+        assert all(
+            b - a == pytest.approx(300.0) for a, b in zip(xs, xs[1:])
+        )
+        assert all(
+            b - a == pytest.approx(300.0) for a, b in zip(ys, ys[1:])
+        )
+
+    def test_grid_is_centered(self, rng):
+        points = RegularGridPlacement(300.0).place(REGION, 25, rng)
+        mean_x = sum(p.x for p in points) / len(points)
+        mean_y = sum(p.y for p in points) / len(points)
+        assert mean_x == pytest.approx(600.0)
+        assert mean_y == pytest.approx(600.0)
+
+    def test_grid_inside_region(self, rng):
+        points = RegularGridPlacement(300.0).place(REGION, 25, rng)
+        assert all(REGION.contains(p) for p in points)
+
+    def test_partial_last_row(self, rng):
+        points = RegularGridPlacement(100.0).place(REGION, 7, rng)
+        assert len(points) == 7
+        assert len(set(points)) == 7
+
+    def test_ignores_rng(self):
+        a = RegularGridPlacement(300.0).place(REGION, 25, np.random.default_rng(0))
+        b = RegularGridPlacement(300.0).place(REGION, 25, np.random.default_rng(99))
+        assert a == b
+
+    def test_zero_count(self, rng):
+        assert RegularGridPlacement(300.0).place(REGION, 0, rng) == []
+
+    def test_single_bs_at_center(self, rng):
+        (point,) = RegularGridPlacement(300.0).place(REGION, 1, rng)
+        assert point == Point(600.0, 600.0)
+
+    def test_grid_too_large_for_region_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            RegularGridPlacement(700.0).place(REGION, 25, rng)
+
+    def test_non_positive_spacing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RegularGridPlacement(0.0)
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            RegularGridPlacement(300.0).place(REGION, -1, rng)
+
+
+class TestUniformRandomPlacement:
+    def test_count_and_containment(self, rng):
+        points = UniformRandomPlacement().place(REGION, 40, rng)
+        assert len(points) == 40
+        assert all(REGION.contains(p) for p in points)
+
+    def test_seed_determinism(self):
+        a = UniformRandomPlacement().place(REGION, 10, np.random.default_rng(3))
+        b = UniformRandomPlacement().place(REGION, 10, np.random.default_rng(3))
+        assert a == b
+
+    def test_min_separation_respected(self, rng):
+        placement = UniformRandomPlacement(min_separation_m=100.0)
+        points = placement.place(REGION, 20, rng)
+        for i, a in enumerate(points):
+            for b in points[i + 1 :]:
+                assert a.distance_to(b) >= 100.0
+
+    def test_infeasible_separation_raises(self, rng):
+        placement = UniformRandomPlacement(min_separation_m=2000.0)
+        with pytest.raises(ConfigurationError):
+            placement.place(REGION, 5, rng)
+
+    def test_negative_separation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformRandomPlacement(min_separation_m=-1.0)
+
+
+class TestClusteredPlacement:
+    def test_count_and_containment(self, rng):
+        points = ClusteredPlacement(cluster_count=3, spread_m=100.0).place(
+            REGION, 30, rng
+        )
+        assert len(points) == 30
+        assert all(REGION.contains(p) for p in points)
+
+    def test_clustering_is_tighter_than_uniform(self):
+        # Mean nearest-neighbour distance should be smaller under
+        # clustering than under a uniform scatter of the same size.
+        rng_a = np.random.default_rng(42)
+        rng_b = np.random.default_rng(42)
+        clustered = ClusteredPlacement(cluster_count=2, spread_m=50.0).place(
+            REGION, 40, rng_a
+        )
+        uniform = UniformRandomPlacement().place(REGION, 40, rng_b)
+
+        def mean_nn(points):
+            total = 0.0
+            for p in points:
+                total += min(
+                    p.distance_to(q) for q in points if q is not p
+                )
+            return total / len(points)
+
+        assert mean_nn(clustered) < mean_nn(uniform)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusteredPlacement(cluster_count=0)
+        with pytest.raises(ConfigurationError):
+            ClusteredPlacement(spread_m=0.0)
+
+
+class TestFactoryAndHelpers:
+    def test_make_placement_known_names(self):
+        assert isinstance(make_placement("regular"), RegularGridPlacement)
+        assert isinstance(make_placement("random"), UniformRandomPlacement)
+        assert isinstance(make_placement("clustered"), ClusteredPlacement)
+
+    def test_make_placement_passes_kwargs(self):
+        placement = make_placement("regular", inter_site_distance_m=150.0)
+        assert placement.inter_site_distance_m == 150.0
+
+    def test_make_placement_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_placement("hexagonal")
+
+    def test_scatter_ues(self, rng):
+        points = scatter_ues(REGION, 100, rng)
+        assert len(points) == 100
+        assert all(REGION.contains(p) for p in points)
+
+    def test_coverage_overlap_count(self):
+        bss = [Point(0, 0), Point(300, 0), Point(900, 0)]
+        assert coverage_overlap_count(bss, Point(150, 0), radius_m=200.0) == 2
+        assert coverage_overlap_count(bss, Point(900, 0), radius_m=200.0) == 1
+        assert coverage_overlap_count(bss, Point(150, 0), radius_m=10.0) == 0
+
+    def test_paper_layouts_give_multi_coverage(self, rng):
+        """The paper's premise: UEs tend to be covered by multiple BSs."""
+        grid = RegularGridPlacement(300.0).place(REGION, 25, rng)
+        ues = scatter_ues(REGION, 200, rng)
+        degrees = [
+            coverage_overlap_count(grid, ue, radius_m=500.0) for ue in ues
+        ]
+        assert sum(d >= 2 for d in degrees) / len(degrees) > 0.95

@@ -1,0 +1,136 @@
+"""Unit tests for demand-aware service placement."""
+
+import pytest
+
+from repro.compute.placement_opt import (
+    empirical_popularity,
+    plan_hosting,
+    rehost_scenario,
+)
+from repro.core.dmra import DMRAAllocator
+from repro.errors import ConfigurationError
+from repro.sim.config import ScenarioConfig
+from repro.sim.runner import run_allocation
+from repro.sim.scenario import build_scenario
+
+
+class TestEmpiricalPopularity:
+    def test_shares_sum_to_one(self, small_scenario):
+        shares = empirical_popularity(small_scenario.network)
+        assert len(shares) == 6
+        assert sum(shares) == pytest.approx(1.0)
+        assert all(s >= 0 for s in shares)
+
+    def test_skewed_population_detected(self):
+        config = ScenarioConfig.paper(
+            service_popularity=(10, 1, 1, 1, 1, 1)
+        )
+        scenario = build_scenario(config, 600, 1)
+        shares = empirical_popularity(scenario.network)
+        assert shares[0] == max(shares)
+        assert shares[0] > 0.4
+
+
+class TestPlanHosting:
+    def test_every_service_covered_somewhere(self):
+        plan = plan_hosting(25, 3, weights=(16, 8, 4, 2, 1, 1))
+        hosted_anywhere = set().union(*plan)
+        assert hosted_anywhere == set(range(6))
+
+    def test_slots_per_bs_respected(self):
+        plan = plan_hosting(25, 3, weights=(16, 8, 4, 2, 1, 1))
+        assert all(len(h) == 3 for h in plan)
+
+    def test_popular_service_more_replicated(self):
+        plan = plan_hosting(25, 3, weights=(16, 8, 4, 2, 1, 1))
+        replicas = [sum(1 for h in plan if j in h) for j in range(6)]
+        assert replicas[0] == max(replicas)
+        assert replicas[0] > replicas[5]
+
+    def test_uniform_weights_roughly_even(self):
+        plan = plan_hosting(24, 3, weights=(1,) * 6)
+        replicas = [sum(1 for h in plan if j in h) for j in range(6)]
+        assert max(replicas) - min(replicas) <= 1
+
+    def test_full_hosting_degenerates_to_everything(self):
+        plan = plan_hosting(5, 6, weights=(3, 2, 1, 1, 1, 1))
+        assert all(h == frozenset(range(6)) for h in plan)
+
+    def test_no_duplicate_service_on_one_bs(self):
+        plan = plan_hosting(10, 2, weights=(100, 1, 1, 1, 1, 1))
+        assert all(len(h) == len(set(h)) == 2 for h in plan)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            plan_hosting(0, 3, weights=(1, 1))
+        with pytest.raises(ConfigurationError):
+            plan_hosting(5, 0, weights=(1, 1))
+        with pytest.raises(ConfigurationError):
+            plan_hosting(5, 3, weights=(1, 1))  # slots > services
+        with pytest.raises(ConfigurationError):
+            plan_hosting(5, 2, weights=(0, 0))
+        with pytest.raises(ConfigurationError):
+            plan_hosting(5, 2, weights=(-1, 2))
+        with pytest.raises(ConfigurationError):
+            plan_hosting(2, 1, weights=(1,) * 6)  # 2 slots, 6 services
+
+
+class TestRehostScenario:
+    def test_rehost_applies_plan(self, small_scenario):
+        plan = [frozenset({0, 1, 2})] * small_scenario.network.bs_count
+        rehosted = rehost_scenario(small_scenario, plan)
+        for bs in rehosted.network.base_stations:
+            assert bs.hosted_services == frozenset({0, 1, 2})
+            assert all(
+                100 <= c <= 150 for c in bs.cru_capacity.values()
+            )
+
+    def test_population_untouched(self, small_scenario):
+        plan = [frozenset(range(6))] * small_scenario.network.bs_count
+        rehosted = rehost_scenario(small_scenario, plan)
+        assert (
+            rehosted.network.user_equipments
+            == small_scenario.network.user_equipments
+        )
+        assert [bs.position for bs in rehosted.network.base_stations] == [
+            bs.position for bs in small_scenario.network.base_stations
+        ]
+
+    def test_plan_size_mismatch_rejected(self, small_scenario):
+        with pytest.raises(ConfigurationError):
+            rehost_scenario(small_scenario, [frozenset({0})])
+
+    def test_rehost_deterministic(self, small_scenario):
+        plan = [frozenset({0, 3})] * small_scenario.network.bs_count
+        a = rehost_scenario(small_scenario, plan, seed=4)
+        b = rehost_scenario(small_scenario, plan, seed=4)
+        assert [bs.cru_capacity for bs in a.network.base_stations] == [
+            bs.cru_capacity for bs in b.network.base_stations
+        ]
+
+
+class TestPlacementPayoff:
+    def test_demand_aware_hosting_beats_random_under_skew(self):
+        """The extension's claim: with scarce hosting slots and skewed
+        demand, popularity-proportional placement serves more UEs and
+        earns more profit than random placement."""
+        config = ScenarioConfig.paper(
+            service_popularity=(16, 8, 4, 2, 1, 1), hosted_fraction=0.5
+        )
+        random_profit = 0.0
+        planned_profit = 0.0
+        for seed in range(3):
+            scenario = build_scenario(config, 700, seed)
+            random_profit += run_allocation(
+                scenario, DMRAAllocator(pricing=scenario.pricing)
+            ).metrics.total_profit
+            plan = plan_hosting(
+                scenario.network.bs_count,
+                3,
+                empirical_popularity(scenario.network),
+            )
+            planned = rehost_scenario(scenario, plan, seed=seed)
+            planned_profit += run_allocation(
+                planned, DMRAAllocator(pricing=planned.pricing)
+            ).metrics.total_profit
+        assert planned_profit > random_profit

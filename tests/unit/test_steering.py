@@ -1,0 +1,93 @@
+"""Unit tests for the congestion-steered DMRA variant."""
+
+import pytest
+
+from repro.core.dmra import DMRAAllocator
+from repro.core.steering import (
+    CongestionSteeredAllocator,
+    CongestionSteeredPolicy,
+)
+from repro.errors import ConfigurationError
+from repro.sim.config import ScenarioConfig
+from repro.sim.runner import run_allocation
+from repro.sim.scenario import build_scenario
+
+
+class TestCongestionSteeredPolicy:
+    def test_beta_zero_equals_plain_dmra(self):
+        """beta = 0 must reproduce DMRA exactly, association for
+        association."""
+        scenario = build_scenario(ScenarioConfig.paper(), 500, 1)
+        plain = DMRAAllocator(pricing=scenario.pricing, rho=7.0).allocate(
+            scenario.network, scenario.radio_map
+        )
+        steered = CongestionSteeredAllocator(
+            pricing=scenario.pricing, rho=7.0, beta=0.0
+        ).allocate(scenario.network, scenario.radio_map)
+        assert sorted(plain.association_pairs()) == sorted(
+            steered.association_pairs()
+        )
+
+    def test_result_is_valid(self):
+        scenario = build_scenario(ScenarioConfig.paper(), 800, 2)
+        assignment = CongestionSteeredAllocator(
+            pricing=scenario.pricing, beta=1.5
+        ).allocate(scenario.network, scenario.radio_map)
+        assignment.validate(scenario.network, scenario.radio_map)
+
+    def test_negative_beta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CongestionSteeredAllocator(beta=-0.1)
+        from repro.econ.pricing import PaperPricing
+
+        with pytest.raises(ConfigurationError):
+            CongestionSteeredPolicy(pricing=PaperPricing(), beta=-1.0)
+
+    def test_steering_reduces_forwarding_under_overload(self):
+        """The extension's claim: utilization-scaled prices absorb more
+        load at the edge than price-only DMRA (rho = 0)."""
+        config = ScenarioConfig.paper()
+        plain_fwd = 0.0
+        steered_fwd = 0.0
+        for seed in range(3):
+            scenario = build_scenario(config, 1000, seed)
+            plain = run_allocation(
+                scenario,
+                CongestionSteeredAllocator(
+                    pricing=scenario.pricing, beta=0.0
+                ),
+            )
+            steered = run_allocation(
+                scenario,
+                CongestionSteeredAllocator(
+                    pricing=scenario.pricing, beta=2.0
+                ),
+            )
+            plain_fwd += plain.metrics.forwarded_traffic_bps
+            steered_fwd += steered.metrics.forwarded_traffic_bps
+        assert steered_fwd < plain_fwd
+
+    def test_steering_does_not_hurt_profit(self):
+        config = ScenarioConfig.paper()
+        plain_total = 0.0
+        steered_total = 0.0
+        for seed in range(3):
+            scenario = build_scenario(config, 1000, seed)
+            plain_total += run_allocation(
+                scenario,
+                CongestionSteeredAllocator(pricing=scenario.pricing, beta=0.0),
+            ).metrics.total_profit
+            steered_total += run_allocation(
+                scenario,
+                CongestionSteeredAllocator(pricing=scenario.pricing, beta=2.0),
+            ).metrics.total_profit
+        assert steered_total >= plain_total * 0.995
+
+    def test_deterministic(self):
+        scenario = build_scenario(ScenarioConfig.paper(), 400, 5)
+        allocator = CongestionSteeredAllocator(
+            pricing=scenario.pricing, beta=1.0
+        )
+        a = allocator.allocate(scenario.network, scenario.radio_map)
+        b = allocator.allocate(scenario.network, scenario.radio_map)
+        assert a.association_pairs() == b.association_pairs()

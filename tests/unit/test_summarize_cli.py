@@ -1,0 +1,53 @@
+"""Unit tests for the summarize CLI subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.experiments.io import write_series_csv
+from repro.sim.results import Series
+
+
+def stash_fig(tmp_path, exp_id="fig2", x_header="#UEs"):
+    series = [
+        Series.from_samples("dmra", [(400, [10.0]), (500, [12.0])]),
+        Series.from_samples("nonco", [(400, [9.0]), (500, [11.0])]),
+    ]
+    write_series_csv(tmp_path / f"{exp_id}.csv", series, x_header=x_header)
+
+
+class TestSummarize:
+    def test_renders_known_experiment(self, tmp_path, capsys):
+        stash_fig(tmp_path)
+        assert main(["summarize", "--results", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out  # registry metadata applied
+        assert "dmra" in out and "nonco" in out
+        assert "#UEs" in out
+
+    def test_only_filter(self, tmp_path, capsys):
+        stash_fig(tmp_path, "fig2")
+        stash_fig(tmp_path, "fig4")
+        assert (
+            main(
+                ["summarize", "--results", str(tmp_path), "--only", "fig4"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "Fig. 2" not in out
+
+    def test_unknown_csv_uses_generic_labels(self, tmp_path, capsys):
+        series = [Series.from_samples("a", [(1, [2.0]), (2, [3.0])])]
+        write_series_csv(tmp_path / "custom.csv", series, x_header="x")
+        assert main(["summarize", "--results", str(tmp_path)]) == 0
+        assert "custom" in capsys.readouterr().out
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not a directory"):
+            main(["summarize", "--results", str(tmp_path / "nope")])
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no matching"):
+            main(["summarize", "--results", str(tmp_path)])

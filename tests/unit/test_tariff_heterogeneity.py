@@ -1,0 +1,106 @@
+"""Unit tests for per-SP tariff heterogeneity and the crossover CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.dmra import DMRAAllocator
+from repro.errors import ConfigurationError, TariffViolationError
+from repro.sim.config import ScenarioConfig
+from repro.sim.runner import run_allocation
+from repro.sim.scenario import build_scenario
+
+
+class TestHeterogeneousTariffs:
+    def test_uniform_default(self):
+        config = ScenarioConfig.paper()
+        assert all(config.cru_price_of_sp(k) == 10.0 for k in range(5))
+
+    def test_per_sp_prices_applied(self):
+        prices = (12.0, 10.0, 10.0, 10.0, 8.0)
+        config = ScenarioConfig.paper(sp_cru_prices=prices)
+        scenario = build_scenario(config, 50, 1)
+        for sp in scenario.network.providers:
+            assert sp.cru_price == prices[sp.sp_id]
+
+    def test_arity_validated(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig.paper(sp_cru_prices=(10.0, 10.0))
+
+    def test_eq16_guard_applies_per_sp(self):
+        # SP 4's price of 5 is below the worst-case BS price + m_k^o.
+        config = ScenarioConfig.paper(
+            sp_cru_prices=(12.0, 10.0, 10.0, 10.0, 5.0)
+        )
+        with pytest.raises(TariffViolationError, match="SP 4"):
+            build_scenario(config, 10, 0)
+
+    def test_premium_sp_earns_more_per_subscriber(self):
+        """A higher m_k is pure margin under fixed demand: the premium
+        SP's per-subscriber profit must exceed the discount SP's."""
+        config = ScenarioConfig.paper(
+            sp_cru_prices=(13.0, 10.0, 10.0, 10.0, 8.0)
+        )
+        premium = 0.0
+        discount = 0.0
+        for seed in range(3):
+            scenario = build_scenario(config, 500, seed)
+            metrics = run_allocation(
+                scenario, DMRAAllocator(pricing=scenario.pricing)
+            ).metrics
+            for sp_id in (0, 4):
+                subscribers = len(
+                    scenario.network.user_equipments_of_sp(sp_id)
+                )
+                value = metrics.profit_by_sp[sp_id] / max(subscribers, 1)
+                if sp_id == 0:
+                    premium += value
+                else:
+                    discount += value
+        assert premium > discount
+
+    def test_allocation_itself_is_tariff_invariant(self):
+        """m_k moves money, not matching: the association must be
+        identical under different subscriber tariffs (UE preferences use
+        BS prices, not m_k)."""
+        base = build_scenario(ScenarioConfig.paper(), 300, 4)
+        varied = build_scenario(
+            ScenarioConfig.paper(sp_cru_prices=(13.0, 11.0, 10.0, 9.0, 8.5)),
+            300,
+            4,
+        )
+        a = DMRAAllocator(pricing=base.pricing).allocate(
+            base.network, base.radio_map
+        )
+        b = DMRAAllocator(pricing=varied.pricing).allocate(
+            varied.network, varied.radio_map
+        )
+        assert sorted(a.association_pairs()) == sorted(b.association_pairs())
+
+
+class TestCrossoverCli:
+    def test_crossover_found(self, capsys):
+        assert (
+            main(
+                [
+                    "crossover", "--lo", "800", "--hi", "1400",
+                    "--tolerance", "100",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "crossover at ~" in out
+
+    def test_no_crossover_reported(self, capsys):
+        assert (
+            main(
+                [
+                    "crossover", "--a", "dmra", "--b", "random",
+                    "--lo", "200", "--hi", "500", "--tolerance", "100",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "no crossover" in out
+        assert "dmra leads" in out

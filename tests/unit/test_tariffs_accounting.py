@@ -1,0 +1,116 @@
+"""Unit tests for tariff validation (Eq. 16) and profit accounting (Eqs. 5-8)."""
+
+import pytest
+
+from conftest import make_tiny_network
+from repro.compute.cru import Grant
+from repro.econ.accounting import compute_profit, marginal_profit
+from repro.econ.pricing import PaperPricing
+from repro.econ.tariffs import max_margin, validate_tariffs
+from repro.errors import TariffViolationError
+from repro.model.entities import ServiceProvider
+from repro.model.geometry import Point
+
+
+PRICING = PaperPricing(base_price=1.0, cross_sp_markup=2.0, distance_weight=0.01)
+
+
+class TestTariffValidation:
+    def test_paper_defaults_satisfy_eq16(self):
+        providers = [ServiceProvider(sp_id=0, cru_price=10.0, other_cost=0.5)]
+        validate_tariffs(providers, PRICING, max_distance_m=500.0)
+
+    def test_too_low_mk_rejected(self):
+        # Worst-case price at 500 m is 2 + 5 = 7; m_k = 7 <= 7 + 0.5.
+        providers = [ServiceProvider(sp_id=0, cru_price=7.0, other_cost=0.5)]
+        with pytest.raises(TariffViolationError, match="Eq. 16"):
+            validate_tariffs(providers, PRICING, max_distance_m=500.0)
+
+    def test_boundary_equality_rejected(self):
+        # m_k == worst price + m_k^o must fail (strict inequality).
+        providers = [ServiceProvider(sp_id=0, cru_price=7.5, other_cost=0.5)]
+        with pytest.raises(TariffViolationError):
+            validate_tariffs(providers, PRICING, max_distance_m=500.0)
+
+    def test_any_offending_sp_flagged(self):
+        providers = [
+            ServiceProvider(sp_id=0, cru_price=10.0, other_cost=0.5),
+            ServiceProvider(sp_id=1, cru_price=5.0, other_cost=0.5),
+        ]
+        with pytest.raises(TariffViolationError, match="SP 1"):
+            validate_tariffs(providers, PRICING, max_distance_m=500.0)
+
+    def test_max_margin(self):
+        sp = ServiceProvider(sp_id=0, cru_price=10.0, other_cost=0.5)
+        assert max_margin(sp, price_per_cru=3.0) == pytest.approx(6.5)
+
+
+class TestComputeProfit:
+    def test_single_grant_decomposition(self, tiny_network):
+        # UE 0 (SP 0, 4 CRUs) served by BS 0 (SP 0) at 100 m.
+        grants = [Grant(bs_id=0, ue_id=0, service_id=0, crus=4, rrbs=1)]
+        statement = compute_profit(tiny_network, grants, PRICING)
+        sp0 = statement.by_sp[0]
+        price = PRICING.price_per_cru(100.0, same_sp=True)  # 1 + 1 = 2
+        assert sp0.revenue == pytest.approx(4 * 10.0)  # W_k^r
+        assert sp0.bs_payments == pytest.approx(4 * price)  # W_k^B
+        assert sp0.other_costs == pytest.approx(4 * 0.5)  # W_k^S
+        assert sp0.profit == pytest.approx(4 * (10.0 - 0.5 - price))
+        assert sp0.served_ue_count == 1
+
+    def test_cross_sp_grant_pays_markup(self, tiny_network):
+        # UE 0 (SP 0) served by BS 1 (SP 1) at 300 m.
+        grants = [Grant(bs_id=1, ue_id=0, service_id=0, crus=4, rrbs=1)]
+        statement = compute_profit(tiny_network, grants, PRICING)
+        price = PRICING.price_per_cru(300.0, same_sp=False)  # 2 + 3 = 5
+        # Profit accrues to the UE's SP (SP 0), not the BS owner.
+        assert statement.by_sp[0].profit == pytest.approx(4 * (10.0 - 0.5 - price))
+        assert statement.by_sp[1].profit == 0.0
+
+    def test_total_is_sum_over_sps(self):
+        network = make_tiny_network(
+            ue_specs=[
+                dict(ue_id=0, sp_id=0),
+                dict(ue_id=1, sp_id=1, position=Point(350.0, 0.0)),
+            ]
+        )
+        grants = [
+            Grant(bs_id=0, ue_id=0, service_id=0, crus=4, rrbs=1),
+            Grant(bs_id=1, ue_id=1, service_id=0, crus=4, rrbs=1),
+        ]
+        statement = compute_profit(network, grants, PRICING)
+        assert statement.total_profit == pytest.approx(
+            statement.by_sp[0].profit + statement.by_sp[1].profit
+        )
+        assert statement.total_served_ues == 2
+
+    def test_empty_grants_zero_profit(self, tiny_network):
+        statement = compute_profit(tiny_network, [], PRICING)
+        assert statement.total_profit == 0.0
+        assert statement.profit_of(0) == 0.0
+        assert statement.total_served_ues == 0
+
+    def test_profit_of_unknown_sp_is_zero(self, tiny_network):
+        statement = compute_profit(tiny_network, [], PRICING)
+        assert statement.profit_of(42) == 0.0
+
+    def test_eq16_makes_every_edge_grant_profitable(self, tiny_network):
+        for bs_id in (0, 1):
+            grants = [Grant(bs_id=bs_id, ue_id=0, service_id=0, crus=4, rrbs=1)]
+            statement = compute_profit(tiny_network, grants, PRICING)
+            assert statement.total_profit > 0.0
+
+
+class TestMarginalProfit:
+    def test_matches_compute_profit(self, tiny_network):
+        for bs_id in (0, 1):
+            grants = [Grant(bs_id=bs_id, ue_id=0, service_id=0, crus=4, rrbs=1)]
+            statement = compute_profit(tiny_network, grants, PRICING)
+            assert marginal_profit(
+                tiny_network, 0, bs_id, PRICING
+            ) == pytest.approx(statement.total_profit)
+
+    def test_same_sp_closer_bs_is_most_profitable(self, tiny_network):
+        assert marginal_profit(tiny_network, 0, 0, PRICING) > marginal_profit(
+            tiny_network, 0, 1, PRICING
+        )
