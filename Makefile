@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper figures extensions examples clean
+.PHONY: install test bench bench-smoke bench-paper figures extensions examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,12 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Seeded engine smoke bench: times a 2000-UE DMRA allocation (optimized
+# vs reference engine) and a workers=1-vs-4 sweep, writes BENCH_pr1.json,
+# and fails on parity-fixture drift or a speedup below the floor.
+bench-smoke:
+	bash -c 'time $(PYTHON) benchmarks/bench_smoke.py'
 
 bench-paper:
 	BENCH_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only

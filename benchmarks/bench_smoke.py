@@ -1,0 +1,195 @@
+"""Smoke benchmark for the optimized matching engine (``make bench-smoke``).
+
+Times a seeded 2000-UE single-shot DMRA allocation on both the optimized
+engine and the reference engine (best-of-N wall time, since a shared box
+is noisy), plus a small sweep at ``workers=1`` vs ``workers=4``.  Emits
+``BENCH_pr1.json`` at the repo root with wall times, rounds, and
+speedups, and asserts two things so regressions fail fast:
+
+* **behaviour** — the optimized assignment's digest must equal the
+  recorded parity fixture (``benchmarks/results/parity_pr1.json``;
+  regenerate deliberately with ``BENCH_WRITE_FIXTURE=1``);
+* **performance** — the single-shot speedup must stay >= the floor
+  (default 3.0; override with ``BENCH_MIN_SPEEDUP`` for noisy boxes).
+
+Exit status is non-zero on either failure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+# Runnable straight from a checkout (``make bench-smoke``) without an
+# editable install.
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.dmra import DMRAAllocator, DMRAPolicy
+from repro.core.matching import IterativeMatchingEngine
+from repro.core.matching_reference import ReferenceMatchingEngine
+from repro.econ.pricing import PaperPricing
+from repro.sim.config import ScenarioConfig
+from repro.sim.scenario import build_scenario
+from repro.sim.sweep import SweepSpec, run_sweep
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURE_PATH = Path(__file__).parent / "results" / "parity_pr1.json"
+OUTPUT_PATH = REPO_ROOT / "BENCH_pr1.json"
+
+UE_COUNT = 2000
+SEED = 1
+
+
+def _digest(assignment) -> str:
+    payload = repr((
+        tuple(
+            (g.bs_id, g.ue_id, g.service_id, g.crus, g.rrbs)
+            for g in assignment.grants
+        ),
+        tuple(sorted(assignment.cloud_ue_ids)),
+    )).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    """Best wall time over ``repeats`` runs, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _best_of_interleaved(
+    fn_a, fn_b, repeats: int
+) -> tuple[float, object, float, object]:
+    """Best-of wall times for two functions, alternating runs so a load
+    spike on a shared box cannot penalize only one side."""
+    best_a = best_b = float("inf")
+    result_a = result_b = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result_a = fn_a()
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        result_b = fn_b()
+        best_b = min(best_b, time.perf_counter() - start)
+    return best_a, result_a, best_b, result_b
+
+
+def _time_single_shot() -> dict:
+    scenario = build_scenario(ScenarioConfig.paper(), UE_COUNT, SEED)
+
+    def optimized():
+        return IterativeMatchingEngine(
+            DMRAPolicy(pricing=scenario.pricing)
+        ).run(scenario.network, scenario.radio_map)
+
+    def reference():
+        return ReferenceMatchingEngine(
+            DMRAPolicy(pricing=scenario.pricing)
+        ).run(scenario.network, scenario.radio_map)
+
+    opt_s, opt_assignment, ref_s, ref_assignment = _best_of_interleaved(
+        optimized, reference, repeats=5
+    )
+    assert opt_assignment.grants == ref_assignment.grants
+    assert opt_assignment.cloud_ue_ids == ref_assignment.cloud_ue_ids
+    return {
+        "ue_count": UE_COUNT,
+        "seed": SEED,
+        "optimized_wall_s": round(opt_s, 4),
+        "reference_wall_s": round(ref_s, 4),
+        "speedup": round(ref_s / opt_s, 2),
+        "rounds": opt_assignment.rounds,
+        "edge_served": len(opt_assignment.grants),
+        "cloud_bound": len(opt_assignment.cloud_ue_ids),
+        "digest": _digest(opt_assignment),
+    }
+
+
+def _sweep_spec() -> SweepSpec:
+    config = ScenarioConfig.paper()
+    return SweepSpec(
+        xs=(300.0, 500.0),
+        seeds=(0, 1, 2, 3),
+        scenario_factory=lambda x, seed: build_scenario(
+            config, int(x), seed
+        ),
+        allocator_factories={
+            "dmra": lambda _x: DMRAAllocator(pricing=PaperPricing())
+        },
+        metric=lambda m: m.total_profit,
+    )
+
+
+def _time_sweep() -> dict:
+    serial_s, serial = _best_of(
+        lambda: run_sweep(_sweep_spec(), workers=1), repeats=2
+    )
+    parallel_s, parallel = _best_of(
+        lambda: run_sweep(_sweep_spec(), workers=4), repeats=2
+    )
+    assert serial["dmra"].means == parallel["dmra"].means
+    return {
+        "grid_cells": 8,
+        "workers1_wall_s": round(serial_s, 4),
+        "workers4_wall_s": round(parallel_s, 4),
+        "workers4_speedup": round(serial_s / parallel_s, 2),
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "workers=4 results verified identical to workers=1; "
+            "scaling is bounded by the physical core count above"
+        ),
+    }
+
+
+def main() -> int:
+    single = _time_single_shot()
+    sweep = _time_sweep()
+    report = {
+        "bench": "pr1-smoke",
+        "single_shot_dmra": single,
+        "sweep_scaling": sweep,
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+    if os.environ.get("BENCH_WRITE_FIXTURE"):
+        FIXTURE_PATH.write_text(json.dumps(
+            {"ue_count": UE_COUNT, "seed": SEED, "digest": single["digest"]},
+            indent=2,
+        ) + "\n")
+        print(f"wrote parity fixture {FIXTURE_PATH}")
+        return 0
+
+    fixture = json.loads(FIXTURE_PATH.read_text())
+    if single["digest"] != fixture["digest"]:
+        print(
+            f"PARITY FAILURE: digest {single['digest']} != "
+            f"fixture {fixture['digest']}",
+            file=sys.stderr,
+        )
+        return 1
+
+    floor = float(os.environ.get("BENCH_MIN_SPEEDUP", "3.0"))
+    if single["speedup"] < floor:
+        print(
+            f"PERF REGRESSION: speedup {single['speedup']}x < {floor}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: parity digest matches, speedup {single['speedup']}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

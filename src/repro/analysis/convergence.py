@@ -45,7 +45,13 @@ class ConvergenceTrace:
 
     @property
     def round_count(self) -> int:
-        return len(self.rounds)
+        """Productive rounds (at least one proposal sent).
+
+        The engine's terminating zero-proposal probe round is recorded
+        in :attr:`rounds` (its ``newly_cloud`` can be non-zero) but not
+        counted, mirroring ``Assignment.rounds``.
+        """
+        return sum(1 for r in self.rounds if r.proposals > 0)
 
     @property
     def proposals_per_association(self) -> float:

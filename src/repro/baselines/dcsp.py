@@ -39,6 +39,28 @@ class DCSPPolicy(MatchingPolicy):
         cru_util, rrb_util = ledger.utilization()
         return (cru_util + rrb_util) / 2.0
 
+    # Engine hot-path hooks: the DCSP score is pure per-BS occupation —
+    # nothing varies per UE — so the "static" part is zero and the whole
+    # score is one per-round table entry per BS (ledgers are frozen
+    # throughout a proposal phase).  ``0.0 + x == x`` keeps the cached
+    # path bit-identical to ue_score.
+
+    def static_ue_score(
+        self, ue: UserEquipment, bs_id: int, ctx: MatchingContext
+    ) -> float | None:
+        return 0.0
+
+    def round_additive_terms(
+        self, ctx: MatchingContext, service_ids: frozenset[int]
+    ) -> dict[int, dict[int, float]] | None:
+        def occupation(ledger) -> float:
+            cru_util, rrb_util = ledger.utilization()
+            return (cru_util + rrb_util) / 2.0
+
+        by_bs = {ledger.bs_id: occupation(ledger) for ledger in ctx.ledgers}
+        # The score ignores the service, so every service shares one map.
+        return {service_id: by_bs for service_id in service_ids}
+
     def bs_rank_key(
         self, ue_id: int, bs_id: int, ctx: MatchingContext
     ) -> tuple:
@@ -46,6 +68,16 @@ class DCSPPolicy(MatchingPolicy):
             ctx.feasible_bs_count(ue_id),
             ctx.rrbs_required(ue_id, bs_id),
         )
+
+    def static_bs_rank_key(
+        self, ue_id: int, bs_id: int, ctx: MatchingContext
+    ) -> tuple | None:
+        return (ctx.rrbs_required(ue_id, bs_id),)
+
+    def bs_rank_key_from_static(
+        self, ue_id: int, bs_id: int, static: tuple, ctx: MatchingContext
+    ) -> tuple:
+        return (ctx.feasible_bs_count(ue_id), static[0])
 
 
 class DCSPAllocator(Allocator):

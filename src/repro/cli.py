@@ -107,6 +107,14 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "--out", type=Path, default=None, help="directory for CSV output"
     )
+    figure.add_argument(
+        "--workers", type=int, default=None,
+        help=(
+            "processes for the sweep's (x, seed) grid cells "
+            "(default: $DMRA_SWEEP_WORKERS or serial); results are "
+            "identical at any worker count"
+        ),
+    )
 
     for name, help_text in (
         ("run", "run one allocator on one scenario"),
@@ -121,6 +129,13 @@ def _build_parser() -> argparse.ArgumentParser:
                 "--allocator",
                 default="dmra",
                 choices=sorted(_ALLOCATOR_BUILDERS),
+            )
+            cmd.add_argument(
+                "--profile", action="store_true",
+                help=(
+                    "print a per-round phase-time table (proposal vs "
+                    "BS-decision wall time; matching-based allocators only)"
+                ),
             )
         if name in ("compare", "analyze"):
             cmd.add_argument(
@@ -277,7 +292,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             )
         experiment = registry[exp_id]
         print(f"running {experiment.exp_id}: {experiment.title}")
-        result = experiment.run(scale)
+        result = experiment.run(scale, workers=args.workers)
         series = [result[label] for label in result.labels()]
         print(render_chart(
             series,
@@ -294,6 +309,21 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             )
             print(f"wrote {path}")
     return 0
+
+
+def _matching_policy_for(name: str, scenario: Scenario):
+    """The :class:`MatchingPolicy` behind a matching-based allocator."""
+    from repro.baselines.dcsp import DCSPPolicy
+    from repro.core.dmra import DMRAPolicy
+
+    if name == "dmra":
+        return DMRAPolicy(pricing=scenario.pricing, rho=scenario.config.rho)
+    if name == "dcsp":
+        return DCSPPolicy()
+    raise ConfigurationError(
+        f"--profile needs a matching-based allocator (dmra, dcsp), "
+        f"got {name!r}"
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -314,7 +344,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"mean CRU util:      {metrics.mean_cru_utilization:.2f}")
     print(f"matching rounds:    {metrics.rounds}")
     print(f"wall time:          {outcome.wall_time_s * 1e3:.1f} ms")
+    if getattr(args, "profile", False):
+        _print_phase_profile(args.allocator, scenario)
     return 0
+
+
+def _print_phase_profile(name: str, scenario: Scenario) -> None:
+    """Re-run the matching under an observer and print phase timings."""
+    from repro.analysis import trace_convergence
+
+    policy = _matching_policy_for(name, scenario)
+    trace = trace_convergence(
+        policy, scenario.network, scenario.radio_map
+    )
+    print()
+    print("per-round phase profile (propose = Alg. 1 lines 3-10, "
+          "accept = lines 12-25):")
+    header = (
+        f"{'round':>6} {'proposals':>10} {'accepted':>9} {'cloud':>6} "
+        f"{'propose ms':>11} {'accept ms':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for stats in trace.rounds:
+        print(
+            f"{stats.round_number:>6} {stats.proposals:>10} "
+            f"{stats.accepted:>9} {stats.newly_cloud:>6} "
+            f"{stats.propose_time_s * 1e3:>11.2f} "
+            f"{stats.accept_time_s * 1e3:>10.2f}"
+        )
+    propose_total = sum(s.propose_time_s for s in trace.rounds)
+    accept_total = sum(s.accept_time_s for s in trace.rounds)
+    print(
+        f"{'total':>6} {trace.total_proposals:>10} "
+        f"{trace.total_accepted:>9} {'':>6} "
+        f"{propose_total * 1e3:>11.2f} {accept_total * 1e3:>10.2f}"
+    )
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:

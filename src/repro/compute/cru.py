@@ -52,6 +52,10 @@ class BSLedger:
         """CRUs still available for ``service_id`` (0 if not hosted)."""
         return self._remaining_crus.get(service_id, 0)
 
+    def remaining_crus_by_service(self) -> dict[int, int]:
+        """Remaining CRUs for every hosted service (a snapshot copy)."""
+        return dict(self._remaining_crus)
+
     @property
     def grants(self) -> Mapping[int, Grant]:
         """Currently held grants, keyed by UE id."""

@@ -430,8 +430,11 @@ class DecentralizedDMRAAllocator(Allocator):
             for ue_id, agent in ue_agents.items()
             if agent.associated_bs is None
         }
+        # ``rounds`` counted the terminating probe round (no service
+        # request sent); report productive rounds only, matching the
+        # engine's Assignment.rounds semantics.
         return Assignment(
             grants=tuple(grants),
             cloud_ue_ids=frozenset(cloud),
-            rounds=rounds,
+            rounds=rounds - 1,
         )

@@ -16,7 +16,12 @@ from repro.core.matching import (
     MatchingContext,
     MatchingPolicy,
 )
-from repro.core.preferences import dmra_bs_rank_key, dmra_ue_score
+from repro.core.preferences import (
+    dmra_bs_rank_key,
+    dmra_price_term,
+    dmra_slack_term,
+    dmra_ue_score,
+)
 from repro.econ.pricing import PaperPricing, PricingPolicy
 from repro.errors import ConfigurationError
 from repro.model.entities import UserEquipment
@@ -42,11 +47,67 @@ class DMRAPolicy(MatchingPolicy):
         self.pricing = pricing
         self.rho = rho
         self.same_sp_priority = same_sp_priority
+        # {bs_id: sp_id} for the most recent network seen, rebuilt on
+        # identity change (networks are immutable).  Saves a guarded
+        # dict lookup per (UE, BS) pair during cache builds.
+        self._sp_of_bs: dict[int, int] = {}
+        self._sp_map_network: MECNetwork | None = None
+
+    def _bs_owner_map(self, network: MECNetwork) -> dict[int, int]:
+        if self._sp_map_network is not network:
+            self._sp_of_bs = {
+                bs.bs_id: bs.sp_id for bs in network.base_stations
+            }
+            self._sp_map_network = network
+        return self._sp_of_bs
 
     def ue_score(
         self, ue: UserEquipment, bs_id: int, ctx: MatchingContext
     ) -> float:
         return dmra_ue_score(ue, bs_id, ctx, self.pricing, self.rho)
+
+    # ------------------------------------------------------------------
+    # Engine hot-path hooks: Eq. 17 splits into a static price term
+    # (cached per (UE, BS) pair by the engine) and a slack term shared
+    # by every UE of one service at one BS within a round (tabulated
+    # once per round, one entry per (service, BS)).
+    # ------------------------------------------------------------------
+
+    def static_ue_score(
+        self, ue: UserEquipment, bs_id: int, ctx: MatchingContext
+    ) -> float | None:
+        return dmra_price_term(ue, bs_id, ctx, self.pricing)
+
+    def static_ue_scores(
+        self, ue: UserEquipment, bs_ids: list[int], ctx: MatchingContext
+    ) -> list[float | None]:
+        """Batched Eq. 9--10 prices with the UE-side lookups hoisted.
+
+        Value-identical to :func:`dmra_price_term` per element — same
+        distance, same ownership test, same arithmetic.
+        """
+        network = ctx.network
+        price = self.pricing.price_per_cru
+        distance = network.distance_m
+        sp_of = self._bs_owner_map(network)
+        ue_id = ue.ue_id
+        ue_sp = ue.sp_id
+        return [
+            price(distance(ue_id, bs_id), ue_sp == sp_of[bs_id])
+            for bs_id in bs_ids
+        ]
+
+    def round_additive_terms(
+        self, ctx: MatchingContext, service_ids: frozenset[int]
+    ) -> dict[int, dict[int, float]] | None:
+        rho = self.rho
+        return {
+            service_id: {
+                ledger.bs_id: dmra_slack_term(service_id, ledger.bs_id, ctx, rho)
+                for ledger in ctx.ledgers
+            }
+            for service_id in service_ids
+        }
 
     def bs_rank_key(
         self, ue_id: int, bs_id: int, ctx: MatchingContext
@@ -55,6 +116,25 @@ class DMRAPolicy(MatchingPolicy):
         if self.same_sp_priority:
             return key
         return key[1:]  # drop the cross-SP flag
+
+    def static_bs_rank_key(
+        self, ue_id: int, bs_id: int, ctx: MatchingContext
+    ) -> tuple | None:
+        """Static components of :func:`dmra_bs_rank_key`: the cross-SP
+        flag and the combined resource footprint.  Only ``f_u`` varies
+        round to round."""
+        ue = ctx.network.user_equipment(ue_id)
+        same_sp = ue.sp_id == self._bs_owner_map(ctx.network)[bs_id]
+        footprint = ctx.rrbs_required(ue_id, bs_id) + ue.cru_demand
+        return (0 if same_sp else 1, footprint)
+
+    def bs_rank_key_from_static(
+        self, ue_id: int, bs_id: int, static: tuple, ctx: MatchingContext
+    ) -> tuple:
+        f_u = ctx.feasible_bs_count(ue_id)
+        if self.same_sp_priority:
+            return (static[0], f_u, static[1])
+        return (f_u, static[1])
 
 
 class DMRAAllocator(Allocator):

@@ -20,10 +20,42 @@ Termination: every round with outstanding requests either grants at
 least one association or strictly shrinks some ``B_u`` (a UE whose
 proposal-time feasibility check fails removes that BS permanently —
 "resources in BS cannot increase", §V), both of which are finite.
+
+Hot-path design
+---------------
+The engine produces *bit-identical* assignments to the straightforward
+reference implementation (:mod:`repro.core.matching_reference`, kept for
+the golden parity tests) while scaling to large populations:
+
+* **Cached preference statics** — a policy may split its UE score into a
+  round-invariant part (:meth:`MatchingPolicy.static_ue_score`, e.g. the
+  Eq. 17 price term) and a per-round additive term table
+  (:meth:`MatchingPolicy.round_additive_terms`, e.g. the slack term,
+  which depends only on the (BS, service) ledger state frozen during a
+  proposal phase).  Statics are computed once per (UE, BS) pair and
+  memoized across :meth:`IterativeMatchingEngine.run` calls on the same
+  network — the online simulation reuses one engine across arrival
+  batches, so later batches pay no price recomputation.  The scoring
+  inner loop then degenerates to one dict lookup and one addition per
+  candidate, with zero per-pair policy calls.  BS-side rank keys get the
+  same treatment via :meth:`MatchingPolicy.static_bs_rank_key`.
+* **Incremental ``f_u`` via capacity watermarks** — instead of rescanning
+  a UE's whole ledger neighbourhood per proposal, the engine tracks one
+  feasibility flag per (UE, BS) pair.  Resources only shrink during a
+  run, so a pair flips feasible→infeasible at most once; per-BS heaps
+  keyed by demand thresholds pop exactly the pairs whose threshold the
+  BS's remaining capacity just crossed.  ``f_u`` becomes an O(1) counter
+  read.
+* **Cursor-based candidate walks** — dead candidates are compacted out of
+  the per-UE lists during the argmin scan (amortized O(1) per removal)
+  instead of the reference's O(n) ``list.remove`` calls, and per-round
+  bookkeeping of the unassociated set is a single linear filter.
 """
 
 from __future__ import annotations
 
+import heapq
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
@@ -42,16 +74,25 @@ __all__ = [
     "RoundStats",
 ]
 
+_INF = float("inf")
+
 
 @dataclass(frozen=True, slots=True)
 class RoundStats:
-    """Per-round progress numbers handed to an engine observer."""
+    """Per-round progress numbers handed to an engine observer.
+
+    ``propose_time_s`` / ``accept_time_s`` are the wall times of the
+    round's proposal phase (Alg. 1 lines 3--10) and BS-decision phases
+    (lines 12--25); the ``--profile`` CLI flag renders them.
+    """
 
     round_number: int
     proposals: int
     accepted: int
     newly_cloud: int
     unassociated_left: int
+    propose_time_s: float = 0.0
+    accept_time_s: float = 0.0
 
 
 @dataclass
@@ -97,7 +138,12 @@ class MatchingContext:
         return self.live_feasible_bs_count(ue_id)
 
     def live_feasible_bs_count(self, ue_id: int) -> int:
-        """``f_u`` recomputed from current ledgers (snapshot source)."""
+        """``f_u`` recomputed from current ledgers (snapshot source).
+
+        Inside an engine run the same value is maintained incrementally
+        (see the module docstring); this full rescan serves contexts
+        built outside a run, where no watermark tracker exists.
+        """
         ue = self.network.user_equipment(ue_id)
         return sum(
             1
@@ -129,6 +175,178 @@ class MatchingPolicy(ABC):
         remaining RRBs.
         """
 
+    # ------------------------------------------------------------------
+    # Optional hot-path hooks
+    # ------------------------------------------------------------------
+
+    def static_ue_score(
+        self, ue: UserEquipment, bs_id: int, ctx: MatchingContext
+    ) -> float | None:
+        """Round-invariant component of :meth:`ue_score`, or ``None``.
+
+        Returning a float opts the (UE, BS) pair into the engine's
+        preference cache: the value is computed once per pair and,
+        every round, combined with the policy's additive dynamic term
+        (:meth:`round_additive_terms`) as ``static + term``.  Returning
+        ``None`` (the default) keeps the uncached per-call path — the
+        right choice whenever the score does not decompose that way.
+        """
+        return None
+
+    def static_ue_scores(
+        self, ue: UserEquipment, bs_ids: list[int], ctx: MatchingContext
+    ) -> list[float | None]:
+        """Batched :meth:`static_ue_score` over one UE's candidate BSs.
+
+        The engine fills its preference cache through this entry point,
+        so policies can hoist per-UE lookups out of the per-BS loop.
+        The default delegates to the scalar hook element-wise.
+        """
+        return [self.static_ue_score(ue, bs_id, ctx) for bs_id in bs_ids]
+
+    def round_additive_terms(
+        self, ctx: MatchingContext, service_ids: frozenset[int]
+    ) -> dict[int, dict[int, float]] | None:
+        """Per-round dynamic score terms, or ``None`` to disable caching.
+
+        Called once before each proposal phase (ledgers are frozen until
+        the next BS-decision phase).  Must return
+        ``{service_id: {bs_id: term}}`` such that for every UE ``u`` of
+        ``service_id`` and candidate BS ``i``::
+
+            ue_score(u, i) == static_ue_score(u, i) + term[service][i]
+
+        *exactly* — the golden parity tests hold implementations to
+        bit-identical assignments.  ``service_ids`` lists the services
+        of the UEs being matched; every ledgered BS must appear in each
+        inner mapping.
+        """
+        return None
+
+    def static_bs_rank_key(
+        self, ue_id: int, bs_id: int, ctx: MatchingContext
+    ) -> tuple | None:
+        """Round-invariant components of :meth:`bs_rank_key`, or ``None``.
+
+        Opt-in mirror of :meth:`static_ue_score` for the BS side: the
+        engine caches the returned tuple per (UE, BS) pair and rebuilds
+        full keys via :meth:`bs_rank_key_from_static`.
+        """
+        return None
+
+    def bs_rank_key_from_static(
+        self, ue_id: int, bs_id: int, static: tuple, ctx: MatchingContext
+    ) -> tuple:
+        """Recombine cached static rank components with the dynamic ones
+        (typically the advertised ``f_u``).  Must equal
+        :meth:`bs_rank_key` exactly."""
+        return self.bs_rank_key(ue_id, bs_id, ctx)
+
+
+class _PairState:
+    """Mutable per-(UE, BS) candidate link state.
+
+    ``rrbs`` caches the link's ``n_{u,i}`` (radio-map lookups are pure),
+    so the feasibility tracker and grant path never re-derive it.
+    """
+
+    __slots__ = ("bs_id", "static", "rrbs", "alive")
+
+    def __init__(self, bs_id: int, static: float | None, rrbs: int) -> None:
+        self.bs_id = bs_id
+        self.static = static
+        self.rrbs = rrbs
+        self.alive = True
+
+
+class _FeasibilityTracker:
+    """Exact incremental ``f_u`` maintenance via capacity watermarks.
+
+    Feasibility of a (UE, BS) pair depends only on that BS's remaining
+    resources, which never grow during a run, so each pair flips
+    feasible→infeasible at most once.  Alive pairs sit in per-(BS,
+    service) CRU heaps and per-BS RRB heaps keyed by their demand
+    thresholds; after each grant, exactly the pairs whose threshold now
+    exceeds the new remainder are popped and retired.  Total work is
+    O(P log P) over a whole run for P candidate pairs — versus the
+    reference implementation's O(|B_u|) ledger rescan per proposal.
+    """
+
+    def __init__(self, ctx: MatchingContext, target_ids: list[int],
+                 cands: dict[int, list[_PairState]],
+                 ue_by_id: dict[int, UserEquipment]) -> None:
+        self._count: dict[int, int] = {}
+        cru_heaps: dict[tuple[int, int], list] = {}
+        rrb_heaps: dict[int, list] = {}
+        # Snapshot remaining capacities once (ledgers are quiescent
+        # here) so the per-pair feasibility test is two dict reads.
+        remaining_rrbs = {
+            ledger.bs_id: ledger.remaining_rrbs for ledger in ctx.ledgers
+        }
+        remaining_crus: dict[tuple[int, int], int] = {}
+        for ledger in ctx.ledgers:
+            bs_id = ledger.bs_id
+            for service_id, crus in ledger.remaining_crus_by_service().items():
+                remaining_crus[(bs_id, service_id)] = crus
+        seq = 0
+        for ue_id in target_ids:
+            ue = ue_by_id[ue_id]
+            service_id = ue.service_id
+            cru_demand = ue.cru_demand
+            alive = 0
+            for pair in cands[ue_id]:
+                if (
+                    remaining_crus[(pair.bs_id, service_id)] < cru_demand
+                    or remaining_rrbs[pair.bs_id] < pair.rrbs
+                ):
+                    # Already infeasible (pre-loaded ledgers): the pair
+                    # can never come back, so it is born retired.
+                    pair.alive = False
+                    continue
+                alive += 1
+                seq += 1
+                key = (pair.bs_id, service_id)
+                heap = cru_heaps.get(key)
+                if heap is None:
+                    heap = cru_heaps[key] = []
+                heap.append((-cru_demand, seq, pair, ue_id))
+                heap = rrb_heaps.get(pair.bs_id)
+                if heap is None:
+                    heap = rrb_heaps[pair.bs_id] = []
+                heap.append((-pair.rrbs, seq, pair, ue_id))
+            self._count[ue_id] = alive
+        # Bulk heapify beats P pushes: O(P) vs O(P log P) for the build.
+        heapify = heapq.heapify
+        for heap in cru_heaps.values():
+            heapify(heap)
+        for heap in rrb_heaps.values():
+            heapify(heap)
+        self._cru_heaps = cru_heaps
+        self._rrb_heaps = rrb_heaps
+
+    def count(self, ue_id: int) -> int:
+        """Current ``f_u`` for a tracked UE — an O(1) counter read."""
+        return self._count[ue_id]
+
+    def on_grant(self, ledger: BSLedger, service_id: int) -> None:
+        """Retire every pair whose threshold the grant's BS just crossed."""
+        cru_heap = self._cru_heaps.get((ledger.bs_id, service_id))
+        if cru_heap:
+            remaining = ledger.remaining_crus(service_id)
+            while cru_heap and -cru_heap[0][0] > remaining:
+                _, _, pair, ue_id = heapq.heappop(cru_heap)
+                if pair.alive:
+                    pair.alive = False
+                    self._count[ue_id] -= 1
+        rrb_heap = self._rrb_heaps.get(ledger.bs_id)
+        if rrb_heap:
+            remaining = ledger.remaining_rrbs
+            while rrb_heap and -rrb_heap[0][0] > remaining:
+                _, _, pair, ue_id = heapq.heappop(rrb_heap)
+                if pair.alive:
+                    pair.alive = False
+                    self._count[ue_id] -= 1
+
 
 class IterativeMatchingEngine:
     """Runs the round loop of Alg. 1 under a given policy."""
@@ -138,6 +356,14 @@ class IterativeMatchingEngine:
             raise AllocationError(f"max_rounds must be > 0, got {max_rounds}")
         self.policy = policy
         self.max_rounds = max_rounds
+        # Static-score caches shared across run() calls on one network —
+        # the online simulation's incremental batches hit them warm.  The
+        # strong references also pin the key objects so ``is`` checks
+        # cannot be fooled by id reuse.
+        self._static_cache: dict[tuple[int, int], float | None] = {}
+        self._bs_rank_cache: dict[tuple[int, int], tuple | None] = {}
+        self._cache_network: MECNetwork | None = None
+        self._cache_radio_map: RadioMap | None = None
 
     def run(
         self,
@@ -157,7 +383,12 @@ class IterativeMatchingEngine:
         grants are left untouched and not reported.
 
         ``observer`` receives one :class:`RoundStats` per round — the
-        hook the convergence diagnostics build on.
+        hook the convergence diagnostics and phase profiling build on.
+
+        ``Assignment.rounds`` reports *productive* rounds: rounds in
+        which at least one service request was sent.  The terminating
+        probe round (everyone associated or cloud-bound, zero proposals)
+        is still reported to the observer but not counted.
         """
         ledgers = ledgers if ledgers is not None else LedgerPool(
             network.base_stations
@@ -173,11 +404,18 @@ class IterativeMatchingEngine:
             network=network,
             radio_map=radio_map,
             ledgers=ledgers,
+            # Sorted so the proposal scan's first-wins tie-break equals
+            # the reference's (score, bs_id) argmin ordering.
             candidate_sets={
-                ue_id: list(network.candidate_base_stations(ue_id))
+                ue_id: sorted(network.candidate_base_stations(ue_id))
                 for ue_id in target_ids
             },
         )
+        network_ue = network.user_equipment
+        ue_by_id = {ue_id: network_ue(ue_id) for ue_id in target_ids}
+        service_ids = frozenset(ue.service_id for ue in ue_by_id.values())
+        cands = self._build_pair_states(ctx, target_ids, ue_by_id)
+        tracker = _FeasibilityTracker(ctx, target_ids, cands, ue_by_id)
         unassociated = list(target_ids)
         cloud: set[int] = set()
         rounds = 0
@@ -189,12 +427,12 @@ class IterativeMatchingEngine:
                     f"matching did not terminate within {self.max_rounds} rounds"
                 )
             cloud_before = len(cloud)
-            requests = self._collect_proposals(ctx, unassociated, cloud)
-            proposals = sum(
-                len(ue_list)
-                for by_service in requests.values()
-                for ue_list in by_service.values()
+            phase_start = time.perf_counter()
+            requests, proposals = self._collect_proposals(
+                ctx, unassociated, cloud, cands, tracker, ue_by_id,
+                service_ids,
             )
+            propose_time = time.perf_counter() - phase_start
             if not requests:
                 if observer is not None:
                     observer(RoundStats(
@@ -203,12 +441,18 @@ class IterativeMatchingEngine:
                         accepted=0,
                         newly_cloud=len(cloud) - cloud_before,
                         unassociated_left=len(unassociated),
+                        propose_time_s=propose_time,
                     ))
                 break
-            accepted = self._process_base_stations(ctx, requests)
+            phase_start = time.perf_counter()
+            accepted = self._process_base_stations(
+                ctx, requests, tracker, ue_by_id
+            )
+            accept_time = time.perf_counter() - phase_start
             if accepted:
-                remaining = set(unassociated) - accepted
-                unassociated = sorted(remaining)
+                unassociated = [
+                    ue_id for ue_id in unassociated if ue_id not in accepted
+                ]
             if observer is not None:
                 observer(RoundStats(
                     round_number=rounds,
@@ -216,6 +460,8 @@ class IterativeMatchingEngine:
                     accepted=len(accepted),
                     newly_cloud=len(cloud) - cloud_before,
                     unassociated_left=len(unassociated),
+                    propose_time_s=propose_time,
+                    accept_time_s=accept_time,
                 ))
 
         # Any UE still unassociated at termination has an empty B_u.
@@ -228,7 +474,83 @@ class IterativeMatchingEngine:
         return Assignment(
             grants=new_grants,
             cloud_ue_ids=frozenset(cloud),
-            rounds=rounds,
+            rounds=rounds - 1,
+        )
+
+    # ------------------------------------------------------------------
+    # Preference statics
+    # ------------------------------------------------------------------
+
+    def _build_pair_states(
+        self,
+        ctx: MatchingContext,
+        target_ids: list[int],
+        ue_by_id: dict[int, UserEquipment],
+    ) -> dict[int, list[_PairState]]:
+        """One :class:`_PairState` per candidate link, statics cached."""
+        if (
+            self._cache_network is not ctx.network
+            or self._cache_radio_map is not ctx.radio_map
+        ):
+            self._static_cache.clear()
+            self._bs_rank_cache.clear()
+            self._cache_network = ctx.network
+            self._cache_radio_map = ctx.radio_map
+        cache = self._static_cache
+        policy = self.policy
+        link = ctx.radio_map.link
+        cands: dict[int, list[_PairState]] = {}
+        for ue_id in target_ids:
+            ue = ue_by_id[ue_id]
+            bs_ids = ctx.candidate_sets[ue_id]
+            missing = [
+                bs_id for bs_id in bs_ids if (ue_id, bs_id) not in cache
+            ]
+            if len(missing) == len(bs_ids):
+                # Cold cache (the common single-shot case): one batch
+                # call, pairs built straight from its result.
+                statics = policy.static_ue_scores(ue, bs_ids, ctx)
+                pairs = []
+                for bs_id, static in zip(bs_ids, statics):
+                    cache[(ue_id, bs_id)] = static
+                    pairs.append(
+                        _PairState(
+                            bs_id, static, link(ue_id, bs_id).rrbs_required
+                        )
+                    )
+                cands[ue_id] = pairs
+                continue
+            if missing:
+                for bs_id, static in zip(
+                    missing, policy.static_ue_scores(ue, missing, ctx)
+                ):
+                    cache[(ue_id, bs_id)] = static
+            cands[ue_id] = [
+                _PairState(
+                    bs_id, cache[(ue_id, bs_id)], link(ue_id, bs_id).rrbs_required
+                )
+                for bs_id in bs_ids
+            ]
+        return cands
+
+    def _rank_key(self, ue_id: int, bs_id: int, ctx: MatchingContext) -> tuple:
+        """BS-side sort key, with the policy's static components cached.
+
+        Appends ``ue_id`` as the deterministic tie-break, matching the
+        reference engine's ``(bs_rank_key, ue_id)`` ordering exactly.
+        """
+        cache = self._bs_rank_cache
+        key = (ue_id, bs_id)
+        try:
+            static = cache[key]
+        except KeyError:
+            static = self.policy.static_bs_rank_key(ue_id, bs_id, ctx)
+            cache[key] = static
+        if static is None:
+            return (self.policy.bs_rank_key(ue_id, bs_id, ctx), ue_id)
+        return (
+            self.policy.bs_rank_key_from_static(ue_id, bs_id, static, ctx),
+            ue_id,
         )
 
     # ------------------------------------------------------------------
@@ -240,54 +562,83 @@ class IterativeMatchingEngine:
         ctx: MatchingContext,
         unassociated: list[int],
         cloud: set[int],
-    ) -> dict[int, dict[int, list[int]]]:
+        cands: dict[int, list[_PairState]],
+        tracker: _FeasibilityTracker,
+        ue_by_id: dict[int, UserEquipment],
+        service_ids: frozenset[int],
+    ) -> tuple[dict[int, dict[int, list[int]]], int]:
         """Phase 1: each unassociated UE proposes to its best feasible BS.
 
-        Returns ``bs_id -> service_id -> [ue_id, ...]`` (the candidate
-        sets ``U^c_{i,j}``).  UEs whose ``B_u`` empties are moved to
-        ``cloud`` and removed from ``unassociated`` in place.
+        Returns ``(bs_id -> service_id -> [ue_id, ...], proposal count)``
+        (the candidate sets ``U^c_{i,j}``).  UEs whose ``B_u`` empties
+        are moved to ``cloud`` and filtered out of ``unassociated`` in
+        place.
+
+        A retired pair can never fit again, so the argmin over *alive*
+        pairs equals the reference walk that prunes infeasible argmins
+        one by one; dead pairs are compacted out during the scan.  With
+        a cooperating policy the per-candidate work is ``static +
+        terms[service][bs]`` — no policy call at all.
         """
         requests: dict[int, dict[int, list[int]]] = {}
         newly_cloud: list[int] = []
+        proposals = 0
         ctx.f_u_snapshot.clear()
+        snapshot = ctx.f_u_snapshot
+        policy = self.policy
+        ue_score = policy.ue_score
+        terms = policy.round_additive_terms(ctx, service_ids)
+        tracker_count = tracker._count
         for ue_id in unassociated:
-            if ue_id in cloud:
-                continue
-            ue = ctx.network.user_equipment(ue_id)
-            candidates = ctx.candidate_sets[ue_id]
-            proposed = False
-            while candidates:
-                best = min(
-                    candidates,
-                    key=lambda bs_id: (
-                        self.policy.ue_score(ue, bs_id, ctx),
-                        bs_id,
-                    ),
-                )
-                if ctx.link_fits(ue, best):
-                    requests.setdefault(best, {}).setdefault(
-                        ue.service_id, []
-                    ).append(ue_id)
-                    # The f_u the UE advertises in its service request
-                    # (Alg. 1): computed from the resources broadcast at
-                    # the end of the previous round.
-                    ctx.f_u_snapshot[ue_id] = ctx.live_feasible_bs_count(
-                        ue_id
-                    )
-                    proposed = True
-                    break
-                candidates.remove(best)
-            if not proposed:
+            ue = ue_by_id[ue_id]
+            pairs = cands[ue_id]
+            term_by_bs = terms[ue.service_id] if terms is not None else None
+            best_pair = None
+            best_score = _INF
+            write = 0
+            for pair in pairs:
+                if not pair.alive:
+                    continue
+                pairs[write] = pair
+                write += 1
+                static = pair.static
+                if static is not None and term_by_bs is not None:
+                    score = static + term_by_bs[pair.bs_id]
+                else:
+                    score = ue_score(ue, pair.bs_id, ctx)
+                # Ties break toward the lower bs_id; candidate lists are
+                # ascending in bs_id, so strict < implements that.  The
+                # second clause keeps an all-infinite preference list
+                # proposing to its first candidate, like the reference.
+                if score < best_score or (best_pair is None and score == _INF):
+                    best_score = score
+                    best_pair = pair
+            del pairs[write:]
+            if best_pair is None:
                 newly_cloud.append(ue_id)
-        for ue_id in newly_cloud:
-            cloud.add(ue_id)
-            unassociated.remove(ue_id)
-        return requests
+                continue
+            requests.setdefault(best_pair.bs_id, {}).setdefault(
+                ue.service_id, []
+            ).append(ue_id)
+            proposals += 1
+            # The f_u the UE advertises in its service request (Alg. 1):
+            # computed from the resources broadcast at the end of the
+            # previous round.
+            snapshot[ue_id] = tracker_count[ue_id]
+        if newly_cloud:
+            cloud.update(newly_cloud)
+            dropped = set(newly_cloud)
+            unassociated[:] = [
+                ue_id for ue_id in unassociated if ue_id not in dropped
+            ]
+        return requests, proposals
 
     def _process_base_stations(
         self,
         ctx: MatchingContext,
         requests: dict[int, dict[int, list[int]]],
+        tracker: _FeasibilityTracker,
+        ue_by_id: dict[int, UserEquipment],
     ) -> set[int]:
         """Phases 2--3: per-service selection plus the RRB budget check.
 
@@ -299,13 +650,14 @@ class IterativeMatchingEngine:
             picks = self._pick_per_service(ctx, bs_id, requests[bs_id])
             survivors = self._fit_radio_budget(ctx, bs_id, ledger, picks)
             for ue_id in survivors:
-                ue = ctx.network.user_equipment(ue_id)
+                ue = ue_by_id[ue_id]
                 ledger.grant(
                     ue_id=ue_id,
                     service_id=ue.service_id,
                     crus=ue.cru_demand,
                     rrbs=ctx.rrbs_required(ue_id, bs_id),
                 )
+                tracker.on_grant(ledger, ue.service_id)
                 accepted.add(ue_id)
         return accepted
 
@@ -317,14 +669,11 @@ class IterativeMatchingEngine:
     ) -> list[int]:
         """Alg. 1 lines 13--21: one most-preferred candidate per service."""
         picks: list[int] = []
+        rank = self._rank_key
         for service_id in sorted(by_service):
             candidates = by_service[service_id]
             best = min(
-                candidates,
-                key=lambda ue_id: (
-                    self.policy.bs_rank_key(ue_id, bs_id, ctx),
-                    ue_id,
-                ),
+                candidates, key=lambda ue_id: rank(ue_id, bs_id, ctx)
             )
             picks.append(best)
         return picks
@@ -344,9 +693,9 @@ class IterativeMatchingEngine:
         total = sum(demand.values())
         if total <= ledger.remaining_rrbs:
             return picks
+        rank = self._rank_key
         ranked = sorted(
-            picks,
-            key=lambda ue_id: (self.policy.bs_rank_key(ue_id, bs_id, ctx), ue_id),
+            picks, key=lambda ue_id: rank(ue_id, bs_id, ctx)
         )
         while ranked and total > ledger.remaining_rrbs:
             evicted = ranked.pop()  # least preferred = largest rank key

@@ -6,9 +6,18 @@ UE side — Eq. 17::
 
 Lower is better: the UE balances the price the BS would charge against
 how much slack the BS still has; ``rho`` tunes the trade-off (swept in
-Figs. 6--7).  When a BS has no slack at all the score is infinite — the
-UE will never propose there (and the engine's feasibility check would
-discard it anyway).
+Figs. 6--7).  The price term is round-invariant and the slack term
+depends only on the BS's current ledger, so the score splits cleanly for
+the engine's preference cache: :func:`dmra_price_term` is computed once
+per (UE, BS) pair, :func:`dmra_slack_term` once per (BS, service) per
+round.
+
+When a BS's combined slack reaches zero the ``rho / slack`` term of
+Eq. 17 would divide by zero; we define the limit behaviour explicitly:
+for ``rho > 0`` the score is ``+inf`` — the BS ranks strictly last and
+the UE never proposes there (the engine's feasibility check would
+discard it anyway) — and for ``rho = 0`` the slack term vanishes, so
+the score degenerates to the bare price.
 
 BS side — §V: a service prefers (1) UEs of its own SP, then (2) the UE
 reachable by the fewest still-feasible BSs (smallest ``f_u``), then
@@ -24,7 +33,45 @@ from repro.econ.pricing import PricingPolicy
 from repro.errors import ConfigurationError
 from repro.model.entities import UserEquipment
 
-__all__ = ["dmra_ue_score", "dmra_bs_rank_key"]
+__all__ = [
+    "dmra_ue_score",
+    "dmra_price_term",
+    "dmra_slack_term",
+    "dmra_bs_rank_key",
+]
+
+
+def dmra_price_term(
+    ue: UserEquipment,
+    bs_id: int,
+    ctx: MatchingContext,
+    pricing: PricingPolicy,
+) -> float:
+    """The static ``p_{i,u}`` component of Eq. 17 (Eqs. 9--10)."""
+    return pricing.price_per_cru(
+        ctx.network.distance_m(ue.ue_id, bs_id),
+        ctx.network.same_sp(ue.ue_id, bs_id),
+    )
+
+
+def dmra_slack_term(
+    service_id: int,
+    bs_id: int,
+    ctx: MatchingContext,
+    rho: float,
+) -> float:
+    """The dynamic ``rho / slack`` component of Eq. 17.
+
+    Shared by every UE of one service at one BS within a round (ledgers
+    are frozen during the proposal phase), which is what makes it
+    memoizable.  Zero slack yields the defined limit: ``+inf`` for
+    ``rho > 0`` (BS ranked last), ``0.0`` for ``rho = 0``.
+    """
+    ledger = ctx.ledgers.ledger(bs_id)
+    slack = ledger.remaining_crus(service_id) + ledger.remaining_rrbs
+    if slack <= 0:
+        return math.inf if rho > 0 else 0.0
+    return rho / slack
 
 
 def dmra_ue_score(
@@ -37,15 +84,8 @@ def dmra_ue_score(
     """Eq. 17: the UE's preference value ``v_{u,i}`` (smaller = better)."""
     if rho < 0:
         raise ConfigurationError(f"rho must be >= 0, got {rho}")
-    price = pricing.price_per_cru(
-        ctx.network.distance_m(ue.ue_id, bs_id),
-        ctx.network.same_sp(ue.ue_id, bs_id),
-    )
-    ledger = ctx.ledgers.ledger(bs_id)
-    slack = ledger.remaining_crus(ue.service_id) + ledger.remaining_rrbs
-    if slack <= 0:
-        return math.inf if rho > 0 else price
-    return price + rho / slack
+    price = dmra_price_term(ue, bs_id, ctx, pricing)
+    return price + dmra_slack_term(ue.service_id, bs_id, ctx, rho)
 
 
 def dmra_bs_rank_key(

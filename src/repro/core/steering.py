@@ -67,6 +67,35 @@ class CongestionSteeredPolicy(DMRAPolicy):
         # base already contains `price + rho/slack`; add the surcharge.
         return base + self.beta * utilization * price
 
+    def static_ue_score(
+        self, ue: UserEquipment, bs_id: int, ctx: MatchingContext
+    ) -> float | None:
+        """Opt out of the engine's preference cache when steering is on.
+
+        The surcharge couples the price term to *current* utilization,
+        so no part of the score is round-invariant; inheriting DMRA's
+        cached split would silently drop the steering term.
+        """
+        if self.beta == 0.0:
+            return super().static_ue_score(ue, bs_id, ctx)
+        return None
+
+    def static_ue_scores(
+        self, ue: UserEquipment, bs_ids: list[int], ctx: MatchingContext
+    ) -> list[float | None]:
+        if self.beta == 0.0:
+            return super().static_ue_scores(ue, bs_ids, ctx)
+        return [None] * len(bs_ids)
+
+    def round_additive_terms(
+        self, ctx: MatchingContext, service_ids: frozenset[int]
+    ) -> dict[int, dict[int, float]] | None:
+        """No additive decomposition either: the surcharge multiplies
+        the per-pair price, so it is not a pure (BS, service) term."""
+        if self.beta == 0.0:
+            return super().round_additive_terms(ctx, service_ids)
+        return None
+
 
 class CongestionSteeredAllocator(Allocator):
     """The congestion-steered variant as an :class:`Allocator`."""

@@ -118,6 +118,10 @@ def run_online(
     )
     if policy is None:
         policy = DMRAPolicy(pricing=scenario.pricing, rho=config.rho)
+    # One engine for the whole run, deliberately: the engine memoizes
+    # static preference components (e.g. DMRA's Eq. 17 price term) per
+    # (UE, BS) pair across run() calls on the same network, so every
+    # batch after the first matches against a warm cache.
     engine = IterativeMatchingEngine(policy)
     ledgers = LedgerPool(scenario.network.base_stations)
     total_rrbs = sum(

@@ -49,7 +49,9 @@ def _pricing_for(config: ScenarioConfig) -> PaperPricing:
     )
 
 
-def _run_ext_iota(scale: Scale) -> SweepResult:
+def _run_ext_iota(
+    scale: Scale, workers: int | None = None
+) -> SweepResult:
     """Profit and same-SP fraction as the markup iota grows."""
     iotas = (1.0, 1.5, 2.0, 3.0, 5.0)
     ue_count = max(scale.ue_counts)
@@ -82,7 +84,9 @@ def _run_ext_iota(scale: Scale) -> SweepResult:
     })
 
 
-def _run_ext_coverage(scale: Scale) -> SweepResult:
+def _run_ext_coverage(
+    scale: Scale, workers: int | None = None
+) -> SweepResult:
     """DMRA profit as the (unstated-by-the-paper) coverage radius varies."""
     radii = (300.0, 400.0, 500.0, 650.0, 800.0)
     ue_count = max(scale.ue_counts)
@@ -106,10 +110,12 @@ def _run_ext_coverage(scale: Scale) -> SweepResult:
         },
         metric=lambda m: m.total_profit,
     )
-    return run_sweep(spec)
+    return run_sweep(spec, workers=workers)
 
 
-def _run_ext_noise(scale: Scale) -> SweepResult:
+def _run_ext_noise(
+    scale: Scale, workers: int | None = None
+) -> SweepResult:
     """Edge-served UEs under the paper noise figure vs thermal noise."""
     configs = {
         "paper -170 dBm": ScenarioConfig.paper(),
@@ -136,7 +142,9 @@ def _run_ext_noise(scale: Scale) -> SweepResult:
     })
 
 
-def _run_ext_blocking(scale: Scale) -> SweepResult:
+def _run_ext_blocking(
+    scale: Scale, workers: int | None = None
+) -> SweepResult:
     """Online blocking probability vs offered load (Erlang curve)."""
     holding_s = 150.0
     rates = (2.0, 4.0, 6.0, 8.0, 10.0, 12.0)
@@ -158,7 +166,9 @@ def _run_ext_blocking(scale: Scale) -> SweepResult:
     })
 
 
-def _run_ext_scaling(scale: Scale) -> SweepResult:
+def _run_ext_scaling(
+    scale: Scale, workers: int | None = None
+) -> SweepResult:
     """Total profit as the deployment densifies (BSs per SP)."""
     bs_counts = (2, 3, 5, 8, 12)
     ue_count = max(scale.ue_counts)
@@ -187,7 +197,9 @@ def _run_ext_scaling(scale: Scale) -> SweepResult:
     })
 
 
-def _run_ext_staleness(scale: Scale) -> SweepResult:
+def _run_ext_staleness(
+    scale: Scale, workers: int | None = None
+) -> SweepResult:
     """Convergence rounds and profit under delayed broadcasts."""
     from repro.core.agents import DecentralizedDMRAAllocator
 
@@ -217,7 +229,9 @@ def _run_ext_staleness(scale: Scale) -> SweepResult:
     })
 
 
-def _run_ext_failures(scale: Scale) -> SweepResult:
+def _run_ext_failures(
+    scale: Scale, workers: int | None = None
+) -> SweepResult:
     """Fraction of profit retained as BS outages grow."""
     from repro.dynamics.failures import inject_bs_failures
 

@@ -66,7 +66,9 @@ class Experiment:
     title: str
     x_label: str
     y_label: str
-    run: Callable[[Scale], SweepResult]
+    run: Callable[..., SweepResult]
+    """Called as ``run(scale, workers=N)``; ``workers`` controls how
+    many processes the underlying sweep fans grid cells out to."""
 
 
 def _scheme_factories(
@@ -96,7 +98,7 @@ def _forwarded_mbps(metrics: OutcomeMetrics) -> float:
 def _profit_vs_ue_count(
     iota: float, placement: str
 ) -> Callable[[Scale], SweepResult]:
-    def run(scale: Scale) -> SweepResult:
+    def run(scale: Scale, workers: int | None = None) -> SweepResult:
         config = ScenarioConfig.paper(
             cross_sp_markup=iota, placement=placement
         )
@@ -106,6 +108,7 @@ def _profit_vs_ue_count(
             seeds=scale.seeds,
             allocator_factories=_scheme_factories(config),
             metric=_profit,
+            workers=workers,
         )
 
     return run
@@ -114,7 +117,7 @@ def _profit_vs_ue_count(
 def _rho_experiment(
     iota: float, metric: Callable[[OutcomeMetrics], float]
 ) -> Callable[[Scale], SweepResult]:
-    def run(scale: Scale) -> SweepResult:
+    def run(scale: Scale, workers: int | None = None) -> SweepResult:
         config = ScenarioConfig.paper(cross_sp_markup=iota)
         pricing = PaperPricing(
             base_price=config.base_price,
@@ -130,6 +133,7 @@ def _rho_experiment(
                 pricing=pricing, rho=rho
             ),
             metric=metric,
+            workers=workers,
         )
 
     return run

@@ -5,10 +5,23 @@ A sweep runs a set of allocators over a grid of x-values (UE counts,
 allocators see *identical* scenarios per (x, seed) pair — paired
 comparisons, so "DMRA beats DCSP" is never an artifact of different
 random draws.
+
+Sweeps parallelize over grid cells: each (x, seed) cell is independent
+(it builds its own scenario and runs every allocator on it), so
+:func:`run_sweep` can fan cells out to a process pool.  ``workers=1``
+(the default) keeps the fully serial path; ``workers=N`` uses a
+fork-based pool — specs hold closures, which never survive pickling, so
+workers inherit the spec by forking and receive only cell indices.  The
+pool maps cells in grid order, making results identical to the serial
+path bit for bit, including the paired-seed structure.  The
+``DMRA_SWEEP_WORKERS`` environment variable supplies the default worker
+count; platforms without ``fork`` fall back to serial execution.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
@@ -66,22 +79,75 @@ class SweepResult:
         return self.series[label]
 
 
-def run_sweep(spec: SweepSpec) -> SweepResult:
-    """Execute a sweep: scenarios are built once per (x, seed) and shared."""
+# Spec of the sweep currently fanning out, inherited by forked workers.
+# Closures in SweepSpec (scenario/allocator factories) cannot be
+# pickled, so workers get the spec via fork semantics and the pool only
+# ever ships integer cell indices.
+_ACTIVE_SPEC: SweepSpec | None = None
+
+
+def _run_cell(cell: tuple[int, int]) -> list[float]:
+    """Run one (x, seed) grid cell: every allocator on one scenario."""
+    spec = _ACTIVE_SPEC
+    assert spec is not None
+    x = spec.xs[cell[0]]
+    seed = spec.seeds[cell[1]]
+    scenario = spec.scenario_factory(x, seed)
+    return [
+        spec.metric(run_allocation(scenario, factory(x)).metrics)
+        for factory in spec.allocator_factories.values()
+    ]
+
+
+def _resolve_workers(workers: int | None) -> int:
+    """Explicit argument, else ``DMRA_SWEEP_WORKERS``, else serial."""
+    if workers is None:
+        raw = os.environ.get("DMRA_SWEEP_WORKERS", "")
+        try:
+            workers = int(raw) if raw else 1
+        except ValueError:
+            raise ConfigurationError(
+                f"DMRA_SWEEP_WORKERS must be an integer, got {raw!r}"
+            ) from None
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def run_sweep(spec: SweepSpec, workers: int | None = None) -> SweepResult:
+    """Execute a sweep: scenarios are built once per (x, seed) and shared.
+
+    ``workers`` > 1 distributes grid cells over a fork-based process
+    pool (see the module docstring); results are identical to the
+    serial path in value and order.
+    """
+    global _ACTIVE_SPEC
+    workers = _resolve_workers(workers)
+    cells = [
+        (x_idx, seed_idx)
+        for x_idx in range(len(spec.xs))
+        for seed_idx in range(len(spec.seeds))
+    ]
+    _ACTIVE_SPEC = spec
+    try:
+        if workers > 1 and len(cells) > 1 and _fork_available():
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=min(workers, len(cells))) as pool:
+                rows = pool.map(_run_cell, cells)
+        else:
+            rows = [_run_cell(cell) for cell in cells]
+    finally:
+        _ACTIVE_SPEC = None
+
+    labels = list(spec.allocator_factories)
     samples: dict[str, list[tuple[float, list[float]]]] = {
-        label: [] for label in spec.allocator_factories
+        label: [] for label in labels
     }
-    for x in spec.xs:
-        per_label: dict[str, list[float]] = {
-            label: [] for label in spec.allocator_factories
-        }
-        for seed in spec.seeds:
-            scenario = spec.scenario_factory(x, seed)
-            for label, factory in spec.allocator_factories.items():
-                outcome = run_allocation(scenario, factory(x))
-                per_label[label].append(spec.metric(outcome.metrics))
-        for label, values in per_label.items():
-            samples[label].append((x, values))
+    n_seeds = len(spec.seeds)
+    for x_idx, x in enumerate(spec.xs):
+        point_rows = rows[x_idx * n_seeds : (x_idx + 1) * n_seeds]
+        for j, label in enumerate(labels):
+            samples[label].append((x, [row[j] for row in point_rows]))
     return SweepResult(
         series={
             label: Series.from_samples(label, data)
@@ -90,12 +156,17 @@ def run_sweep(spec: SweepSpec) -> SweepResult:
     )
 
 
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
 def ue_count_sweep(
     config: ScenarioConfig,
     ue_counts: Sequence[int],
     seeds: Sequence[int],
     allocator_factories: Mapping[str, AllocatorFactory],
     metric: MetricExtractor,
+    workers: int | None = None,
 ) -> SweepResult:
     """Sweep the UE population size (the x-axis of Figs. 2--5)."""
     spec = SweepSpec(
@@ -105,7 +176,7 @@ def ue_count_sweep(
         allocator_factories=allocator_factories,
         metric=metric,
     )
-    return run_sweep(spec)
+    return run_sweep(spec, workers=workers)
 
 
 def rho_sweep(
@@ -116,12 +187,14 @@ def rho_sweep(
     allocator_factory: Callable[[float], Allocator],
     metric: MetricExtractor,
     label: str = "dmra",
+    workers: int | None = None,
 ) -> SweepResult:
     """Sweep DMRA's ``rho`` at a fixed UE count (Figs. 6--7).
 
     The scenario depends only on the seed; ``rho`` reaches the allocator
     through the factory, so all grid points share identical scenarios
-    (built once per seed and cached).
+    (built once per seed and cached — per process: parallel workers
+    each fill their own cache).
     """
     cache: dict[int, Scenario] = {}
 
@@ -137,4 +210,4 @@ def rho_sweep(
         allocator_factories={label: allocator_factory},
         metric=metric,
     )
-    return run_sweep(spec)
+    return run_sweep(spec, workers=workers)

@@ -1,0 +1,119 @@
+"""Property-based resource-safety invariants across all three schemes.
+
+Whatever random scenario Hypothesis draws and whichever scheme runs on
+it, two things must hold: no BS ledger ever goes negative (checked
+*per round* through the engine's observer hook, not just at the end),
+and every UE is accounted for exactly once — granted by exactly one BS
+or listed in ``cloud_ue_ids``, never both, never neither.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dcsp import DCSPAllocator, DCSPPolicy
+from repro.baselines.nonco import NonCoAllocator
+from repro.compute.cru import LedgerPool
+from repro.core.dmra import DMRAAllocator, DMRAPolicy
+from repro.core.matching import IterativeMatchingEngine
+from repro.econ.pricing import PaperPricing
+from repro.sim.config import ScenarioConfig
+from repro.sim.scenario import build_scenario
+
+RELAXED = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+scenario_params = {
+    "ue_count": st.integers(min_value=1, max_value=150),
+    "seed": st.integers(min_value=0, max_value=1000),
+    "placement": st.sampled_from(["regular", "random", "clustered"]),
+}
+
+
+def _assert_partition(assignment, network):
+    """Every UE granted exactly once or cloud-bound — never both."""
+    granted = [g.ue_id for g in assignment.grants]
+    assert len(granted) == len(set(granted)), "UE granted twice"
+    overlap = set(granted) & assignment.cloud_ue_ids
+    assert not overlap, f"UEs both granted and cloud-bound: {overlap}"
+    assert set(granted) | assignment.cloud_ue_ids == {
+        ue.ue_id for ue in network.user_equipments
+    }
+
+
+def _matching_scheme_invariants(scenario, policy):
+    """Run the engine under an observer that audits ledgers every round."""
+    ledgers = LedgerPool(scenario.network.base_stations)
+    audited_rounds = []
+
+    def audit(stats):
+        for ledger in ledgers:
+            ledger.check_invariants()
+            assert ledger.remaining_rrbs >= 0
+            for crus in ledger.remaining_crus_by_service().values():
+                assert crus >= 0
+        audited_rounds.append(stats.round_number)
+
+    engine = IterativeMatchingEngine(policy)
+    assignment = engine.run(
+        scenario.network, scenario.radio_map,
+        ledgers=ledgers, observer=audit,
+    )
+    assert audited_rounds, "observer never called"
+    assignment.validate(scenario.network, scenario.radio_map)
+    _assert_partition(assignment, scenario.network)
+
+
+@RELAXED
+@given(**scenario_params)
+def test_dmra_never_overdraws_and_partitions(ue_count, seed, placement):
+    scenario = build_scenario(
+        ScenarioConfig.paper(placement=placement), ue_count, seed
+    )
+    _matching_scheme_invariants(
+        scenario, DMRAPolicy(pricing=scenario.pricing)
+    )
+
+
+@RELAXED
+@given(**scenario_params)
+def test_dcsp_never_overdraws_and_partitions(ue_count, seed, placement):
+    scenario = build_scenario(
+        ScenarioConfig.paper(placement=placement), ue_count, seed
+    )
+    _matching_scheme_invariants(scenario, DCSPPolicy())
+
+
+@RELAXED
+@given(**scenario_params)
+def test_nonco_partitions_and_validates(ue_count, seed, placement):
+    scenario = build_scenario(
+        ScenarioConfig.paper(placement=placement), ue_count, seed
+    )
+    assignment = NonCoAllocator().allocate(
+        scenario.network, scenario.radio_map
+    )
+    assignment.validate(scenario.network, scenario.radio_map)
+    _assert_partition(assignment, scenario.network)
+
+
+@RELAXED
+@given(
+    ue_count=st.integers(min_value=1, max_value=100),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_all_three_allocators_agree_on_population_partition(ue_count, seed):
+    """Allocator-level smoke over the same scenario: each scheme's result
+    is a valid partition of the same UE population."""
+    scenario = build_scenario(ScenarioConfig.paper(), ue_count, seed)
+    for allocator in (
+        DMRAAllocator(pricing=PaperPricing()),
+        DCSPAllocator(),
+        NonCoAllocator(),
+    ):
+        assignment = allocator.allocate(
+            scenario.network, scenario.radio_map
+        )
+        _assert_partition(assignment, scenario.network)

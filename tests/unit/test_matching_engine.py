@@ -77,7 +77,62 @@ class TestBasicMatching:
         )
         assignment = run_engine(network)
         assert assignment.edge_served_count == 2
-        assert assignment.rounds >= 3  # 2 grant rounds + 1 empty closing round
+        assert assignment.rounds == 2  # one grant per round, probe not counted
+
+
+class TestRoundSemantics:
+    """``Assignment.rounds`` counts *productive* rounds.
+
+    Regression for the historical off-by-one: the engine used to count
+    the terminating no-proposal probe round, so an N-round convergence
+    reported N+1.
+    """
+
+    def test_single_ue_converges_in_one_round(self):
+        assignment = run_engine(make_tiny_network())
+        assert assignment.rounds == 1
+
+    def test_unreachable_population_reports_zero_rounds(self):
+        network = make_tiny_network(
+            ue_specs=[dict(ue_id=0, position=Point(1200.0, 1200.0))],
+            coverage_radius_m=200.0,
+        )
+        assignment = run_engine(network)
+        assert assignment.rounds == 0
+
+    def test_empty_population_reports_zero_rounds(self):
+        assignment = run_engine(make_tiny_network(ue_specs=[]))
+        assert assignment.rounds == 0
+
+    def test_observer_sees_probe_round_but_rounds_excludes_it(self):
+        """The observer still receives the terminating zero-proposal
+        round (it can carry newly_cloud info); only the count changes."""
+        from repro.core.matching import IterativeMatchingEngine
+
+        network = make_tiny_network(
+            ue_specs=[
+                dict(ue_id=0, position=Point(100, 0)),
+                dict(ue_id=1, position=Point(90, 0)),
+            ]
+        )
+        radio_map = build_radio_map(network, LinkBudget())
+        seen = []
+        engine = IterativeMatchingEngine(NearestPolicy())
+        assignment = engine.run(network, radio_map, observer=seen.append)
+        assert len(seen) == assignment.rounds + 1
+        assert seen[-1].proposals == 0
+        assert all(stats.proposals > 0 for stats in seen[:-1])
+
+    def test_round_stats_carry_phase_times(self):
+        from repro.core.matching import IterativeMatchingEngine
+
+        network = make_tiny_network()
+        radio_map = build_radio_map(network, LinkBudget())
+        seen = []
+        engine = IterativeMatchingEngine(NearestPolicy())
+        engine.run(network, radio_map, observer=seen.append)
+        assert all(stats.propose_time_s >= 0.0 for stats in seen)
+        assert all(stats.accept_time_s >= 0.0 for stats in seen)
 
 
 class TestResourceExhaustion:

@@ -7,7 +7,11 @@ import pytest
 from conftest import make_tiny_network
 from repro.compute.cru import LedgerPool
 from repro.core.matching import MatchingContext
-from repro.core.preferences import dmra_bs_rank_key, dmra_ue_score
+from repro.core.preferences import (
+    dmra_bs_rank_key,
+    dmra_slack_term,
+    dmra_ue_score,
+)
 from repro.econ.pricing import PaperPricing
 from repro.errors import ConfigurationError
 from repro.model.geometry import Point
@@ -86,6 +90,68 @@ class TestUEScore:
         cross = dmra_ue_score(ue, 1, ctx, PRICING, rho=0.0)
         assert cross > same
         assert cross - same == pytest.approx(1.0)  # (iota - 1) * b
+
+
+class TestLedgerExhaustion:
+    """Drive a ledger to exhaustion through successive grants and check
+    the defined Eq. 17 limit behaviour at zero slack."""
+
+    @staticmethod
+    def _exhaust(ctx, bs_id=0, service_id=0):
+        """Grant in small steps until CRU and RRB slack are both zero."""
+        ledger = ctx.ledgers.ledger(bs_id)
+        fake_ue = 100
+        while ledger.remaining_crus(service_id) > 0:
+            crus = min(4, ledger.remaining_crus(service_id))
+            rrbs = min(2, ledger.remaining_rrbs)
+            ledger.grant(
+                ue_id=fake_ue, service_id=service_id, crus=crus, rrbs=rrbs
+            )
+            fake_ue += 1
+        assert ledger.remaining_crus(service_id) == 0
+        assert ledger.remaining_rrbs == 0
+
+    def test_slack_term_grows_monotonically_to_exhaustion(self, tiny_network):
+        ctx = make_context(tiny_network)
+        ledger = ctx.ledgers.ledger(0)
+        terms = [dmra_slack_term(0, 0, ctx, rho=10.0)]
+        for step in range(5):  # 5 x (4 CRUs, 2 RRBs) drains 20/10 exactly
+            ledger.grant(ue_id=100 + step, service_id=0, crus=4, rrbs=2)
+            terms.append(dmra_slack_term(0, 0, ctx, rho=10.0))
+        assert terms == sorted(terms)
+        assert all(a < b for a, b in zip(terms, terms[1:]))
+        assert math.isinf(terms[-1])
+
+    def test_exhausted_slack_term_limits(self, tiny_network):
+        ctx = make_context(tiny_network)
+        self._exhaust(ctx)
+        assert dmra_slack_term(0, 0, ctx, rho=10.0) == math.inf
+        assert dmra_slack_term(0, 0, ctx, rho=0.0) == 0.0
+
+    def test_exhausted_bs_ranks_last_in_ue_preference(self, tiny_network):
+        # BS 0 is same-SP and closer: normally the strictly better deal.
+        ctx = make_context(tiny_network)
+        ue = tiny_network.user_equipment(0)
+        assert dmra_ue_score(ue, 0, ctx, PRICING, rho=10.0) < dmra_ue_score(
+            ue, 1, ctx, PRICING, rho=10.0
+        )
+        # Once exhausted its score hits +inf and it drops to dead last.
+        self._exhaust(ctx)
+        exhausted = dmra_ue_score(ue, 0, ctx, PRICING, rho=10.0)
+        assert math.isinf(exhausted)
+        assert dmra_ue_score(ue, 1, ctx, PRICING, rho=10.0) < exhausted
+
+    def test_exhausted_bs_with_zero_rho_keeps_price_ordering(
+        self, tiny_network
+    ):
+        # With rho = 0 exhaustion cannot reorder anything: the score is
+        # the bare price term (feasibility filtering is the engine's job).
+        ctx = make_context(tiny_network)
+        ue = tiny_network.user_equipment(0)
+        self._exhaust(ctx)
+        assert dmra_ue_score(ue, 0, ctx, PRICING, rho=0.0) == pytest.approx(
+            PRICING.price_per_cru(100.0, True)
+        )
 
 
 class TestBSRankKey:

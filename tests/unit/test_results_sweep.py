@@ -7,7 +7,13 @@ from repro.core.dmra import DMRAAllocator
 from repro.errors import ConfigurationError
 from repro.sim.config import ScenarioConfig
 from repro.sim.results import Series, aggregate
-from repro.sim.sweep import SweepSpec, rho_sweep, run_sweep, ue_count_sweep
+from repro.sim.sweep import (
+    SweepSpec,
+    _resolve_workers,
+    rho_sweep,
+    run_sweep,
+    ue_count_sweep,
+)
 
 
 class TestAggregate:
@@ -143,6 +149,61 @@ class TestSweeps:
                 allocator_factories={},
                 metric=lambda m: 0.0,
             )
+
+    def make_spec(self):
+        from repro.econ.pricing import PaperPricing
+        from repro.sim.scenario import build_scenario
+
+        return SweepSpec(
+            xs=(30.0, 60.0),
+            seeds=(0, 1),
+            scenario_factory=lambda x, seed: build_scenario(
+                ScenarioConfig.paper(), int(x), seed
+            ),
+            allocator_factories=self.make_factories(PaperPricing()),
+            metric=lambda m: m.total_profit,
+        )
+
+    def test_parallel_sweep_matches_serial(self):
+        """workers=2 must reproduce the serial sweep bit for bit —
+        same series, same x order, same per-point sample values."""
+        spec = self.make_spec()
+        serial = run_sweep(spec, workers=1)
+        parallel = run_sweep(spec, workers=2)
+        assert serial.labels() == parallel.labels()
+        for label in serial.labels():
+            assert serial[label].xs == parallel[label].xs
+            for p_serial, p_parallel in zip(
+                serial[label].points, parallel[label].points
+            ):
+                assert p_serial.value.mean == p_parallel.value.mean
+                assert p_serial.value.std == p_parallel.value.std
+                assert p_serial.value.count == p_parallel.value.count
+
+    def test_oversized_pool_is_harmless(self):
+        """More workers than grid cells must still work and agree."""
+        spec = self.make_spec()
+        serial = run_sweep(spec, workers=1)
+        wide = run_sweep(spec, workers=16)
+        for label in serial.labels():
+            assert serial[label].means == wide[label].means
+
+    def test_resolve_workers(self, monkeypatch):
+        monkeypatch.delenv("DMRA_SWEEP_WORKERS", raising=False)
+        assert _resolve_workers(None) == 1
+        assert _resolve_workers(4) == 4
+        monkeypatch.setenv("DMRA_SWEEP_WORKERS", "3")
+        assert _resolve_workers(None) == 3
+        assert _resolve_workers(2) == 2  # explicit arg wins over env
+
+    def test_resolve_workers_rejects_bad_values(self, monkeypatch):
+        with pytest.raises(ConfigurationError):
+            _resolve_workers(0)
+        with pytest.raises(ConfigurationError):
+            _resolve_workers(-2)
+        monkeypatch.setenv("DMRA_SWEEP_WORKERS", "two")
+        with pytest.raises(ConfigurationError):
+            _resolve_workers(None)
 
     def test_paired_scenarios_across_allocators(self):
         """All allocators at one (x, seed) must see the same scenario."""
