@@ -13,9 +13,11 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Seeded engine smoke bench: times a 2000-UE DMRA allocation (optimized
-# vs reference engine) and a workers=1-vs-4 sweep, writes BENCH_pr1.json,
-# and fails on parity-fixture drift or a speedup below the floor.
+# Seeded smoke bench: times a 2000-UE DMRA allocation (optimized vs
+# reference engine), scalar-vs-vectorized radio-map construction at
+# 2000 UEs, a workers=1-vs-4 sweep, and incremental-vs-full mobility
+# epochs; writes BENCH_pr2.json and fails on parity drift or speedups
+# below the floors (BENCH_MIN_SPEEDUP / BENCH_MIN_MAP_SPEEDUP).
 bench-smoke:
 	bash -c 'time $(PYTHON) benchmarks/bench_smoke.py'
 

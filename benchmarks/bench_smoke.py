@@ -1,18 +1,28 @@
-"""Smoke benchmark for the optimized matching engine (``make bench-smoke``).
+"""Smoke benchmark for the engine and radio hot paths (``make bench-smoke``).
 
-Times a seeded 2000-UE single-shot DMRA allocation on both the optimized
-engine and the reference engine (best-of-N wall time, since a shared box
-is noisy), plus a small sweep at ``workers=1`` vs ``workers=4``.  Emits
-``BENCH_pr1.json`` at the repo root with wall times, rounds, and
-speedups, and asserts two things so regressions fail fast:
+Times, at a seeded 2000-UE scale (best-of-N wall time, since a shared
+box is noisy):
+
+* the single-shot DMRA allocation, optimized vs reference engine (PR 1);
+* a small sweep at ``workers=1`` vs ``workers=4`` (PR 1);
+* radio-map construction, vectorized :func:`build_radio_map` vs the
+  scalar :func:`build_radio_map_reference` loop, with link-for-link
+  parity asserted in-process (PR 2);
+* a short mobility trace, incremental epoch updates vs full rebuilds,
+  with identical per-epoch records asserted (PR 2).
+
+Emits ``BENCH_pr2.json`` at the repo root and fails fast on:
 
 * **behaviour** — the optimized assignment's digest must equal the
   recorded parity fixture (``benchmarks/results/parity_pr1.json``;
-  regenerate deliberately with ``BENCH_WRITE_FIXTURE=1``);
-* **performance** — the single-shot speedup must stay >= the floor
-  (default 3.0; override with ``BENCH_MIN_SPEEDUP`` for noisy boxes).
+  regenerate deliberately with ``BENCH_WRITE_FIXTURE=1``), the radio
+  maps must agree link for link (exact integer fields, <=1e-9 relative
+  on floats), and the mobility modes must agree epoch for epoch;
+* **performance** — the matching speedup must stay >= its floor
+  (default 3.0, ``BENCH_MIN_SPEEDUP``) and the radio-map speedup >= its
+  floor (default 5.0, ``BENCH_MIN_MAP_SPEEDUP``).
 
-Exit status is non-zero on either failure.
+Exit status is non-zero on any failure.
 """
 
 from __future__ import annotations
@@ -33,17 +43,20 @@ if _SRC not in sys.path:
 from repro.core.dmra import DMRAAllocator, DMRAPolicy
 from repro.core.matching import IterativeMatchingEngine
 from repro.core.matching_reference import ReferenceMatchingEngine
+from repro.dynamics.mobility import run_mobility
 from repro.econ.pricing import PaperPricing
+from repro.radio.channel import build_radio_map, build_radio_map_reference
 from repro.sim.config import ScenarioConfig
 from repro.sim.scenario import build_scenario
 from repro.sim.sweep import SweepSpec, run_sweep
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURE_PATH = Path(__file__).parent / "results" / "parity_pr1.json"
-OUTPUT_PATH = REPO_ROOT / "BENCH_pr1.json"
+OUTPUT_PATH = REPO_ROOT / "BENCH_pr2.json"
 
 UE_COUNT = 2000
 SEED = 1
+FLOAT_PARITY_REL_TOL = 1e-9
 
 
 def _digest(assignment) -> str:
@@ -116,6 +129,86 @@ def _time_single_shot() -> dict:
     }
 
 
+def _assert_map_parity(vectorized, reference) -> None:
+    """Link-for-link parity: exact ints/candidate sets, tight floats."""
+    assert len(vectorized) == len(reference), "link counts differ"
+    ref_links = {(m.ue_id, m.bs_id): m for m in reference}
+    vec_links = {(m.ue_id, m.bs_id): m for m in vectorized}
+    assert vec_links.keys() == ref_links.keys(), "candidate sets differ"
+    for key, ref in ref_links.items():
+        vec = vec_links[key]
+        assert vec.rrbs_required == ref.rrbs_required, f"rrbs differ at {key}"
+        for field in ("distance_m", "sinr_linear", "per_rrb_rate_bps"):
+            a, b = getattr(vec, field), getattr(ref, field)
+            tolerance = FLOAT_PARITY_REL_TOL * max(abs(a), abs(b), 1e-30)
+            assert abs(a - b) <= tolerance, f"{field} differs at {key}"
+
+
+def _time_radio_map() -> dict:
+    config = ScenarioConfig.paper()
+    scenario = build_scenario(config, UE_COUNT, SEED)
+    budget = config.link_budget()
+    rate_model = config.rate_model_fn()
+
+    def vectorized():
+        return build_radio_map(
+            scenario.network, budget, rate_model=rate_model
+        )
+
+    def reference():
+        return build_radio_map_reference(
+            scenario.network, budget, rate_model=rate_model
+        )
+
+    vec_s, vec_map, ref_s, ref_map = _best_of_interleaved(
+        vectorized, reference, repeats=5
+    )
+    _assert_map_parity(vec_map, ref_map)
+    return {
+        "ue_count": UE_COUNT,
+        "seed": SEED,
+        "links": len(vec_map),
+        "vectorized_wall_s": round(vec_s, 4),
+        "reference_wall_s": round(ref_s, 4),
+        "speedup": round(ref_s / vec_s, 2),
+        "note": (
+            "parity verified link-for-link: exact rrbs_required and "
+            "candidate sets, floats to <=1e-9 relative"
+        ),
+    }
+
+
+def _time_mobility() -> dict:
+    config = ScenarioConfig.paper()
+    ue_count, epochs, duration_s, seed = 500, 5, 30.0, 2
+
+    def incremental():
+        return run_mobility(
+            config, ue_count, epochs, duration_s, seed, incremental=True
+        )
+
+    def full_rebuild():
+        return run_mobility(
+            config, ue_count, epochs, duration_s, seed, incremental=False
+        )
+
+    inc_s, inc_outcome, full_s, full_outcome = _best_of_interleaved(
+        incremental, full_rebuild, repeats=2
+    )
+    assert inc_outcome.records == full_outcome.records, (
+        "incremental mobility diverged from the full-rebuild path"
+    )
+    return {
+        "ue_count": ue_count,
+        "epochs": epochs,
+        "seed": seed,
+        "incremental_wall_s": round(inc_s, 4),
+        "full_rebuild_wall_s": round(full_s, 4),
+        "speedup": round(full_s / inc_s, 2),
+        "note": "per-epoch records verified identical across both modes",
+    }
+
+
 def _sweep_spec() -> SweepSpec:
     config = ScenarioConfig.paper()
     return SweepSpec(
@@ -153,12 +246,16 @@ def _time_sweep() -> dict:
 
 
 def main() -> int:
+    radio = _time_radio_map()
     single = _time_single_shot()
     sweep = _time_sweep()
+    mobility = _time_mobility()
     report = {
-        "bench": "pr1-smoke",
+        "bench": "pr2-smoke",
+        "radio_map": radio,
         "single_shot_dmra": single,
         "sweep_scaling": sweep,
+        "mobility_epochs": mobility,
     }
     OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
@@ -183,11 +280,24 @@ def main() -> int:
     floor = float(os.environ.get("BENCH_MIN_SPEEDUP", "3.0"))
     if single["speedup"] < floor:
         print(
-            f"PERF REGRESSION: speedup {single['speedup']}x < {floor}x",
+            f"PERF REGRESSION: matching speedup {single['speedup']}x "
+            f"< {floor}x",
             file=sys.stderr,
         )
         return 1
-    print(f"ok: parity digest matches, speedup {single['speedup']}x")
+    map_floor = float(os.environ.get("BENCH_MIN_MAP_SPEEDUP", "5.0"))
+    if radio["speedup"] < map_floor:
+        print(
+            f"PERF REGRESSION: radio-map speedup {radio['speedup']}x "
+            f"< {map_floor}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"ok: parity digest matches, matching {single['speedup']}x, "
+        f"radio map {radio['speedup']}x, "
+        f"mobility epochs {mobility['speedup']}x"
+    )
     return 0
 
 

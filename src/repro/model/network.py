@@ -12,14 +12,14 @@ keep their own resource ledgers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError, UnknownEntityError
 from repro.model.entities import BaseStation, Service, ServiceProvider, UserEquipment
-from repro.model.geometry import Rectangle, pairwise_distances_m
+from repro.model.geometry import Point, Rectangle, pairwise_distances_m
 
 __all__ = ["MECNetwork"]
 
@@ -58,6 +58,9 @@ class MECNetwork:
     _ue_row: Mapping[int, int] = field(init=False, repr=False)
     _bs_col: Mapping[int, int] = field(init=False, repr=False)
     _candidates: Mapping[int, tuple[int, ...]] = field(init=False, repr=False)
+    _candidate_mask: np.ndarray = field(init=False, repr=False)
+    _hosts_by_service: Mapping[int, np.ndarray] = field(init=False, repr=False)
+    _bs_id_array: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.coverage_radius_m <= 0:
@@ -112,17 +115,37 @@ class MECNetwork:
         object.__setattr__(self, "_bs_col", bs_col)
         object.__setattr__(self, "_distances", distances)
 
-        candidates: dict[int, tuple[int, ...]] = {}
-        for ue in self.user_equipments:
-            row = ue_row[ue.ue_id]
-            eligible = [
-                bs.bs_id
-                for bs in self.base_stations
-                if distances[row, bs_col[bs.bs_id]] <= self.coverage_radius_m
-                and bs.hosts_service(ue.service_id)
-            ]
-            candidates[ue.ue_id] = tuple(eligible)
+        # Candidate sets B_u, computed as one (n_ue, n_bs) boolean mask:
+        # coverage (distance <= radius) AND hosting (z_{i,j} = 1 for the
+        # UE's service).  Hosting columns are shared per service, so the
+        # whole mask costs one fancy-index plus one logical AND.
+        hosts_by_service = {
+            service.service_id: np.array(
+                [bs.hosts_service(service.service_id) for bs in self.base_stations],
+                dtype=bool,
+            )
+            for service in self.services
+        }
+        coverage = distances <= self.coverage_radius_m
+        if self.user_equipments:
+            hosting = np.stack(
+                [hosts_by_service[ue.service_id] for ue in self.user_equipments]
+            )
+            mask = coverage & hosting
+        else:
+            mask = np.zeros_like(coverage, dtype=bool)
+        bs_id_array = np.array(
+            [bs.bs_id for bs in self.base_stations], dtype=np.int64
+        )
+        candidates: dict[int, tuple[int, ...]] = {
+            ue.ue_id: tuple(bs_id_array[mask[ue_row[ue.ue_id]]].tolist())
+            for ue in self.user_equipments
+        }
+        mask.setflags(write=False)
         object.__setattr__(self, "_candidates", candidates)
+        object.__setattr__(self, "_candidate_mask", mask)
+        object.__setattr__(self, "_hosts_by_service", hosts_by_service)
+        object.__setattr__(self, "_bs_id_array", bs_id_array)
 
     # ------------------------------------------------------------------
     # Lookups
@@ -193,6 +216,113 @@ class MECNetwork:
             return self._candidates[ue_id]
         except KeyError:
             raise UnknownEntityError(f"unknown UE id {ue_id}") from None
+
+    def candidate_mask(self) -> np.ndarray:
+        """Read-only ``(n_ue, n_bs)`` boolean candidate mask.
+
+        Row/column order follows ``user_equipments`` / ``base_stations``;
+        ``mask[row, col]`` is True exactly when the BS is in the UE's
+        ``B_u``.  This is the batched counterpart of
+        :meth:`candidate_base_stations`, consumed by the vectorized
+        radio-map builder.
+        """
+        return self._candidate_mask
+
+    def row_of_ue(self, ue_id: int) -> int:
+        """Row index of a UE in the distance matrix / candidate mask."""
+        return self._row_of(ue_id)
+
+    def col_of_bs(self, bs_id: int) -> int:
+        """Column index of a BS in the distance matrix / candidate mask."""
+        try:
+            return self._bs_col[bs_id]
+        except KeyError:
+            raise UnknownEntityError(f"unknown BS id {bs_id}") from None
+
+    def with_moved_ues(
+        self, new_positions: Mapping[int, Point]
+    ) -> "MECNetwork":
+        """A copy of this network with the given UEs repositioned.
+
+        The incremental mobility path: only the moved UEs' distance rows
+        and candidate sets are recomputed (batched); every id index, the
+        BS population, and unmoved rows are shared with ``self``.  The
+        recomputed rows use the same float64 operations as full
+        construction, so the result is value-identical to rebuilding
+        :class:`MECNetwork` from scratch with the new positions.
+        """
+        if not new_positions:
+            return self
+        rows = []
+        for ue_id in new_positions:
+            rows.append(self._row_of(ue_id))  # validates the id
+        moved_ues = tuple(
+            replace(ue, position=new_positions[ue.ue_id])
+            if ue.ue_id in new_positions
+            else ue
+            for ue in self.user_equipments
+        )
+        if len(new_positions) >= self.ue_count:
+            # Everyone moved (e.g. a random walk): the fully batched
+            # constructor beats per-row patching.
+            return MECNetwork(
+                providers=self.providers,
+                base_stations=self.base_stations,
+                user_equipments=moved_ues,
+                services=self.services,
+                region=self.region,
+                coverage_radius_m=self.coverage_radius_m,
+            )
+
+        clone = object.__new__(MECNetwork)
+        for name in (
+            "providers",
+            "base_stations",
+            "services",
+            "region",
+            "coverage_radius_m",
+            "_sp_by_id",
+            "_bs_by_id",
+            "_service_by_id",
+            "_ue_row",
+            "_bs_col",
+            "_hosts_by_service",
+            "_bs_id_array",
+        ):
+            object.__setattr__(clone, name, getattr(self, name))
+        object.__setattr__(clone, "user_equipments", moved_ues)
+        object.__setattr__(
+            clone, "_ue_by_id", {ue.ue_id: ue for ue in moved_ues}
+        )
+
+        row_index = np.array(sorted(rows), dtype=np.intp)
+        distances = self._distances.copy()
+        distances[row_index] = pairwise_distances_m(
+            [moved_ues[row].position for row in row_index],
+            [bs.position for bs in self.base_stations],
+        )
+        distances.setflags(write=False)
+        object.__setattr__(clone, "_distances", distances)
+
+        mask = self._candidate_mask.copy()
+        coverage = distances[row_index] <= self.coverage_radius_m
+        hosting = np.stack(
+            [
+                self._hosts_by_service[moved_ues[row].service_id]
+                for row in row_index
+            ]
+        )
+        mask[row_index] = coverage & hosting
+        mask.setflags(write=False)
+        candidates = dict(self._candidates)
+        for row in row_index:
+            ue = moved_ues[row]
+            candidates[ue.ue_id] = tuple(
+                self._bs_id_array[mask[row]].tolist()
+            )
+        object.__setattr__(clone, "_candidate_mask", mask)
+        object.__setattr__(clone, "_candidates", candidates)
+        return clone
 
     def same_sp(self, ue_id: int, bs_id: int) -> bool:
         """Whether the UE and the BS belong to the same SP."""

@@ -1,19 +1,39 @@
 """Radio substrate: path loss, SINR, OFDMA RRB math, and the radio map."""
 
-from repro.radio.channel import LinkMetrics, RadioMap, build_radio_map
+from repro.radio.channel import (
+    LinkMetrics,
+    RadioMap,
+    build_radio_map,
+    build_radio_map_reference,
+    register_array_rate_model,
+)
 from repro.radio.interference import (
     ConstantInterference,
     InterferenceModel,
     LoadInterference,
     NoInterference,
+    interference_mw_array,
 )
-from repro.radio.mcs import MCS_TABLE, McsEntry, mcs_for_sinr, mcs_rate_bps
-from repro.radio.ofdma import per_rrb_rate_bps, rrb_budget, rrbs_required
+from repro.radio.mcs import (
+    MCS_TABLE,
+    McsEntry,
+    mcs_for_sinr,
+    mcs_rate_bps,
+    mcs_rate_bps_array,
+)
+from repro.radio.ofdma import (
+    per_rrb_rate_bps,
+    per_rrb_rate_bps_array,
+    rrb_budget,
+    rrbs_required,
+    rrbs_required_array,
+)
 from repro.radio.pathloss import (
     FreeSpacePathLoss,
     PaperPathLoss,
     PathLossModel,
     ShadowedPathLoss,
+    loss_db_array,
 )
 from repro.radio.sinr import (
     LinkBudget,
@@ -46,6 +66,13 @@ __all__ = [
     "RadioMap",
     "ShadowedPathLoss",
     "build_radio_map",
+    "build_radio_map_reference",
+    "register_array_rate_model",
+    "interference_mw_array",
+    "loss_db_array",
+    "mcs_rate_bps_array",
+    "per_rrb_rate_bps_array",
+    "rrbs_required_array",
     "db_to_linear",
     "dbm_to_mw",
     "khz",

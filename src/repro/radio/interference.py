@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Protocol, Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.radio.pathloss import PathLossModel
 from repro.radio.units import db_to_linear, dbm_to_mw
@@ -28,6 +30,7 @@ __all__ = [
     "NoInterference",
     "ConstantInterference",
     "LoadInterference",
+    "interference_mw_array",
 ]
 
 
@@ -48,6 +51,36 @@ class InterferenceModel(Protocol):
         ...
 
 
+def interference_mw_array(
+    model: InterferenceModel,
+    distances_m: np.ndarray,
+    tx_power_dbm: np.ndarray,
+) -> np.ndarray:
+    """Batched map-building interference under any model.
+
+    Radio-map construction evaluates each link in isolation (no
+    concurrent-transmitter context, i.e. ``other_distances_m = ()`` in
+    the scalar path).  Models may provide a native
+    ``interference_mw_array(distances_m, tx_power_dbm)``; otherwise the
+    scalar method is applied element-wise with an empty context.
+    """
+    native = getattr(model, "interference_mw_array", None)
+    if native is not None:
+        return native(distances_m, tx_power_dbm)
+    distances = np.asarray(distances_m, dtype=float)
+    tx = np.broadcast_to(
+        np.asarray(tx_power_dbm, dtype=float), distances.shape
+    )
+    flat = np.array(
+        [
+            model.interference_mw(float(d), (), float(p))
+            for d, p in zip(distances.ravel(), tx.ravel())
+        ],
+        dtype=float,
+    )
+    return flat.reshape(distances.shape)
+
+
 class NoInterference:
     """Noise-limited regime: zero interference."""
 
@@ -59,6 +92,12 @@ class NoInterference:
     ) -> float:
         """Always zero."""
         return 0.0
+
+    def interference_mw_array(
+        self, distances_m: np.ndarray, tx_power_dbm: np.ndarray
+    ) -> np.ndarray:
+        """Zeros, shaped like the distance vector."""
+        return np.zeros_like(np.asarray(distances_m, dtype=float))
 
 
 class ConstantInterference:
@@ -75,6 +114,13 @@ class ConstantInterference:
     ) -> float:
         """The configured floor, independent of the link."""
         return dbm_to_mw(self.floor_dbm)
+
+    def interference_mw_array(
+        self, distances_m: np.ndarray, tx_power_dbm: np.ndarray
+    ) -> np.ndarray:
+        """The flat floor broadcast over the distance vector."""
+        distances = np.asarray(distances_m, dtype=float)
+        return np.full(distances.shape, dbm_to_mw(self.floor_dbm))
 
 
 class LoadInterference:
@@ -112,3 +158,10 @@ class LoadInterference:
             loss_linear = db_to_linear(self.pathloss.loss_db(other_distance))
             total += tx_mw / loss_linear
         return self.activity_factor * total
+
+    def interference_mw_array(
+        self, distances_m: np.ndarray, tx_power_dbm: np.ndarray
+    ) -> np.ndarray:
+        """Zeros: map construction carries no concurrent-uplink context,
+        matching the scalar path's empty ``other_distances_m``."""
+        return np.zeros_like(np.asarray(distances_m, dtype=float))

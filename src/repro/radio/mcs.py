@@ -18,9 +18,17 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
-__all__ = ["MCS_TABLE", "McsEntry", "mcs_for_sinr", "mcs_rate_bps"]
+__all__ = [
+    "MCS_TABLE",
+    "McsEntry",
+    "mcs_for_sinr",
+    "mcs_rate_bps",
+    "mcs_rate_bps_array",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -83,3 +91,35 @@ def mcs_rate_bps(rrb_bandwidth_hz: float, sinr_linear: float) -> float:
     if entry is None:
         return 0.0
     return rrb_bandwidth_hz * entry.efficiency_bps_hz
+
+
+#: CQI switching thresholds / efficiencies as arrays for batched lookup.
+_MIN_SINR_DB = np.array([entry.min_sinr_db for entry in MCS_TABLE])
+_EFFICIENCY_BPS_HZ = np.array([entry.efficiency_bps_hz for entry in MCS_TABLE])
+
+
+def mcs_rate_bps_array(
+    rrb_bandwidth_hz: float, sinr_linear: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`mcs_rate_bps`: CQI lookup over an SINR vector.
+
+    ``searchsorted`` over the threshold table picks the same "highest CQI
+    whose threshold the SINR meets" the scalar walk does; links below
+    CQI 1 (or with zero SINR) carry nothing.
+    """
+    if rrb_bandwidth_hz <= 0:
+        raise ConfigurationError(
+            f"rrb_bandwidth_hz must be > 0, got {rrb_bandwidth_hz}"
+        )
+    sinr = np.asarray(sinr_linear, dtype=float)
+    if np.any(sinr < 0):
+        raise ConfigurationError("SINR must be >= 0 everywhere")
+    rates = np.zeros_like(sinr)
+    audible = sinr > 0
+    sinr_db = 10.0 * np.log10(sinr[audible])
+    level = np.searchsorted(_MIN_SINR_DB, sinr_db, side="right") - 1
+    usable = level >= 0
+    found = np.zeros_like(sinr_db)
+    found[usable] = rrb_bandwidth_hz * _EFFICIENCY_BPS_HZ[level[usable]]
+    rates[audible] = found
+    return rates

@@ -5,15 +5,27 @@ Implements Eqs. 2--4 of the paper:
 * per-RRB achievable rate  ``e_{u,i} = W_sub * log2(1 + lambda_{u,i})``;
 * RRB demand               ``n_{u,i} = ceil(w_u / e_{u,i})``;
 * per-BS RRB budget        ``N_i = floor(W_i / W_sub)``.
+
+Each scalar function has an array twin (``*_array``) evaluating the same
+formula over whole NumPy vectors; the batched radio-map builder uses the
+twins, and the parity suite pins them against the scalar originals.
 """
 
 from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.errors import ConfigurationError, InfeasibleLinkError
 
-__all__ = ["per_rrb_rate_bps", "rrbs_required", "rrb_budget"]
+__all__ = [
+    "per_rrb_rate_bps",
+    "per_rrb_rate_bps_array",
+    "rrbs_required",
+    "rrbs_required_array",
+    "rrb_budget",
+]
 
 
 def per_rrb_rate_bps(rrb_bandwidth_hz: float, sinr_linear: float) -> float:
@@ -25,6 +37,24 @@ def per_rrb_rate_bps(rrb_bandwidth_hz: float, sinr_linear: float) -> float:
     if sinr_linear < 0:
         raise ConfigurationError(f"SINR must be >= 0, got {sinr_linear}")
     return rrb_bandwidth_hz * math.log2(1.0 + sinr_linear)
+
+
+def per_rrb_rate_bps_array(
+    rrb_bandwidth_hz: float, sinr_linear: np.ndarray
+) -> np.ndarray:
+    """Vectorized Eq. 2: Shannon rate for a whole vector of linear SINRs.
+
+    Element-for-element identical to :func:`per_rrb_rate_bps` (both sides
+    evaluate ``W_sub * log2(1 + sinr)`` in float64 through libm).
+    """
+    if rrb_bandwidth_hz <= 0:
+        raise ConfigurationError(
+            f"rrb_bandwidth_hz must be > 0, got {rrb_bandwidth_hz}"
+        )
+    sinr = np.asarray(sinr_linear, dtype=float)
+    if np.any(sinr < 0):
+        raise ConfigurationError("SINR must be >= 0 everywhere")
+    return rrb_bandwidth_hz * np.log2(1.0 + sinr)
 
 
 def rrbs_required(rate_demand_bps: float, per_rrb_bps: float) -> int:
@@ -42,6 +72,32 @@ def rrbs_required(rate_demand_bps: float, per_rrb_bps: float) -> int:
             "per-RRB rate is zero; the link cannot carry the demanded rate"
         )
     return math.ceil(rate_demand_bps / per_rrb_bps)
+
+
+def rrbs_required_array(
+    rate_demand_bps: np.ndarray,
+    per_rrb_bps: np.ndarray,
+    infeasible_value: np.ndarray | int,
+) -> np.ndarray:
+    """Vectorized Eq. 3: ``ceil(w_u / e_{u,i})`` over whole link vectors.
+
+    Where the per-RRB rate is zero the scalar API raises
+    :class:`InfeasibleLinkError`; the batched radio-map builder instead
+    pins such links at ``infeasible_value`` (per-link broadcastable,
+    typically the BS's ``rrb_capacity + 1``) so allocators uniformly see
+    them as over-budget.  The division is the same float64 operation the
+    scalar path performs, so the resulting integers agree exactly.
+    """
+    demand = np.asarray(rate_demand_bps, dtype=float)
+    rate = np.asarray(per_rrb_bps, dtype=float)
+    if np.any(demand <= 0):
+        raise ConfigurationError("rate demand must be > 0 everywhere")
+    carrying = rate > 0
+    quotient = np.divide(
+        demand, rate, out=np.ones_like(rate), where=carrying
+    )
+    counts = np.ceil(quotient)
+    return np.where(carrying, counts, infeasible_value).astype(np.int64)
 
 
 def rrb_budget(uplink_bandwidth_hz: float, rrb_bandwidth_hz: float) -> int:

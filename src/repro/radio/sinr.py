@@ -20,9 +20,15 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError
-from repro.radio.interference import InterferenceModel, NoInterference
-from repro.radio.pathloss import PathLossModel, PaperPathLoss
+from repro.radio.interference import (
+    InterferenceModel,
+    NoInterference,
+    interference_mw_array,
+)
+from repro.radio.pathloss import PathLossModel, PaperPathLoss, loss_db_array
 from repro.radio.units import db_to_linear, dbm_to_mw, mw_to_dbm
 
 __all__ = [
@@ -90,11 +96,14 @@ class LinkBudget:
             raise ConfigurationError(
                 f"rrb_bandwidth_hz must be > 0, got {self.rrb_bandwidth_hz}"
             )
+        # The budget is frozen, so the noise power never changes: convert
+        # once here instead of on every per-pair sinr() call.
+        object.__setattr__(self, "_noise_mw", dbm_to_mw(self.noise_dbm))
 
     @property
     def noise_mw(self) -> float:
-        """Noise power over one RRB, in mW."""
-        return dbm_to_mw(self.noise_dbm)
+        """Noise power over one RRB, in mW (converted once at init)."""
+        return self._noise_mw
 
     def sinr(
         self,
@@ -117,6 +126,29 @@ class LinkBudget:
             distance_m, other_distances_m, tx_power_dbm
         )
         return signal / (self.noise_mw + interference)
+
+    def sinr_array(
+        self,
+        distances_m: np.ndarray,
+        tx_power_dbm: np.ndarray | float,
+    ) -> np.ndarray:
+        """Linear SINR for a whole vector of links at once.
+
+        ``tx_power_dbm`` broadcasts against ``distances_m`` (a scalar or
+        a per-link vector).  Evaluates the identical float64 chain as
+        :meth:`sinr` — ``10^(tx/10) / 10^(loss/10)`` over the cached
+        noise plus the model's map-building interference — so the two
+        paths agree element-for-element.  Like the scalar path, the
+        interference context carries no concurrent transmitters.
+        """
+        distances = np.asarray(distances_m, dtype=float)
+        if np.any(distances < 0):
+            raise ConfigurationError("distances must be >= 0 everywhere")
+        tx = np.asarray(tx_power_dbm, dtype=float)
+        loss_db = loss_db_array(self.pathloss, distances)
+        signal = 10.0 ** (tx / 10.0) / 10.0 ** (loss_db / 10.0)
+        interference = interference_mw_array(self.interference, distances, tx)
+        return signal / (self._noise_mw + interference)
 
     def sinr_db(
         self,

@@ -4,10 +4,19 @@ A :class:`Scenario` is the unit every allocator run consumes.  Building
 one is deterministic: the same ``(config, ue_count, seed)`` triple always
 yields byte-identical entity populations, which is what makes sweeps and
 cross-algorithm comparisons paired (all schemes see the same draw).
+
+Determinism also makes scenarios **shareable**: DMRA, DCSP, and every
+baseline evaluated on the same grid cell consume the same immutable
+:class:`Scenario`, so :func:`build_scenario_cached` keeps a small LRU
+keyed by ``(config, ue_count, seed)`` (the config is a frozen, hashable
+dataclass) and multi-scheme comparisons, repeated sweeps, and rho grids
+pay for each build exactly once per process.
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -23,7 +32,13 @@ from repro.radio.channel import RadioMap, build_radio_map
 from repro.radio.ofdma import rrb_budget
 from repro.sim.config import ScenarioConfig
 
-__all__ = ["Scenario", "build_scenario"]
+__all__ = [
+    "Scenario",
+    "build_scenario",
+    "build_scenario_cached",
+    "clear_scenario_cache",
+    "scenario_cache_info",
+]
 
 
 @dataclass(frozen=True)
@@ -125,3 +140,67 @@ def build_scenario(
     return Scenario(
         config=config, network=network, radio_map=radio_map, seed=seed
     )
+
+
+# ----------------------------------------------------------------------
+# Shared scenario cache
+# ----------------------------------------------------------------------
+
+_CacheKey = tuple[ScenarioConfig, int, int]
+_SCENARIO_CACHE: OrderedDict[_CacheKey, Scenario] = OrderedDict()
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def _cache_capacity() -> int:
+    """Max cached scenarios (``DMRA_SCENARIO_CACHE``, default 32, 0 = off)."""
+    raw = os.environ.get("DMRA_SCENARIO_CACHE", "")
+    try:
+        return int(raw) if raw else 32
+    except ValueError:
+        return 32
+
+
+def build_scenario_cached(
+    config: ScenarioConfig, ue_count: int, seed: int
+) -> Scenario:
+    """Like :func:`build_scenario`, but memoized per process.
+
+    Scenarios are immutable, so every caller of the same
+    ``(config, ue_count, seed)`` triple — e.g. all allocators of one
+    sweep cell, or every rho grid point of one seed — can share one
+    instance.  A bounded LRU (see :func:`_cache_capacity`) keeps memory
+    flat across long sweeps; forked sweep workers inherit a snapshot and
+    fill their own copies independently.
+    """
+    capacity = _cache_capacity()
+    if capacity <= 0:
+        return build_scenario(config, ue_count, seed)
+    key = (config, int(ue_count), int(seed))
+    cached = _SCENARIO_CACHE.get(key)
+    if cached is not None:
+        _SCENARIO_CACHE.move_to_end(key)
+        _CACHE_STATS["hits"] += 1
+        return cached
+    _CACHE_STATS["misses"] += 1
+    scenario = build_scenario(config, ue_count, seed)
+    _SCENARIO_CACHE[key] = scenario
+    while len(_SCENARIO_CACHE) > capacity:
+        _SCENARIO_CACHE.popitem(last=False)
+    return scenario
+
+
+def clear_scenario_cache() -> None:
+    """Drop all cached scenarios and reset the hit/miss counters."""
+    _SCENARIO_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
+
+
+def scenario_cache_info() -> dict[str, int]:
+    """Current cache occupancy and hit/miss counters."""
+    return {
+        "size": len(_SCENARIO_CACHE),
+        "capacity": _cache_capacity(),
+        "hits": _CACHE_STATS["hits"],
+        "misses": _CACHE_STATS["misses"],
+    }

@@ -31,7 +31,7 @@ from repro.sim.config import ScenarioConfig
 from repro.sim.metrics import OutcomeMetrics
 from repro.sim.results import Series
 from repro.sim.runner import run_allocation
-from repro.sim.scenario import Scenario, build_scenario
+from repro.sim.scenario import Scenario, build_scenario_cached
 
 __all__ = ["SweepSpec", "SweepResult", "run_sweep", "ue_count_sweep", "rho_sweep"]
 
@@ -168,11 +168,18 @@ def ue_count_sweep(
     metric: MetricExtractor,
     workers: int | None = None,
 ) -> SweepResult:
-    """Sweep the UE population size (the x-axis of Figs. 2--5)."""
+    """Sweep the UE population size (the x-axis of Figs. 2--5).
+
+    Scenarios come from the shared LRU cache, so re-running the sweep
+    (or another sweep touching the same grid cells) in one process
+    reuses the already-built networks and radio maps.
+    """
     spec = SweepSpec(
         xs=tuple(float(n) for n in ue_counts),
         seeds=tuple(seeds),
-        scenario_factory=lambda x, seed: build_scenario(config, int(x), seed),
+        scenario_factory=lambda x, seed: build_scenario_cached(
+            config, int(x), seed
+        ),
         allocator_factories=allocator_factories,
         metric=metric,
     )
@@ -192,16 +199,13 @@ def rho_sweep(
     """Sweep DMRA's ``rho`` at a fixed UE count (Figs. 6--7).
 
     The scenario depends only on the seed; ``rho`` reaches the allocator
-    through the factory, so all grid points share identical scenarios
-    (built once per seed and cached — per process: parallel workers
-    each fill their own cache).
+    through the factory, so all grid points share identical scenarios —
+    served by the process-wide scenario cache (parallel workers each
+    fill their own inherited copy).
     """
-    cache: dict[int, Scenario] = {}
 
     def cached_scenario(x: float, seed: int) -> Scenario:
-        if seed not in cache:
-            cache[seed] = build_scenario(config, ue_count, seed)
-        return cache[seed]
+        return build_scenario_cached(config, ue_count, seed)
 
     spec = SweepSpec(
         xs=tuple(float(r) for r in rhos),

@@ -5,7 +5,12 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.radio.ofdma import rrb_budget
 from repro.sim.config import ScenarioConfig
-from repro.sim.scenario import build_scenario
+from repro.sim.scenario import (
+    build_scenario,
+    build_scenario_cached,
+    clear_scenario_cache,
+    scenario_cache_info,
+)
 
 
 class TestScenarioConfig:
@@ -140,3 +145,70 @@ class TestBuildScenario:
     def test_dense_multi_coverage_premise(self, small_scenario):
         """The paper's premise: a UE tends to reach several BSs."""
         assert small_scenario.network.mean_coverage_degree() > 3.0
+
+
+class TestScenarioCache:
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        clear_scenario_cache()
+        yield
+        clear_scenario_cache()
+
+    def test_hit_returns_same_instance(self):
+        config = ScenarioConfig.paper()
+        first = build_scenario_cached(config, 20, 7)
+        second = build_scenario_cached(config, 20, 7)
+        assert second is first
+        info = scenario_cache_info()
+        assert info["hits"] == 1
+        assert info["misses"] == 1
+
+    def test_distinct_keys_miss(self):
+        config = ScenarioConfig.paper()
+        a = build_scenario_cached(config, 20, 7)
+        b = build_scenario_cached(config, 20, 8)
+        c = build_scenario_cached(config, 21, 7)
+        d = build_scenario_cached(
+            ScenarioConfig.paper(coverage_radius_m=450.0), 20, 7
+        )
+        assert len({id(s) for s in (a, b, c, d)}) == 4
+        assert scenario_cache_info()["misses"] == 4
+
+    def test_cached_matches_uncached_build(self):
+        config = ScenarioConfig.paper()
+        cached = build_scenario_cached(config, 15, 3)
+        plain = build_scenario(config, 15, 3)
+        assert len(cached.radio_map) == len(plain.radio_map)
+        for link in plain.radio_map:
+            assert cached.radio_map.link(link.ue_id, link.bs_id) == link
+
+    def test_lru_eviction_respects_capacity(self, monkeypatch):
+        monkeypatch.setenv("DMRA_SCENARIO_CACHE", "2")
+        config = ScenarioConfig.paper()
+        first = build_scenario_cached(config, 10, 0)
+        build_scenario_cached(config, 10, 1)
+        build_scenario_cached(config, 10, 2)  # evicts seed 0
+        assert scenario_cache_info()["size"] == 2
+        again = build_scenario_cached(config, 10, 0)
+        assert again is not first
+        assert scenario_cache_info()["misses"] == 4
+
+    def test_zero_capacity_disables_caching(self, monkeypatch):
+        monkeypatch.setenv("DMRA_SCENARIO_CACHE", "0")
+        config = ScenarioConfig.paper()
+        a = build_scenario_cached(config, 10, 0)
+        b = build_scenario_cached(config, 10, 0)
+        assert a is not b
+        assert scenario_cache_info()["size"] == 0
+
+    def test_clear_resets_counters(self):
+        config = ScenarioConfig.paper()
+        build_scenario_cached(config, 10, 0)
+        clear_scenario_cache()
+        info = scenario_cache_info()
+        assert info == {
+            "size": 0,
+            "capacity": info["capacity"],
+            "hits": 0,
+            "misses": 0,
+        }

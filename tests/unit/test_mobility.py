@@ -1,5 +1,8 @@
 """Unit tests for the mobility simulation."""
 
+import math
+from dataclasses import dataclass
+
 import numpy as np
 import pytest
 
@@ -134,3 +137,85 @@ class TestRunMobility:
         outcome = self.run()
         expected = outcome.total_handovers / (200 * outcome.epoch_count)
         assert outcome.handover_rate == pytest.approx(expected)
+
+
+@dataclass(frozen=True)
+class HalfFrozenWalk:
+    """A walk where only even-numbered UEs move.
+
+    Exercises the partial-move incremental path: odd UEs keep their
+    positions (and cached radio-map columns), even UEs are displaced.
+    The RNG is still drawn for every UE, matching the run loop's
+    one-draw-per-UE contract.
+    """
+
+    speed_mps: float = 5.0
+
+    def step(self, ue_id, position, dt_s, region, rng):
+        """Move even UEs like a random walk; pin odd UEs in place."""
+        angle = float(rng.uniform(0.0, 2.0 * math.pi))
+        if ue_id % 2 == 1:
+            return position
+        distance = self.speed_mps * dt_s
+        x = float(np.clip(
+            position.x + distance * math.cos(angle),
+            region.x_min, region.x_max,
+        ))
+        y = float(np.clip(
+            position.y + distance * math.sin(angle),
+            region.y_min, region.y_max,
+        ))
+        return Point(x, y)
+
+
+class TestIncrementalParity:
+    """`incremental=True` must replay full-rebuild runs exactly."""
+
+    def run_pair(self, **overrides):
+        kwargs = dict(
+            config=CONFIG,
+            ue_count=150,
+            epochs=4,
+            epoch_duration_s=30.0,
+            seed=3,
+            mobility=RandomWalk(speed_mps=5.0),
+        )
+        kwargs.update(overrides)
+        incremental = run_mobility(**kwargs, incremental=True)
+        full = run_mobility(**kwargs, incremental=False)
+        return incremental, full
+
+    def test_random_walk_records_identical(self):
+        incremental, full = self.run_pair()
+        assert incremental.records == full.records
+
+    def test_partial_moves_records_identical(self):
+        incremental, full = self.run_pair(mobility=HalfFrozenWalk())
+        assert incremental.records == full.records
+
+    def test_non_sticky_records_identical(self):
+        incremental, full = self.run_pair(sticky=False)
+        assert incremental.records == full.records
+
+    def test_waypoint_records_identical(self):
+        # Stateful model: fresh instances per run so targets don't leak.
+        incremental = run_mobility(
+            CONFIG, 100, 3, 30.0, 4,
+            mobility=RandomWaypoint(), incremental=True,
+        )
+        full = run_mobility(
+            CONFIG, 100, 3, 30.0, 4,
+            mobility=RandomWaypoint(), incremental=False,
+        )
+        assert incremental.records == full.records
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_mobility(
+                CONFIG, 10, 1, 30.0, 0, position_epsilon_m=-1.0
+            )
+
+    def test_mcs_rate_model_records_identical(self):
+        config = ScenarioConfig.paper(rate_model="mcs")
+        incremental, full = self.run_pair(config=config)
+        assert incremental.records == full.records

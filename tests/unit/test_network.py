@@ -197,3 +197,103 @@ class TestValidation:
         assert "2 SPs" in text
         assert "2 BSs" in text
         assert "1 UEs" in text
+
+
+class TestCandidateMask:
+    def test_mask_matches_candidate_sets(self):
+        network = make_tiny_network(
+            ue_specs=[dict(ue_id=0), dict(ue_id=1), dict(ue_id=2)]
+        )
+        mask = network.candidate_mask()
+        assert mask.shape == (3, 2)
+        for ue in network.user_equipments:
+            row = network.row_of_ue(ue.ue_id)
+            from_mask = {
+                bs.bs_id
+                for bs in network.base_stations
+                if mask[row, network.col_of_bs(bs.bs_id)]
+            }
+            assert from_mask == set(
+                network.candidate_base_stations(ue.ue_id)
+            )
+
+    def test_mask_is_read_only(self):
+        network = make_tiny_network()
+        with pytest.raises(ValueError):
+            network.candidate_mask()[0, 0] = False
+
+    def test_row_and_col_lookups_reject_unknown_ids(self):
+        network = make_tiny_network()
+        with pytest.raises(UnknownEntityError):
+            network.row_of_ue(999)
+        with pytest.raises(UnknownEntityError):
+            network.col_of_bs(999)
+
+
+class TestWithMovedUEs:
+    def _fresh_equivalent(self, network):
+        return MECNetwork(
+            providers=network.providers,
+            base_stations=network.base_stations,
+            user_equipments=network.user_equipments,
+            services=network.services,
+            region=network.region,
+            coverage_radius_m=network.coverage_radius_m,
+        )
+
+    def test_patched_network_matches_fresh_construction(self):
+        network = make_tiny_network(
+            ue_specs=[
+                dict(ue_id=0, position=Point(100.0, 0.0)),
+                dict(ue_id=1, position=Point(250.0, 0.0)),
+                dict(ue_id=2, position=Point(380.0, 0.0)),
+            ]
+        )
+        moved = network.with_moved_ues(
+            {0: Point(390.0, 10.0), 2: Point(20.0, 5.0)}
+        )
+        fresh = self._fresh_equivalent(moved)
+        for ue in fresh.user_equipments:
+            assert moved.candidate_base_stations(
+                ue.ue_id
+            ) == fresh.candidate_base_stations(ue.ue_id)
+            for bs in fresh.base_stations:
+                assert moved.distance_m(ue.ue_id, bs.bs_id) == (
+                    fresh.distance_m(ue.ue_id, bs.bs_id)
+                )
+        assert (moved.candidate_mask() == fresh.candidate_mask()).all()
+
+    def test_positions_updated_only_for_moved(self):
+        network = make_tiny_network(
+            ue_specs=[dict(ue_id=0), dict(ue_id=1)]
+        )
+        target = Point(321.0, 12.0)
+        moved = network.with_moved_ues({1: target})
+        assert moved.user_equipment(1).position == target
+        assert moved.user_equipment(0).position == (
+            network.user_equipment(0).position
+        )
+
+    def test_shares_static_structure(self):
+        network = make_tiny_network()
+        moved = network.with_moved_ues({0: Point(10.0, 10.0)})
+        assert moved.base_stations is network.base_stations
+        assert moved.providers is network.providers
+        assert moved.services is network.services
+
+    def test_empty_move_returns_self(self):
+        network = make_tiny_network()
+        assert network.with_moved_ues({}) is network
+
+    def test_unknown_ue_rejected(self):
+        network = make_tiny_network()
+        with pytest.raises(UnknownEntityError):
+            network.with_moved_ues({999: Point(0.0, 0.0)})
+
+    def test_original_network_is_untouched(self):
+        network = make_tiny_network()
+        before = network.user_equipment(0).position
+        mask_before = network.candidate_mask().copy()
+        network.with_moved_ues({0: Point(599.0, 599.0)})
+        assert network.user_equipment(0).position == before
+        assert (network.candidate_mask() == mask_before).all()

@@ -2,10 +2,17 @@
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, InfeasibleLinkError
-from repro.radio.ofdma import per_rrb_rate_bps, rrb_budget, rrbs_required
+from repro.radio.ofdma import (
+    per_rrb_rate_bps,
+    per_rrb_rate_bps_array,
+    rrb_budget,
+    rrbs_required,
+    rrbs_required_array,
+)
 
 
 class TestPerRRBRate:
@@ -73,3 +80,57 @@ class TestRRBBudget:
             rrb_budget(0.0, 180e3)
         with pytest.raises(ConfigurationError):
             rrb_budget(10e6, 0.0)
+
+
+class TestRRBsRequiredEdgeCases:
+    def test_exact_multiple_has_no_spurious_extra_rrb(self):
+        # Demand landing exactly on k * per-RRB rate must need exactly k.
+        for k in (1, 2, 3, 7, 55):
+            assert rrbs_required(k * 1.5e6, 1.5e6) == k
+
+    def test_just_above_exact_multiple_rounds_up(self):
+        rate = 1.5e6
+        demand = math.nextafter(3 * rate, math.inf)
+        assert rrbs_required(demand, rate) == 4
+
+    def test_tiny_demand_needs_one_rrb(self):
+        assert rrbs_required(1.0, 5e6) == 1
+
+
+class TestArrayTwins:
+    def test_rate_array_matches_scalar(self):
+        sinrs = np.array([0.0, 0.5, 3.0, 120.0, 1e5])
+        batched = per_rrb_rate_bps_array(180e3, sinrs)
+        for got, sinr in zip(batched, sinrs):
+            assert got == per_rrb_rate_bps(180e3, float(sinr))
+
+    def test_rate_array_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            per_rrb_rate_bps_array(0.0, np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            per_rrb_rate_bps_array(180e3, np.array([1.0, -0.5]))
+
+    def test_rrbs_array_matches_scalar(self):
+        demand = np.array([2e6, 2.1e6, 4.5e6, 3e6])
+        rate = np.array([1e6, 1e6, 1.5e6, 1.5e6])
+        batched = rrbs_required_array(demand, rate, 56)
+        assert batched.dtype == np.int64
+        for got, w, e in zip(batched, demand, rate):
+            assert got == rrbs_required(float(w), float(e))
+
+    def test_rrbs_array_exact_multiples_stay_exact(self):
+        rate = np.full(5, 1.5e6)
+        demand = np.arange(1, 6) * 1.5e6
+        assert rrbs_required_array(demand, rate, 56).tolist() == [1, 2, 3, 4, 5]
+
+    def test_rrbs_array_pins_zero_rate_to_infeasible_value(self):
+        demand = np.array([2e6, 2e6, 2e6])
+        rate = np.array([1e6, 0.0, 0.0])
+        infeasible = np.array([99, 11, 56])
+        assert rrbs_required_array(demand, rate, infeasible).tolist() == [
+            2, 11, 56,
+        ]
+
+    def test_rrbs_array_rejects_nonpositive_demand(self):
+        with pytest.raises(ConfigurationError):
+            rrbs_required_array(np.array([0.0]), np.array([1e6]), 56)
