@@ -14,11 +14,18 @@ Subcommands
 ``map``      write the deployment/association as an SVG file
 ``report``   one-page markdown comparison report
 ``summarize`` render stored result CSVs as charts and tables
+``trace``    render a JSONL telemetry trace as a readable report
+
+Commands that do real work accept ``--trace FILE`` (or the
+``DMRA_TRACE`` environment variable) to record a telemetry trace of the
+run; ``dmra trace FILE`` renders it.
 
 Examples::
 
     dmra figure fig2 --scale smoke --out results/
     dmra run --allocator dmra --ues 600 --seed 1
+    dmra run --ues 600 --seed 1 --trace run.jsonl
+    dmra trace run.jsonl --min-ms 1
     dmra compare --ues 600 --seed 1 --placement random
     dmra inspect --ues 400 --seed 0
     dmra analyze --ues 1100 --seed 3
@@ -28,7 +35,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.baselines import (
@@ -77,8 +86,33 @@ def main(argv: list[str] | None = None) -> int:
         "failures": _cmd_failures,
         "map": _cmd_map,
         "summarize": _cmd_summarize,
+        "trace": _cmd_trace,
     }[args.command]
-    return handler(args)
+    with _trace_session(args):
+        return handler(args)
+
+
+@contextmanager
+def _trace_session(args: argparse.Namespace):
+    """Record and write a JSONL trace when ``--trace``/``DMRA_TRACE`` asks.
+
+    With neither set this is a no-op: the null telemetry backend stays
+    installed and the command runs uninstrumented.
+    """
+    target = getattr(args, "trace", None)
+    if target is None:
+        env = os.environ.get("DMRA_TRACE", "")
+        target = Path(env) if env and args.command != "trace" else None
+    if target is None:
+        yield
+        return
+    from repro.obs import Recorder, telemetry_session, write_trace
+
+    recorder = Recorder(meta={"command": args.command})
+    with telemetry_session(recorder):
+        yield
+    written = write_trace(target, recorder)
+    print(f"wrote trace {written}")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -115,6 +149,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "identical at any worker count"
         ),
     )
+    _add_trace_argument(figure)
 
     for name, help_text in (
         ("run", "run one allocator on one scenario"),
@@ -124,6 +159,7 @@ def _build_parser() -> argparse.ArgumentParser:
     ):
         cmd = sub.add_parser(name, help=help_text)
         _add_scenario_arguments(cmd)
+        _add_trace_argument(cmd)
         if name == "run":
             cmd.add_argument(
                 "--allocator",
@@ -176,6 +212,7 @@ def _build_parser() -> argparse.ArgumentParser:
     online.add_argument("--seed", type=int, default=0)
     online.add_argument("--rho", type=float, default=10.0)
     online.add_argument("--iota", type=float, default=2.0)
+    _add_trace_argument(online)
 
     mobility = sub.add_parser(
         "mobility", help="epoch-based movement with handover accounting"
@@ -188,6 +225,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="UE speed in m/s (random walk)")
     mobility.add_argument("--no-sticky", action="store_true",
                           help="re-optimize everyone every epoch")
+    _add_trace_argument(mobility)
 
     failures = sub.add_parser(
         "failures", help="inject BS outages and report the recovery"
@@ -197,6 +235,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--bs", type=int, nargs="+", required=True,
         help="ids of the base stations to fail",
     )
+    _add_trace_argument(failures)
 
     crossover = sub.add_parser(
         "crossover",
@@ -237,7 +276,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--only", nargs="+", default=None,
         help="experiment ids to include (default: everything found)",
     )
+
+    trace = sub.add_parser(
+        "trace", help="render a JSONL telemetry trace as a readable report"
+    )
+    trace.add_argument("file", type=Path, help="trace file to render")
+    trace.add_argument(
+        "--min-ms", type=float, default=0.0,
+        help="hide (non-root) spans shorter than this many milliseconds",
+    )
     return parser
+
+
+def _add_trace_argument(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--trace", type=Path, default=None, metavar="FILE",
+        help=(
+            "record a JSONL telemetry trace of this run to FILE "
+            "(default: $DMRA_TRACE if set); render it with 'dmra trace'"
+        ),
+    )
 
 
 def _add_scenario_arguments(cmd: argparse.ArgumentParser) -> None:
@@ -602,6 +660,14 @@ def _cmd_failures(args: argparse.Namespace) -> int:
           f"(-{outcome.profit_loss_fraction:.1%})")
     print(f"edge served:       {outcome.edge_served_before} -> "
           f"{outcome.edge_served_after}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import read_trace, render_trace_report
+
+    trace = read_trace(args.file)
+    print(render_trace_report(trace, min_ms=args.min_ms), end="")
     return 0
 
 

@@ -75,22 +75,22 @@ def plan_hosting(
     # and a cap of bs_count (a service cannot be hosted twice on one BS).
     shares = [w / total_weight * total_slots for w in weights]
     counts = [max(1, min(bs_count, int(s))) for s in shares]
-    remainders = sorted(
-        range(service_count),
-        key=lambda j: shares[j] - int(shares[j]),
-        reverse=True,
-    )
-    index = 0
     while sum(counts) < total_slots:
-        j = remainders[index % service_count]
-        if counts[j] < bs_count:
-            counts[j] += 1
-        index += 1
-        if index > 10 * total_slots:  # every service capped out
+        # Hand each spare slot to the service furthest below its exact
+        # share (heaviest share on ties).  Ranking by raw fractional
+        # remainder is wrong here: the 1-slot floor can over-serve a
+        # light service (share < 1) whose fraction then still outranks
+        # a heavier service's, handing the lightest service more
+        # replicas than the heaviest.
+        eligible = [j for j in range(service_count) if counts[j] < bs_count]
+        if not eligible:  # every service capped out
             break
+        j = max(eligible, key=lambda k: (shares[k] - counts[k], shares[k]))
+        counts[j] += 1
     while sum(counts) > total_slots:
-        # Trim the most-replicated services first, never below 1.
-        j = max(range(service_count), key=lambda k: counts[k])
+        # Trim the most-replicated services first (lightest share on
+        # ties), never below 1.
+        j = max(range(service_count), key=lambda k: (counts[k], -shares[k]))
         if counts[j] <= 1:
             break
         counts[j] -= 1

@@ -65,6 +65,7 @@ from repro.core.assignment import Assignment
 from repro.errors import AllocationError
 from repro.model.entities import UserEquipment
 from repro.model.network import MECNetwork
+from repro.obs.telemetry import get_telemetry
 from repro.radio.channel import RadioMap
 
 __all__ = [
@@ -93,6 +94,7 @@ class RoundStats:
     unassociated_left: int
     propose_time_s: float = 0.0
     accept_time_s: float = 0.0
+    evictions: int = 0
 
 
 @dataclass
@@ -419,53 +421,82 @@ class IterativeMatchingEngine:
         unassociated = list(target_ids)
         cloud: set[int] = set()
         rounds = 0
+        tel = get_telemetry()
 
-        while True:
-            rounds += 1
-            if rounds > self.max_rounds:
-                raise AllocationError(
-                    f"matching did not terminate within {self.max_rounds} rounds"
-                )
-            cloud_before = len(cloud)
-            phase_start = time.perf_counter()
-            requests, proposals = self._collect_proposals(
-                ctx, unassociated, cloud, cands, tracker, ue_by_id,
-                service_ids,
-            )
-            propose_time = time.perf_counter() - phase_start
-            if not requests:
-                if observer is not None:
-                    observer(RoundStats(
-                        round_number=rounds,
-                        proposals=0,
-                        accepted=0,
-                        newly_cloud=len(cloud) - cloud_before,
-                        unassociated_left=len(unassociated),
-                        propose_time_s=propose_time,
-                    ))
-                break
-            phase_start = time.perf_counter()
-            accepted = self._process_base_stations(
-                ctx, requests, tracker, ue_by_id
-            )
-            accept_time = time.perf_counter() - phase_start
-            if accepted:
-                unassociated = [
-                    ue_id for ue_id in unassociated if ue_id not in accepted
-                ]
-            if observer is not None:
-                observer(RoundStats(
-                    round_number=rounds,
-                    proposals=proposals,
-                    accepted=len(accepted),
-                    newly_cloud=len(cloud) - cloud_before,
-                    unassociated_left=len(unassociated),
-                    propose_time_s=propose_time,
-                    accept_time_s=accept_time,
-                ))
+        with tel.span(
+            "match", policy=self.policy.name, ues=len(target_ids)
+        ) as match_span:
+            while True:
+                rounds += 1
+                if rounds > self.max_rounds:
+                    raise AllocationError(
+                        f"matching did not terminate within "
+                        f"{self.max_rounds} rounds"
+                    )
+                cloud_before = len(cloud)
+                with tel.span("match.round", round=rounds) as round_span:
+                    phase_start = time.perf_counter()
+                    requests, proposals = self._collect_proposals(
+                        ctx, unassociated, cloud, cands, tracker, ue_by_id,
+                        service_ids,
+                    )
+                    propose_time = time.perf_counter() - phase_start
+                    newly_cloud = len(cloud) - cloud_before
+                    if not requests:
+                        round_span.set(
+                            proposals=0,
+                            accepted=0,
+                            newly_cloud=newly_cloud,
+                        )
+                        if newly_cloud:
+                            tel.count("match.exhaustions", newly_cloud)
+                        if observer is not None:
+                            observer(RoundStats(
+                                round_number=rounds,
+                                proposals=0,
+                                accepted=0,
+                                newly_cloud=newly_cloud,
+                                unassociated_left=len(unassociated),
+                                propose_time_s=propose_time,
+                            ))
+                        break
+                    phase_start = time.perf_counter()
+                    accepted, evictions = self._process_base_stations(
+                        ctx, requests, tracker, ue_by_id
+                    )
+                    accept_time = time.perf_counter() - phase_start
+                    if accepted:
+                        unassociated = [
+                            ue_id for ue_id in unassociated
+                            if ue_id not in accepted
+                        ]
+                    round_span.set(
+                        proposals=proposals,
+                        accepted=len(accepted),
+                        evictions=evictions,
+                        newly_cloud=newly_cloud,
+                    )
+                    tel.count("match.proposals", proposals)
+                    tel.count("match.accepted", len(accepted))
+                    if evictions:
+                        tel.count("match.evictions", evictions)
+                    if newly_cloud:
+                        tel.count("match.exhaustions", newly_cloud)
+                    if observer is not None:
+                        observer(RoundStats(
+                            round_number=rounds,
+                            proposals=proposals,
+                            accepted=len(accepted),
+                            newly_cloud=newly_cloud,
+                            unassociated_left=len(unassociated),
+                            propose_time_s=propose_time,
+                            accept_time_s=accept_time,
+                            evictions=evictions,
+                        ))
 
-        # Any UE still unassociated at termination has an empty B_u.
-        cloud.update(unassociated)
+            # Any UE still unassociated at termination has an empty B_u.
+            cloud.update(unassociated)
+            match_span.set(rounds=rounds - 1, cloud=len(cloud))
         new_grants = tuple(
             grant
             for grant in ledgers.all_grants()
@@ -639,16 +670,19 @@ class IterativeMatchingEngine:
         requests: dict[int, dict[int, list[int]]],
         tracker: _FeasibilityTracker,
         ue_by_id: dict[int, UserEquipment],
-    ) -> set[int]:
+    ) -> tuple[set[int], int]:
         """Phases 2--3: per-service selection plus the RRB budget check.
 
-        Returns the set of UE ids granted an association this round.
+        Returns the set of UE ids granted an association this round and
+        the number of tentative picks evicted by the RRB budget check.
         """
         accepted: set[int] = set()
+        evictions = 0
         for bs_id in sorted(requests):
             ledger = ctx.ledgers.ledger(bs_id)
             picks = self._pick_per_service(ctx, bs_id, requests[bs_id])
             survivors = self._fit_radio_budget(ctx, bs_id, ledger, picks)
+            evictions += len(picks) - len(survivors)
             for ue_id in survivors:
                 ue = ue_by_id[ue_id]
                 ledger.grant(
@@ -659,7 +693,7 @@ class IterativeMatchingEngine:
                 )
                 tracker.on_grant(ledger, ue.service_id)
                 accepted.add(ue_id)
-        return accepted
+        return accepted, evictions
 
     def _pick_per_service(
         self,

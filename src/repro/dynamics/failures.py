@@ -18,12 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.compute.cru import LedgerPool
+from repro.compute.cru import Grant, LedgerPool
 from repro.core.dmra import DMRAPolicy
 from repro.core.matching import IterativeMatchingEngine, MatchingPolicy
 from repro.econ.accounting import marginal_profit
 from repro.errors import ConfigurationError, UnknownEntityError
 from repro.model.network import MECNetwork
+from repro.obs.telemetry import get_telemetry
 from repro.radio.channel import build_radio_map
 from repro.sim.config import ScenarioConfig
 from repro.sim.scenario import Scenario, build_scenario
@@ -43,6 +44,8 @@ class FailureOutcome:
     profit_after: float
     edge_served_before: int
     edge_served_after: int
+    carried_grants: tuple[Grant, ...] = ()
+    repair_grants: tuple[Grant, ...] = ()
 
     @property
     def recovery_fraction(self) -> float:
@@ -57,9 +60,15 @@ class FailureOutcome:
 
     @property
     def profit_loss_fraction(self) -> float:
+        """Profit loss as a signed fraction of the pre-failure magnitude.
+
+        Normalized by ``abs(profit_before)`` so the sign always means
+        the same thing (positive = the outage cost profit), including
+        in negative-profit scenarios.
+        """
         if self.profit_before == 0:
             return 0.0
-        return self.profit_loss / self.profit_before
+        return self.profit_loss / abs(self.profit_before)
 
 
 def inject_bs_failures(
@@ -93,68 +102,84 @@ def inject_bs_failures(
             return policy_factory(current)
         return DMRAPolicy(pricing=current.pricing, rho=config.rho)
 
-    engine = IterativeMatchingEngine(make_policy(scenario))
-    before = engine.run(scenario.network, scenario.radio_map)
-    profit_before = _total_profit(scenario, before.grants)
+    tel = get_telemetry()
+    with tel.span(
+        "failures.inject", failed=len(failed), ues=ue_count
+    ) as span:
+        engine = IterativeMatchingEngine(make_policy(scenario))
+        before = engine.run(scenario.network, scenario.radio_map)
+        profit_before = _total_profit(scenario, before.grants)
 
-    survivors = [
-        bs
-        for bs in scenario.network.base_stations
-        if bs.bs_id not in failed
-    ]
-    degraded_network = MECNetwork(
-        providers=scenario.network.providers,
-        base_stations=survivors,
-        user_equipments=scenario.network.user_equipments,
-        services=scenario.network.services,
-        region=scenario.network.region,
-        coverage_radius_m=scenario.network.coverage_radius_m,
-    )
-    budget = config.link_budget()
-    degraded_map = build_radio_map(
-        degraded_network, budget, rate_model=config.rate_model_fn()
-    )
-    degraded = Scenario(
-        config=config,
-        network=degraded_network,
-        radio_map=degraded_map,
-        seed=seed,
-    )
-
-    ledgers = LedgerPool(survivors)
-    orphans: list[int] = []
-    carried_grants = []
-    for grant in before.grants:
-        if grant.bs_id in failed:
-            orphans.append(grant.ue_id)
-            continue
-        ledgers.ledger(grant.bs_id).grant(
-            grant.ue_id, grant.service_id, grant.crus, grant.rrbs
+        survivors = [
+            bs
+            for bs in scenario.network.base_stations
+            if bs.bs_id not in failed
+        ]
+        degraded_network = MECNetwork(
+            providers=scenario.network.providers,
+            base_stations=survivors,
+            user_equipments=scenario.network.user_equipments,
+            services=scenario.network.services,
+            region=scenario.network.region,
+            coverage_radius_m=scenario.network.coverage_radius_m,
         )
-        carried_grants.append(grant)
+        budget = config.link_budget()
+        degraded_map = build_radio_map(
+            degraded_network, budget, rate_model=config.rate_model_fn()
+        )
+        degraded = Scenario(
+            config=config,
+            network=degraded_network,
+            radio_map=degraded_map,
+            seed=seed,
+        )
 
-    rematch_pool = sorted(set(orphans) | set(before.cloud_ue_ids))
-    engine = IterativeMatchingEngine(make_policy(degraded))
-    repair = engine.run(
-        degraded_network, degraded_map, ledgers=ledgers, ue_ids=rematch_pool
-    )
+        ledgers = LedgerPool(survivors)
+        orphans: list[int] = []
+        carried_grants = []
+        for grant in before.grants:
+            if grant.bs_id in failed:
+                orphans.append(grant.ue_id)
+                continue
+            ledgers.ledger(grant.bs_id).grant(
+                grant.ue_id, grant.service_id, grant.crus, grant.rrbs
+            )
+            carried_grants.append(grant)
 
-    orphan_set = set(orphans)
-    recovered = sum(1 for g in repair.grants if g.ue_id in orphan_set)
-    dropped = len(orphan_set) - recovered
-    after_grants = carried_grants + list(repair.grants)
-    profit_after = _total_profit(degraded, after_grants)
+        rematch_pool = sorted(set(orphans) | set(before.cloud_ue_ids))
+        engine = IterativeMatchingEngine(make_policy(degraded))
+        repair = engine.run(
+            degraded_network, degraded_map, ledgers=ledgers,
+            ue_ids=rematch_pool,
+        )
 
-    return FailureOutcome(
-        failed_bs_ids=failed,
-        orphaned_ues=len(orphan_set),
-        recovered_ues=recovered,
-        dropped_to_cloud=dropped,
-        profit_before=profit_before,
-        profit_after=profit_after,
-        edge_served_before=before.edge_served_count,
-        edge_served_after=len(after_grants),
-    )
+        orphan_set = set(orphans)
+        recovered = sum(1 for g in repair.grants if g.ue_id in orphan_set)
+        dropped = len(orphan_set) - recovered
+        after_grants = carried_grants + list(repair.grants)
+        profit_after = _total_profit(degraded, after_grants)
+
+        span.set(
+            orphaned=len(orphan_set),
+            recovered=recovered,
+            repair_rounds=repair.rounds,
+        )
+        tel.count("failures.orphaned", len(orphan_set))
+        tel.count("failures.recovered", recovered)
+        tel.count("failures.dropped_to_cloud", dropped)
+
+        return FailureOutcome(
+            failed_bs_ids=failed,
+            orphaned_ues=len(orphan_set),
+            recovered_ues=recovered,
+            dropped_to_cloud=dropped,
+            profit_before=profit_before,
+            profit_after=profit_after,
+            edge_served_before=before.edge_served_count,
+            edge_served_after=len(after_grants),
+            carried_grants=tuple(carried_grants),
+            repair_grants=tuple(repair.grants),
+        )
 
 
 def _total_profit(scenario: Scenario, grants: Iterable) -> float:

@@ -33,7 +33,8 @@ from repro.dynamics.arrivals import (
 from repro.dynamics.events import Event, EventKind, EventQueue
 from repro.dynamics.timeseries import StepSeries
 from repro.econ.accounting import marginal_profit
-from repro.errors import ConfigurationError
+from repro.errors import AllocationError, ConfigurationError
+from repro.obs.telemetry import get_telemetry
 from repro.sim.config import ScenarioConfig
 from repro.sim.scenario import Scenario, build_scenario
 
@@ -151,55 +152,84 @@ def run_online(
         sp.sp_id: 0.0 for sp in scenario.network.providers
     }
     events_processed = 0
+    tel = get_telemetry()
 
-    while queue:
-        now = queue.peek_time()
-        # Drain every event sharing this timestamp; arrivals in the same
-        # instant are matched as one batch (BatchArrivals semantics).
-        batch_arrivals: list[int] = []
-        while queue and queue.peek_time() == now:
-            event = queue.pop()
-            events_processed += 1
-            if event.kind is EventKind.ARRIVAL:
-                batch_arrivals.append(event.ue_id)
-            else:
-                _depart(
-                    event.ue_id, ledgers, active_edge, active_cloud,
-                    serving_bs,
-                )
-                used_rrbs -= rrbs_of_ue.pop(event.ue_id, 0)
+    with tel.span(
+        "online.run",
+        horizon_s=online.horizon_s,
+        arrivals=len(arrival_times),
+    ) as run_span:
+        while queue:
+            now = queue.peek_time()
+            # Drain every event sharing this timestamp; arrivals in the
+            # same instant are matched as one batch (BatchArrivals
+            # semantics).
+            batch_arrivals: list[int] = []
+            with tel.timer("online.batch"):
+                while queue and queue.peek_time() == now:
+                    event = queue.pop()
+                    events_processed += 1
+                    if event.kind is EventKind.ARRIVAL:
+                        batch_arrivals.append(event.ue_id)
+                    else:
+                        used_rrbs -= _process_departure(
+                            event.ue_id, ledgers, active_edge, active_cloud,
+                            serving_bs, rrbs_of_ue,
+                        )
+                        tel.count("online.departures")
+                        _check_ledger_conservation(
+                            ledgers, total_rrbs, used_rrbs
+                        )
 
-        if batch_arrivals:
-            assignment = engine.run(
-                scenario.network,
-                scenario.radio_map,
-                ledgers=ledgers,
-                ue_ids=batch_arrivals,
-            )
-            for grant in assignment.grants:
-                active_edge.add(grant.ue_id)
-                serving_bs[grant.ue_id] = grant.bs_id
-                rrbs_of_ue[grant.ue_id] = grant.rrbs
-                used_rrbs += grant.rrbs
-                admitted_edge += 1
-                profit = marginal_profit(
-                    scenario.network, grant.ue_id, grant.bs_id,
-                    scenario.pricing,
-                )
-                total_profit += profit
-                sp_id = scenario.network.user_equipment(grant.ue_id).sp_id
-                profit_by_sp[sp_id] += profit
-                _schedule_departure(
-                    queue, grant.ue_id, now, online.holding, rng
-                )
-            for ue_id in assignment.cloud_ue_ids:
-                active_cloud.add(ue_id)
-                admitted_cloud += 1
-                _schedule_departure(queue, ue_id, now, online.holding, rng)
+                if batch_arrivals:
+                    tel.gauge("online.batch_size", len(batch_arrivals))
+                    assignment = engine.run(
+                        scenario.network,
+                        scenario.radio_map,
+                        ledgers=ledgers,
+                        ue_ids=batch_arrivals,
+                    )
+                    for grant in assignment.grants:
+                        active_edge.add(grant.ue_id)
+                        serving_bs[grant.ue_id] = grant.bs_id
+                        rrbs_of_ue[grant.ue_id] = grant.rrbs
+                        used_rrbs += grant.rrbs
+                        admitted_edge += 1
+                        profit = marginal_profit(
+                            scenario.network, grant.ue_id, grant.bs_id,
+                            scenario.pricing,
+                        )
+                        total_profit += profit
+                        sp_id = scenario.network.user_equipment(
+                            grant.ue_id
+                        ).sp_id
+                        profit_by_sp[sp_id] += profit
+                        _schedule_departure(
+                            queue, grant.ue_id, now, online.holding, rng
+                        )
+                    for ue_id in assignment.cloud_ue_ids:
+                        active_cloud.add(ue_id)
+                        admitted_cloud += 1
+                        _schedule_departure(
+                            queue, ue_id, now, online.holding, rng
+                        )
+                    _check_ledger_conservation(
+                        ledgers, total_rrbs, used_rrbs
+                    )
 
-        edge_active.record(now, float(len(active_edge)))
-        cloud_active.record(now, float(len(active_cloud)))
-        rrb_utilization.record(now, used_rrbs / total_rrbs)
+            edge_active.record(now, float(len(active_edge)))
+            cloud_active.record(now, float(len(active_cloud)))
+            rrb_utilization.record(now, used_rrbs / total_rrbs)
+            tel.gauge("online.rrb_utilization", used_rrbs / total_rrbs)
+
+        run_span.set(
+            events=events_processed,
+            admitted_edge=admitted_edge,
+            admitted_cloud=admitted_cloud,
+        )
+        tel.count("online.events", events_processed)
+        tel.count("online.admitted_edge", admitted_edge)
+        tel.count("online.admitted_cloud", admitted_cloud)
 
     return OnlineOutcome(
         scenario=scenario,
@@ -229,15 +259,48 @@ def _schedule_departure(
     ))
 
 
-def _depart(
+def _process_departure(
     ue_id: int,
     ledgers: LedgerPool,
     active_edge: set[int],
     active_cloud: set[int],
     serving_bs: dict[int, int],
-) -> None:
+    rrbs_of_ue: dict[int, int],
+) -> int:
+    """Release one departing UE's resources; returns the edge RRBs freed.
+
+    A departure for a UE that is active nowhere, or an edge departure
+    with no recorded RRB grant, means the run's bookkeeping has drifted
+    from the ledgers — raise instead of silently absorbing it.
+    """
     if ue_id in active_edge:
         active_edge.remove(ue_id)
         ledgers.ledger(serving_bs.pop(ue_id)).release(ue_id)
-    elif ue_id in active_cloud:
+        try:
+            return rrbs_of_ue.pop(ue_id)
+        except KeyError:
+            raise AllocationError(
+                f"edge departure for UE {ue_id} with no recorded RRB "
+                f"grant (ledger drift)"
+            ) from None
+    if ue_id in active_cloud:
         active_cloud.remove(ue_id)
+        return 0
+    raise AllocationError(
+        f"departure event for UE {ue_id}, which is active on neither "
+        f"edge nor cloud (ledger drift)"
+    )
+
+
+def _check_ledger_conservation(
+    ledgers: LedgerPool, total_rrbs: int, used_rrbs: int
+) -> None:
+    """Edge RRBs tracked in flight must equal the sum of live grants."""
+    in_flight = total_rrbs - sum(
+        ledger.remaining_rrbs for ledger in ledgers
+    )
+    if in_flight != used_rrbs:
+        raise AllocationError(
+            f"ledger conservation violated: ledgers hold {in_flight} "
+            f"granted RRBs but the run tracks {used_rrbs} in flight"
+        )

@@ -22,6 +22,23 @@ class StepSeries:
     _times: list[float] = field(default_factory=list)
     _values: list[float] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # The dataclass constructor accepts _times/_values directly;
+        # hold them to the same invariants record() enforces, otherwise
+        # time_average silently returns garbage (negative weights,
+        # zip truncation) on a malformed series.
+        if len(self._times) != len(self._values):
+            raise ConfigurationError(
+                f"{self.name}: {len(self._times)} timestamps but "
+                f"{len(self._values)} values"
+            )
+        for earlier, later in zip(self._times, self._times[1:]):
+            if later <= earlier:
+                raise ConfigurationError(
+                    f"{self.name}: timestamps must be strictly "
+                    f"increasing, got {earlier} then {later}"
+                )
+
     def record(self, time_s: float, value: float) -> None:
         """Append a sample; timestamps must be non-decreasing."""
         if self._times and time_s < self._times[-1]:

@@ -1,0 +1,54 @@
+"""Observability: structured telemetry, spans, and JSONL traces.
+
+The subsystem every perf/robustness investigation reads its evidence
+from.  Default-off with a zero-overhead null backend; see
+``docs/observability.md`` for the trace schema and usage::
+
+    from repro.obs import telemetry_session, write_trace
+
+    with telemetry_session() as recorder:
+        run_allocation(scenario, allocator)
+    write_trace("run.jsonl", recorder)   # then: dmra trace run.jsonl
+"""
+
+from repro.obs.report import render_trace_report
+from repro.obs.telemetry import (
+    NULL,
+    GaugeStat,
+    NullTelemetry,
+    Recorder,
+    SpanRecord,
+    TimerStat,
+    get_telemetry,
+    set_telemetry,
+    telemetry_session,
+)
+from repro.obs.trace import (
+    SCHEMA,
+    Trace,
+    parse_trace,
+    read_trace,
+    trace_from_recorder,
+    trace_lines,
+    write_trace,
+)
+
+__all__ = [
+    "GaugeStat",
+    "NULL",
+    "NullTelemetry",
+    "Recorder",
+    "SCHEMA",
+    "SpanRecord",
+    "TimerStat",
+    "Trace",
+    "get_telemetry",
+    "parse_trace",
+    "read_trace",
+    "render_trace_report",
+    "set_telemetry",
+    "telemetry_session",
+    "trace_from_recorder",
+    "trace_lines",
+    "write_trace",
+]

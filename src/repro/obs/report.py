@@ -1,0 +1,107 @@
+"""Human-readable rendering of a JSONL trace (the ``dmra trace`` report).
+
+Renders the span tree with wall times and attributes, then the metric
+tables (counters, timers, gauges).  Used by ``dmra trace <file>`` and
+importable for notebooks/tests via :func:`render_trace_report`.
+"""
+
+from __future__ import annotations
+
+from repro.obs.telemetry import SpanRecord
+from repro.obs.trace import Trace
+
+__all__ = ["render_trace_report"]
+
+
+def _format_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    parts = []
+    for key in sorted(attrs):
+        value = attrs[key]
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.4g}")
+        else:
+            parts.append(f"{key}={value}")
+    return "  " + " ".join(parts)
+
+
+def _render_span(
+    span: SpanRecord, depth: int, min_ms: float, lines: list[str]
+) -> int:
+    """Append one span (and children) to ``lines``; returns spans hidden."""
+    hidden = 0
+    duration_ms = span.duration_s * 1e3
+    if duration_ms < min_ms and depth > 0:
+        return sum(1 for _ in span.walk())
+    indent = "  " * depth
+    label = f"{indent}{span.name}"
+    lines.append(f"{label:<44} {duration_ms:>10.2f} ms{_format_attrs(span.attrs)}")
+    skipped_here = 0
+    for child in span.children:
+        skipped_here += _render_span(child, depth + 1, min_ms, lines)
+    if skipped_here:
+        lines.append(
+            f"{'  ' * (depth + 1)}... ({skipped_here} span"
+            f"{'s' if skipped_here != 1 else ''} below {min_ms:g} ms)"
+        )
+    return hidden
+
+
+def render_trace_report(trace: Trace, min_ms: float = 0.0) -> str:
+    """Render a parsed trace as the ``dmra trace`` text report.
+
+    ``min_ms`` hides (non-root) spans shorter than the threshold,
+    replacing each hidden subtree with a one-line count.
+    """
+    lines: list[str] = []
+    meta = " ".join(
+        f"{key}={trace.meta[key]}" for key in sorted(trace.meta)
+    )
+    lines.append(f"trace {('(' + meta + ')') if meta else '(no metadata)'}")
+    lines.append(f"spans: {trace.span_count()}")
+    lines.append("")
+    if trace.spans:
+        header = f"{'span':<44} {'wall':>13}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for root in trace.spans:
+            _render_span(root, 0, min_ms, lines)
+        lines.append("")
+    if trace.counters:
+        lines.append(f"{'counter':<40} {'value':>12}")
+        lines.append("-" * 53)
+        for name in sorted(trace.counters):
+            value = trace.counters[name]
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"{name:<40} {rendered:>12}")
+        lines.append("")
+    if trace.timers:
+        header = (
+            f"{'timer':<28} {'count':>7} {'total ms':>10} "
+            f"{'mean ms':>9} {'max ms':>9}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name in sorted(trace.timers):
+            stat = trace.timers[name]
+            lines.append(
+                f"{name:<28} {stat.count:>7} {stat.total_s * 1e3:>10.2f} "
+                f"{stat.mean_s * 1e3:>9.3f} {stat.max_s * 1e3:>9.2f}"
+            )
+        lines.append("")
+    if trace.gauges:
+        header = (
+            f"{'gauge':<28} {'last':>10} {'min':>10} {'max':>10} "
+            f"{'samples':>8}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name in sorted(trace.gauges):
+            stat = trace.gauges[name]
+            lines.append(
+                f"{name:<28} {stat.value:>10.4g} {stat.min:>10.4g} "
+                f"{stat.max:>10.4g} {stat.count:>8}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

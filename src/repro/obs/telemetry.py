@@ -1,0 +1,362 @@
+"""Structured telemetry: counters, gauges, timers, and nested spans.
+
+The instrumented hot paths (matching engine, radio-map builders, the
+online event loop, failure repair, sweeps) all report through one
+process-wide backend obtained via :func:`get_telemetry`.  Two backends
+exist:
+
+* :class:`NullTelemetry` — the **default**.  Every operation is a no-op
+  on a shared singleton: no allocation, no clock read, no branching
+  beyond one attribute call.  Instrumentation left in a hot loop costs
+  one method dispatch when telemetry is off, which is the subsystem's
+  zero-overhead guarantee (pinned by ``make bench-smoke``'s
+  ``telemetry`` section).
+* :class:`Recorder` — an in-memory collector.  Spans form a tree
+  (``span("match")`` inside ``span("sweep.cell")`` nests), counters
+  accumulate sums, gauges keep last/min/max, timers aggregate named
+  durations.  A recorder serializes to the versioned JSONL trace format
+  (:mod:`repro.obs.trace`) rendered by ``dmra trace``.
+
+Backends are installed process-wide with :func:`set_telemetry` or,
+preferably, scoped with the :func:`telemetry_session` context manager.
+Recorders are single-threaded by design; parallel sweep workers each
+record into their own recorder (sharing the parent's epoch via
+:meth:`Recorder.child`) and the parent grafts the results into one
+merged trace with :meth:`Recorder.absorb`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "GaugeStat",
+    "NullTelemetry",
+    "Recorder",
+    "SpanRecord",
+    "TimerStat",
+    "get_telemetry",
+    "set_telemetry",
+    "telemetry_session",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One finished (or still open) span in a recorder's tree.
+
+    Times are seconds relative to the recorder's epoch, so spans from a
+    worker recorder created via :meth:`Recorder.child` land directly on
+    the parent's timeline.
+    """
+
+    name: str
+    start_s: float
+    end_s: float = 0.0
+    attrs: dict = field(default_factory=dict)
+    children: list["SpanRecord"] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def walk(self) -> Iterator["SpanRecord"]:
+        """Pre-order traversal of this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class GaugeStat:
+    """Aggregated samples of one gauge: last value plus its envelope."""
+
+    value: float
+    min: float
+    max: float
+    count: int = 1
+
+    def update(self, value: float) -> None:
+        """Fold one more sample into the aggregate."""
+        self.value = value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self.count += 1
+
+
+@dataclass
+class TimerStat:
+    """Aggregated durations of one named timer."""
+
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = 0.0
+    max_s: float = 0.0
+
+    def add(self, seconds: float) -> None:
+        """Fold one more measured duration into the aggregate."""
+        self.min_s = seconds if self.count == 0 else min(self.min_s, seconds)
+        self.max_s = max(self.max_s, seconds)
+        self.count += 1
+        self.total_s += seconds
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+class _NullSpan:
+    """Shared no-op span/timer handle returned by :class:`NullTelemetry`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """The default backend: everything is a no-op, nothing is recorded."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        """No-op span: returns the shared null handle."""
+        return _NULL_SPAN
+
+    def count(self, name: str, value: float = 1) -> None:
+        """No-op counter increment."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """No-op gauge sample."""
+
+    def timer(self, name: str) -> _NullSpan:
+        """No-op timer: returns the shared null handle."""
+        return _NULL_SPAN
+
+
+#: The shared null backend; ``get_telemetry()`` returns this by default.
+NULL = NullTelemetry()
+
+
+class _ActiveSpan:
+    """Context-manager handle for one open span on a recorder."""
+
+    __slots__ = ("_recorder", "record")
+
+    def __init__(self, recorder: "Recorder", record: SpanRecord) -> None:
+        self._recorder = recorder
+        self.record = record
+
+    def __enter__(self) -> "_ActiveSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._recorder._finish(self.record, exc_type)
+        return False
+
+    def set(self, **attrs) -> "_ActiveSpan":
+        """Attach attributes to the span (JSON-serializable values)."""
+        self.record.attrs.update(attrs)
+        return self
+
+
+class _ActiveTimer:
+    """Context-manager handle aggregating one duration into a timer."""
+
+    __slots__ = ("_recorder", "_name", "_start")
+
+    def __init__(self, recorder: "Recorder", name: str) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_ActiveTimer":
+        self._start = self._recorder._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._recorder.record_timer(
+            self._name, self._recorder._clock() - self._start
+        )
+        return False
+
+    def set(self, **attrs) -> "_ActiveTimer":  # signature parity with spans
+        return self
+
+
+class Recorder:
+    """In-memory telemetry collector (spans, counters, gauges, timers)."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        meta: dict | None = None,
+        epoch_s: float | None = None,
+    ) -> None:
+        self._clock = time.perf_counter
+        self._epoch = self._clock() if epoch_s is None else epoch_s
+        self.meta: dict = dict(meta or {})
+        self.roots: list[SpanRecord] = []
+        self._stack: list[SpanRecord] = []
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, GaugeStat] = {}
+        self.timers: dict[str, TimerStat] = {}
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+
+    def now_s(self) -> float:
+        """Seconds since this recorder's epoch."""
+        return self._clock() - self._epoch
+
+    def span(self, name: str, **attrs) -> _ActiveSpan:
+        """Open a span nested under the currently open one (if any)."""
+        record = SpanRecord(name=name, start_s=self.now_s(), attrs=attrs)
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent is not None else self.roots).append(record)
+        self._stack.append(record)
+        return _ActiveSpan(self, record)
+
+    def _finish(self, record: SpanRecord, exc_type) -> None:
+        record.end_s = self.now_s()
+        if exc_type is not None:
+            record.attrs.setdefault("error", exc_type.__name__)
+        # Pop through any children left open (exception unwound past
+        # their __exit__); close them at the same instant.
+        while self._stack:
+            top = self._stack.pop()
+            if top is record:
+                break
+            top.end_s = record.end_s
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to a named monotonically accumulating counter."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the current value of a named gauge."""
+        stat = self.gauges.get(name)
+        if stat is None:
+            self.gauges[name] = GaugeStat(value=value, min=value, max=value)
+        else:
+            stat.update(value)
+
+    def timer(self, name: str) -> _ActiveTimer:
+        """Context manager timing its body into a named aggregate."""
+        return _ActiveTimer(self, name)
+
+    def record_timer(self, name: str, seconds: float) -> None:
+        """Directly add one duration to a named timer aggregate."""
+        stat = self.timers.get(name)
+        if stat is None:
+            stat = self.timers[name] = TimerStat()
+        stat.add(seconds)
+
+    # ------------------------------------------------------------------
+    # Cross-recorder composition (parallel sweep workers)
+    # ------------------------------------------------------------------
+
+    def child(self) -> "Recorder":
+        """A fresh recorder sharing this one's epoch.
+
+        Sweep cells record into children (one per cell, possibly in a
+        forked worker — ``time.perf_counter`` is fork-consistent on
+        Linux) so their span times stay on the parent timeline and
+        :meth:`absorb` is a straight graft.
+        """
+        return Recorder(epoch_s=self._epoch)
+
+    def absorb(self, other: "Recorder") -> None:
+        """Merge another recorder into this one.
+
+        The other recorder's root spans become children of the span
+        currently open here (or roots), and its counters, gauges, and
+        timers fold into this recorder's aggregates.
+        """
+        target = self._stack[-1].children if self._stack else self.roots
+        target.extend(other.roots)
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, stat in other.gauges.items():
+            mine = self.gauges.get(name)
+            if mine is None:
+                self.gauges[name] = GaugeStat(
+                    value=stat.value, min=stat.min, max=stat.max,
+                    count=stat.count,
+                )
+            else:
+                mine.value = stat.value
+                mine.min = min(mine.min, stat.min)
+                mine.max = max(mine.max, stat.max)
+                mine.count += stat.count
+        for name, stat in other.timers.items():
+            mine = self.timers.get(name)
+            if mine is None:
+                self.timers[name] = TimerStat(
+                    count=stat.count, total_s=stat.total_s,
+                    min_s=stat.min_s, max_s=stat.max_s,
+                )
+            elif stat.count:
+                mine.min_s = (
+                    stat.min_s if mine.count == 0
+                    else min(mine.min_s, stat.min_s)
+                )
+                mine.max_s = max(mine.max_s, stat.max_s)
+                mine.count += stat.count
+                mine.total_s += stat.total_s
+
+    def all_spans(self) -> Iterator[SpanRecord]:
+        """Pre-order traversal over every recorded span."""
+        for root in self.roots:
+            yield from root.walk()
+
+
+# ----------------------------------------------------------------------
+# Process-wide registry
+# ----------------------------------------------------------------------
+
+_ACTIVE: NullTelemetry | Recorder = NULL
+
+
+def get_telemetry() -> NullTelemetry | Recorder:
+    """The currently installed backend (the null backend by default)."""
+    return _ACTIVE
+
+
+def set_telemetry(
+    backend: NullTelemetry | Recorder,
+) -> NullTelemetry | Recorder:
+    """Install a backend process-wide; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = backend
+    return previous
+
+
+@contextmanager
+def telemetry_session(backend: Recorder | None = None):
+    """Scope a backend: install it, yield it, restore the previous one.
+
+    ``backend=None`` creates a fresh :class:`Recorder`.
+    """
+    recorder = Recorder() if backend is None else backend
+    previous = set_telemetry(recorder)
+    try:
+        yield recorder
+    finally:
+        set_telemetry(previous)

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.errors import UnknownEntityError
 from repro.model.network import MECNetwork
+from repro.obs.telemetry import get_telemetry
 from repro.radio.mcs import mcs_rate_bps, mcs_rate_bps_array
 from repro.radio.ofdma import (
     per_rrb_rate_bps,
@@ -278,49 +279,56 @@ class RadioMap:
         rows = [
             ue.ue_id for ue in network.user_equipments if ue.ue_id in moved
         ]
-        fresh = _vectorized_columns(network, budget, rate_model, only_ues=rows)
-        f_slices = fresh["ue_slices"]
+        with get_telemetry().span(
+            "radio.build", path="incremental", moved=len(rows),
+            ues=network.ue_count,
+        ):
+            fresh = _vectorized_columns(
+                network, budget, rate_model, only_ues=rows
+            )
+            f_slices = fresh["ue_slices"]
 
-        chunks: dict[str, list[np.ndarray]] = {
-            name: [] for name in ("ue", "bs", "dist", "sinr", "rate", "rrbs")
-        }
-        metrics: list[LinkMetrics | None] = []
-        ue_slices: dict[int, tuple[int, int]] = {}
-        cursor = 0
-        for ue in network.user_equipments:
-            uid = ue.ue_id
-            if uid in moved:
-                start, stop = f_slices[uid]
-                chunks["ue"].append(fresh["ue_ids"][start:stop])
-                chunks["bs"].append(fresh["bs_ids"][start:stop])
-                chunks["dist"].append(fresh["distance_m"][start:stop])
-                chunks["sinr"].append(fresh["sinr"][start:stop])
-                chunks["rate"].append(fresh["rate"][start:stop])
-                chunks["rrbs"].append(fresh["rrbs"][start:stop])
-                metrics.extend([None] * (stop - start))
-                ue_slices[uid] = (cursor, cursor + stop - start)
-                cursor += stop - start
-            else:
-                start, stop = self._ue_index.get(uid, (0, 0))
-                chunks["ue"].append(self._ue_ids[start:stop])
-                chunks["bs"].append(self._bs_ids[start:stop])
-                chunks["dist"].append(self._distance_m[start:stop])
-                chunks["sinr"].append(self._sinr[start:stop])
-                chunks["rate"].append(self._rate[start:stop])
-                chunks["rrbs"].append(self._rrbs[start:stop])
-                metrics.extend(self._metrics[start:stop])
-                ue_slices[uid] = (cursor, cursor + stop - start)
-                cursor += stop - start
-        return RadioMap(
-            ue_ids=np.concatenate(chunks["ue"]) if chunks["ue"] else np.empty(0, np.int64),
-            bs_ids=np.concatenate(chunks["bs"]) if chunks["bs"] else np.empty(0, np.int64),
-            distance_m=np.concatenate(chunks["dist"]) if chunks["dist"] else np.empty(0),
-            sinr_linear=np.concatenate(chunks["sinr"]) if chunks["sinr"] else np.empty(0),
-            per_rrb_rate_bps=np.concatenate(chunks["rate"]) if chunks["rate"] else np.empty(0),
-            rrbs_required=np.concatenate(chunks["rrbs"]) if chunks["rrbs"] else np.empty(0, np.int64),
-            ue_slices=ue_slices,
-            _metrics=metrics,
-        )
+            chunks: dict[str, list[np.ndarray]] = {
+                name: []
+                for name in ("ue", "bs", "dist", "sinr", "rate", "rrbs")
+            }
+            metrics: list[LinkMetrics | None] = []
+            ue_slices: dict[int, tuple[int, int]] = {}
+            cursor = 0
+            for ue in network.user_equipments:
+                uid = ue.ue_id
+                if uid in moved:
+                    start, stop = f_slices[uid]
+                    chunks["ue"].append(fresh["ue_ids"][start:stop])
+                    chunks["bs"].append(fresh["bs_ids"][start:stop])
+                    chunks["dist"].append(fresh["distance_m"][start:stop])
+                    chunks["sinr"].append(fresh["sinr"][start:stop])
+                    chunks["rate"].append(fresh["rate"][start:stop])
+                    chunks["rrbs"].append(fresh["rrbs"][start:stop])
+                    metrics.extend([None] * (stop - start))
+                    ue_slices[uid] = (cursor, cursor + stop - start)
+                    cursor += stop - start
+                else:
+                    start, stop = self._ue_index.get(uid, (0, 0))
+                    chunks["ue"].append(self._ue_ids[start:stop])
+                    chunks["bs"].append(self._bs_ids[start:stop])
+                    chunks["dist"].append(self._distance_m[start:stop])
+                    chunks["sinr"].append(self._sinr[start:stop])
+                    chunks["rate"].append(self._rate[start:stop])
+                    chunks["rrbs"].append(self._rrbs[start:stop])
+                    metrics.extend(self._metrics[start:stop])
+                    ue_slices[uid] = (cursor, cursor + stop - start)
+                    cursor += stop - start
+            return RadioMap(
+                ue_ids=np.concatenate(chunks["ue"]) if chunks["ue"] else np.empty(0, np.int64),
+                bs_ids=np.concatenate(chunks["bs"]) if chunks["bs"] else np.empty(0, np.int64),
+                distance_m=np.concatenate(chunks["dist"]) if chunks["dist"] else np.empty(0),
+                sinr_linear=np.concatenate(chunks["sinr"]) if chunks["sinr"] else np.empty(0),
+                per_rrb_rate_bps=np.concatenate(chunks["rate"]) if chunks["rate"] else np.empty(0),
+                rrbs_required=np.concatenate(chunks["rrbs"]) if chunks["rrbs"] else np.empty(0, np.int64),
+                ue_slices=ue_slices,
+                _metrics=metrics,
+            )
 
     # ------------------------------------------------------------------
 
@@ -451,16 +459,19 @@ def build_radio_map(
     The output is link-for-link interchangeable with
     :func:`build_radio_map_reference` (pinned by the parity suite).
     """
-    columns = _vectorized_columns(network, budget, rate_model)
-    return RadioMap(
-        ue_ids=columns["ue_ids"],
-        bs_ids=columns["bs_ids"],
-        distance_m=columns["distance_m"],
-        sinr_linear=columns["sinr"],
-        per_rrb_rate_bps=columns["rate"],
-        rrbs_required=columns["rrbs"],
-        ue_slices=columns["ue_slices"],
-    )
+    with get_telemetry().span("radio.build", path="batched") as span:
+        columns = _vectorized_columns(network, budget, rate_model)
+        radio_map = RadioMap(
+            ue_ids=columns["ue_ids"],
+            bs_ids=columns["bs_ids"],
+            distance_m=columns["distance_m"],
+            sinr_linear=columns["sinr"],
+            per_rrb_rate_bps=columns["rate"],
+            rrbs_required=columns["rrbs"],
+            ue_slices=columns["ue_slices"],
+        )
+        span.set(links=len(radio_map), ues=network.ue_count)
+    return radio_map
 
 
 def build_radio_map_reference(
@@ -477,33 +488,35 @@ def build_radio_map_reference(
     """
     if rate_model is None:
         rate_model = per_rrb_rate_bps
-    loss_db = budget.pathloss.loss_db
-    interference_mw = budget.interference.interference_mw
-    noise_mw = budget.noise_mw
-    bandwidth = budget.rrb_bandwidth_hz
-    links: list[LinkMetrics] = []
-    for ue in network.user_equipments:
-        tx_power = ue.tx_power_dbm
-        tx_mw = dbm_to_mw(tx_power)
-        for bs_id in network.candidate_base_stations(ue.ue_id):
-            distance = network.distance_m(ue.ue_id, bs_id)
-            signal = tx_mw / db_to_linear(loss_db(distance))
-            sinr = signal / (
-                noise_mw + interference_mw(distance, (), tx_power)
-            )
-            rate = rate_model(bandwidth, sinr)
-            if rate > 0:
-                demand = rrbs_required(ue.rate_demand_bps, rate)
-            else:
-                demand = network.base_station(bs_id).rrb_capacity + 1
-            links.append(
-                LinkMetrics(
-                    ue_id=ue.ue_id,
-                    bs_id=bs_id,
-                    distance_m=distance,
-                    sinr_linear=sinr,
-                    per_rrb_rate_bps=rate,
-                    rrbs_required=demand,
+    with get_telemetry().span("radio.build", path="reference") as span:
+        loss_db = budget.pathloss.loss_db
+        interference_mw = budget.interference.interference_mw
+        noise_mw = budget.noise_mw
+        bandwidth = budget.rrb_bandwidth_hz
+        links: list[LinkMetrics] = []
+        for ue in network.user_equipments:
+            tx_power = ue.tx_power_dbm
+            tx_mw = dbm_to_mw(tx_power)
+            for bs_id in network.candidate_base_stations(ue.ue_id):
+                distance = network.distance_m(ue.ue_id, bs_id)
+                signal = tx_mw / db_to_linear(loss_db(distance))
+                sinr = signal / (
+                    noise_mw + interference_mw(distance, (), tx_power)
                 )
-            )
+                rate = rate_model(bandwidth, sinr)
+                if rate > 0:
+                    demand = rrbs_required(ue.rate_demand_bps, rate)
+                else:
+                    demand = network.base_station(bs_id).rrb_capacity + 1
+                links.append(
+                    LinkMetrics(
+                        ue_id=ue.ue_id,
+                        bs_id=bs_id,
+                        distance_m=distance,
+                        sinr_linear=sinr,
+                        per_rrb_rate_bps=rate,
+                        rrbs_required=demand,
+                    )
+                )
+        span.set(links=len(links), ues=network.ue_count)
     return RadioMap.from_links(links)

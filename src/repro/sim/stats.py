@@ -49,13 +49,19 @@ class PairedComparison:
 
     def summary(self) -> str:
         """One-line human-readable verdict."""
+        significance = (
+            "significant" if self.significant_at_5pct else "not significant"
+        )
+        if self.mean_difference == 0:
+            return (
+                f"{self.name_a} == {self.name_b} on average "
+                f"({self.wins_a}-{self.ties}-{self.wins_b} W-T-L, "
+                f"p={self.p_value:.4f}, {significance} at 5%)"
+            )
         direction = (
             f"{self.name_a} > {self.name_b}"
             if self.mean_difference > 0
             else f"{self.name_b} > {self.name_a}"
-        )
-        significance = (
-            "significant" if self.significant_at_5pct else "not significant"
         )
         return (
             f"{direction} by {abs(self.mean_difference):.1f} on average "

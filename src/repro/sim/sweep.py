@@ -27,6 +27,7 @@ from typing import Callable, Mapping, Sequence
 
 from repro.core.allocator import Allocator
 from repro.errors import ConfigurationError
+from repro.obs.telemetry import Recorder, get_telemetry, telemetry_session
 from repro.sim.config import ScenarioConfig
 from repro.sim.metrics import OutcomeMetrics
 from repro.sim.results import Series
@@ -86,17 +87,36 @@ class SweepResult:
 _ACTIVE_SPEC: SweepSpec | None = None
 
 
-def _run_cell(cell: tuple[int, int]) -> list[float]:
-    """Run one (x, seed) grid cell: every allocator on one scenario."""
+def _run_cell(cell: tuple[int, int]) -> tuple[list[float], Recorder | None]:
+    """Run one (x, seed) grid cell: every allocator on one scenario.
+
+    When telemetry is enabled, the cell records into a child recorder
+    (sharing the parent's epoch, which forked workers inherit) and ships
+    it back alongside the metric values; :func:`run_sweep` grafts the
+    children into one merged trace in grid order, so the span tree is
+    identical at any worker count.
+    """
     spec = _ACTIVE_SPEC
     assert spec is not None
     x = spec.xs[cell[0]]
     seed = spec.seeds[cell[1]]
-    scenario = spec.scenario_factory(x, seed)
-    return [
-        spec.metric(run_allocation(scenario, factory(x)).metrics)
-        for factory in spec.allocator_factories.values()
-    ]
+    tel = get_telemetry()
+    if not tel.enabled:
+        scenario = spec.scenario_factory(x, seed)
+        values = [
+            spec.metric(run_allocation(scenario, factory(x)).metrics)
+            for factory in spec.allocator_factories.values()
+        ]
+        return values, None
+    child = tel.child()
+    with telemetry_session(child):
+        with child.span("sweep.cell", x=x, seed=seed):
+            scenario = spec.scenario_factory(x, seed)
+            values = [
+                spec.metric(run_allocation(scenario, factory(x)).metrics)
+                for factory in spec.allocator_factories.values()
+            ]
+    return values, child
 
 
 def _resolve_workers(workers: int | None) -> int:
@@ -128,14 +148,26 @@ def run_sweep(spec: SweepSpec, workers: int | None = None) -> SweepResult:
         for x_idx in range(len(spec.xs))
         for seed_idx in range(len(spec.seeds))
     ]
+    tel = get_telemetry()
     _ACTIVE_SPEC = spec
     try:
-        if workers > 1 and len(cells) > 1 and _fork_available():
-            ctx = multiprocessing.get_context("fork")
-            with ctx.Pool(processes=min(workers, len(cells))) as pool:
-                rows = pool.map(_run_cell, cells)
-        else:
-            rows = [_run_cell(cell) for cell in cells]
+        with tel.span(
+            "sweep",
+            cells=len(cells),
+            workers=workers,
+            curves=len(spec.allocator_factories),
+        ):
+            if workers > 1 and len(cells) > 1 and _fork_available():
+                ctx = multiprocessing.get_context("fork")
+                with ctx.Pool(processes=min(workers, len(cells))) as pool:
+                    results = pool.map(_run_cell, cells)
+            else:
+                results = [_run_cell(cell) for cell in cells]
+            rows = []
+            for values, cell_recorder in results:
+                rows.append(values)
+                if cell_recorder is not None and tel.enabled:
+                    tel.absorb(cell_recorder)
     finally:
         _ACTIVE_SPEC = None
 

@@ -1,5 +1,6 @@
 """Property-based tests for the dynamics layer and analysis helpers."""
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -52,6 +53,27 @@ class TestStepSeriesProperties:
             series.record(float(index), value)
         average = series.time_average(float(len(samples)))
         assert min(samples) - 1e-9 <= average <= max(samples) + 1e-9
+
+    @given(
+        value=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        gaps=st.lists(
+            st.floats(min_value=1e-3, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+        extra=st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    )
+    def test_constant_series_average_is_the_constant(self, value, gaps, extra):
+        # Regression: the time average of a constant series must be that
+        # constant for any cutoff at or past the first sample.
+        series = StepSeries("x")
+        t = 0.0
+        series.record(t, value)
+        for gap in gaps:
+            t += gap
+            series.record(t, value)
+        for until in (0.0, t / 2, t, t + extra):
+            assert series.time_average(until) == pytest.approx(value)
 
 
 class TestJainProperties:

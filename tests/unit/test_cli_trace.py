@@ -1,0 +1,84 @@
+"""Unit tests for the ``--trace`` flag and the ``dmra trace`` report."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs import read_trace
+from repro.obs.telemetry import NULL, get_telemetry
+
+
+class TestTraceFlag:
+    def test_run_writes_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main([
+            "run", "--ues", "40", "--seed", "1", "--trace", str(path),
+        ]) == 0
+        assert f"wrote trace {path}" in capsys.readouterr().out
+        trace = read_trace(path)
+        assert trace.meta["command"] == "run"
+        names = {span.name for span in trace.all_spans()}
+        assert "match" in names
+        assert "radio.build" in names
+        assert trace.counters["match.accepted"] > 0
+
+    def test_trace_env_variable_is_default(self, tmp_path, capsys,
+                                           monkeypatch):
+        path = tmp_path / "env.jsonl"
+        monkeypatch.setenv("DMRA_TRACE", str(path))
+        assert main(["run", "--ues", "40", "--seed", "1"]) == 0
+        assert path.exists()
+        assert read_trace(path).meta["command"] == "run"
+
+    def test_without_flag_no_backend_installed(self, capsys, monkeypatch):
+        monkeypatch.delenv("DMRA_TRACE", raising=False)
+        assert main(["run", "--ues", "40", "--seed", "1"]) == 0
+        assert get_telemetry() is NULL
+        assert "wrote trace" not in capsys.readouterr().out
+
+    def test_online_trace_records_event_loop(self, tmp_path, capsys):
+        path = tmp_path / "online.jsonl"
+        assert main([
+            "online", "--rate", "1", "--horizon", "60",
+            "--trace", str(path),
+        ]) == 0
+        trace = read_trace(path)
+        names = {span.name for span in trace.all_spans()}
+        assert "online.run" in names
+        assert trace.timers["online.batch"].count > 0
+
+    def test_failures_trace_records_repair(self, tmp_path, capsys):
+        path = tmp_path / "failures.jsonl"
+        assert main([
+            "failures", "--ues", "100", "--bs", "0",
+            "--trace", str(path),
+        ]) == 0
+        trace = read_trace(path)
+        names = {span.name for span in trace.all_spans()}
+        assert "failures.inject" in names
+
+
+class TestTraceCommand:
+    @pytest.fixture()
+    def trace_file(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        main(["run", "--ues", "40", "--seed", "1", "--trace", str(path)])
+        capsys.readouterr()  # swallow the run's output
+        return path
+
+    def test_renders_report(self, trace_file, capsys):
+        assert main(["trace", str(trace_file)]) == 0
+        output = capsys.readouterr().out
+        assert "command=run" in output
+        assert "match" in output
+        assert "match.accepted" in output
+
+    def test_min_ms_filter(self, trace_file, capsys):
+        assert main(["trace", str(trace_file), "--min-ms", "1e9"]) == 0
+        output = capsys.readouterr().out
+        assert "match.round" not in output
+
+    def test_missing_file_raises(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["trace", str(tmp_path / "absent.jsonl")])

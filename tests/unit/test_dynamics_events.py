@@ -149,3 +149,48 @@ class TestStepSeries:
         series = StepSeries("x")
         series.record(5.0, 3.5)
         assert series.time_average(5.0) == 3.5
+
+
+class TestStepSeriesConstruction:
+    def test_mismatched_lengths_rejected(self):
+        # Regression: the dataclass constructor used to accept a series
+        # with more timestamps than values, and time_average silently
+        # truncated via zip.
+        with pytest.raises(ConfigurationError):
+            StepSeries("x", [0.0, 1.0], [1.0])
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StepSeries("x", [0.0, 2.0, 1.0], [1.0, 2.0, 3.0])
+        with pytest.raises(ConfigurationError):
+            StepSeries("x", [0.0, 0.0], [1.0, 2.0])
+
+    def test_valid_prebuilt_series_accepted(self):
+        series = StepSeries("x", [0.0, 2.0], [1.0, 3.0])
+        assert series.time_average(4.0) == pytest.approx(2.0)
+
+
+class TestTimeAverageEdgeCases:
+    def test_until_strictly_between_last_two_samples(self):
+        series = StepSeries("x")
+        series.record(0.0, 2.0)
+        series.record(10.0, 100.0)
+        # until=5 lies strictly between the samples: only the first
+        # segment (clipped) contributes.
+        assert series.time_average(5.0) == pytest.approx(2.0)
+
+    def test_until_equal_to_interior_timestamp(self):
+        series = StepSeries("x")
+        series.record(0.0, 1.0)
+        series.record(2.0, 5.0)
+        series.record(4.0, 9.0)
+        # Stop exactly at an interior sample: the value recorded there
+        # holds for zero time and must not contribute.
+        assert series.time_average(2.0) == pytest.approx(1.0)
+
+    def test_constant_series_average_is_that_constant(self):
+        series = StepSeries("x")
+        for t in (0.0, 1.5, 2.0, 7.25):
+            series.record(t, 42.0)
+        for until in (0.0, 1.5, 3.0, 7.25, 11.0):
+            assert series.time_average(until) == pytest.approx(42.0)

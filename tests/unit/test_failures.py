@@ -88,3 +88,86 @@ class TestFailureInjection:
         )
         assert 0.0 <= outcome.recovery_fraction <= 1.0
         assert 0.0 <= outcome.profit_loss_fraction <= 1.0
+
+
+class TestProfitLossFraction:
+    @staticmethod
+    def _outcome(profit_before, profit_after):
+        from repro.dynamics.failures import FailureOutcome
+
+        return FailureOutcome(
+            failed_bs_ids=(0,),
+            orphaned_ues=0,
+            recovered_ues=0,
+            dropped_to_cloud=0,
+            profit_before=profit_before,
+            profit_after=profit_after,
+            edge_served_before=0,
+            edge_served_after=0,
+        )
+
+    def test_positive_profit_loss(self):
+        assert self._outcome(100.0, 75.0).profit_loss_fraction == (
+            pytest.approx(0.25)
+        )
+
+    def test_negative_profit_scenario_keeps_sign(self):
+        # Regression: with profit_before < 0, dividing by the signed
+        # value flipped the sign — a worsening outage (-100 -> -150)
+        # read as a 50% *gain*.
+        outcome = self._outcome(-100.0, -150.0)
+        assert outcome.profit_loss == pytest.approx(50.0)
+        assert outcome.profit_loss_fraction == pytest.approx(0.5)
+
+    def test_negative_profit_improvement_is_negative_fraction(self):
+        assert self._outcome(-100.0, -50.0).profit_loss_fraction == (
+            pytest.approx(-0.5)
+        )
+
+    def test_zero_profit_before_is_zero(self):
+        assert self._outcome(0.0, -10.0).profit_loss_fraction == 0.0
+
+
+class TestFailureGrantInvariants:
+    def test_survivor_grants_carried_over_untouched(self):
+        """UEs on healthy BSs keep exactly their pre-failure grants."""
+        from repro.core.dmra import DMRAAllocator
+        from repro.sim.runner import run_allocation
+        from repro.sim.scenario import build_scenario
+
+        failed = (0, 5)
+        outcome = inject_bs_failures(
+            CONFIG, ue_count=500, failed_bs_ids=list(failed), seed=3
+        )
+        scenario = build_scenario(CONFIG, 500, seed=3)
+        baseline = run_allocation(
+            scenario,
+            DMRAAllocator(pricing=scenario.pricing, rho=CONFIG.rho),
+        ).assignment
+        expected = {g for g in baseline.grants if g.bs_id not in failed}
+        assert set(outcome.carried_grants) == expected
+
+    def test_no_grant_references_a_failed_bs(self):
+        outcome = inject_bs_failures(
+            CONFIG, ue_count=600, failed_bs_ids=[1, 2], seed=4
+        )
+        for grant in outcome.carried_grants + outcome.repair_grants:
+            assert grant.bs_id not in outcome.failed_bs_ids
+
+    def test_recovered_plus_dropped_equals_orphaned(self):
+        for seed in (1, 2, 3):
+            outcome = inject_bs_failures(
+                CONFIG, ue_count=700, failed_bs_ids=[0, 3, 9], seed=seed
+            )
+            assert (
+                outcome.recovered_ues + outcome.dropped_to_cloud
+                == outcome.orphaned_ues
+            )
+
+    def test_edge_served_after_counts_all_live_grants(self):
+        outcome = inject_bs_failures(
+            CONFIG, ue_count=400, failed_bs_ids=[2], seed=5
+        )
+        assert outcome.edge_served_after == (
+            len(outcome.carried_grants) + len(outcome.repair_grants)
+        )

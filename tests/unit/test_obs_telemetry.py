@@ -1,0 +1,203 @@
+"""Unit tests for the telemetry core (spans, metrics, registry)."""
+
+import pytest
+
+from repro.obs.telemetry import (
+    NULL,
+    GaugeStat,
+    NullTelemetry,
+    Recorder,
+    TimerStat,
+    get_telemetry,
+    set_telemetry,
+    telemetry_session,
+)
+
+
+class TestNullBackend:
+    def test_default_backend_is_null(self):
+        assert get_telemetry() is NULL
+        assert not get_telemetry().enabled
+
+    def test_null_operations_are_noops(self):
+        tel = NullTelemetry()
+        with tel.span("anything", attr=1) as span:
+            span.set(more=2)
+        tel.count("c")
+        tel.count("c", 5)
+        tel.gauge("g", 1.0)
+        with tel.timer("t"):
+            pass
+
+    def test_null_span_is_shared_singleton(self):
+        tel = NullTelemetry()
+        assert tel.span("a") is tel.span("b") is tel.timer("c")
+
+
+class TestRegistry:
+    def test_set_telemetry_returns_previous(self):
+        recorder = Recorder()
+        previous = set_telemetry(recorder)
+        try:
+            assert previous is NULL
+            assert get_telemetry() is recorder
+        finally:
+            set_telemetry(previous)
+        assert get_telemetry() is NULL
+
+    def test_session_installs_and_restores(self):
+        with telemetry_session() as recorder:
+            assert get_telemetry() is recorder
+            assert recorder.enabled
+        assert get_telemetry() is NULL
+
+    def test_session_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with telemetry_session():
+                raise RuntimeError("boom")
+        assert get_telemetry() is NULL
+
+    def test_session_accepts_existing_recorder(self):
+        recorder = Recorder(meta={"k": "v"})
+        with telemetry_session(recorder) as installed:
+            assert installed is recorder
+
+
+class TestSpans:
+    def test_spans_nest_into_a_tree(self):
+        rec = Recorder()
+        with rec.span("outer"):
+            with rec.span("inner.a"):
+                pass
+            with rec.span("inner.b"):
+                pass
+        assert [s.name for s in rec.all_spans()] == [
+            "outer", "inner.a", "inner.b",
+        ]
+        (outer,) = rec.roots
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+
+    def test_span_times_are_ordered(self):
+        rec = Recorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        (outer,) = rec.roots
+        (inner,) = outer.children
+        assert 0.0 <= outer.start_s <= inner.start_s
+        assert inner.end_s <= outer.end_s
+        assert outer.duration_s >= inner.duration_s >= 0.0
+
+    def test_span_attrs_at_open_and_via_set(self):
+        rec = Recorder()
+        with rec.span("s", a=1) as span:
+            span.set(b=2.5, c="x")
+        assert rec.roots[0].attrs == {"a": 1, "b": 2.5, "c": "x"}
+
+    def test_exception_closes_span_and_records_error(self):
+        rec = Recorder()
+        with pytest.raises(ValueError):
+            with rec.span("outer"):
+                with rec.span("inner"):
+                    raise ValueError("boom")
+        (outer,) = rec.roots
+        (inner,) = outer.children
+        assert outer.attrs["error"] == "ValueError"
+        assert inner.attrs["error"] == "ValueError"
+        assert inner.end_s <= outer.end_s
+
+    def test_sequential_roots(self):
+        rec = Recorder()
+        with rec.span("first"):
+            pass
+        with rec.span("second"):
+            pass
+        assert [s.name for s in rec.roots] == ["first", "second"]
+
+
+class TestMetrics:
+    def test_counters_accumulate(self):
+        rec = Recorder()
+        rec.count("c")
+        rec.count("c", 4)
+        rec.count("other", 2.5)
+        assert rec.counters == {"c": 5, "other": 2.5}
+
+    def test_gauges_track_last_min_max_count(self):
+        rec = Recorder()
+        for value in (3.0, 1.0, 7.0):
+            rec.gauge("g", value)
+        stat = rec.gauges["g"]
+        assert stat == GaugeStat(value=7.0, min=1.0, max=7.0, count=3)
+
+    def test_timers_aggregate(self):
+        rec = Recorder()
+        rec.record_timer("t", 0.5)
+        rec.record_timer("t", 0.1)
+        stat = rec.timers["t"]
+        assert stat == TimerStat(count=2, total_s=0.6, min_s=0.1, max_s=0.5)
+        assert stat.mean_s == pytest.approx(0.3)
+
+    def test_timer_context_manager_measures(self):
+        rec = Recorder()
+        with rec.timer("t"):
+            pass
+        stat = rec.timers["t"]
+        assert stat.count == 1
+        assert stat.total_s >= 0.0
+
+
+class TestChildAbsorb:
+    def test_child_shares_epoch(self):
+        parent = Recorder()
+        child = parent.child()
+        assert abs(parent.now_s() - child.now_s()) < 0.05
+
+    def test_absorb_grafts_under_open_span(self):
+        parent = Recorder()
+        child = parent.child()
+        with child.span("cell"):
+            pass
+        with parent.span("sweep"):
+            parent.absorb(child)
+        (sweep,) = parent.roots
+        assert [c.name for c in sweep.children] == ["cell"]
+
+    def test_absorb_at_top_level_appends_roots(self):
+        parent = Recorder()
+        child = parent.child()
+        with child.span("cell"):
+            pass
+        parent.absorb(child)
+        assert [s.name for s in parent.roots] == ["cell"]
+
+    def test_absorb_folds_metrics(self):
+        parent = Recorder()
+        parent.count("c", 1)
+        parent.gauge("g", 5.0)
+        parent.record_timer("t", 1.0)
+        child = parent.child()
+        child.count("c", 2)
+        child.count("only_child", 7)
+        child.gauge("g", 1.0)
+        child.record_timer("t", 0.25)
+        parent.absorb(child)
+        assert parent.counters == {"c": 3, "only_child": 7}
+        gauge = parent.gauges["g"]
+        assert (gauge.min, gauge.max, gauge.count) == (1.0, 5.0, 2)
+        timer = parent.timers["t"]
+        assert timer == TimerStat(count=2, total_s=1.25, min_s=0.25, max_s=1.0)
+
+    def test_absorb_order_is_call_order(self):
+        parent = Recorder()
+        children = []
+        for index in range(3):
+            child = parent.child()
+            with child.span(f"cell{index}"):
+                pass
+            children.append(child)
+        with parent.span("sweep"):
+            for child in children:
+                parent.absorb(child)
+        (sweep,) = parent.roots
+        assert [c.name for c in sweep.children] == ["cell0", "cell1", "cell2"]

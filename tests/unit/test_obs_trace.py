@@ -1,0 +1,149 @@
+"""Unit tests for the JSONL trace format and the report renderer."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    SCHEMA,
+    Recorder,
+    parse_trace,
+    read_trace,
+    render_trace_report,
+    trace_from_recorder,
+    trace_lines,
+    write_trace,
+)
+
+
+def sample_recorder() -> Recorder:
+    rec = Recorder(meta={"command": "test", "seed": 7})
+    with rec.span("sweep", cells=2):
+        with rec.span("sweep.cell", x=600.0, seed=0):
+            with rec.span("match", policy="dmra"):
+                pass
+        with rec.span("sweep.cell", x=600.0, seed=1):
+            pass
+    rec.count("match.proposals", 123)
+    rec.gauge("online.rrb_utilization", 0.25)
+    rec.gauge("online.rrb_utilization", 0.75)
+    rec.record_timer("online.batch", 0.125)
+    return rec
+
+
+class TestSerialization:
+    def test_header_first_with_schema(self):
+        lines = trace_lines(sample_recorder())
+        header = json.loads(lines[0])
+        assert header["kind"] == "header"
+        assert header["schema"] == SCHEMA
+        assert header["meta"] == {"command": "test", "seed": 7}
+
+    def test_every_line_is_json_with_sorted_keys(self):
+        for line in trace_lines(sample_recorder()):
+            record = json.loads(line)
+            assert list(record) == sorted(record)
+
+    def test_spans_emitted_preorder_with_sequential_ids(self):
+        lines = trace_lines(sample_recorder())
+        spans = [
+            json.loads(line) for line in lines
+            if json.loads(line)["kind"] == "span"
+        ]
+        assert [s["id"] for s in spans] == [1, 2, 3, 4]
+        assert [s["parent"] for s in spans] == [0, 1, 2, 1]
+        assert [s["name"] for s in spans] == [
+            "sweep", "sweep.cell", "match", "sweep.cell",
+        ]
+
+    def test_round_trip_is_exact(self):
+        lines = trace_lines(sample_recorder())
+        assert trace_lines(parse_trace(lines)) == lines
+
+    def test_accepts_trace_or_recorder(self):
+        rec = sample_recorder()
+        assert trace_lines(rec) == trace_lines(trace_from_recorder(rec))
+
+    def test_metrics_survive_round_trip(self):
+        rec = sample_recorder()
+        parsed = parse_trace(trace_lines(rec))
+        assert parsed.counters == rec.counters
+        assert parsed.gauges == rec.gauges
+        assert parsed.timers == rec.timers
+
+
+class TestParsing:
+    def test_parses_string_or_lines(self):
+        lines = trace_lines(sample_recorder())
+        assert trace_lines(parse_trace("\n".join(lines))) == lines
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            parse_trace([])
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ConfigurationError, match="header"):
+            parse_trace(['{"kind":"counter","name":"c","value":1}'])
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ConfigurationError, match="schema"):
+            parse_trace(['{"kind":"header","schema":"other/9","meta":{}}'])
+
+    def test_malformed_json_rejected(self):
+        lines = trace_lines(sample_recorder())
+        with pytest.raises(ConfigurationError, match="line 2"):
+            parse_trace([lines[0], "{not json"])
+
+    def test_unknown_kind_rejected(self):
+        lines = trace_lines(sample_recorder())
+        with pytest.raises(ConfigurationError, match="unknown record kind"):
+            parse_trace([lines[0], '{"kind":"mystery"}'])
+
+    def test_dangling_parent_rejected(self):
+        header = trace_lines(Recorder(meta={}))[0]
+        span = (
+            '{"attrs":{},"end_s":1.0,"id":2,"kind":"span",'
+            '"name":"orphan","parent":9,"start_s":0.0}'
+        )
+        with pytest.raises(ConfigurationError, match="unknown parent"):
+            parse_trace([header, span])
+
+
+class TestFileIO:
+    def test_write_then_read(self, tmp_path):
+        rec = sample_recorder()
+        path = write_trace(tmp_path / "t.jsonl", rec)
+        assert trace_lines(read_trace(path)) == trace_lines(rec)
+
+    def test_write_creates_parent_directories(self, tmp_path):
+        path = write_trace(tmp_path / "deep" / "t.jsonl", sample_recorder())
+        assert path.exists()
+
+    def test_read_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            read_trace(tmp_path / "absent.jsonl")
+
+
+class TestReport:
+    def test_report_shows_tree_and_tables(self):
+        trace = trace_from_recorder(sample_recorder())
+        report = render_trace_report(trace)
+        assert "sweep" in report
+        assert "  sweep.cell" in report  # indented child
+        assert "match.proposals" in report
+        assert "online.batch" in report
+        assert "online.rrb_utilization" in report
+        assert "spans: 4" in report
+
+    def test_min_ms_hides_fast_spans(self):
+        trace = trace_from_recorder(sample_recorder())
+        report = render_trace_report(trace, min_ms=1e6)
+        # Roots always render; everything below is summarized.
+        assert "sweep" in report
+        assert "sweep.cell" not in report
+        assert "below" in report
+
+    def test_report_of_empty_recorder(self):
+        report = render_trace_report(trace_from_recorder(Recorder()))
+        assert "spans: 0" in report

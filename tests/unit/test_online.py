@@ -121,3 +121,125 @@ class TestOnlineValidation:
         outcome = run_online(CONFIG, light_load(), seed=9)
         assert outcome.edge_active.last_value >= 0
         assert outcome.cloud_active.last_value >= 0
+
+
+class TestDepartureAccounting:
+    """The departure path must surface ledger drift, not absorb it."""
+
+    @staticmethod
+    def _edge_state():
+        from repro.compute.cru import LedgerPool
+        from repro.sim.scenario import build_scenario
+
+        scenario = build_scenario(CONFIG, 1, seed=1)
+        ledgers = LedgerPool(scenario.network.base_stations)
+        ue = scenario.network.user_equipment(0)
+        bs_id = scenario.network.base_stations[0].bs_id
+        ledgers.ledger(bs_id).grant(0, ue.service_id, ue.cru_demand, 3)
+        return ledgers, bs_id
+
+    def test_unknown_ue_departure_raises(self):
+        from repro.compute.cru import LedgerPool
+        from repro.dynamics.online import _process_departure
+        from repro.errors import AllocationError
+
+        with pytest.raises(AllocationError, match="neither"):
+            _process_departure(7, LedgerPool([]), set(), set(), {}, {})
+
+    def test_edge_departure_without_rrb_record_raises(self):
+        # Regression: this used to be silently absorbed via
+        # rrbs_of_ue.pop(ue_id, 0), masking the drift.
+        from repro.dynamics.online import _process_departure
+        from repro.errors import AllocationError
+
+        ledgers, bs_id = self._edge_state()
+        with pytest.raises(AllocationError, match="no recorded RRB"):
+            _process_departure(0, ledgers, {0}, set(), {0: bs_id}, {})
+
+    def test_edge_departure_returns_freed_rrbs(self):
+        from repro.dynamics.online import _process_departure
+
+        ledgers, bs_id = self._edge_state()
+        active_edge, serving = {0}, {0: bs_id}
+        freed = _process_departure(
+            0, ledgers, active_edge, set(), serving, {0: 3}
+        )
+        assert freed == 3
+        assert not active_edge and not serving
+
+    def test_cloud_departure_frees_nothing(self):
+        from repro.compute.cru import LedgerPool
+        from repro.dynamics.online import _process_departure
+
+        active_cloud = {4}
+        assert _process_departure(
+            4, LedgerPool([]), set(), active_cloud, {}, {}
+        ) == 0
+        assert not active_cloud
+
+    def test_ledger_conservation_check(self):
+        from repro.dynamics.online import _check_ledger_conservation
+        from repro.errors import AllocationError
+
+        ledgers, _ = self._edge_state()
+        total = sum(
+            bs_ledger.remaining_rrbs for bs_ledger in ledgers
+        ) + 3  # 3 RRBs are granted out
+        _check_ledger_conservation(ledgers, total, used_rrbs=3)
+        with pytest.raises(AllocationError, match="conservation"):
+            _check_ledger_conservation(ledgers, total, used_rrbs=0)
+
+
+MICRO = ScenarioConfig(
+    sp_count=1,
+    bs_per_sp=1,
+    service_count=1,
+    region_side_m=200.0,
+    cru_capacity_min=20,
+    cru_capacity_max=20,
+    cru_demand_min=5,
+    cru_demand_max=5,
+    rate_demand_min_bps=1e5,
+    rate_demand_max_bps=1e5,
+)
+
+
+class TestBlockingAgainstErlangB:
+    """One BS, fixed demands -> the edge is a hand-computable M/M/c/c.
+
+    CRU capacity 20 at 5 CRUs per task gives c = 4 concurrent slots
+    (radio is slack: each task needs 1 of ~55 RRBs), so blocking is
+    Erlang's B(4, a) at offered load a = rate * mean holding.
+    """
+
+    def test_slots_saturate_deterministically(self):
+        online = OnlineConfig(
+            horizon_s=40.0,
+            arrivals=PoissonArrivals(rate_per_s=0.5),
+            holding=DeterministicHolding(duration_s=1000.0),
+        )
+        outcome = run_online(MICRO, online, seed=1)
+        assert outcome.arrivals >= 4
+        # Nobody departs within the horizon, so exactly the first c = 4
+        # tasks fit and every later arrival is blocked.
+        assert outcome.admitted_edge == 4
+        assert outcome.admitted_cloud == outcome.arrivals - 4
+        assert outcome.blocking_probability == pytest.approx(
+            (outcome.arrivals - 4) / outcome.arrivals
+        )
+
+    def test_blocking_matches_erlang_b(self):
+        from repro.dynamics.erlang import erlang_b_blocking
+
+        online = OnlineConfig(
+            horizon_s=4000.0,
+            arrivals=PoissonArrivals(rate_per_s=0.5),
+            holding=ExponentialHolding(mean_s=4.0),
+        )
+        outcome = run_online(MICRO, online, seed=2)
+        expected = erlang_b_blocking(servers=4, offered_erlangs=2.0)
+        assert expected == pytest.approx(0.0952, abs=1e-3)
+        assert outcome.arrivals > 1000
+        assert outcome.blocking_probability == pytest.approx(
+            expected, abs=0.04
+        )

@@ -60,6 +60,15 @@ class TestPlanHosting:
         plan = plan_hosting(10, 2, weights=(100, 1, 1, 1, 1, 1))
         assert all(len(h) == len(set(h)) == 2 for h in plan)
 
+    def test_sub_unit_share_cannot_outrank_heavier_service(self):
+        # Regression: with shares [0.98, 1.07, 1.95] the 1-slot floor
+        # already over-serves service 0, yet its 0.98 fractional
+        # remainder used to win the spare slot ahead of service 2,
+        # giving the lightest service two replicas and the heaviest one.
+        plan = plan_hosting(2, 2, weights=(10.0, 11.0, 20.0))
+        replicas = [sum(1 for h in plan if j in h) for j in range(3)]
+        assert replicas == [1, 1, 2]
+
     def test_invalid_inputs(self):
         with pytest.raises(ConfigurationError):
             plan_hosting(0, 3, weights=(1, 1))

@@ -81,3 +81,35 @@ class TestCompareAllocators:
         assert comparison.mean_difference < 0
         assert comparison.wins_b == 4
         assert "dmra > random" in comparison.summary()
+
+
+class TestSummaryDirection:
+    @staticmethod
+    def _comparison(mean_difference):
+        from repro.sim.stats import PairedComparison
+
+        return PairedComparison(
+            name_a="a",
+            name_b="b",
+            values_a=(1.0, 2.0),
+            values_b=(1.0 - mean_difference, 2.0 - mean_difference),
+            mean_difference=mean_difference,
+            t_statistic=0.0,
+            p_value=1.0,
+            wins_a=1 if mean_difference > 0 else 0,
+            wins_b=1 if mean_difference < 0 else 0,
+            ties=2 if mean_difference == 0 else 1,
+        )
+
+    def test_positive_difference_reports_a_over_b(self):
+        assert "a > b" in self._comparison(1.0).summary()
+
+    def test_negative_difference_reports_b_over_a(self):
+        assert "b > a" in self._comparison(-1.0).summary()
+
+    def test_zero_difference_reports_tie_not_b_over_a(self):
+        # Regression: a dead heat used to be reported as "b > a".
+        summary = self._comparison(0.0).summary()
+        assert "a == b" in summary
+        assert "b > a" not in summary
+        assert "a > b" not in summary
