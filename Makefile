@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-paper figures extensions examples clean
+.PHONY: install test bench bench-smoke metrics-baseline bench-paper figures extensions examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -15,11 +15,20 @@ bench:
 
 # Seeded smoke bench: times a 2000-UE DMRA allocation (optimized vs
 # reference engine), scalar-vs-vectorized radio-map construction at
-# 2000 UEs, a workers=1-vs-4 sweep, and incremental-vs-full mobility
-# epochs; writes BENCH_pr2.json and fails on parity drift or speedups
-# below the floors (BENCH_MIN_SPEEDUP / BENCH_MIN_MAP_SPEEDUP).
+# 2000 UEs, a workers=1-vs-4 sweep, incremental-vs-full mobility
+# epochs on both sides of the displaced-fraction crossover, and
+# telemetry overhead (null/recorded spans, recorded-vs-disabled engine
+# runs, interleaved); writes BENCH_pr4.json and fails on parity drift
+# or measurements outside the floors/ceilings (see bench_smoke.py).
 bench-smoke:
 	bash -c 'time $(PYTHON) benchmarks/bench_smoke.py'
+
+# Regenerate the committed metrics baseline the CI regression gate
+# diffs against.  Do this only when a PR deliberately changes domain
+# behaviour; commit the result together with the change.
+metrics-baseline:
+	$(PYTHON) -m repro run --ues 300 --seed 3 \
+		--metrics benchmarks/results/baseline_metrics.json
 
 bench-paper:
 	BENCH_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -14,18 +14,25 @@ Subcommands
 ``map``      write the deployment/association as an SVG file
 ``report``   one-page markdown comparison report
 ``summarize`` render stored result CSVs as charts and tables
-``trace``    render a JSONL telemetry trace as a readable report
+``trace``    trace tooling: report, derived metrics, regression diff
 
 Commands that do real work accept ``--trace FILE`` (or the
 ``DMRA_TRACE`` environment variable) to record a telemetry trace of the
-run; ``dmra trace FILE`` renders it.
+run, and ``--metrics FILE`` to write the derived ``dmra.metrics/1``
+document (``.prom``/``.txt`` suffix selects Prometheus exposition).
+Both artifacts embed a ``dmra.manifest/1`` run manifest; ``dmra trace
+FILE`` renders a trace, ``dmra trace metrics FILE`` derives metrics
+from one, and ``dmra trace diff A B`` compares two runs and exits
+nonzero on regressions.
 
 Examples::
 
     dmra figure fig2 --scale smoke --out results/
     dmra run --allocator dmra --ues 600 --seed 1
-    dmra run --ues 600 --seed 1 --trace run.jsonl
+    dmra run --ues 600 --seed 1 --trace run.jsonl --metrics run.json
     dmra trace run.jsonl --min-ms 1
+    dmra trace metrics run.jsonl --format prom
+    dmra trace diff baseline.json candidate.json --rel-tol 0.01
     dmra compare --ues 600 --seed 1 --placement random
     dmra inspect --ues 400 --seed 0
     dmra analyze --ues 1100 --seed 3
@@ -92,27 +99,90 @@ def main(argv: list[str] | None = None) -> int:
         return handler(args)
 
 
+# Outcome-derived metric families registered by command handlers while
+# a --metrics session is active; merged with the trace-derived families
+# (outcome wins on name collisions) when the session flushes.
+_PENDING_OUTCOME_FAMILIES: list = []
+
+
+def _manifest_for(args: argparse.Namespace) -> dict:
+    """The ``dmra.manifest/1`` of the command about to run."""
+    from repro.obs import build_manifest
+
+    config = None
+    if hasattr(args, "rho"):
+        config = ScenarioConfig.paper(
+            placement=getattr(args, "placement", "regular"),
+            cross_sp_markup=getattr(args, "iota", 2.0),
+            rho=args.rho,
+        )
+    seeds = [args.seed] if hasattr(args, "seed") else []
+    return build_manifest(
+        config=config, seeds=seeds, command=args.command
+    )
+
+
 @contextmanager
 def _trace_session(args: argparse.Namespace):
-    """Record and write a JSONL trace when ``--trace``/``DMRA_TRACE`` asks.
+    """Record a run when ``--trace``/``DMRA_TRACE``/``--metrics`` ask.
 
-    With neither set this is a no-op: the null telemetry backend stays
-    installed and the command runs uninstrumented.
+    With none set this is a no-op: the null telemetry backend stays
+    installed and the command runs uninstrumented.  The recorder's meta
+    carries the run manifest, so every written trace and metrics
+    document is self-identifying.
     """
     target = getattr(args, "trace", None)
     if target is None:
         env = os.environ.get("DMRA_TRACE", "")
         target = Path(env) if env and args.command != "trace" else None
-    if target is None:
+    metrics_target = getattr(args, "metrics", None)
+    if target is None and metrics_target is None:
         yield
         return
     from repro.obs import Recorder, telemetry_session, write_trace
 
-    recorder = Recorder(meta={"command": args.command})
+    manifest = _manifest_for(args)
+    recorder = Recorder(
+        meta={"command": args.command, "manifest": manifest}
+    )
+    _PENDING_OUTCOME_FAMILIES.clear()
     with telemetry_session(recorder):
         yield
-    written = write_trace(target, recorder)
-    print(f"wrote trace {written}")
+    if target is not None:
+        written = write_trace(target, recorder)
+        print(f"wrote trace {written}")
+    if metrics_target is not None:
+        written = _write_metrics_artifact(metrics_target, recorder)
+        print(f"wrote metrics {written}")
+    _PENDING_OUTCOME_FAMILIES.clear()
+
+
+def _write_metrics_artifact(target: Path, recorder) -> Path:
+    """Flush the session's metrics document (JSON, or ``.prom`` text)."""
+    from repro.obs import (
+        MetricsDocument,
+        metrics_from_trace,
+        prometheus_exposition,
+        trace_from_recorder,
+        write_metrics,
+    )
+
+    trace_doc = metrics_from_trace(trace_from_recorder(recorder))
+    outcome_names = {fam.name for fam in _PENDING_OUTCOME_FAMILIES}
+    families = tuple(sorted(
+        list(_PENDING_OUTCOME_FAMILIES)
+        + [
+            fam for fam in trace_doc.families
+            if fam.name not in outcome_names
+        ],
+        key=lambda fam: fam.name,
+    ))
+    doc = MetricsDocument(families=families, manifest=trace_doc.manifest)
+    if target.suffix in (".prom", ".txt"):
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(prometheus_exposition(doc))
+        return target
+    return write_metrics(target, doc)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -278,12 +348,48 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     trace = sub.add_parser(
-        "trace", help="render a JSONL telemetry trace as a readable report"
+        "trace",
+        help=(
+            "trace tooling: 'trace FILE' renders a report, "
+            "'trace metrics FILE' derives dmra.metrics/1, "
+            "'trace diff A B' compares two runs (nonzero exit on "
+            "regressions)"
+        ),
     )
-    trace.add_argument("file", type=Path, help="trace file to render")
+    trace.add_argument(
+        "args", nargs="+", metavar="ARG",
+        help="FILE | metrics FILE | diff BASELINE CANDIDATE",
+    )
     trace.add_argument(
         "--min-ms", type=float, default=0.0,
         help="hide (non-root) spans shorter than this many milliseconds",
+    )
+    trace.add_argument(
+        "--format", choices=("json", "prom"), default="json",
+        help="output format for 'trace metrics' (default: json)",
+    )
+    trace.add_argument(
+        "--out", type=Path, default=None,
+        help="write 'trace metrics' output to a file instead of stdout",
+    )
+    trace.add_argument(
+        "--abs-tol", type=float, default=1e-9,
+        help="diff: absolute tolerance per sample (default: 1e-9)",
+    )
+    trace.add_argument(
+        "--rel-tol", type=float, default=0.0,
+        help="diff: relative tolerance per sample (default: 0)",
+    )
+    trace.add_argument(
+        "--include-timing", action="store_true",
+        help="diff: also gate on timing families (dmra_timer_*/dmra_wall_*)",
+    )
+    trace.add_argument(
+        "--allow-mismatch", action="store_true",
+        help=(
+            "diff: compare runs with different config digests or seeds "
+            "(deltas are reported as changes, not regressions)"
+        ),
     )
     return parser
 
@@ -294,6 +400,14 @@ def _add_trace_argument(cmd: argparse.ArgumentParser) -> None:
         help=(
             "record a JSONL telemetry trace of this run to FILE "
             "(default: $DMRA_TRACE if set); render it with 'dmra trace'"
+        ),
+    )
+    cmd.add_argument(
+        "--metrics", type=Path, default=None, metavar="FILE",
+        help=(
+            "write this run's dmra.metrics/1 document to FILE "
+            "(.prom/.txt suffix selects Prometheus text exposition); "
+            "compare runs with 'dmra trace diff'"
         ),
     )
 
@@ -389,6 +503,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     allocator = _build_allocator(args.allocator, scenario)
     outcome = run_allocation(scenario, allocator)
     metrics = outcome.metrics
+    if getattr(args, "metrics", None) is not None:
+        from repro.obs import metrics_from_outcome
+
+        _PENDING_OUTCOME_FAMILIES.extend(metrics_from_outcome(
+            scenario.network, outcome.assignment, scenario.pricing,
+            wall_time_s=outcome.wall_time_s,
+        ).families)
     print(scenario.network.describe())
     print(f"allocator:          {outcome.allocator_name}")
     print(f"total profit:       {metrics.total_profit:.1f}")
@@ -595,6 +716,12 @@ def _cmd_online(args: argparse.Namespace) -> int:
         holding=ExponentialHolding(mean_s=args.holding),
     )
     outcome = run_online(config, online, seed=args.seed)
+    if getattr(args, "metrics", None) is not None:
+        from repro.obs import metrics_from_online
+
+        _PENDING_OUTCOME_FAMILIES.extend(
+            metrics_from_online(outcome).families
+        )
     print(outcome.scenario.network.describe())
     print(f"horizon:             {args.horizon:.0f} s, "
           f"rate {args.rate}/s, mean holding {args.holding:.0f} s")
@@ -664,11 +791,119 @@ def _cmd_failures(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    # The trace family is an inspection tool over user-supplied files:
+    # bad input gets a one-line error and a nonzero exit, never a
+    # traceback.
+    try:
+        return _dispatch_trace(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch_trace(args: argparse.Namespace) -> int:
+    head, rest = args.args[0], args.args[1:]
+    if head == "diff":
+        if len(rest) != 2:
+            raise ConfigurationError(
+                "usage: dmra trace diff BASELINE CANDIDATE"
+            )
+        return _trace_diff(args, Path(rest[0]), Path(rest[1]))
+    if head == "metrics":
+        if len(rest) != 1:
+            raise ConfigurationError("usage: dmra trace metrics FILE")
+        return _trace_metrics(args, Path(rest[0]))
+    if rest:
+        raise ConfigurationError(
+            f"unknown trace subcommand {head!r}; expected a trace file, "
+            f"'metrics FILE', or 'diff BASELINE CANDIDATE'"
+        )
     from repro.obs import read_trace, render_trace_report
 
-    trace = read_trace(args.file)
+    trace = read_trace(Path(head))
     print(render_trace_report(trace, min_ms=args.min_ms), end="")
     return 0
+
+
+def _load_metrics_document(path: Path):
+    """Load a ``dmra.metrics/1`` doc — directly, or derived from a trace."""
+    import json as _json
+
+    from repro.obs import (
+        METRICS_SCHEMA,
+        SCHEMA as TRACE_SCHEMA,
+        metrics_from_trace,
+        parse_metrics,
+        parse_trace,
+    )
+
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read {path}: {exc}") from exc
+    first_line = text.strip().splitlines()[0] if text.strip() else ""
+    try:
+        header = _json.loads(first_line)
+    except _json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"{path}: not a dmra trace or metrics file "
+            f"(first line is not JSON: {exc})"
+        ) from exc
+    schema = header.get("schema") if isinstance(header, dict) else None
+    if schema == METRICS_SCHEMA:
+        return parse_metrics(text)
+    if schema == TRACE_SCHEMA:
+        return metrics_from_trace(parse_trace(text))
+    raise ConfigurationError(
+        f"{path}: unsupported schema {schema!r}; expected "
+        f"{METRICS_SCHEMA!r} or {TRACE_SCHEMA!r}"
+    )
+
+
+def _trace_metrics(args: argparse.Namespace, source: Path) -> int:
+    from repro.obs import metrics_json, prometheus_exposition
+
+    doc = _load_metrics_document(source)
+    rendered = (
+        prometheus_exposition(doc)
+        if args.format == "prom" else metrics_json(doc) + "\n"
+    )
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(rendered)
+        print(f"wrote {args.out}")
+    else:
+        print(rendered, end="")
+    return 0
+
+
+def _trace_diff(
+    args: argparse.Namespace, baseline: Path, candidate: Path
+) -> int:
+    from repro.obs import (
+        DiffTolerances,
+        diff_documents,
+        render_diff_report,
+    )
+
+    tolerances = DiffTolerances(
+        abs_tol=args.abs_tol,
+        rel_tol=args.rel_tol,
+        ignore_prefixes=(
+            () if args.include_timing
+            else DiffTolerances().ignore_prefixes
+        ),
+    )
+    report = diff_documents(
+        _load_metrics_document(baseline),
+        _load_metrics_document(candidate),
+        tolerances=tolerances,
+        require_comparable=not args.allow_mismatch,
+    )
+    print(render_diff_report(
+        report, baseline_name=str(baseline), candidate_name=str(candidate)
+    ))
+    return 0 if report.ok else 1
 
 
 def _cmd_crossover(args: argparse.Namespace) -> int:

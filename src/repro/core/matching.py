@@ -278,6 +278,9 @@ class _FeasibilityTracker:
                  cands: dict[int, list[_PairState]],
                  ue_by_id: dict[int, UserEquipment]) -> None:
         self._count: dict[int, int] = {}
+        #: Pairs retired by capacity watermarks since construction —
+        #: the per-run f_u churn the round diagnostics report.
+        self.retired = 0
         cru_heaps: dict[tuple[int, int], list] = {}
         rrb_heaps: dict[int, list] = {}
         # Snapshot remaining capacities once (ledgers are quiescent
@@ -340,6 +343,7 @@ class _FeasibilityTracker:
                 if pair.alive:
                     pair.alive = False
                     self._count[ue_id] -= 1
+                    self.retired += 1
         rrb_heap = self._rrb_heaps.get(ledger.bs_id)
         if rrb_heap:
             remaining = ledger.remaining_rrbs
@@ -348,6 +352,7 @@ class _FeasibilityTracker:
                 if pair.alive:
                     pair.alive = False
                     self._count[ue_id] -= 1
+                    self.retired += 1
 
 
 class IterativeMatchingEngine:
@@ -461,10 +466,12 @@ class IterativeMatchingEngine:
                             ))
                         break
                     phase_start = time.perf_counter()
+                    retired_before = tracker.retired
                     accepted, evictions = self._process_base_stations(
                         ctx, requests, tracker, ue_by_id
                     )
                     accept_time = time.perf_counter() - phase_start
+                    fu_retired = tracker.retired - retired_before
                     if accepted:
                         unassociated = [
                             ue_id for ue_id in unassociated
@@ -475,6 +482,7 @@ class IterativeMatchingEngine:
                         accepted=len(accepted),
                         evictions=evictions,
                         newly_cloud=newly_cloud,
+                        fu_retired=fu_retired,
                     )
                     tel.count("match.proposals", proposals)
                     tel.count("match.accepted", len(accepted))
@@ -482,6 +490,8 @@ class IterativeMatchingEngine:
                         tel.count("match.evictions", evictions)
                     if newly_cloud:
                         tel.count("match.exhaustions", newly_cloud)
+                    if fu_retired:
+                        tel.count("match.fu_retired", fu_retired)
                     if observer is not None:
                         observer(RoundStats(
                             round_number=rounds,
@@ -497,6 +507,7 @@ class IterativeMatchingEngine:
             # Any UE still unassociated at termination has an empty B_u.
             cloud.update(unassociated)
             match_span.set(rounds=rounds - 1, cloud=len(cloud))
+            tel.gauge("match.rounds", rounds - 1)
         new_grants = tuple(
             grant
             for grant in ledgers.all_grants()

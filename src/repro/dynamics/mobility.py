@@ -41,6 +41,7 @@ from repro.core.matching import IterativeMatchingEngine, MatchingPolicy
 from repro.errors import ConfigurationError
 from repro.model.geometry import Point, Rectangle
 from repro.model.network import MECNetwork
+from repro.obs.telemetry import get_telemetry
 from repro.radio.channel import build_radio_map
 from repro.sim.config import ScenarioConfig
 from repro.sim.scenario import Scenario, build_scenario
@@ -206,6 +207,7 @@ def run_mobility(
     sticky: bool = True,
     incremental: bool = True,
     position_epsilon_m: float = 1e-9,
+    rebuild_fraction: float = 0.5,
 ) -> MobilityOutcome:
     """Run an epoch-based mobility simulation.
 
@@ -225,6 +227,13 @@ def run_mobility(
     link columns recomputed.  Both modes consume the RNG identically
     and yield identical assignments; ``incremental=False`` keeps the
     full-rebuild path as the executable specification.
+
+    ``rebuild_fraction`` is the displaced-fraction crossover: once at
+    least that fraction of UEs moved in an epoch, incremental patching
+    cannot win (it re-does most of the work *plus* the stitching), so
+    the epoch takes the full-rebuild route directly.  Models where
+    everyone moves every epoch (random walk) therefore no longer pay an
+    incremental penalty; models with mostly idle UEs still patch.
     """
     if epochs <= 0:
         raise ConfigurationError(f"epochs must be > 0, got {epochs}")
@@ -235,6 +244,10 @@ def run_mobility(
     if position_epsilon_m < 0:
         raise ConfigurationError(
             f"position_epsilon_m must be >= 0, got {position_epsilon_m}"
+        )
+    if rebuild_fraction <= 0:
+        raise ConfigurationError(
+            f"rebuild_fraction must be > 0, got {rebuild_fraction}"
         )
     if mobility is None:
         mobility = RandomWalk()
@@ -268,30 +281,58 @@ def run_mobility(
     radio_map = scenario.radio_map
     rate_model = config.rate_model_fn()
 
+    tel = get_telemetry()
     for epoch in range(1, epochs + 1):
         # One mobility draw per UE in fixed order: both update modes
         # consume the RNG identically, keeping traces comparable.
-        stepped = {
-            ue.ue_id: mobility.step(
+        ues = network.user_equipments
+        stepped = [
+            mobility.step(
                 ue.ue_id, ue.position, epoch_duration_s, network.region, rng
             )
-            for ue in network.user_equipments
-        }
+            for ue in ues
+        ]
+        patch = incremental
+        displaced_rows: np.ndarray | None = None
         if incremental:
+            # Vectorized displacement test: one array pass instead of a
+            # Python-level distance call per UE.
+            old_xy = np.array(
+                [(ue.position.x, ue.position.y) for ue in ues]
+            )
+            new_xy = np.array([(p.x, p.y) for p in stepped])
+            delta = new_xy - old_xy
+            moved_mask = (
+                delta[:, 0] ** 2 + delta[:, 1] ** 2
+                > position_epsilon_m * position_epsilon_m
+            )
+            displaced_count = int(moved_mask.sum())
+            tel.gauge(
+                "mobility.displaced_fraction",
+                displaced_count / len(ues) if ues else 0.0,
+            )
+            if displaced_count > rebuild_fraction * len(ues):
+                # Crossover: patching would redo most of the work plus
+                # the stitching — take the full-rebuild route.
+                patch = False
+            else:
+                displaced_rows = np.flatnonzero(moved_mask)
+        if patch:
+            assert displaced_rows is not None
             displaced = {
-                ue.ue_id: stepped[ue.ue_id]
-                for ue in network.user_equipments
-                if ue.position.distance_to(stepped[ue.ue_id])
-                > position_epsilon_m
+                ues[row].ue_id: stepped[row] for row in displaced_rows
             }
-            network = network.with_moved_ues(displaced)
+            network = network.with_moved_ues(
+                displaced, rebuild_fraction=rebuild_fraction
+            )
             radio_map = radio_map.with_updated_ues(
-                network, budget, displaced.keys(), rate_model=rate_model
+                network, budget, displaced.keys(), rate_model=rate_model,
+                rebuild_fraction=rebuild_fraction,
             )
         else:
             moved = [
-                replace(ue, position=stepped[ue.ue_id])
-                for ue in network.user_equipments
+                replace(ue, position=stepped[row])
+                for row, ue in enumerate(ues)
             ]
             network = MECNetwork(
                 providers=network.providers,

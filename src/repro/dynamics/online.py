@@ -221,6 +221,8 @@ def run_online(
             cloud_active.record(now, float(len(active_cloud)))
             rrb_utilization.record(now, used_rrbs / total_rrbs)
             tel.gauge("online.rrb_utilization", used_rrbs / total_rrbs)
+            tel.gauge("online.edge_active", len(active_edge))
+            tel.gauge("online.cloud_active", len(active_cloud))
 
         run_span.set(
             events=events_processed,
@@ -230,6 +232,10 @@ def run_online(
         tel.count("online.events", events_processed)
         tel.count("online.admitted_edge", admitted_edge)
         tel.count("online.admitted_cloud", admitted_cloud)
+        # Flat per-SP counters (entity id as last dot-segment); the
+        # metrics layer folds them into one labeled family.
+        for sp_id in sorted(profit_by_sp):
+            tel.count(f"online.sp_profit.{sp_id}", profit_by_sp[sp_id])
 
     return OnlineOutcome(
         scenario=scenario,

@@ -240,7 +240,9 @@ class MECNetwork:
             raise UnknownEntityError(f"unknown BS id {bs_id}") from None
 
     def with_moved_ues(
-        self, new_positions: Mapping[int, Point]
+        self,
+        new_positions: Mapping[int, Point],
+        rebuild_fraction: float = 0.5,
     ) -> "MECNetwork":
         """A copy of this network with the given UEs repositioned.
 
@@ -250,6 +252,12 @@ class MECNetwork:
         recomputed rows use the same float64 operations as full
         construction, so the result is value-identical to rebuilding
         :class:`MECNetwork` from scratch with the new positions.
+
+        When at least ``rebuild_fraction`` of the population moved,
+        per-row patching cannot beat the fully batched constructor
+        (copying + fancy-indexing the large arrays costs more than
+        recomputing them), so the call falls back to it — same values,
+        different route.
         """
         if not new_positions:
             return self
@@ -262,9 +270,9 @@ class MECNetwork:
             else ue
             for ue in self.user_equipments
         )
-        if len(new_positions) >= self.ue_count:
-            # Everyone moved (e.g. a random walk): the fully batched
-            # constructor beats per-row patching.
+        if len(new_positions) > rebuild_fraction * self.ue_count:
+            # Most of the population moved (e.g. a random walk): the
+            # fully batched constructor beats per-row patching.
             return MECNetwork(
                 providers=self.providers,
                 base_stations=self.base_stations,

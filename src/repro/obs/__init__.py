@@ -11,6 +11,34 @@ from.  Default-off with a zero-overhead null backend; see
     write_trace("run.jsonl", recorder)   # then: dmra trace run.jsonl
 """
 
+from repro.obs.diff import (
+    DiffReport,
+    DiffTolerances,
+    MetricDelta,
+    diff_documents,
+    render_diff_report,
+)
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    config_digest,
+    manifests_comparable,
+    validate_manifest,
+)
+from repro.obs.metrics import (
+    METRICS_SCHEMA,
+    MetricFamily,
+    MetricSample,
+    MetricsDocument,
+    metrics_from_online,
+    metrics_from_outcome,
+    metrics_from_trace,
+    metrics_json,
+    parse_metrics,
+    prometheus_exposition,
+    read_metrics,
+    write_metrics,
+)
 from repro.obs.report import render_trace_report
 from repro.obs.telemetry import (
     NULL,
@@ -34,7 +62,15 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "DiffReport",
+    "DiffTolerances",
     "GaugeStat",
+    "MANIFEST_SCHEMA",
+    "METRICS_SCHEMA",
+    "MetricDelta",
+    "MetricFamily",
+    "MetricSample",
+    "MetricsDocument",
     "NULL",
     "NullTelemetry",
     "Recorder",
@@ -42,13 +78,27 @@ __all__ = [
     "SpanRecord",
     "TimerStat",
     "Trace",
+    "build_manifest",
+    "config_digest",
+    "diff_documents",
     "get_telemetry",
+    "manifests_comparable",
+    "metrics_from_online",
+    "metrics_from_outcome",
+    "metrics_from_trace",
+    "metrics_json",
+    "parse_metrics",
     "parse_trace",
+    "prometheus_exposition",
+    "read_metrics",
     "read_trace",
+    "render_diff_report",
     "render_trace_report",
     "set_telemetry",
     "telemetry_session",
     "trace_from_recorder",
     "trace_lines",
+    "validate_manifest",
+    "write_metrics",
     "write_trace",
 ]

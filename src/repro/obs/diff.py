@@ -1,0 +1,227 @@
+"""Metric-level diffing of two runs: the regression gate.
+
+``dmra trace diff A B`` compares two ``dmra.metrics/1`` documents (or
+two ``dmra.trace/1`` files, deriving metrics first): it aligns the runs
+by :mod:`manifest <repro.obs.manifest>` (same config digest + seed
+set = comparable; a deliberate A/B like a ``rho`` perturbation is
+reported with the changed fields), then walks the union of metric
+families and samples, flagging every value whose change exceeds the
+configured absolute *and* relative tolerances.  Timing families
+(``dmra_timer_*``, ``dmra_wall_*``) are ignored by default — wall-clock
+does not transfer across hosts or runs; domain metrics are
+deterministic given (config, seed) and diff exactly.
+
+Exit semantics: regressions (or structural mismatches) make
+:func:`diff_documents` return a report with ``ok == False``, which the
+CLI maps to a nonzero exit code — the CI gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.manifest import manifests_comparable
+from repro.obs.metrics import MetricsDocument
+
+__all__ = [
+    "DEFAULT_IGNORE_PREFIXES",
+    "DiffReport",
+    "DiffTolerances",
+    "MetricDelta",
+    "diff_documents",
+    "render_diff_report",
+]
+
+#: Families whose values are wall-clock measurements, not domain
+#: outcomes: never gate on them by default.
+DEFAULT_IGNORE_PREFIXES = ("dmra_timer_", "dmra_wall_")
+
+
+@dataclass(frozen=True)
+class DiffTolerances:
+    """How much change is acceptable before a delta is a regression.
+
+    A delta passes when it is within ``abs_tol`` *or* within
+    ``rel_tol`` of the baseline magnitude; per-family overrides win
+    over the defaults.  Families matching ``ignore_prefixes`` are
+    reported informationally but never gate.
+    """
+
+    abs_tol: float = 1e-9
+    rel_tol: float = 0.0
+    per_family: dict = field(default_factory=dict)
+    ignore_prefixes: tuple[str, ...] = DEFAULT_IGNORE_PREFIXES
+
+    def ignored(self, family: str) -> bool:
+        """Whether the family is informational only (never gates)."""
+        return family.startswith(self.ignore_prefixes)
+
+    def within(self, family: str, baseline: float, candidate: float) -> bool:
+        """Whether a value change is inside the family's tolerances."""
+        abs_tol, rel_tol = self.abs_tol, self.rel_tol
+        override = self.per_family.get(family)
+        if override is not None:
+            abs_tol = override.get("abs", abs_tol)
+            rel_tol = override.get("rel", rel_tol)
+        delta = abs(candidate - baseline)
+        return delta <= abs_tol or delta <= rel_tol * abs(baseline)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One sample's change between baseline and candidate."""
+
+    family: str
+    labels: tuple[tuple[str, str], ...]
+    baseline: float | None
+    candidate: float | None
+    regression: bool
+
+    @property
+    def delta(self) -> float | None:
+        if self.baseline is None or self.candidate is None:
+            return None
+        return self.candidate - self.baseline
+
+    def describe(self) -> str:
+        """One human-readable line: family, labels, values, delta."""
+        rendered = (
+            "{" + ",".join(f"{k}={v}" for k, v in self.labels) + "}"
+            if self.labels else ""
+        )
+        name = f"{self.family}{rendered}"
+        if self.baseline is None:
+            return f"{name}: only in candidate ({self.candidate:g})"
+        if self.candidate is None:
+            return f"{name}: only in baseline ({self.baseline:g})"
+        return (
+            f"{name}: {self.baseline:g} -> {self.candidate:g} "
+            f"(delta {self.delta:+g})"
+        )
+
+
+@dataclass(frozen=True)
+class DiffReport:
+    """Everything a diff found, plus the verdict."""
+
+    comparable: bool
+    manifest_notes: tuple[str, ...]
+    regressions: tuple[MetricDelta, ...]
+    changes: tuple[MetricDelta, ...]
+    ignored_changes: tuple[MetricDelta, ...]
+    families_compared: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def diff_documents(
+    baseline: MetricsDocument,
+    candidate: MetricsDocument,
+    tolerances: DiffTolerances | None = None,
+    require_comparable: bool = True,
+) -> DiffReport:
+    """Compare two metrics documents family by family.
+
+    ``require_comparable`` makes manifest misalignment (different
+    config digest or seeds) itself a gating condition — the CI
+    regression gate wants that; an exploratory A/B diff passes
+    ``False`` and reads the deltas alongside the manifest notes.
+    """
+    tolerances = tolerances or DiffTolerances()
+    comparable, notes = manifests_comparable(
+        baseline.manifest, candidate.manifest
+    )
+
+    # On misaligned runs in exploratory mode (require_comparable=False,
+    # e.g. a deliberate rho A/B) deltas are *expected*: report them as
+    # changes, not regressions.  Aligned runs gate on every delta.
+    deltas_gate = comparable or require_comparable
+
+    regressions: list[MetricDelta] = []
+    changes: list[MetricDelta] = []
+    ignored: list[MetricDelta] = []
+    names = sorted(
+        set(baseline.family_names()) | set(candidate.family_names())
+    )
+    for name in names:
+        is_ignored = tolerances.ignored(name)
+        base_samples = (
+            {s.labels: s.value for s in baseline.family(name).samples}
+            if baseline.has_family(name) else {}
+        )
+        cand_samples = (
+            {s.labels: s.value for s in candidate.family(name).samples}
+            if candidate.has_family(name) else {}
+        )
+        for labels in sorted(set(base_samples) | set(cand_samples)):
+            base_value = base_samples.get(labels)
+            cand_value = cand_samples.get(labels)
+            if (
+                base_value is not None
+                and cand_value is not None
+                and tolerances.within(name, base_value, cand_value)
+            ):
+                continue
+            gating = not is_ignored and deltas_gate
+            delta = MetricDelta(
+                family=name, labels=labels,
+                baseline=base_value, candidate=cand_value,
+                regression=gating,
+            )
+            if is_ignored:
+                ignored.append(delta)
+            elif gating:
+                regressions.append(delta)
+            else:
+                changes.append(delta)
+
+    if require_comparable and not comparable:
+        # Misaligned runs gate even when every value happens to agree:
+        # identity, not values, failed.
+        regressions.append(MetricDelta(
+            family="manifest_alignment", labels=(),
+            baseline=None, candidate=None, regression=True,
+        ))
+    return DiffReport(
+        comparable=comparable,
+        manifest_notes=tuple(notes),
+        regressions=tuple(regressions),
+        changes=tuple(changes),
+        ignored_changes=tuple(ignored),
+        families_compared=len(names),
+    )
+
+
+def render_diff_report(
+    report: DiffReport,
+    baseline_name: str = "baseline",
+    candidate_name: str = "candidate",
+) -> str:
+    """Human-readable diff summary (what the CLI prints)."""
+    lines = [f"metrics diff: {baseline_name} vs {candidate_name}"]
+    if report.manifest_notes:
+        lines.append("manifest:")
+        lines.extend(f"  - {note}" for note in report.manifest_notes)
+    else:
+        lines.append("manifest: aligned (same config digest and seeds)")
+    lines.append(f"families compared: {report.families_compared}")
+    if report.regressions:
+        lines.append(f"REGRESSIONS ({len(report.regressions)}):")
+        for delta in report.regressions:
+            if delta.family == "manifest_alignment":
+                lines.append(
+                    "  ! runs are not comparable (see manifest notes)"
+                )
+            else:
+                lines.append(f"  ! {delta.describe()}")
+    if report.changes:
+        lines.append(f"changes ({len(report.changes)}):")
+        lines.extend(f"  ~ {delta.describe()}" for delta in report.changes)
+    if report.ignored_changes:
+        lines.append(
+            f"ignored (timing) changes: {len(report.ignored_changes)}"
+        )
+    lines.append("verdict: " + ("OK" if report.ok else "REGRESSION"))
+    return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Run manifests: the identity card attached to every trace/metrics file.
+
+A manifest answers "what exactly produced this artifact?" — the full
+scenario configuration and its digest, the seed set, the package
+version, the command, wall-clock timestamps, and host facts.  Two runs
+are *comparable* when their config digests and seed sets agree;
+``dmra trace diff`` aligns runs by exactly this (see
+:mod:`repro.obs.diff`).
+
+The manifest is a plain JSON-serializable dict under the versioned
+schema ``dmra.manifest/1``, embedded as the ``manifest`` key of a trace
+header's ``meta`` and of a ``dmra.metrics/1`` document.  Wall-clock and
+host facts come from *injected* providers (``clock``/``host``
+arguments) so tests and reproducible pipelines can pin them; they are
+informational and never participate in alignment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import asdict, is_dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "config_digest",
+    "config_to_dict",
+    "default_host_info",
+    "manifests_comparable",
+    "validate_manifest",
+]
+
+#: Schema identifier; bump the suffix on any incompatible layout change.
+MANIFEST_SCHEMA = "dmra.manifest/1"
+
+
+def config_to_dict(config) -> dict:
+    """A :class:`~repro.sim.config.ScenarioConfig` as a canonical dict.
+
+    Tuples become lists (JSON has no tuples) so the dict round-trips
+    through serialization unchanged; any dataclass with JSON-native
+    field values works.
+    """
+    if not is_dataclass(config):
+        raise ConfigurationError(
+            f"config must be a dataclass, got {type(config).__name__}"
+        )
+    return json.loads(json.dumps(asdict(config)))
+
+
+def config_digest(config) -> str:
+    """Short stable digest of a scenario config.
+
+    SHA-256 over the canonical JSON encoding (sorted keys, compact
+    separators) of the config's field dict, truncated to 16 hex chars —
+    enough to tell two configurations apart at a glance while staying
+    readable in reports.
+    """
+    payload = json.dumps(
+        config_to_dict(config), sort_keys=True, separators=(",", ":")
+    ).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def default_host_info() -> dict:
+    """Host facts recorded for provenance (never used for alignment)."""
+    return {
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def build_manifest(
+    config=None,
+    seeds: Sequence[int] = (),
+    command: str = "",
+    extra: Mapping | None = None,
+    clock: Callable[[], float] = time.time,
+    host: Callable[[], dict] = default_host_info,
+) -> dict:
+    """Assemble a ``dmra.manifest/1`` dict for one run.
+
+    ``config`` is the scenario config (or ``None`` for commands that do
+    not build scenarios — the digest is then ``null`` and such runs
+    align only by seeds).  ``clock`` and ``host`` are injectable for
+    deterministic tests; the defaults read the real wall clock and
+    host.
+    """
+    from repro import __version__  # deferred: repro/__init__ imports obs
+
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "config_digest": None if config is None else config_digest(config),
+        "config": None if config is None else config_to_dict(config),
+        "seeds": [int(seed) for seed in seeds],
+        "command": command,
+        "package": "repro",
+        "version": __version__,
+        "created_unix_s": float(clock()),
+        "host": dict(host()),
+    }
+    if extra:
+        manifest["extra"] = dict(extra)
+    return manifest
+
+
+def validate_manifest(manifest) -> dict:
+    """Check a parsed manifest's schema and shape; returns it unchanged."""
+    if not isinstance(manifest, Mapping):
+        raise ConfigurationError(
+            f"manifest must be a mapping, got {type(manifest).__name__}"
+        )
+    schema = manifest.get("schema")
+    if schema != MANIFEST_SCHEMA:
+        raise ConfigurationError(
+            f"unsupported manifest schema {schema!r}; this reader "
+            f"understands {MANIFEST_SCHEMA!r}"
+        )
+    if not isinstance(manifest.get("seeds", []), list):
+        raise ConfigurationError("manifest seeds must be a list")
+    return dict(manifest)
+
+
+def manifests_comparable(a: Mapping | None, b: Mapping | None) -> tuple[bool, list[str]]:
+    """Whether two manifests describe comparable runs, plus the caveats.
+
+    Comparable means same config digest and seed set.  Missing
+    manifests (old traces) are flagged but do not block a diff — the
+    caller decides; differing digests come with the list of config
+    fields that changed (readable context for a deliberate A/B like a
+    ``rho`` perturbation).
+    """
+    notes: list[str] = []
+    if a is None or b is None:
+        notes.append("manifest missing on one or both runs")
+        return False, notes
+    if a.get("config_digest") != b.get("config_digest"):
+        changed = _changed_config_fields(a.get("config"), b.get("config"))
+        detail = f" (changed: {', '.join(changed)})" if changed else ""
+        notes.append(
+            f"config digests differ: {a.get('config_digest')} vs "
+            f"{b.get('config_digest')}{detail}"
+        )
+    if a.get("seeds") != b.get("seeds"):
+        notes.append(
+            f"seed sets differ: {a.get('seeds')} vs {b.get('seeds')}"
+        )
+    if a.get("version") != b.get("version"):
+        notes.append(
+            f"package versions differ: {a.get('version')} vs "
+            f"{b.get('version')}"
+        )
+    blocking = any(
+        note.startswith(("config digests differ", "seed sets differ"))
+        for note in notes
+    )
+    return not blocking, notes
+
+
+def _changed_config_fields(a, b) -> list[str]:
+    """Names of top-level config fields whose values differ (``a`` vs ``b``)."""
+    if not isinstance(a, Mapping) or not isinstance(b, Mapping):
+        return []
+    changed = []
+    for key in sorted(set(a) | set(b)):
+        if a.get(key) != b.get(key):
+            changed.append(f"{key}: {a.get(key)!r} -> {b.get(key)!r}")
+    return changed

@@ -1,0 +1,643 @@
+"""Typed domain metrics: the ``dmra.metrics/1`` document.
+
+The trace layer (:mod:`repro.obs.trace`) records *what happened*; this
+module turns a run into *answers*: which SP earned what, which BS's
+CRU/RRB pools saturated, how Alg. 1 converged, what the online
+simulation's occupancy looked like.  Metrics live in a small typed
+model —
+
+* :class:`MetricSample` — one ``(labels, value)`` point;
+* :class:`MetricFamily` — a named, typed (counter/gauge) set of
+  samples with help text, Prometheus-style;
+* :class:`MetricsDocument` — all families of one run plus its
+  :mod:`manifest <repro.obs.manifest>` under the versioned schema
+  ``dmra.metrics/1``
+
+— derived from a live outcome (:func:`metrics_from_outcome`,
+:func:`metrics_from_online`) or from a recorded ``dmra.trace/1`` file
+(:func:`metrics_from_trace`), and exported two ways: a canonical JSON
+document that round-trips exactly (``write -> parse -> re-emit`` is
+byte-identical, like the trace format) and Prometheus text exposition
+(:func:`prometheus_exposition`) for scrape endpoints and dashboards.
+
+``dmra trace diff`` (:mod:`repro.obs.diff`) compares two of these
+documents family by family.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.obs.trace import Trace
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "MetricFamily",
+    "MetricSample",
+    "MetricsDocument",
+    "metrics_from_online",
+    "metrics_from_outcome",
+    "metrics_from_trace",
+    "metrics_json",
+    "parse_metrics",
+    "prometheus_exposition",
+    "read_metrics",
+    "write_metrics",
+]
+
+#: Schema identifier; bump the suffix on any incompatible layout change.
+METRICS_SCHEMA = "dmra.metrics/1"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_VALID_KINDS = ("counter", "gauge")
+
+#: Flat telemetry counter prefixes that encode an entity id as their
+#: last dot-segment; trace derivation folds them into labeled families.
+_LABELED_COUNTER_PREFIXES = {
+    "online.sp_profit": "sp",
+}
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One measured point: a label set and a float value."""
+
+    labels: tuple[tuple[str, str], ...]
+    value: float
+
+    @staticmethod
+    def of(value: float, **labels: object) -> "MetricSample":
+        """Build a sample with sorted, stringified labels."""
+        return MetricSample(
+            labels=tuple(sorted((k, str(v)) for k, v in labels.items())),
+            value=float(value),
+        )
+
+    @property
+    def labels_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+
+@dataclass(frozen=True)
+class MetricFamily:
+    """A named set of samples sharing a type and meaning."""
+
+    name: str
+    kind: str
+    help: str
+    samples: tuple[MetricSample, ...]
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise ConfigurationError(
+                f"invalid metric family name {self.name!r}"
+            )
+        if self.kind not in _VALID_KINDS:
+            raise ConfigurationError(
+                f"family {self.name}: kind must be one of {_VALID_KINDS}, "
+                f"got {self.kind!r}"
+            )
+
+    def sample(self, **labels: object) -> float:
+        """The value at an exact label set; raises when absent."""
+        wanted = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        for sample in self.samples:
+            if sample.labels == wanted:
+                return sample.value
+        raise ConfigurationError(
+            f"family {self.name} has no sample with labels {dict(wanted)}"
+        )
+
+
+@dataclass(frozen=True)
+class MetricsDocument:
+    """Every metric family of one run, plus the run's manifest."""
+
+    families: tuple[MetricFamily, ...]
+    manifest: dict | None = None
+
+    def family(self, name: str) -> MetricFamily:
+        """The family with the given name; raises when absent."""
+        for fam in self.families:
+            if fam.name == name:
+                return fam
+        raise ConfigurationError(f"no metric family named {name!r}")
+
+    def family_names(self) -> tuple[str, ...]:
+        """All family names, in document order."""
+        return tuple(fam.name for fam in self.families)
+
+    def has_family(self, name: str) -> bool:
+        """Whether a family with the given name exists."""
+        return any(fam.name == name for fam in self.families)
+
+
+# ----------------------------------------------------------------------
+# Canonical JSON serialization (exact round-trip)
+# ----------------------------------------------------------------------
+
+
+def metrics_json(doc: MetricsDocument) -> str:
+    """Serialize a document to its canonical JSON text.
+
+    Families sort by name, samples by label set; keys sort and
+    separators are compact, so the encoding is unique for a given
+    document and ``metrics_json(parse_metrics(metrics_json(d)))``
+    reproduces the text byte for byte.
+    """
+    payload = {
+        "schema": METRICS_SCHEMA,
+        "manifest": doc.manifest,
+        "families": [
+            {
+                "name": fam.name,
+                "kind": fam.kind,
+                "help": fam.help,
+                "unit": fam.unit,
+                "samples": [
+                    {"labels": dict(sample.labels), "value": sample.value}
+                    for sample in sorted(fam.samples, key=lambda s: s.labels)
+                ],
+            }
+            for fam in sorted(doc.families, key=lambda f: f.name)
+        ],
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def parse_metrics(text: str) -> MetricsDocument:
+    """Parse canonical JSON text back into a :class:`MetricsDocument`.
+
+    Raises :class:`ConfigurationError` on malformed JSON, a
+    missing/unknown schema, invalid family kinds/names, or non-numeric
+    sample values.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"metrics document: malformed JSON ({exc})"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            "metrics document must be a JSON object"
+        )
+    schema = payload.get("schema")
+    if schema != METRICS_SCHEMA:
+        raise ConfigurationError(
+            f"unsupported metrics schema {schema!r}; this reader "
+            f"understands {METRICS_SCHEMA!r}"
+        )
+    families = []
+    for raw in payload.get("families", []):
+        try:
+            samples = tuple(
+                MetricSample(
+                    labels=tuple(sorted(
+                        (str(k), str(v))
+                        for k, v in raw_sample["labels"].items()
+                    )),
+                    value=float(raw_sample["value"]),
+                )
+                for raw_sample in raw["samples"]
+            )
+            families.append(MetricFamily(
+                name=raw["name"],
+                kind=raw["kind"],
+                help=raw.get("help", ""),
+                unit=raw.get("unit", ""),
+                samples=samples,
+            ))
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ConfigurationError(
+                f"metrics document: malformed family entry ({exc!r})"
+            ) from exc
+    manifest = payload.get("manifest")
+    if manifest is not None and not isinstance(manifest, dict):
+        raise ConfigurationError("metrics manifest must be an object")
+    return MetricsDocument(families=tuple(families), manifest=manifest)
+
+
+def write_metrics(path: str | Path, doc: MetricsDocument) -> Path:
+    """Write a document as canonical JSON (one line, trailing newline)."""
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(metrics_json(doc) + "\n")
+    return target
+
+
+def read_metrics(path: str | Path) -> MetricsDocument:
+    """Read and parse a metrics JSON file."""
+    source = Path(path)
+    try:
+        text = source.read_text()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read {source}: {exc}") from exc
+    return parse_metrics(text)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_exposition(doc: MetricsDocument) -> str:
+    """Render a document in the Prometheus text exposition format.
+
+    One ``# HELP`` / ``# TYPE`` pair per family, then one line per
+    sample with its sorted label set.  Suitable for a textfile
+    collector or a scrape endpoint.
+    """
+    lines: list[str] = []
+    for fam in sorted(doc.families, key=lambda f: f.name):
+        if fam.help:
+            lines.append(f"# HELP {fam.name} {fam.help}")
+        lines.append(f"# TYPE {fam.name} {fam.kind}")
+        for sample in sorted(fam.samples, key=lambda s: s.labels):
+            if sample.labels:
+                rendered = ",".join(
+                    f'{key}="{_escape_label_value(value)}"'
+                    for key, value in sample.labels
+                )
+                lines.append(
+                    f"{fam.name}{{{rendered}}} {_format_value(sample.value)}"
+                )
+            else:
+                lines.append(f"{fam.name} {_format_value(sample.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Derivation: live allocation outcome
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Builder:
+    """Accumulates families in derivation order, then freezes."""
+
+    families: list[MetricFamily] = field(default_factory=list)
+
+    def add(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        samples: list[MetricSample],
+        unit: str = "",
+    ) -> None:
+        self.families.append(MetricFamily(
+            name=name, kind=kind, help=help,
+            samples=tuple(samples), unit=unit,
+        ))
+
+    def scalar(self, name: str, kind: str, help: str, value: float,
+               unit: str = "") -> None:
+        self.add(name, kind, help, [MetricSample.of(value)], unit=unit)
+
+    def document(self, manifest: dict | None) -> MetricsDocument:
+        return MetricsDocument(
+            families=tuple(
+                sorted(self.families, key=lambda f: f.name)
+            ),
+            manifest=manifest,
+        )
+
+
+def metrics_from_outcome(
+    network,
+    assignment,
+    pricing,
+    manifest: dict | None = None,
+    wall_time_s: float | None = None,
+) -> MetricsDocument:
+    """Derive the domain metrics of one static allocation.
+
+    Covers the paper's reported quantities (per-SP profit and
+    forwarded traffic — Figs. 2--7) plus the saturation picture: per-BS
+    and per-service CRU/RRB utilization, edge/cloud split, and the
+    Alg. 1 round count.
+    """
+    from repro.sim.metrics import (
+        compute_metrics,
+        per_bs_utilization,
+        per_service_cru_utilization,
+        per_sp_forwarded_traffic,
+    )
+
+    metrics = compute_metrics(network, assignment, pricing)
+    build = _Builder()
+    build.scalar(
+        "dmra_total_profit", "gauge",
+        "Total SP profit of the allocation (Def. 1 TPM objective)",
+        metrics.total_profit,
+    )
+    build.add(
+        "dmra_sp_profit", "gauge", "Per-SP profit",
+        [
+            MetricSample.of(profit, sp=sp_id)
+            for sp_id, profit in sorted(metrics.profit_by_sp.items())
+        ],
+    )
+    forwarded = per_sp_forwarded_traffic(network, assignment)
+    build.add(
+        "dmra_sp_forwarded_traffic_bps", "gauge",
+        "Per-SP traffic forwarded to the remote cloud",
+        [
+            MetricSample.of(bps, sp=sp_id)
+            for sp_id, bps in sorted(forwarded.items())
+        ],
+        unit="bps",
+    )
+    build.scalar(
+        "dmra_edge_served", "gauge", "UEs served at the edge",
+        metrics.edge_served,
+    )
+    build.scalar(
+        "dmra_cloud_forwarded", "gauge", "UEs forwarded to the cloud",
+        metrics.cloud_forwarded,
+    )
+    build.scalar(
+        "dmra_forwarded_traffic_bps", "gauge",
+        "Total traffic forwarded to the remote cloud",
+        metrics.forwarded_traffic_bps, unit="bps",
+    )
+    build.scalar(
+        "dmra_same_sp_fraction", "gauge",
+        "Fraction of edge-served UEs on their subscribed SP's BSs",
+        metrics.same_sp_fraction,
+    )
+    utilization = per_bs_utilization(network, assignment)
+    build.add(
+        "dmra_bs_cru_utilization", "gauge",
+        "Per-BS CRU pool utilization",
+        [
+            MetricSample.of(cru, bs=bs_id)
+            for bs_id, (cru, _rrb) in sorted(utilization.items())
+        ],
+    )
+    build.add(
+        "dmra_bs_rrb_utilization", "gauge",
+        "Per-BS RRB pool utilization",
+        [
+            MetricSample.of(rrb, bs=bs_id)
+            for bs_id, (_cru, rrb) in sorted(utilization.items())
+        ],
+    )
+    build.add(
+        "dmra_service_cru_utilization", "gauge",
+        "Per-service CRU utilization across all hosting BSs",
+        [
+            MetricSample.of(util, service=service_id)
+            for service_id, util in sorted(
+                per_service_cru_utilization(network, assignment).items()
+            )
+        ],
+    )
+    build.scalar(
+        "dmra_match_rounds", "gauge",
+        "Productive Alg. 1 rounds until convergence",
+        metrics.rounds,
+    )
+    if wall_time_s is not None:
+        build.scalar(
+            "dmra_wall_seconds", "gauge",
+            "Allocator wall time (timing; ignored by diffs by default)",
+            wall_time_s, unit="seconds",
+        )
+    return build.document(manifest)
+
+
+# ----------------------------------------------------------------------
+# Derivation: online simulation outcome
+# ----------------------------------------------------------------------
+
+
+def metrics_from_online(
+    outcome, manifest: dict | None = None
+) -> MetricsDocument:
+    """Derive operator metrics from one online-simulation outcome.
+
+    Blocking probability, profit throughput, per-SP admitted profit,
+    and the occupancy series the load-aware evaluations plot:
+    time-averaged and peak edge/cloud occupancy and RRB utilization.
+    """
+    build = _Builder()
+    build.scalar(
+        "dmra_online_arrivals_total", "counter", "Tasks that arrived",
+        outcome.arrivals,
+    )
+    build.scalar(
+        "dmra_online_admitted_edge_total", "counter",
+        "Tasks admitted at the edge", outcome.admitted_edge,
+    )
+    build.scalar(
+        "dmra_online_admitted_cloud_total", "counter",
+        "Tasks the edge could not absorb", outcome.admitted_cloud,
+    )
+    build.scalar(
+        "dmra_online_blocking_probability", "gauge",
+        "Fraction of tasks forwarded to the cloud",
+        outcome.blocking_probability,
+    )
+    build.scalar(
+        "dmra_online_profit_rate_per_s", "gauge",
+        "Admitted profit per simulated second",
+        outcome.profit_rate_per_s,
+    )
+    build.add(
+        "dmra_online_sp_profit", "gauge",
+        "Per-SP admitted profit over the horizon",
+        [
+            MetricSample.of(profit, sp=sp_id)
+            for sp_id, profit in sorted(outcome.profit_by_sp.items())
+        ],
+    )
+    horizon = outcome.horizon_s
+    for series, base, help_text in (
+        (outcome.edge_active, "dmra_online_edge_active",
+         "Concurrent edge-served tasks"),
+        (outcome.cloud_active, "dmra_online_cloud_active",
+         "Concurrent cloud-forwarded tasks"),
+        (outcome.rrb_utilization, "dmra_online_rrb_utilization",
+         "Aggregate RRB pool occupancy"),
+    ):
+        build.add(
+            base, "gauge", f"{help_text} (occupancy series summary)",
+            [
+                MetricSample.of(series.time_average(horizon), stat="mean"),
+                MetricSample.of(series.peak, stat="peak"),
+                MetricSample.of(series.last_value, stat="last"),
+            ],
+        )
+    return build.document(manifest)
+
+
+# ----------------------------------------------------------------------
+# Derivation: recorded trace
+# ----------------------------------------------------------------------
+
+
+def _sanitize(name: str) -> str:
+    cleaned = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if not cleaned or not re.match(r"[a-zA-Z_]", cleaned[0]):
+        cleaned = f"m_{cleaned}"
+    return cleaned
+
+
+def _split_labeled_counter(name: str) -> tuple[str, str, str] | None:
+    """``online.sp_profit.3`` -> ``(online.sp_profit, sp, 3)``, or None."""
+    prefix, _, tail = name.rpartition(".")
+    label = _LABELED_COUNTER_PREFIXES.get(prefix)
+    if label is not None and tail:
+        return prefix, label, tail
+    return None
+
+
+def metrics_from_trace(
+    trace: Trace, manifest: dict | None = None
+) -> MetricsDocument:
+    """Derive a metrics document from a recorded ``dmra.trace/1`` trace.
+
+    * counters become ``*_total`` counter families (flat names with a
+      trailing entity id — e.g. ``online.sp_profit.3`` — fold into one
+      labeled family);
+    * gauges become gauge families with ``stat`` label
+      (last/min/max/samples);
+    * timers become ``dmra_timer_seconds_total`` /
+      ``dmra_timer_events_total`` (ignored by diffs by default —
+      wall-clock does not transfer across runs);
+    * ``match.round`` spans aggregate into per-round convergence series
+      (proposals, acceptances, evictions, cloud fallbacks by round
+      number), and ``match`` spans into the convergence-round
+      distribution.
+
+    ``manifest`` defaults to the one embedded in the trace header meta.
+    """
+    if manifest is None:
+        embedded = trace.meta.get("manifest")
+        manifest = embedded if isinstance(embedded, dict) else None
+    build = _Builder()
+
+    labeled: dict[str, list[MetricSample]] = {}
+    for name in sorted(trace.counters):
+        value = trace.counters[name]
+        split = _split_labeled_counter(name)
+        if split is not None:
+            prefix, label, entity = split
+            labeled.setdefault(prefix, []).append(
+                MetricSample.of(value, **{label: entity})
+            )
+            continue
+        build.scalar(
+            f"dmra_{_sanitize(name)}_total", "counter",
+            f"Telemetry counter {name}", value,
+        )
+    for prefix in sorted(labeled):
+        build.add(
+            f"dmra_{_sanitize(prefix)}_total", "counter",
+            f"Telemetry counter family {prefix}.<id>", labeled[prefix],
+        )
+
+    for name in sorted(trace.gauges):
+        stat = trace.gauges[name]
+        build.add(
+            f"dmra_{_sanitize(name)}", "gauge",
+            f"Telemetry gauge {name}",
+            [
+                MetricSample.of(stat.value, stat="last"),
+                MetricSample.of(stat.min, stat="min"),
+                MetricSample.of(stat.max, stat="max"),
+                MetricSample.of(stat.count, stat="samples"),
+            ],
+        )
+
+    if trace.timers:
+        build.add(
+            "dmra_timer_seconds_total", "counter",
+            "Total time in each telemetry timer (timing; diffs ignore)",
+            [
+                MetricSample.of(trace.timers[name].total_s, timer=name)
+                for name in sorted(trace.timers)
+            ],
+            unit="seconds",
+        )
+        build.add(
+            "dmra_timer_events_total", "counter",
+            "Events measured by each telemetry timer",
+            [
+                MetricSample.of(trace.timers[name].count, timer=name)
+                for name in sorted(trace.timers)
+            ],
+        )
+
+    round_fields = {
+        "proposals": "dmra_match_round_proposals",
+        "accepted": "dmra_match_round_accepted",
+        "evictions": "dmra_match_round_evictions",
+        "newly_cloud": "dmra_match_round_cloud_fallbacks",
+        "fu_retired": "dmra_match_round_fu_retired",
+    }
+    per_round: dict[str, dict[int, float]] = {
+        attr: {} for attr in round_fields
+    }
+    rounds_per_match: list[float] = []
+    for span in trace.all_spans():
+        if span.name == "match":
+            rounds = span.attrs.get("rounds")
+            if rounds is not None:
+                rounds_per_match.append(float(rounds))
+        elif span.name == "match.round":
+            round_number = span.attrs.get("round")
+            if round_number is None:
+                continue
+            for attr, series in per_round.items():
+                value = span.attrs.get(attr)
+                if value is not None:
+                    series[int(round_number)] = (
+                        series.get(int(round_number), 0.0) + value
+                    )
+    for attr, family_name in round_fields.items():
+        series = per_round[attr]
+        if series:
+            build.add(
+                family_name, "gauge",
+                f"Alg. 1 {attr} by round number (summed over engine runs)",
+                [
+                    MetricSample.of(value, round=round_number)
+                    for round_number, value in sorted(series.items())
+                ],
+            )
+    if rounds_per_match:
+        build.add(
+            "dmra_match_convergence_rounds", "gauge",
+            "Productive Alg. 1 rounds per engine run",
+            [
+                MetricSample.of(max(rounds_per_match), stat="max"),
+                MetricSample.of(min(rounds_per_match), stat="min"),
+                MetricSample.of(
+                    sum(rounds_per_match) / len(rounds_per_match),
+                    stat="mean",
+                ),
+                MetricSample.of(len(rounds_per_match), stat="runs"),
+            ],
+        )
+    return build.document(manifest)

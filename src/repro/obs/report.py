@@ -48,6 +48,23 @@ def _render_span(
     return hidden
 
 
+def _summarize_meta_value(value) -> object:
+    """A header-line-sized rendering of one meta value.
+
+    The embedded run manifest is a large nested dict; the report shows
+    its identity fields (digest, seeds) and leaves the full document to
+    the artifact itself.
+    """
+    if isinstance(value, dict) and str(value.get("schema", "")).startswith(
+        "dmra.manifest/"
+    ):
+        return (
+            f"[digest={value.get('config_digest')} "
+            f"seeds={value.get('seeds')}]"
+        )
+    return value
+
+
 def render_trace_report(trace: Trace, min_ms: float = 0.0) -> str:
     """Render a parsed trace as the ``dmra trace`` text report.
 
@@ -56,7 +73,8 @@ def render_trace_report(trace: Trace, min_ms: float = 0.0) -> str:
     """
     lines: list[str] = []
     meta = " ".join(
-        f"{key}={trace.meta[key]}" for key in sorted(trace.meta)
+        f"{key}={_summarize_meta_value(trace.meta[key])}"
+        for key in sorted(trace.meta)
     )
     lines.append(f"trace {('(' + meta + ')') if meta else '(no metadata)'}")
     lines.append(f"spans: {trace.span_count()}")

@@ -17,6 +17,15 @@ exist:
   durations.  A recorder serializes to the versioned JSONL trace format
   (:mod:`repro.obs.trace`) rendered by ``dmra trace``.
 
+Recording is buffered: ``span()`` and its ``__exit__`` append flat
+event tuples to one per-recorder list and defer all tree/dict
+construction (:class:`SpanRecord` nodes, attribute dicts, child lists)
+to flush time — the first access of :attr:`Recorder.roots`, typically
+when the trace is written.  An enabled span on the hot path therefore
+costs two clock reads, two tuple allocations, and two list appends;
+``make bench-smoke`` pins the resulting engine overhead
+(``telemetry.recording_overhead_pct``).
+
 Backends are installed process-wide with :func:`set_telemetry` or,
 preferably, scoped with the :func:`telemetry_session` context manager.
 Recorders are single-threaded by design; parallel sweep workers each
@@ -152,24 +161,35 @@ NULL = NullTelemetry()
 
 
 class _ActiveSpan:
-    """Context-manager handle for one open span on a recorder."""
+    """Context-manager handle for one open span on a recorder.
 
-    __slots__ = ("_recorder", "record")
+    Holds only the recorder and the span's serial number; every
+    operation appends an event tuple — no tree node exists until the
+    recorder flushes.
+    """
 
-    def __init__(self, recorder: "Recorder", record: SpanRecord) -> None:
+    __slots__ = ("_recorder", "_serial")
+
+    def __init__(self, recorder: "Recorder", serial: int) -> None:
         self._recorder = recorder
-        self.record = record
+        self._serial = serial
 
     def __enter__(self) -> "_ActiveSpan":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self._recorder._finish(self.record, exc_type)
+        recorder = self._recorder
+        recorder._events.append((
+            _EV_END,
+            self._serial,
+            recorder._clock(),
+            None if exc_type is None else exc_type.__name__,
+        ))
         return False
 
     def set(self, **attrs) -> "_ActiveSpan":
         """Attach attributes to the span (JSON-serializable values)."""
-        self.record.attrs.update(attrs)
+        self._recorder._events.append((_EV_ATTRS, self._serial, attrs))
         return self
 
 
@@ -197,8 +217,23 @@ class _ActiveTimer:
         return self
 
 
+# Event tags for the recorder's buffered event list.  Each entry is a
+# flat tuple: (tag, ...) — see Recorder._materialize for the layouts.
+_EV_OPEN = 0
+_EV_END = 1
+_EV_ATTRS = 2
+_EV_GRAFT = 3
+
+
 class Recorder:
-    """In-memory telemetry collector (spans, counters, gauges, timers)."""
+    """In-memory telemetry collector (spans, counters, gauges, timers).
+
+    Span events buffer into ``_events`` (flat tuples holding absolute
+    ``perf_counter`` readings); the :class:`SpanRecord` tree is built
+    lazily by the :attr:`roots` property and cached until new events
+    arrive.  Counters, gauges, and timers aggregate eagerly — they are
+    O(1) dict updates with no deferred work to win.
+    """
 
     enabled = True
 
@@ -210,8 +245,10 @@ class Recorder:
         self._clock = time.perf_counter
         self._epoch = self._clock() if epoch_s is None else epoch_s
         self.meta: dict = dict(meta or {})
-        self.roots: list[SpanRecord] = []
-        self._stack: list[SpanRecord] = []
+        self._events: list[tuple] = []
+        self._next_serial = 1
+        self._built_roots: list[SpanRecord] = []
+        self._built_events = 0
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, GaugeStat] = {}
         self.timers: dict[str, TimerStat] = {}
@@ -226,23 +263,65 @@ class Recorder:
 
     def span(self, name: str, **attrs) -> _ActiveSpan:
         """Open a span nested under the currently open one (if any)."""
-        record = SpanRecord(name=name, start_s=self.now_s(), attrs=attrs)
-        parent = self._stack[-1] if self._stack else None
-        (parent.children if parent is not None else self.roots).append(record)
-        self._stack.append(record)
-        return _ActiveSpan(self, record)
+        serial = self._next_serial
+        self._next_serial = serial + 1
+        self._events.append((
+            _EV_OPEN, serial, name, self._clock(), attrs or None,
+        ))
+        return _ActiveSpan(self, serial)
 
-    def _finish(self, record: SpanRecord, exc_type) -> None:
-        record.end_s = self.now_s()
-        if exc_type is not None:
-            record.attrs.setdefault("error", exc_type.__name__)
-        # Pop through any children left open (exception unwound past
-        # their __exit__); close them at the same instant.
-        while self._stack:
-            top = self._stack.pop()
-            if top is record:
-                break
-            top.end_s = record.end_s
+    @property
+    def roots(self) -> list[SpanRecord]:
+        """The span forest, materialized from the event buffer.
+
+        Rebuilt (and re-cached) whenever events were appended since the
+        last flush; still-open spans appear with ``end_s == 0.0``.
+        """
+        if self._built_events != len(self._events):
+            self._materialize()
+        return self._built_roots
+
+    def _materialize(self) -> None:
+        """Replay the event buffer into a fresh :class:`SpanRecord` tree."""
+        epoch = self._epoch
+        roots: list[SpanRecord] = []
+        stack: list[tuple[int, SpanRecord]] = []
+        by_serial: dict[int, SpanRecord] = {}
+        for event in self._events:
+            tag = event[0]
+            if tag == _EV_OPEN:
+                _, serial, name, at, attrs = event
+                record = SpanRecord(
+                    name=name,
+                    start_s=at - epoch,
+                    attrs={} if attrs is None else dict(attrs),
+                )
+                by_serial[serial] = record
+                (stack[-1][1].children if stack else roots).append(record)
+                stack.append((serial, record))
+            elif tag == _EV_END:
+                _, serial, at, error = event
+                end_s = at - epoch
+                record = by_serial.get(serial)
+                if record is not None and error is not None:
+                    record.attrs.setdefault("error", error)
+                # Pop through any children left open (exception unwound
+                # past their __exit__); close them at the same instant.
+                while stack:
+                    top_serial, top = stack.pop()
+                    top.end_s = end_s
+                    if top_serial == serial:
+                        break
+            elif tag == _EV_ATTRS:
+                _, serial, attrs = event
+                record = by_serial.get(serial)
+                if record is not None:
+                    record.attrs.update(attrs)
+            else:  # _EV_GRAFT: absorbed recorder's roots
+                target = stack[-1][1].children if stack else roots
+                target.extend(event[1])
+        self._built_roots = roots
+        self._built_events = len(self._events)
 
     def count(self, name: str, value: float = 1) -> None:
         """Add ``value`` to a named monotonically accumulating counter."""
@@ -288,8 +367,7 @@ class Recorder:
         currently open here (or roots), and its counters, gauges, and
         timers fold into this recorder's aggregates.
         """
-        target = self._stack[-1].children if self._stack else self.roots
-        target.extend(other.roots)
+        self._events.append((_EV_GRAFT, list(other.roots)))
         for name, value in other.counters.items():
             self.counters[name] = self.counters.get(name, 0) + value
         for name, stat in other.gauges.items():

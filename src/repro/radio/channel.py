@@ -259,6 +259,7 @@ class RadioMap:
         budget: LinkBudget,
         ue_ids: Iterable[int],
         rate_model: RateModel | None = None,
+        rebuild_fraction: float = 0.5,
     ) -> "RadioMap":
         """A new map with the given UEs' rows recomputed against ``network``.
 
@@ -268,13 +269,18 @@ class RadioMap:
         entries — and already-materialized :class:`LinkMetrics` — are
         reused verbatim.  Callers must ensure unlisted UEs genuinely
         kept their position (and hence candidate set).
+
+        When at least ``rebuild_fraction`` of the population moved,
+        chunk-stitching cannot beat a straight batched rebuild, so the
+        call falls back to :func:`build_radio_map` — same values,
+        different route.
         """
         moved = set(ue_ids)
         if not moved:
             return self
-        if len(moved) >= network.ue_count:
-            # Everyone moved (e.g. a random walk): a straight batched
-            # rebuild beats stitching per-UE chunks.
+        if len(moved) > rebuild_fraction * network.ue_count:
+            # Most of the population moved (e.g. a random walk): a
+            # straight batched rebuild beats stitching per-UE chunks.
             return build_radio_map(network, budget, rate_model=rate_model)
         rows = [
             ue.ue_id for ue in network.user_equipments if ue.ue_id in moved

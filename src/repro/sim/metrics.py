@@ -17,7 +17,13 @@ from repro.econ.accounting import ProfitStatement, compute_profit
 from repro.econ.pricing import PricingPolicy
 from repro.model.network import MECNetwork
 
-__all__ = ["OutcomeMetrics", "compute_metrics"]
+__all__ = [
+    "OutcomeMetrics",
+    "compute_metrics",
+    "per_bs_utilization",
+    "per_service_cru_utilization",
+    "per_sp_forwarded_traffic",
+]
 
 
 @dataclass(frozen=True)
@@ -101,3 +107,62 @@ def compute_metrics(
         ),
         rounds=assignment.rounds,
     )
+
+
+def per_bs_utilization(
+    network: MECNetwork, assignment: Assignment
+) -> dict[int, tuple[float, float]]:
+    """``{bs_id: (cru_utilization, rrb_utilization)}`` for every BS.
+
+    The per-BS breakdown behind :class:`OutcomeMetrics`'s means — the
+    saturation picture the load-balancing evaluations plot.  A BS with
+    no CRU pool reports 0.0 CRU utilization.
+    """
+    utilization: dict[int, tuple[float, float]] = {}
+    for bs in network.base_stations:
+        grants = assignment.grants_of_bs(bs.bs_id)
+        used_crus = sum(g.crus for g in grants)
+        used_rrbs = sum(g.rrbs for g in grants)
+        total_crus = bs.total_cru_capacity
+        utilization[bs.bs_id] = (
+            used_crus / total_crus if total_crus else 0.0,
+            used_rrbs / bs.rrb_capacity,
+        )
+    return utilization
+
+
+def per_service_cru_utilization(
+    network: MECNetwork, assignment: Assignment
+) -> dict[int, float]:
+    """``{service_id: used / provisioned CRUs}`` across all hosting BSs.
+
+    Exposes which *service* pools are scarce network-wide, independent
+    of which BS hosts them; services provisioned nowhere are omitted.
+    """
+    capacity: dict[int, int] = {}
+    for bs in network.base_stations:
+        for service_id, crus in bs.cru_capacity.items():
+            capacity[service_id] = capacity.get(service_id, 0) + crus
+    used: dict[int, int] = {}
+    for grant in assignment.grants:
+        used[grant.service_id] = used.get(grant.service_id, 0) + grant.crus
+    return {
+        service_id: used.get(service_id, 0) / total
+        for service_id, total in capacity.items()
+        if total
+    }
+
+
+def per_sp_forwarded_traffic(
+    network: MECNetwork, assignment: Assignment
+) -> dict[int, float]:
+    """``{sp_id: bits/s forwarded to the cloud}`` (Fig. 7, split by SP).
+
+    Every SP appears, zero-filled, so series across runs align even
+    when an SP forwards nothing.
+    """
+    forwarded = {sp.sp_id: 0.0 for sp in network.providers}
+    for ue_id in assignment.cloud_ue_ids:
+        ue = network.user_equipment(ue_id)
+        forwarded[ue.sp_id] += ue.rate_demand_bps
+    return forwarded

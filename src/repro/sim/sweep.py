@@ -110,12 +110,22 @@ def _run_cell(cell: tuple[int, int]) -> tuple[list[float], Recorder | None]:
         return values, None
     child = tel.child()
     with telemetry_session(child):
-        with child.span("sweep.cell", x=x, seed=seed):
+        with child.span("sweep.cell", x=x, seed=seed) as cell_span:
             scenario = spec.scenario_factory(x, seed)
             values = [
                 spec.metric(run_allocation(scenario, factory(x)).metrics)
                 for factory in spec.allocator_factories.values()
             ]
+            # One gauge per curve: min/max/last across absorbed cells
+            # summarize the whole grid in the merged trace.
+            for label, value in zip(spec.allocator_factories, values):
+                child.gauge(f"sweep.metric.{label}", value)
+            cell_span.set(
+                **{
+                    f"value_{label}": value
+                    for label, value in zip(spec.allocator_factories, values)
+                }
+            )
     return values, child
 
 

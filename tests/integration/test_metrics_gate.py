@@ -1,0 +1,119 @@
+"""Acceptance tests for the metrics/manifest/diff regression gate.
+
+The bar from the issue: two runs at the same (config, seed) must diff
+to zero regressions; a deliberate ``rho`` perturbation must surface
+per-SP profit and convergence-round deltas; and the metrics JSON
+document must round-trip byte-exactly.
+"""
+
+from repro.core.dmra import DMRAAllocator
+from repro.obs import (
+    DiffTolerances,
+    Recorder,
+    build_manifest,
+    diff_documents,
+    metrics_from_outcome,
+    metrics_from_trace,
+    metrics_json,
+    parse_metrics,
+    telemetry_session,
+    trace_from_recorder,
+)
+from repro.sim.config import ScenarioConfig
+from repro.sim.runner import run_allocation
+from repro.sim.scenario import build_scenario
+
+UES = 300  # enough contention that the rho weight changes the matching
+SEED = 3
+
+
+def run_with_metrics(rho: float):
+    """One traced allocator run -> merged metrics document."""
+    config = ScenarioConfig.paper(rho=rho)
+    manifest = build_manifest(
+        config=config, seeds=[SEED], command="run",
+        clock=lambda: 0.0, host=lambda: {"platform": "test"},
+    )
+    recorder = Recorder(meta={"command": "run", "manifest": manifest})
+    with telemetry_session(recorder):
+        scenario = build_scenario(config, UES, seed=SEED)
+        outcome = run_allocation(
+            scenario, DMRAAllocator(pricing=scenario.pricing, rho=rho)
+        )
+    trace_doc = metrics_from_trace(trace_from_recorder(recorder))
+    outcome_doc = metrics_from_outcome(
+        scenario.network, outcome.assignment, scenario.pricing,
+        manifest=manifest,
+    )
+    # Same merge the CLI does: outcome families win name collisions.
+    outcome_names = set(outcome_doc.family_names())
+    merged = outcome_doc.families + tuple(
+        fam for fam in trace_doc.families if fam.name not in outcome_names
+    )
+    from repro.obs import MetricsDocument
+
+    return MetricsDocument(
+        families=tuple(sorted(merged, key=lambda f: f.name)),
+        manifest=manifest,
+    )
+
+
+class TestRegressionGate:
+    def test_same_config_and_seed_diffs_clean(self):
+        a = run_with_metrics(rho=10.0)
+        b = run_with_metrics(rho=10.0)
+        report = diff_documents(a, b)
+        assert report.comparable
+        assert report.ok, [d.describe() for d in report.regressions]
+        assert report.families_compared >= 15
+
+    def test_rho_perturbation_surfaces_domain_deltas(self):
+        baseline = run_with_metrics(rho=10.0)
+        perturbed = run_with_metrics(rho=0.0)
+        report = diff_documents(
+            baseline, perturbed, require_comparable=False
+        )
+        assert not report.comparable
+        assert any("rho" in note for note in report.manifest_notes)
+        assert report.ok  # exploratory mode: deltas, not regressions
+        changed = {d.family for d in report.changes}
+        # rho weights the cross-SP term of Eq. 17: per-SP profit moves...
+        assert "dmra_sp_profit" in changed
+        # ...and the bidding dynamics shift, visible per round.
+        assert any(
+            name.startswith("dmra_match_round_") for name in changed
+        )
+
+    def test_injected_profit_regression_gates(self):
+        baseline = run_with_metrics(rho=10.0)
+        candidate = parse_metrics(metrics_json(baseline))
+        # Halve every SP's profit in the candidate document.
+        from repro.obs import MetricFamily, MetricSample, MetricsDocument
+
+        families = []
+        for fam in candidate.families:
+            if fam.name in ("dmra_total_profit", "dmra_sp_profit"):
+                fam = MetricFamily(
+                    name=fam.name, kind=fam.kind, help=fam.help,
+                    samples=tuple(
+                        MetricSample(labels=s.labels, value=s.value * 0.5)
+                        for s in fam.samples
+                    ),
+                    unit=fam.unit,
+                )
+            families.append(fam)
+        candidate = MetricsDocument(
+            families=tuple(families), manifest=candidate.manifest
+        )
+        report = diff_documents(
+            baseline, candidate, DiffTolerances(abs_tol=1e-6, rel_tol=0.01)
+        )
+        assert not report.ok
+        regressed = {d.family for d in report.regressions}
+        assert "dmra_total_profit" in regressed
+        assert "dmra_sp_profit" in regressed
+
+    def test_metrics_json_round_trips_byte_exact(self):
+        doc = run_with_metrics(rho=10.0)
+        text = metrics_json(doc)
+        assert metrics_json(parse_metrics(text)) == text

@@ -219,3 +219,68 @@ class TestIncrementalParity:
         config = ScenarioConfig.paper(rate_model="mcs")
         incremental, full = self.run_pair(config=config)
         assert incremental.records == full.records
+
+
+class TestRebuildCrossover:
+    """The displaced-fraction crossover must not change results, ever."""
+
+    def test_crossover_settings_all_agree(self):
+        # Half the UEs move each epoch (HalfFrozenWalk): fraction 0.25
+        # forces the rebuild route, 0.75 the patch route, and the
+        # default sits at the boundary.  All must match the
+        # full-rebuild reference exactly.
+        kwargs = dict(
+            config=CONFIG,
+            ue_count=120,
+            epochs=3,
+            epoch_duration_s=30.0,
+            seed=7,
+            mobility=HalfFrozenWalk(),
+        )
+        reference = run_mobility(**kwargs, incremental=False)
+        for fraction in (0.25, 0.5, 0.75, 1.0):
+            outcome = run_mobility(
+                **kwargs, incremental=True, rebuild_fraction=fraction
+            )
+            assert outcome.records == reference.records, fraction
+
+    def test_random_walk_takes_rebuild_route(self):
+        # Everyone moves: the crossover must route to the full rebuild
+        # (no incremental radio.build spans), and still match.
+        from repro.obs import Recorder, telemetry_session
+
+        kwargs = dict(
+            config=CONFIG,
+            ue_count=60,
+            epochs=2,
+            epoch_duration_s=30.0,
+            seed=5,
+            mobility=RandomWalk(speed_mps=5.0),
+        )
+        recorder = Recorder()
+        with telemetry_session(recorder):
+            incremental = run_mobility(**kwargs, incremental=True)
+        full = run_mobility(**kwargs, incremental=False)
+        assert incremental.records == full.records
+        incremental_builds = [
+            span
+            for span in _walk_spans(recorder.roots)
+            if span.name == "radio.build"
+            and span.attrs.get("path") == "incremental"
+        ]
+        assert not incremental_builds
+        # Boundary clipping can pin the odd UE, so "everyone" is >= 90%.
+        displaced = recorder.gauges["mobility.displaced_fraction"]
+        assert displaced.min >= 0.9
+
+    def test_rebuild_fraction_validated(self):
+        with pytest.raises(ConfigurationError):
+            run_mobility(
+                CONFIG, 10, 1, 30.0, 0, rebuild_fraction=0.0
+            )
+
+
+def _walk_spans(spans):
+    for span in spans:
+        yield span
+        yield from _walk_spans(span.children)

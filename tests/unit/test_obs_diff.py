@@ -1,0 +1,177 @@
+"""Unit tests for metric diffing and the regression verdict."""
+
+import pytest
+
+from repro.obs import (
+    DiffTolerances,
+    MetricFamily,
+    MetricSample,
+    MetricsDocument,
+    build_manifest,
+    diff_documents,
+    render_diff_report,
+)
+from repro.sim.config import ScenarioConfig
+
+CONFIG = ScenarioConfig.paper()
+
+
+def manifest(config=CONFIG, seeds=(1,)):
+    """A pinned manifest for alignment tests."""
+    return build_manifest(
+        config=config, seeds=list(seeds), command="run",
+        clock=lambda: 0.0, host=lambda: {},
+    )
+
+
+def document(values: dict, manifest=None) -> MetricsDocument:
+    """A document of scalar gauge families from a name->value dict."""
+    return MetricsDocument(
+        families=tuple(
+            MetricFamily(
+                name=name, kind="gauge", help="",
+                samples=(MetricSample.of(value),),
+            )
+            for name, value in values.items()
+        ),
+        manifest=manifest,
+    )
+
+
+class TestTolerances:
+    def test_abs_tolerance(self):
+        tol = DiffTolerances(abs_tol=0.1)
+        assert tol.within("f", 1.0, 1.05)
+        assert not tol.within("f", 1.0, 1.2)
+
+    def test_rel_tolerance(self):
+        tol = DiffTolerances(abs_tol=0.0, rel_tol=0.1)
+        assert tol.within("f", 100.0, 109.0)
+        assert not tol.within("f", 100.0, 120.0)
+
+    def test_per_family_override_wins(self):
+        tol = DiffTolerances(
+            abs_tol=0.0, per_family={"loose": {"abs": 10.0}}
+        )
+        assert tol.within("loose", 0.0, 5.0)
+        assert not tol.within("strict", 0.0, 5.0)
+
+    def test_timing_prefixes_ignored_by_default(self):
+        tol = DiffTolerances()
+        assert tol.ignored("dmra_timer_seconds_total")
+        assert tol.ignored("dmra_wall_seconds")
+        assert not tol.ignored("dmra_total_profit")
+
+
+class TestDiffDocuments:
+    def test_identical_documents_ok(self):
+        a = document({"dmra_total_profit": 5.0}, manifest())
+        b = document({"dmra_total_profit": 5.0}, manifest())
+        report = diff_documents(a, b)
+        assert report.ok
+        assert report.comparable
+        assert report.families_compared == 1
+        assert not report.regressions and not report.changes
+
+    def test_value_drift_is_a_regression(self):
+        a = document({"dmra_total_profit": 5.0}, manifest())
+        b = document({"dmra_total_profit": 4.0}, manifest())
+        report = diff_documents(a, b)
+        assert not report.ok
+        (delta,) = report.regressions
+        assert delta.family == "dmra_total_profit"
+        assert delta.delta == pytest.approx(-1.0)
+
+    def test_drift_within_tolerance_passes(self):
+        a = document({"dmra_total_profit": 5.0}, manifest())
+        b = document({"dmra_total_profit": 4.9}, manifest())
+        report = diff_documents(a, b, DiffTolerances(abs_tol=0.2))
+        assert report.ok
+
+    def test_timing_drift_never_gates(self):
+        a = document(
+            {"dmra_wall_seconds": 1.0, "dmra_total_profit": 5.0},
+            manifest(),
+        )
+        b = document(
+            {"dmra_wall_seconds": 9.0, "dmra_total_profit": 5.0},
+            manifest(),
+        )
+        report = diff_documents(a, b)
+        assert report.ok
+        assert len(report.ignored_changes) == 1
+
+    def test_family_only_in_one_side_gates(self):
+        a = document({"dmra_total_profit": 5.0}, manifest())
+        b = document(
+            {"dmra_total_profit": 5.0, "dmra_extra": 1.0}, manifest()
+        )
+        report = diff_documents(a, b)
+        assert not report.ok
+        (delta,) = report.regressions
+        assert delta.baseline is None
+        assert "only in candidate" in delta.describe()
+
+    def test_misaligned_manifests_gate_even_with_equal_values(self):
+        a = document({"dmra_total_profit": 5.0}, manifest())
+        b = document(
+            {"dmra_total_profit": 5.0},
+            manifest(config=CONFIG.with_(rho=12.0)),
+        )
+        report = diff_documents(a, b)
+        assert not report.comparable
+        assert not report.ok
+        assert any(
+            d.family == "manifest_alignment" for d in report.regressions
+        )
+        assert any("rho" in note for note in report.manifest_notes)
+
+    def test_exploratory_mode_reports_changes_not_regressions(self):
+        a = document({"dmra_total_profit": 5.0}, manifest())
+        b = document(
+            {"dmra_total_profit": 7.0},
+            manifest(config=CONFIG.with_(rho=12.0)),
+        )
+        report = diff_documents(a, b, require_comparable=False)
+        assert report.ok
+        (delta,) = report.changes
+        assert delta.delta == pytest.approx(2.0)
+
+    def test_aligned_runs_gate_even_in_exploratory_mode(self):
+        # require_comparable=False relaxes *alignment*, not correctness:
+        # same (config, seed) must still reproduce the same values.
+        a = document({"dmra_total_profit": 5.0}, manifest())
+        b = document({"dmra_total_profit": 7.0}, manifest())
+        report = diff_documents(a, b, require_comparable=False)
+        assert not report.ok
+
+    def test_missing_manifests_block_comparability(self):
+        a = document({"dmra_total_profit": 5.0})
+        b = document({"dmra_total_profit": 5.0})
+        report = diff_documents(a, b)
+        assert not report.comparable
+        assert not report.ok
+
+
+class TestRenderReport:
+    def test_ok_report_renders_verdict(self):
+        a = document({"dmra_total_profit": 5.0}, manifest())
+        text = render_diff_report(diff_documents(a, a), "a.json", "b.json")
+        assert "a.json vs b.json" in text
+        assert "manifest: aligned" in text
+        assert "verdict: OK" in text
+
+    def test_regression_report_lists_deltas(self):
+        a = document({"dmra_total_profit": 5.0}, manifest())
+        b = document({"dmra_total_profit": 4.0}, manifest())
+        text = render_diff_report(diff_documents(a, b))
+        assert "REGRESSIONS (1):" in text
+        assert "! dmra_total_profit: 5 -> 4 (delta -1)" in text
+        assert "verdict: REGRESSION" in text
+
+    def test_misalignment_rendered_with_notes(self):
+        a = document({}, manifest())
+        b = document({}, manifest(config=CONFIG.with_(rho=12.0)))
+        text = render_diff_report(diff_documents(a, b))
+        assert "runs are not comparable" in text
+        assert "rho" in text

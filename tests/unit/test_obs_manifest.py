@@ -1,0 +1,124 @@
+"""Unit tests for run manifests (``dmra.manifest/1``)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    config_digest,
+    manifests_comparable,
+    validate_manifest,
+)
+from repro.obs.manifest import config_to_dict, default_host_info
+from repro.sim.config import ScenarioConfig
+
+CONFIG = ScenarioConfig.paper()
+
+
+def fixed_manifest(**overrides):
+    """A deterministic manifest (pinned clock/host) for tests."""
+    kwargs = dict(
+        config=CONFIG,
+        seeds=[0, 1],
+        command="run",
+        clock=lambda: 1700000000.0,
+        host=lambda: {"platform": "test", "python": "3.x", "cpu_count": 1},
+    )
+    kwargs.update(overrides)
+    return build_manifest(**kwargs)
+
+
+class TestConfigDigest:
+    def test_digest_is_stable(self):
+        assert config_digest(CONFIG) == config_digest(CONFIG)
+        assert len(config_digest(CONFIG)) == 16
+
+    def test_digest_changes_with_any_field(self):
+        assert config_digest(CONFIG) != config_digest(CONFIG.with_(rho=99.0))
+
+    def test_config_to_dict_round_trips_json(self):
+        as_dict = config_to_dict(CONFIG)
+        import json
+
+        assert json.loads(json.dumps(as_dict)) == as_dict
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_digest({"rho": 1.0})
+
+
+class TestBuildManifest:
+    def test_has_schema_and_identity_fields(self):
+        manifest = fixed_manifest()
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["config_digest"] == config_digest(CONFIG)
+        assert manifest["seeds"] == [0, 1]
+        assert manifest["command"] == "run"
+        assert manifest["created_unix_s"] == 1700000000.0
+        assert manifest["host"]["platform"] == "test"
+        validate_manifest(manifest)
+
+    def test_configless_manifest(self):
+        manifest = fixed_manifest(config=None)
+        assert manifest["config_digest"] is None
+        assert manifest["config"] is None
+        validate_manifest(manifest)
+
+    def test_default_host_info_shape(self):
+        host = default_host_info()
+        assert set(host) == {"platform", "python", "cpu_count"}
+
+    def test_extra_is_preserved(self):
+        manifest = fixed_manifest(extra={"note": "ab-test"})
+        assert manifest["extra"] == {"note": "ab-test"}
+
+    def test_validate_rejects_wrong_schema(self):
+        manifest = fixed_manifest()
+        manifest["schema"] = "dmra.manifest/999"
+        with pytest.raises(ConfigurationError):
+            validate_manifest(manifest)
+
+    def test_validate_rejects_non_mapping(self):
+        with pytest.raises(ConfigurationError):
+            validate_manifest("not a manifest")
+
+
+class TestComparability:
+    def test_identical_manifests_comparable(self):
+        ok, notes = manifests_comparable(fixed_manifest(), fixed_manifest())
+        assert ok
+        assert notes == []
+
+    def test_missing_manifest_blocks(self):
+        ok, notes = manifests_comparable(None, fixed_manifest())
+        assert not ok
+        assert any("missing" in note for note in notes)
+
+    def test_config_change_blocks_and_names_field(self):
+        perturbed = fixed_manifest(config=CONFIG.with_(rho=12.0))
+        ok, notes = manifests_comparable(fixed_manifest(), perturbed)
+        assert not ok
+        assert any("rho" in note for note in notes)
+
+    def test_seed_change_blocks(self):
+        ok, notes = manifests_comparable(
+            fixed_manifest(), fixed_manifest(seeds=[2])
+        )
+        assert not ok
+        assert any("seed" in note for note in notes)
+
+    def test_version_change_noted_but_not_blocking(self):
+        a, b = fixed_manifest(), fixed_manifest()
+        b["version"] = "0.0.0-other"
+        ok, notes = manifests_comparable(a, b)
+        assert ok
+        assert any("version" in note for note in notes)
+
+    def test_clock_and_host_do_not_affect_comparability(self):
+        later = fixed_manifest(
+            clock=lambda: 1800000000.0, host=lambda: {"platform": "other"}
+        )
+        ok, notes = manifests_comparable(fixed_manifest(), later)
+        assert ok
+        assert notes == []
