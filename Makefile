@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke metrics-baseline bench-paper figures extensions examples clean
+.PHONY: install test bench bench-smoke bench-scale metrics-baseline bench-paper figures extensions examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -22,6 +22,14 @@ bench:
 # or measurements outside the floors/ceilings (see bench_smoke.py).
 bench-smoke:
 	bash -c 'time $(PYTHON) benchmarks/bench_smoke.py'
+
+# Scale bench: a 100k-UE, 2500-BS sharded run must finish inside a
+# wall-clock + peak-RSS envelope, and a shard-count sweep must keep
+# total profit within 1% of the single-shard (= monolithic) result;
+# writes BENCH_pr5.json (caps/knobs via BENCH_SCALE_*, see
+# benchmarks/bench_scale.py).
+bench-scale:
+	bash -c 'time $(PYTHON) benchmarks/bench_scale.py'
 
 # Regenerate the committed metrics baseline the CI regression gate
 # diffs against.  Do this only when a PR deliberately changes domain

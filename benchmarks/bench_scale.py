@@ -1,0 +1,207 @@
+"""Scale benchmark for the sharded runner (``make bench-scale``).
+
+Two measurements, both seeded:
+
+* **headline** — a 100k-UE, 2500-BS sharded run (15 km side, the
+  paper's BS grid pitch) must finish inside a fixed wall-clock and
+  peak-RSS envelope.  Peak RSS is taken as the max of the parent's
+  ``ru_maxrss`` and the largest forked shard worker's
+  (``RUSAGE_CHILDREN``), so the cap covers the whole fork pool.
+* **shard sweep** — the same scenario at a smaller population across
+  several shard counts; total SP profit must stay within a relative
+  deviation bound of the single-shard result (which equals the
+  monolithic allocation bit-for-bit; see
+  ``tests/integration/test_scale_sharded.py``).
+
+Emits ``BENCH_pr5.json`` at the repo root and exits non-zero when:
+
+* the headline run exceeds ``BENCH_SCALE_MAX_SECONDS`` (default 120)
+  or ``BENCH_SCALE_MAX_RSS_MB`` (default 1024);
+* any UE goes unaccounted (grants + cloud != population);
+* a sweep point's profit deviates from the single-shard profit by
+  more than ``BENCH_SCALE_MAX_DEVIATION`` (default 0.01).
+
+Knobs: ``BENCH_SCALE_UES`` (headline population, default 100000),
+``BENCH_SCALE_SHARDS`` (default 9), ``BENCH_SCALE_WORKERS``
+(default 4), ``BENCH_SCALE_SWEEP_UES`` (default 20000).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import sys
+from pathlib import Path
+
+# Runnable straight from a checkout without an editable install.
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.scale import run_sharded
+from repro.sim.config import ScenarioConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_pr5.json"
+
+# 15 km side fits the 300 m BS grid pitch at 2500 stations (50 x 50).
+CONFIG = ScenarioConfig.paper(region_side_m=15000.0, bs_per_sp=500)
+SEED = 1
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def _peak_rss_mb() -> tuple[float, float]:
+    """(parent, largest reaped child) peak RSS in MB (Linux: KB units)."""
+    self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    child_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return self_kb / 1024.0, child_kb / 1024.0
+
+
+def _outcome_record(outcome) -> dict:
+    return {
+        "shards": outcome.shard_count,
+        "workers": outcome.workers,
+        "wall_s": round(outcome.wall_time_s, 3),
+        "partition_s": round(outcome.partition_time_s, 3),
+        "match_s": round(outcome.match_time_s, 3),
+        "reconcile_s": round(outcome.reconcile_time_s, 3),
+        "total_profit": round(outcome.metrics.total_profit, 2),
+        "edge_served": outcome.metrics.edge_served,
+        "cloud_forwarded": outcome.metrics.cloud_forwarded,
+        "evictions": outcome.total_evictions,
+        "reproposal_grants": outcome.reproposal_grants,
+        "shard_ue_min": min(outcome.shard_ue_counts),
+        "shard_ue_max": max(outcome.shard_ue_counts),
+        "halo_bs_min": min(outcome.shard_bs_counts),
+        "halo_bs_max": max(outcome.shard_bs_counts),
+    }
+
+
+def main() -> int:
+    headline_ues = _env_int("BENCH_SCALE_UES", 100_000)
+    headline_shards = _env_int("BENCH_SCALE_SHARDS", 9)
+    workers = _env_int("BENCH_SCALE_WORKERS", 4)
+    sweep_ues = _env_int("BENCH_SCALE_SWEEP_UES", 20_000)
+    max_seconds = _env_float("BENCH_SCALE_MAX_SECONDS", 120.0)
+    max_rss_mb = _env_float("BENCH_SCALE_MAX_RSS_MB", 1024.0)
+    max_deviation = _env_float("BENCH_SCALE_MAX_DEVIATION", 0.01)
+
+    failures: list[str] = []
+
+    # --- shard sweep (smaller population, several shard counts) ------
+    sweep = []
+    baseline_profit = None
+    for shards in (1, 4, 9):
+        outcome = run_sharded(
+            CONFIG,
+            ue_count=sweep_ues,
+            seed=SEED,
+            shards=shards,
+            workers=workers,
+        )
+        record = _outcome_record(outcome)
+        if baseline_profit is None:
+            baseline_profit = outcome.metrics.total_profit
+            record["deviation"] = 0.0
+        else:
+            deviation = (
+                abs(outcome.metrics.total_profit - baseline_profit)
+                / baseline_profit
+            )
+            record["deviation"] = round(deviation, 6)
+            if deviation > max_deviation:
+                failures.append(
+                    f"sweep shards={shards}: profit deviation "
+                    f"{deviation:.4f} > {max_deviation}"
+                )
+        sweep.append(record)
+        print(
+            f"sweep  shards={shards:2d}  wall={record['wall_s']:7.2f}s  "
+            f"profit={record['total_profit']:12.2f}  "
+            f"evictions={record['evictions']}"
+        )
+
+    # --- headline: 100k UEs inside the envelope ----------------------
+    outcome = run_sharded(
+        CONFIG,
+        ue_count=headline_ues,
+        seed=SEED,
+        shards=headline_shards,
+        workers=workers,
+    )
+    rss_self, rss_child = _peak_rss_mb()
+    peak_rss = max(rss_self, rss_child)
+    headline = _outcome_record(outcome)
+    headline["ues"] = headline_ues
+    headline["peak_rss_self_mb"] = round(rss_self, 1)
+    headline["peak_rss_child_mb"] = round(rss_child, 1)
+    headline["peak_rss_mb"] = round(peak_rss, 1)
+    print(
+        f"headline  ues={headline_ues}  shards={headline_shards}  "
+        f"wall={headline['wall_s']:.2f}s  peak_rss={peak_rss:.0f}MB  "
+        f"profit={headline['total_profit']:.2f}"
+    )
+
+    accounted = (
+        len(outcome.assignment.grants)
+        + len(outcome.assignment.cloud_ue_ids)
+    )
+    if accounted != headline_ues:
+        failures.append(
+            f"headline: {accounted} UEs accounted != {headline_ues}"
+        )
+    if outcome.wall_time_s > max_seconds:
+        failures.append(
+            f"headline: wall {outcome.wall_time_s:.1f}s > "
+            f"{max_seconds:.0f}s cap"
+        )
+    if peak_rss > max_rss_mb:
+        failures.append(
+            f"headline: peak RSS {peak_rss:.0f}MB > {max_rss_mb:.0f}MB cap"
+        )
+
+    report = {
+        "bench": "scale",
+        "seed": SEED,
+        "scenario": {
+            "region_side_m": 15000.0,
+            "bs_per_sp": 500,
+            "bs_count": 2500,
+        },
+        "caps": {
+            "max_seconds": max_seconds,
+            "max_rss_mb": max_rss_mb,
+            "max_deviation": max_deviation,
+        },
+        "sweep_ues": sweep_ues,
+        "sweep": sweep,
+        "headline": headline,
+        "failures": failures,
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("scale bench OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,8 @@ Examples::
     dmra figure fig2 --scale smoke --out results/
     dmra run --allocator dmra --ues 600 --seed 1
     dmra run --ues 600 --seed 1 --trace run.jsonl --metrics run.json
+    dmra run --ues 100000 --region-m 15000 --bs-per-sp 500 \
+             --shards 16 --shard-workers 4 --profile
     dmra trace run.jsonl --min-ms 1
     dmra trace metrics run.jsonl --format prom
     dmra trace diff baseline.json candidate.json --rel-tol 0.01
@@ -115,6 +117,8 @@ def _manifest_for(args: argparse.Namespace) -> dict:
             placement=getattr(args, "placement", "regular"),
             cross_sp_markup=getattr(args, "iota", 2.0),
             rho=args.rho,
+            region_side_m=getattr(args, "region_m", 1200.0),
+            bs_per_sp=getattr(args, "bs_per_sp", 5),
         )
     seeds = [args.seed] if hasattr(args, "seed") else []
     return build_manifest(
@@ -240,7 +244,25 @@ def _build_parser() -> argparse.ArgumentParser:
                 "--profile", action="store_true",
                 help=(
                     "print a per-round phase-time table (proposal vs "
-                    "BS-decision wall time; matching-based allocators only)"
+                    "BS-decision wall time; matching-based allocators "
+                    "only), or partition/match/reconcile phase rows "
+                    "with --shards"
+                ),
+            )
+            cmd.add_argument(
+                "--shards", type=int, default=None, metavar="N",
+                help=(
+                    "run the geometry-sharded scale path with N shards "
+                    "(dmra allocator only; N=1 is bit-identical to the "
+                    "monolithic run — see docs/scaling.md)"
+                ),
+            )
+            cmd.add_argument(
+                "--shard-workers", type=int, default=1, metavar="M",
+                help=(
+                    "fork-pool processes for the per-shard matchings "
+                    "(default: 1 = serial, the memory-bounded path; "
+                    "results are identical at any worker count)"
                 ),
             )
         if name in ("compare", "analyze"):
@@ -421,13 +443,30 @@ def _add_scenario_arguments(cmd: argparse.ArgumentParser) -> None:
     )
     cmd.add_argument("--iota", type=float, default=2.0, help="cross-SP markup")
     cmd.add_argument("--rho", type=float, default=10.0, help="DMRA rho weight")
+    cmd.add_argument(
+        "--region-m", type=float, default=1200.0,
+        help="square region side in meters (default: the paper's 1200)",
+    )
+    cmd.add_argument(
+        "--bs-per-sp", type=int, default=5,
+        help="BSs deployed per SP (default: the paper's 5)",
+    )
+
+
+def _config_from_args(args: argparse.Namespace) -> ScenarioConfig:
+    return ScenarioConfig.paper(
+        placement=args.placement,
+        cross_sp_markup=args.iota,
+        rho=args.rho,
+        region_side_m=getattr(args, "region_m", 1200.0),
+        bs_per_sp=getattr(args, "bs_per_sp", 5),
+    )
 
 
 def _scenario_from_args(args: argparse.Namespace) -> Scenario:
-    config = ScenarioConfig.paper(
-        placement=args.placement, cross_sp_markup=args.iota, rho=args.rho
+    return build_scenario(
+        _config_from_args(args), ue_count=args.ues, seed=args.seed
     )
-    return build_scenario(config, ue_count=args.ues, seed=args.seed)
 
 
 _ALLOCATOR_BUILDERS = {
@@ -499,6 +538,8 @@ def _matching_policy_for(name: str, scenario: Scenario):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if getattr(args, "shards", None) is not None:
+        return _cmd_run_sharded(args)
     scenario = _scenario_from_args(args)
     allocator = _build_allocator(args.allocator, scenario)
     outcome = run_allocation(scenario, allocator)
@@ -526,6 +567,60 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if getattr(args, "profile", False):
         _print_radio_map_profile(scenario)
         _print_phase_profile(args.allocator, scenario)
+    return 0
+
+
+def _cmd_run_sharded(args: argparse.Namespace) -> int:
+    """``dmra run --shards N``: the geometry-sharded scale path."""
+    from repro.scale import run_sharded
+
+    if args.allocator != "dmra":
+        raise ConfigurationError(
+            f"--shards is DMRA-specific (reconciliation ranks claims "
+            f"with the DMRA BS-side preference order); "
+            f"got --allocator {args.allocator!r}"
+        )
+    config = _config_from_args(args)
+    outcome = run_sharded(
+        config,
+        ue_count=args.ues,
+        seed=args.seed,
+        shards=args.shards,
+        workers=args.shard_workers,
+    )
+    metrics = outcome.metrics
+    print(f"sharded run:        {outcome.shard_count} shards, "
+          f"{outcome.workers} workers, {args.ues} UEs "
+          f"(seed {args.seed})")
+    print(f"shard UEs:          {min(outcome.shard_ue_counts)}"
+          f"..{max(outcome.shard_ue_counts)} per shard")
+    print(f"shard halo BSs:     {min(outcome.shard_bs_counts)}"
+          f"..{max(outcome.shard_bs_counts)} per shard")
+    print(f"total profit:       {metrics.total_profit:.1f}")
+    for sp_id, profit in sorted(metrics.profit_by_sp.items()):
+        print(f"  SP {sp_id} profit:      {profit:.1f}")
+    print(f"edge served:        {metrics.edge_served}/{metrics.ue_count}")
+    print(f"cloud forwarded:    {metrics.cloud_forwarded}")
+    print(f"same-SP fraction:   {metrics.same_sp_fraction:.2f}")
+    print(f"matching rounds:    {metrics.rounds}")
+    print(f"evictions:          {outcome.total_evictions}")
+    print(f"re-proposal:        {outcome.reproposal_rounds} rounds, "
+          f"{outcome.reproposal_grants} grants")
+    print(f"wall time:          {outcome.wall_time_s * 1e3:.1f} ms")
+    if getattr(args, "profile", False):
+        print()
+        print("phase profile:")
+        header = f"{'phase':<12} {'ms':>10} {'share':>7}"
+        print(header)
+        print("-" * len(header))
+        wall = max(outcome.wall_time_s, 1e-12)
+        for phase, seconds in (
+            ("partition", outcome.partition_time_s),
+            ("match", outcome.match_time_s),
+            ("reconcile", outcome.reconcile_time_s),
+        ):
+            print(f"{phase:<12} {seconds * 1e3:>10.1f} "
+                  f"{seconds / wall:>6.1%}")
     return 0
 
 

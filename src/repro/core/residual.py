@@ -1,0 +1,62 @@
+"""Residual-capacity matching: Alg. 1 against a partially filled ledger.
+
+The sharded execution path (:mod:`repro.scale`) admits every surviving
+shard grant into one global :class:`~repro.compute.cru.LedgerPool` and
+then lets the UEs evicted during reconciliation *re-propose* against
+whatever capacity is left.  That re-proposal pass is exactly the
+engine's incremental mode — match only the listed UEs, treat existing
+grants as immovable — so this module is a thin, named entry point
+around :meth:`IterativeMatchingEngine.run` rather than a second
+matching implementation.  Keeping it in :mod:`repro.core` pins the
+contract: residual matching is ordinary deferred acceptance, inherits
+the engine's termination guarantees, and can never disturb grants that
+are already in the ledger.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.compute.cru import LedgerPool
+from repro.core.assignment import Assignment
+from repro.core.matching import IterativeMatchingEngine, MatchingPolicy
+from repro.errors import ConfigurationError
+from repro.model.network import MECNetwork
+from repro.radio.channel import RadioMap
+
+__all__ = ["residual_match"]
+
+
+def residual_match(
+    network: MECNetwork,
+    radio_map: RadioMap,
+    ledgers: LedgerPool,
+    ue_ids: Iterable[int],
+    policy: MatchingPolicy,
+    max_rounds: int = 100_000,
+) -> Assignment:
+    """Match ``ue_ids`` against the residual capacity in ``ledgers``.
+
+    ``network`` / ``radio_map`` must cover the listed UEs and every BS
+    in the pool; ``ledgers`` may already hold grants for *other* UEs —
+    those are left untouched and the returned
+    :class:`~repro.core.assignment.Assignment` contains only the new
+    grants (plus the cloud fallbacks among ``ue_ids``).  Because BS
+    ledgers are transactional, the pass can only consume remaining
+    capacity, never over-commit a BS — the property the reconciliation
+    invariant tests pin.
+
+    Raises :class:`ConfigurationError` if any listed UE already holds a
+    grant in the pool (re-proposing for a granted UE would double-book
+    its demand).
+    """
+    targets = sorted(set(ue_ids))
+    granted = {grant.ue_id for grant in ledgers.all_grants()}
+    already = [ue_id for ue_id in targets if ue_id in granted]
+    if already:
+        raise ConfigurationError(
+            f"UEs {already} already hold grants; residual matching would "
+            f"double-book them"
+        )
+    engine = IterativeMatchingEngine(policy, max_rounds=max_rounds)
+    return engine.run(network, radio_map, ledgers=ledgers, ue_ids=targets)

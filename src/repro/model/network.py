@@ -19,9 +19,19 @@ import numpy as np
 
 from repro.errors import ConfigurationError, UnknownEntityError
 from repro.model.entities import BaseStation, Service, ServiceProvider, UserEquipment
-from repro.model.geometry import Point, Rectangle, pairwise_distances_m
+from repro.model.geometry import (
+    Point,
+    Rectangle,
+    SpatialGrid,
+    pairwise_distances_m,
+)
 
 __all__ = ["MECNetwork"]
+
+#: ``auto`` geometry keeps the dense UE x BS distance matrix up to this
+#: many cells (~32 MB of float64) and switches to the sparse spatial
+#: grid beyond it, where the dense build would dominate memory.
+_DENSE_CELL_LIMIT = 4_000_000
 
 
 @dataclass(frozen=True)
@@ -42,6 +52,15 @@ class MECNetwork:
         The paper assumes dense multi-coverage but states no radius; the
         default of 500 m (see DESIGN.md §3) produces it for the paper's
         layouts.
+    geometry:
+        ``"dense"`` precomputes the full UE x BS distance matrix and
+        candidate mask (the historical behavior), ``"grid"`` indexes BSs
+        in a :class:`~repro.model.geometry.SpatialGrid` and stores only
+        the in-coverage pairs (memory O(pairs) instead of O(UE x BS)),
+        and ``"auto"`` (the default) picks dense up to
+        ``_DENSE_CELL_LIMIT`` cells and grid beyond.  Both modes expose
+        identical values — the grid mode computes the same float64
+        distances for every surviving pair (parity-tested).
     """
 
     providers: Sequence[ServiceProvider]
@@ -50,17 +69,28 @@ class MECNetwork:
     services: Sequence[Service]
     region: Rectangle
     coverage_radius_m: float = 500.0
+    geometry: str = "auto"
     _sp_by_id: Mapping[int, ServiceProvider] = field(init=False, repr=False)
     _bs_by_id: Mapping[int, BaseStation] = field(init=False, repr=False)
     _ue_by_id: Mapping[int, UserEquipment] = field(init=False, repr=False)
     _service_by_id: Mapping[int, Service] = field(init=False, repr=False)
-    _distances: np.ndarray = field(init=False, repr=False)
+    _geometry_mode: str = field(init=False, repr=False)
+    _distances: np.ndarray | None = field(init=False, repr=False)
     _ue_row: Mapping[int, int] = field(init=False, repr=False)
     _bs_col: Mapping[int, int] = field(init=False, repr=False)
-    _candidates: Mapping[int, tuple[int, ...]] = field(init=False, repr=False)
-    _candidate_mask: np.ndarray = field(init=False, repr=False)
+    _candidates: Mapping[int, tuple[int, ...]] | None = field(
+        init=False, repr=False
+    )
+    _candidate_mask: np.ndarray | None = field(init=False, repr=False)
     _hosts_by_service: Mapping[int, np.ndarray] = field(init=False, repr=False)
     _bs_id_array: np.ndarray = field(init=False, repr=False)
+    _grid: SpatialGrid | None = field(init=False, repr=False)
+    _cov_indptr: np.ndarray | None = field(init=False, repr=False)
+    _cov_cols: np.ndarray | None = field(init=False, repr=False)
+    _cov_dists: np.ndarray | None = field(init=False, repr=False)
+    _cand_indptr: np.ndarray | None = field(init=False, repr=False)
+    _cand_cols: np.ndarray | None = field(init=False, repr=False)
+    _cand_dists: np.ndarray | None = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.coverage_radius_m <= 0:
@@ -105,20 +135,22 @@ class MECNetwork:
                     f"UE {ue.ue_id} requests unknown service {ue.service_id}"
                 )
 
+        if self.geometry not in ("auto", "dense", "grid"):
+            raise ConfigurationError(
+                f"geometry must be 'auto', 'dense', or 'grid', "
+                f"got {self.geometry!r}"
+            )
+        mode = self.geometry
+        if mode == "auto":
+            cells = len(self.user_equipments) * len(self.base_stations)
+            mode = "dense" if cells <= _DENSE_CELL_LIMIT else "grid"
+        object.__setattr__(self, "_geometry_mode", mode)
+
         ue_row = {ue.ue_id: row for row, ue in enumerate(self.user_equipments)}
         bs_col = {bs.bs_id: col for col, bs in enumerate(self.base_stations)}
-        distances = pairwise_distances_m(
-            [ue.position for ue in self.user_equipments],
-            [bs.position for bs in self.base_stations],
-        )
         object.__setattr__(self, "_ue_row", ue_row)
         object.__setattr__(self, "_bs_col", bs_col)
-        object.__setattr__(self, "_distances", distances)
 
-        # Candidate sets B_u, computed as one (n_ue, n_bs) boolean mask:
-        # coverage (distance <= radius) AND hosting (z_{i,j} = 1 for the
-        # UE's service).  Hosting columns are shared per service, so the
-        # whole mask costs one fancy-index plus one logical AND.
         hosts_by_service = {
             service.service_id: np.array(
                 [bs.hosts_service(service.service_id) for bs in self.base_stations],
@@ -126,6 +158,34 @@ class MECNetwork:
             )
             for service in self.services
         }
+        bs_id_array = np.array(
+            [bs.bs_id for bs in self.base_stations], dtype=np.int64
+        )
+        object.__setattr__(self, "_hosts_by_service", hosts_by_service)
+        object.__setattr__(self, "_bs_id_array", bs_id_array)
+
+        if mode == "dense":
+            self._init_dense_geometry(ue_row, hosts_by_service, bs_id_array)
+        else:
+            self._init_grid_geometry(hosts_by_service)
+
+    def _init_dense_geometry(
+        self,
+        ue_row: Mapping[int, int],
+        hosts_by_service: Mapping[int, np.ndarray],
+        bs_id_array: np.ndarray,
+    ) -> None:
+        """Precompute the full distance matrix and candidate mask."""
+        distances = pairwise_distances_m(
+            [ue.position for ue in self.user_equipments],
+            [bs.position for bs in self.base_stations],
+        )
+        object.__setattr__(self, "_distances", distances)
+
+        # Candidate sets B_u, computed as one (n_ue, n_bs) boolean mask:
+        # coverage (distance <= radius) AND hosting (z_{i,j} = 1 for the
+        # UE's service).  Hosting columns are shared per service, so the
+        # whole mask costs one fancy-index plus one logical AND.
         coverage = distances <= self.coverage_radius_m
         if self.user_equipments:
             hosting = np.stack(
@@ -134,9 +194,6 @@ class MECNetwork:
             mask = coverage & hosting
         else:
             mask = np.zeros_like(coverage, dtype=bool)
-        bs_id_array = np.array(
-            [bs.bs_id for bs in self.base_stations], dtype=np.int64
-        )
         candidates: dict[int, tuple[int, ...]] = {
             ue.ue_id: tuple(bs_id_array[mask[ue_row[ue.ue_id]]].tolist())
             for ue in self.user_equipments
@@ -144,8 +201,70 @@ class MECNetwork:
         mask.setflags(write=False)
         object.__setattr__(self, "_candidates", candidates)
         object.__setattr__(self, "_candidate_mask", mask)
-        object.__setattr__(self, "_hosts_by_service", hosts_by_service)
-        object.__setattr__(self, "_bs_id_array", bs_id_array)
+        for name in (
+            "_grid", "_cov_indptr", "_cov_cols", "_cov_dists",
+            "_cand_indptr", "_cand_cols", "_cand_dists",
+        ):
+            object.__setattr__(self, name, None)
+
+    def _init_grid_geometry(
+        self, hosts_by_service: Mapping[int, np.ndarray]
+    ) -> None:
+        """Index BSs in a spatial grid; store only in-coverage pairs.
+
+        Coverage and candidate pairs are kept as CSR-style flat arrays
+        (``indptr`` per UE row, columns ascending within a row), which
+        is exactly the ``np.nonzero`` row-major order of the dense mask
+        — so :meth:`candidate_pairs` is bit-identical across modes.
+        """
+        n_ue = len(self.user_equipments)
+        bs_xy = np.asarray(
+            [bs.position.as_tuple() for bs in self.base_stations],
+            dtype=float,
+        ).reshape(-1, 2)
+        ue_xy = np.asarray(
+            [ue.position.as_tuple() for ue in self.user_equipments],
+            dtype=float,
+        ).reshape(-1, 2)
+        grid = SpatialGrid(bs_xy, cell_size_m=self.coverage_radius_m)
+        rows, cols, dists = grid.query_radius(ue_xy, self.coverage_radius_m)
+        cov_indptr = np.concatenate(
+            ([0], np.cumsum(np.bincount(rows, minlength=n_ue)))
+        ).astype(np.int64)
+
+        if len(rows) and self.services:
+            service_index = {
+                service.service_id: i
+                for i, service in enumerate(self.services)
+            }
+            hosting_matrix = np.stack(
+                [hosts_by_service[s.service_id] for s in self.services]
+            )
+            ue_service_idx = np.array(
+                [service_index[ue.service_id] for ue in self.user_equipments],
+                dtype=np.intp,
+            )
+            keep = hosting_matrix[ue_service_idx[rows], cols]
+        else:
+            keep = np.zeros(len(rows), dtype=bool)
+        cand_rows = rows[keep]
+        cand_indptr = np.concatenate(
+            ([0], np.cumsum(np.bincount(cand_rows, minlength=n_ue)))
+        ).astype(np.int64)
+
+        for name, value in (
+            ("_grid", grid),
+            ("_cov_indptr", cov_indptr),
+            ("_cov_cols", _frozen(cols)),
+            ("_cov_dists", _frozen(dists)),
+            ("_cand_indptr", cand_indptr),
+            ("_cand_cols", _frozen(cols[keep])),
+            ("_cand_dists", _frozen(dists[keep])),
+            ("_distances", None),
+            ("_candidate_mask", None),
+            ("_candidates", None),
+        ):
+            object.__setattr__(self, name, value)
 
     # ------------------------------------------------------------------
     # Lookups
@@ -188,30 +307,62 @@ class MECNetwork:
     def distance_m(self, ue_id: int, bs_id: int) -> float:
         """UE--BS distance ``d_{i,u}`` in meters."""
         try:
-            return float(self._distances[self._ue_row[ue_id], self._bs_col[bs_id]])
+            row = self._ue_row[ue_id]
+            col = self._bs_col[bs_id]
         except KeyError as exc:
             raise UnknownEntityError(f"unknown entity id {exc.args[0]}") from None
+        if self._geometry_mode == "dense":
+            return float(self._distances[row, col])
+        # Grid mode: in-coverage pairs return the stored query distance
+        # (bit-identical to the dense matrix entry); out-of-coverage
+        # pairs are recomputed with the same float64 hypot.
+        lo, hi = self._cov_indptr[row], self._cov_indptr[row + 1]
+        pos = lo + int(np.searchsorted(self._cov_cols[lo:hi], col))
+        if pos < hi and self._cov_cols[pos] == col:
+            return float(self._cov_dists[pos])
+        ue_pos = self.user_equipments[row].position
+        bs_pos = self.base_stations[col].position
+        return float(np.hypot(ue_pos.x - bs_pos.x, ue_pos.y - bs_pos.y))
 
     def distance_matrix_m(self) -> np.ndarray:
-        """Copy of the full ``(n_ue, n_bs)`` distance matrix in meters."""
-        return self._distances.copy()
+        """Copy of the full ``(n_ue, n_bs)`` distance matrix in meters.
+
+        In grid geometry mode the dense matrix is not stored; this
+        materializes it on demand (O(UE x BS) time and memory) purely as
+        a compatibility shim — batched consumers should prefer
+        :meth:`candidate_pairs`.
+        """
+        if self._geometry_mode == "dense":
+            return self._distances.copy()
+        return pairwise_distances_m(
+            [ue.position for ue in self.user_equipments],
+            [bs.position for bs in self.base_stations],
+        )
 
     def covers(self, bs_id: int, ue_id: int) -> bool:
         """Whether the BS is within coverage radius of the UE."""
         return self.distance_m(ue_id, bs_id) <= self.coverage_radius_m
 
     def covering_base_stations(self, ue_id: int) -> tuple[int, ...]:
-        """Ids of all BSs within coverage radius of the UE (any service)."""
+        """Ids of all BSs within coverage radius of the UE (any service).
+
+        Grid mode answers from the spatial index's coverage pairs; dense
+        mode scans the precomputed distance row.  Both return BS ids in
+        deployment (column) order.
+        """
         row = self._row_of(ue_id)
-        return tuple(
-            bs.bs_id
-            for bs in self.base_stations
-            if self._distances[row, self._bs_col[bs.bs_id]]
-            <= self.coverage_radius_m
-        )
+        if self._geometry_mode == "grid":
+            lo, hi = self._cov_indptr[row], self._cov_indptr[row + 1]
+            return tuple(self._bs_id_array[self._cov_cols[lo:hi]].tolist())
+        within = self._distances[row] <= self.coverage_radius_m
+        return tuple(self._bs_id_array[within].tolist())
 
     def candidate_base_stations(self, ue_id: int) -> tuple[int, ...]:
         """The paper's ``B_u``: BSs covering the UE that host its service."""
+        if self._geometry_mode == "grid":
+            row = self._row_of(ue_id)
+            lo, hi = self._cand_indptr[row], self._cand_indptr[row + 1]
+            return tuple(self._bs_id_array[self._cand_cols[lo:hi]].tolist())
         try:
             return self._candidates[ue_id]
         except KeyError:
@@ -224,9 +375,35 @@ class MECNetwork:
         ``mask[row, col]`` is True exactly when the BS is in the UE's
         ``B_u``.  This is the batched counterpart of
         :meth:`candidate_base_stations`, consumed by the vectorized
-        radio-map builder.
+        radio-map builder.  Grid mode materializes the mask on demand
+        (O(UE x BS) memory) — batched consumers should prefer
+        :meth:`candidate_pairs`.
         """
-        return self._candidate_mask
+        if self._geometry_mode == "dense":
+            return self._candidate_mask
+        mask = np.zeros((self.ue_count, self.bs_count), dtype=bool)
+        rows, cols, _ = self.candidate_pairs()
+        mask[rows, cols] = True
+        mask.setflags(write=False)
+        return mask
+
+    def candidate_pairs(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All candidate links as flat ``(rows, cols, dists)`` arrays.
+
+        Pairs are sorted lexicographically by ``(row, col)`` — the
+        row-major order of ``np.nonzero(candidate_mask())`` — with
+        ``dists`` the float64 UE--BS distances.  Identical values in
+        both geometry modes; this is the sparse-friendly input of the
+        vectorized radio-map builder.
+        """
+        if self._geometry_mode == "grid":
+            counts = np.diff(self._cand_indptr)
+            rows = np.repeat(
+                np.arange(self.ue_count, dtype=np.intp), counts
+            )
+            return rows, self._cand_cols, self._cand_dists
+        rows, cols = np.nonzero(self._candidate_mask)
+        return rows, cols, self._distances[rows, cols]
 
     def row_of_ue(self, ue_id: int) -> int:
         """Row index of a UE in the distance matrix / candidate mask."""
@@ -270,9 +447,13 @@ class MECNetwork:
             else ue
             for ue in self.user_equipments
         )
-        if len(new_positions) > rebuild_fraction * self.ue_count:
-            # Most of the population moved (e.g. a random walk): the
-            # fully batched constructor beats per-row patching.
+        if (
+            self._geometry_mode == "grid"
+            or len(new_positions) > rebuild_fraction * self.ue_count
+        ):
+            # Most of the population moved (e.g. a random walk) or the
+            # network has no dense rows to patch: the fully batched
+            # constructor beats (or replaces) per-row patching.
             return MECNetwork(
                 providers=self.providers,
                 base_stations=self.base_stations,
@@ -280,6 +461,7 @@ class MECNetwork:
                 services=self.services,
                 region=self.region,
                 coverage_radius_m=self.coverage_radius_m,
+                geometry=self.geometry,
             )
 
         clone = object.__new__(MECNetwork)
@@ -289,6 +471,8 @@ class MECNetwork:
             "services",
             "region",
             "coverage_radius_m",
+            "geometry",
+            "_geometry_mode",
             "_sp_by_id",
             "_bs_by_id",
             "_service_by_id",
@@ -296,6 +480,13 @@ class MECNetwork:
             "_bs_col",
             "_hosts_by_service",
             "_bs_id_array",
+            "_grid",
+            "_cov_indptr",
+            "_cov_cols",
+            "_cov_dists",
+            "_cand_indptr",
+            "_cand_cols",
+            "_cand_dists",
         ):
             object.__setattr__(clone, name, getattr(self, name))
         object.__setattr__(clone, "user_equipments", moved_ues)
@@ -360,8 +551,31 @@ class MECNetwork:
         """Average number of candidate BSs per UE (the paper's ``f_u``)."""
         if not self.user_equipments:
             return 0.0
+        if self._geometry_mode == "grid":
+            return float(np.mean(np.diff(self._cand_indptr)))
         return float(
             np.mean([len(self._candidates[ue.ue_id]) for ue in self.user_equipments])
+        )
+
+    def estimated_geometry_bytes(self) -> int:
+        """Approximate bytes held by the precomputed geometry arrays.
+
+        The scenario cache uses this (plus the radio map's column sizes)
+        to bound its memory footprint; see
+        :func:`repro.sim.scenario.build_scenario_cached`.
+        """
+        if self._geometry_mode == "dense":
+            return int(
+                self._distances.nbytes + self._candidate_mask.nbytes
+            )
+        return int(
+            sum(
+                arr.nbytes
+                for arr in (
+                    self._cov_indptr, self._cov_cols, self._cov_dists,
+                    self._cand_indptr, self._cand_cols, self._cand_dists,
+                )
+            )
         )
 
     def describe(self) -> str:
@@ -379,6 +593,13 @@ class MECNetwork:
             return self._ue_row[ue_id]
         except KeyError:
             raise UnknownEntityError(f"unknown UE id {ue_id}") from None
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    """Mark an array read-only (the network is semantically immutable)."""
+    if array.base is None and array.flags.owndata:
+        array.setflags(write=False)
+    return array
 
 
 def _index_unique(kind: str, pairs: Iterable[tuple[int, object]]) -> dict:

@@ -59,6 +59,8 @@ _VALID_KINDS = ("counter", "gauge")
 #: last dot-segment; trace derivation folds them into labeled families.
 _LABELED_COUNTER_PREFIXES = {
     "online.sp_profit": "sp",
+    "scale.shard_rounds": "shard",
+    "scale.shard_evictions": "shard",
 }
 
 

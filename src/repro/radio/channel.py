@@ -249,6 +249,20 @@ class RadioMap:
         """Per-link integer RRB demands ``n_{u,i}`` (read-only)."""
         return self._rrbs
 
+    def estimated_bytes(self) -> int:
+        """Approximate bytes held by the map's column arrays.
+
+        Used by the scenario cache to bound its memory footprint; lazy
+        per-link ``LinkMetrics`` objects are not counted.
+        """
+        return int(sum(
+            arr.nbytes
+            for arr in (
+                self._ue_ids, self._bs_ids, self._distance_m,
+                self._sinr, self._rate, self._rrbs,
+            )
+        ))
+
     # ------------------------------------------------------------------
     # Incremental updates
     # ------------------------------------------------------------------
@@ -390,21 +404,27 @@ def _vectorized_columns(
         rate_model = per_rrb_rate_bps
 
     ues = network.user_equipments
-    if only_ues is not None:
+    if only_ues is None:
+        # Full build: the network's flat candidate pairs are already in
+        # row-major (UE-grouped, BS-ascending) order and avoid touching
+        # the dense mask/matrix in grid geometry mode.
+        rows, cols, link_distances = network.candidate_pairs()
+        counts = np.bincount(rows, minlength=len(ues))
+    else:
         wanted = set(only_ues)
         ues = tuple(ue for ue in ues if ue.ue_id in wanted)
 
-    mask = network.candidate_mask()
-    distances = network.distance_matrix_m()
-    if only_ues is not None:
+        mask = network.candidate_mask()
+        distances = network.distance_matrix_m()
         row_index = np.array(
             [network.row_of_ue(ue.ue_id) for ue in ues], dtype=np.intp
         )
         mask = mask[row_index]
         distances = distances[row_index]
 
-    rows, cols = np.nonzero(mask)  # row-major: grouped by UE, BS order kept
-    link_distances = distances[rows, cols]
+        rows, cols = np.nonzero(mask)  # row-major: grouped by UE
+        link_distances = distances[rows, cols]
+        counts = mask.sum(axis=1)
 
     tx_power = np.array([ue.tx_power_dbm for ue in ues])[rows]
     rate_demand = np.array([ue.rate_demand_bps for ue in ues])[rows]
@@ -427,7 +447,6 @@ def _vectorized_columns(
         )
     rrbs = rrbs_required_array(rate_demand, rate, over_budget)
 
-    counts = mask.sum(axis=1)
     offsets = np.concatenate(([0], np.cumsum(counts)))
     ue_slices = {
         ue.ue_id: (int(offsets[i]), int(offsets[i + 1]))

@@ -1,0 +1,143 @@
+"""Reconciliation: resolve BSs claimed by more than one shard.
+
+Shards match independently, each against a private ledger of its halo
+BSs — so a BS sitting in several halos can collect more grants than its
+real capacity allows.  Reconciliation restores the global constraints
+(Eqs. 12--15) in two deterministic steps:
+
+1. **Admission with eviction.**  All claims on one BS are ranked by the
+   BS-side preference key the shards shipped (cross-SP flag, candidate
+   degree, footprint, ``ue_id`` — the shard-independent analogue of
+   :func:`repro.core.preferences.dmra_bs_rank_key`).  While the BS is
+   over its RRB budget or any hosted service is over its CRU pool, the
+   least-preferred claim that relieves a violated resource is evicted —
+   the same evict-from-the-worst-end rule the engine's own RRB budget
+   check uses (Alg. 1 lines 22--25).  Survivors are granted into one
+   global :class:`~repro.compute.cru.LedgerPool`, whose transactional
+   ledgers make over-commitment impossible by construction.
+2. **Re-proposal** (in :mod:`repro.scale.runner`): evicted UEs run
+   :func:`repro.core.residual.residual_match` against the pool's
+   residual capacity — ordinary bounded deferred acceptance, so the
+   ledger ends balanced with every evicted UE either re-granted
+   elsewhere or forwarded to the cloud.
+
+A single shard can never over-subscribe a BS (its claims come from one
+consistent ledger), so with ``--shards 1`` this pass admits everything
+untouched — the bit-parity guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.compute.cru import Grant, LedgerPool
+from repro.model.entities import BaseStation
+from repro.scale.executor import RankKey, ShardResult
+
+__all__ = ["ReconcileOutcome", "reconcile_claims"]
+
+
+@dataclass(frozen=True)
+class ReconcileOutcome:
+    """The admission step's result, before re-proposal."""
+
+    #: Global pool holding every surviving grant.
+    ledgers: LedgerPool
+    #: Surviving grants per shard, shard-local order preserved.
+    surviving: tuple[tuple[Grant, ...], ...]
+    #: Evicted UE ids, ascending.
+    evicted_ue_ids: tuple[int, ...]
+    #: Eviction counts per shard.
+    evictions_by_shard: tuple[int, ...]
+
+    @property
+    def total_evictions(self) -> int:
+        return sum(self.evictions_by_shard)
+
+
+def reconcile_claims(
+    base_stations: Sequence[BaseStation], results: list[ShardResult]
+) -> ReconcileOutcome:
+    """Admit shard claims into one global ledger, evicting conflicts.
+
+    ``base_stations`` must be the *monolithic* BS population (every BS
+    present); it supplies the capacity envelopes.  Claims are processed
+    per BS in ascending ``bs_id``; within a BS the ranked admission
+    above decides who stays.  The output's ``surviving`` tuples keep
+    each shard's grant order, so concatenating them (plus re-proposal
+    grants) reproduces the monolithic grants tuple exactly in the
+    single-shard case.
+    """
+    bs_by_id = {bs.bs_id: bs for bs in base_stations}
+    # (rank_key, shard_index, position-in-shard) per claim, per BS.
+    claims: dict[int, list[tuple[RankKey, int, int]]] = {}
+    for result in results:
+        for position, (grant, key) in enumerate(
+            zip(result.grants, result.rank_keys)
+        ):
+            claims.setdefault(grant.bs_id, []).append(
+                (key, result.shard_index, position)
+            )
+
+    evicted_by_shard: list[set[int]] = [set() for _ in results]
+    by_shard = {result.shard_index: result for result in results}
+    for bs_id in sorted(claims):
+        bs = bs_by_id[bs_id]
+        ranked = sorted(claims[bs_id])
+        rrb_used = 0
+        cru_used: dict[int, int] = {}
+        for key, shard_index, position in ranked:
+            grant = by_shard[shard_index].grants[position]
+            rrb_used += grant.rrbs
+            cru_used[grant.service_id] = (
+                cru_used.get(grant.service_id, 0) + grant.crus
+            )
+        while True:
+            over_rrb = rrb_used > bs.rrb_capacity
+            over_services = {
+                service_id
+                for service_id, used in cru_used.items()
+                if used > bs.cru_capacity.get(service_id, 0)
+            }
+            if not over_rrb and not over_services:
+                break
+            # Evict the least-preferred claim that relieves a violated
+            # resource (any claim when RRBs are over; otherwise one of
+            # an over-subscribed service).
+            for i in range(len(ranked) - 1, -1, -1):
+                key, shard_index, position = ranked[i]
+                grant = by_shard[shard_index].grants[position]
+                if over_rrb or grant.service_id in over_services:
+                    del ranked[i]
+                    rrb_used -= grant.rrbs
+                    cru_used[grant.service_id] -= grant.crus
+                    evicted_by_shard[shard_index].add(position)
+                    break
+
+    pool = LedgerPool(base_stations)
+    surviving: list[tuple[Grant, ...]] = []
+    evicted_ue_ids: list[int] = []
+    for index, result in enumerate(results):
+        kept = []
+        dropped = evicted_by_shard[index]
+        for position, grant in enumerate(result.grants):
+            if position in dropped:
+                evicted_ue_ids.append(grant.ue_id)
+                continue
+            kept.append(grant)
+            pool.ledger(grant.bs_id).grant(
+                ue_id=grant.ue_id,
+                service_id=grant.service_id,
+                crus=grant.crus,
+                rrbs=grant.rrbs,
+            )
+        surviving.append(tuple(kept))
+    return ReconcileOutcome(
+        ledgers=pool,
+        surviving=tuple(surviving),
+        evicted_ue_ids=tuple(sorted(evicted_ue_ids)),
+        evictions_by_shard=tuple(
+            len(dropped) for dropped in evicted_by_shard
+        ),
+    )

@@ -79,12 +79,12 @@ def compute_metrics(
         for ue_id in assignment.cloud_ue_ids
     )
 
+    used_crus_by_bs, used_rrbs_by_bs = _usage_by_bs(assignment)
     cru_utils: list[float] = []
     rrb_utils: list[float] = []
     for bs in network.base_stations:
-        grants = assignment.grants_of_bs(bs.bs_id)
-        used_crus = sum(g.crus for g in grants)
-        used_rrbs = sum(g.rrbs for g in grants)
+        used_crus = used_crus_by_bs.get(bs.bs_id, 0)
+        used_rrbs = used_rrbs_by_bs.get(bs.bs_id, 0)
         total_crus = bs.total_cru_capacity
         cru_utils.append(used_crus / total_crus if total_crus else 0.0)
         rrb_utils.append(used_rrbs / bs.rrb_capacity)
@@ -109,6 +109,21 @@ def compute_metrics(
     )
 
 
+def _usage_by_bs(assignment: Assignment) -> tuple[dict[int, int], dict[int, int]]:
+    """One-pass ``({bs_id: used_crus}, {bs_id: used_rrbs})`` totals.
+
+    Grouping the grants once keeps the per-BS loops O(B + G) instead of
+    the O(B * G) that per-BS ``grants_of_bs`` scans would cost — the
+    difference between instant and minutes at 100k UEs x 2500 BSs.
+    """
+    used_crus: dict[int, int] = {}
+    used_rrbs: dict[int, int] = {}
+    for grant in assignment.grants:
+        used_crus[grant.bs_id] = used_crus.get(grant.bs_id, 0) + grant.crus
+        used_rrbs[grant.bs_id] = used_rrbs.get(grant.bs_id, 0) + grant.rrbs
+    return used_crus, used_rrbs
+
+
 def per_bs_utilization(
     network: MECNetwork, assignment: Assignment
 ) -> dict[int, tuple[float, float]]:
@@ -118,11 +133,11 @@ def per_bs_utilization(
     saturation picture the load-balancing evaluations plot.  A BS with
     no CRU pool reports 0.0 CRU utilization.
     """
+    used_crus_by_bs, used_rrbs_by_bs = _usage_by_bs(assignment)
     utilization: dict[int, tuple[float, float]] = {}
     for bs in network.base_stations:
-        grants = assignment.grants_of_bs(bs.bs_id)
-        used_crus = sum(g.crus for g in grants)
-        used_rrbs = sum(g.rrbs for g in grants)
+        used_crus = used_crus_by_bs.get(bs.bs_id, 0)
+        used_rrbs = used_rrbs_by_bs.get(bs.bs_id, 0)
         total_crus = bs.total_cru_capacity
         utilization[bs.bs_id] = (
             used_crus / total_crus if total_crus else 0.0,

@@ -37,6 +37,7 @@ __all__ = [
     "build_scenario",
     "build_scenario_cached",
     "clear_scenario_cache",
+    "estimate_scenario_bytes",
     "scenario_cache_info",
 ]
 
@@ -147,8 +148,20 @@ def build_scenario(
 # ----------------------------------------------------------------------
 
 _CacheKey = tuple[ScenarioConfig, int, int]
-_SCENARIO_CACHE: OrderedDict[_CacheKey, Scenario] = OrderedDict()
+# Each entry keeps the scenario plus its estimated byte footprint, so
+# eviction can bound total *memory*, not just the entry count.
+_SCENARIO_CACHE: OrderedDict[_CacheKey, tuple[Scenario, int]] = OrderedDict()
 _CACHE_STATS = {"hits": 0, "misses": 0}
+_CACHE_BYTES = {"total": 0}
+
+#: Default memory bound of the scenario cache, in megabytes.
+_DEFAULT_CACHE_MB = 1024
+
+#: Fixed per-entity byte estimates (Python object + dataclass overhead)
+#: used when sizing a scenario; deliberately coarse but monotone in the
+#: population sizes, which is what bounding needs.
+_UE_BYTES = 200
+_BS_BYTES = 600
 
 
 def _cache_capacity() -> int:
@@ -160,6 +173,40 @@ def _cache_capacity() -> int:
         return 32
 
 
+def _cache_byte_capacity() -> int:
+    """Max total estimated bytes (``DMRA_SCENARIO_CACHE_MB``).
+
+    Defaults to 1024 MB; ``0`` (or a negative value) disables the byte
+    bound, leaving only the entry-count bound.  Invalid values fall
+    back to the default.
+    """
+    raw = os.environ.get("DMRA_SCENARIO_CACHE_MB", "")
+    try:
+        mb = int(raw) if raw else _DEFAULT_CACHE_MB
+    except ValueError:
+        mb = _DEFAULT_CACHE_MB
+    return mb * 1024 * 1024 if mb > 0 else 0
+
+
+def estimate_scenario_bytes(scenario: Scenario) -> int:
+    """Estimated resident bytes of one scenario.
+
+    Dominated by the network's geometry arrays (the dense distance
+    matrix at small scale, the sparse coverage pairs in grid mode) and
+    the radio map's per-link columns; entity objects are charged a flat
+    per-UE/per-BS overhead.  At 100k UEs a dense-mode scenario is
+    hundreds of megabytes, which is why the cache bounds bytes rather
+    than entry count alone.
+    """
+    network = scenario.network
+    return int(
+        network.estimated_geometry_bytes()
+        + scenario.radio_map.estimated_bytes()
+        + network.ue_count * _UE_BYTES
+        + network.bs_count * _BS_BYTES
+    )
+
+
 def build_scenario_cached(
     config: ScenarioConfig, ue_count: int, seed: int
 ) -> Scenario:
@@ -168,9 +215,13 @@ def build_scenario_cached(
     Scenarios are immutable, so every caller of the same
     ``(config, ue_count, seed)`` triple — e.g. all allocators of one
     sweep cell, or every rho grid point of one seed — can share one
-    instance.  A bounded LRU (see :func:`_cache_capacity`) keeps memory
-    flat across long sweeps; forked sweep workers inherit a snapshot and
-    fill their own copies independently.
+    instance.  The LRU is bounded two ways: by entry count
+    (``DMRA_SCENARIO_CACHE``, default 32) and by total *estimated
+    bytes* (``DMRA_SCENARIO_CACHE_MB``, default 1024 MB), so a handful
+    of 100k-UE scenarios cannot pin gigabytes the way a pure
+    entry-count bound would.  A single scenario larger than the whole
+    byte budget is returned uncached.  Forked sweep workers inherit a
+    snapshot and fill their own copies independently.
     """
     capacity = _cache_capacity()
     if capacity <= 0:
@@ -180,12 +231,24 @@ def build_scenario_cached(
     if cached is not None:
         _SCENARIO_CACHE.move_to_end(key)
         _CACHE_STATS["hits"] += 1
-        return cached
+        return cached[0]
     _CACHE_STATS["misses"] += 1
     scenario = build_scenario(config, ue_count, seed)
-    _SCENARIO_CACHE[key] = scenario
-    while len(_SCENARIO_CACHE) > capacity:
-        _SCENARIO_CACHE.popitem(last=False)
+    size = estimate_scenario_bytes(scenario)
+    byte_capacity = _cache_byte_capacity()
+    if byte_capacity and size > byte_capacity:
+        # Larger than the entire budget: caching it would just evict
+        # everything else and still bust the bound.
+        return scenario
+    _SCENARIO_CACHE[key] = (scenario, size)
+    _CACHE_BYTES["total"] += size
+    while len(_SCENARIO_CACHE) > capacity or (
+        byte_capacity
+        and _CACHE_BYTES["total"] > byte_capacity
+        and len(_SCENARIO_CACHE) > 1
+    ):
+        _, (_, evicted_size) = _SCENARIO_CACHE.popitem(last=False)
+        _CACHE_BYTES["total"] -= evicted_size
     return scenario
 
 
@@ -194,13 +257,16 @@ def clear_scenario_cache() -> None:
     _SCENARIO_CACHE.clear()
     _CACHE_STATS["hits"] = 0
     _CACHE_STATS["misses"] = 0
+    _CACHE_BYTES["total"] = 0
 
 
 def scenario_cache_info() -> dict[str, int]:
-    """Current cache occupancy and hit/miss counters."""
+    """Current cache occupancy, byte footprint, and hit/miss counters."""
     return {
         "size": len(_SCENARIO_CACHE),
         "capacity": _cache_capacity(),
+        "bytes": _CACHE_BYTES["total"],
+        "byte_capacity": _cache_byte_capacity(),
         "hits": _CACHE_STATS["hits"],
         "misses": _CACHE_STATS["misses"],
     }

@@ -1,0 +1,136 @@
+"""Integration tests for the sharded scale runner.
+
+Two acceptance criteria from the scale subsystem issue are pinned
+here:
+
+* ``shards=1`` is **bit-identical** to the monolithic
+  ``DMRAAllocator`` path — same grants tuple, same cloud set, same
+  round count;
+* with several shards on a scenario with real cross-tile contention,
+  total SP profit stays within 1% of the monolithic run.
+"""
+
+import pytest
+
+from repro.core.dmra import DMRAAllocator
+from repro.errors import ConfigurationError
+from repro.scale import run_sharded
+from repro.sim.config import ScenarioConfig
+from repro.sim.runner import run_allocation
+from repro.sim.scenario import build_scenario
+
+# The committed multi-shard contention scenario: a 2.7 km side with
+# 50 BSs keeps shard halos overlapping at tile borders (coverage is
+# 500 m) without degenerating into every-BS-in-every-halo, so the
+# reconciliation path is genuinely exercised (dozens of evictions).
+CONTENTION_CONFIG = ScenarioConfig.paper(region_side_m=2700.0, bs_per_sp=10)
+CONTENTION_UES = 2000
+CONTENTION_SEED = 1
+
+
+def _monolithic(config, ue_count, seed):
+    scenario = build_scenario(config, ue_count=ue_count, seed=seed)
+    allocator = DMRAAllocator(pricing=scenario.pricing, rho=config.rho)
+    return run_allocation(scenario, allocator)
+
+
+class TestSingleShardParity:
+    def test_bit_identical_to_monolithic(self):
+        config = ScenarioConfig.paper()
+        mono = _monolithic(config, ue_count=400, seed=7)
+        sharded = run_sharded(
+            config, ue_count=400, seed=7, shards=1, workers=1
+        )
+        assert sharded.assignment.grants == mono.assignment.grants
+        assert (
+            sharded.assignment.cloud_ue_ids == mono.assignment.cloud_ue_ids
+        )
+        assert sharded.assignment.rounds == mono.assignment.rounds
+        assert sharded.metrics.total_profit == mono.metrics.total_profit
+        assert sharded.total_evictions == 0
+        assert sharded.reproposal_grants == 0
+
+    def test_single_shard_parity_on_contention_config(self):
+        mono = _monolithic(CONTENTION_CONFIG, ue_count=600, seed=3)
+        sharded = run_sharded(
+            CONTENTION_CONFIG, ue_count=600, seed=3, shards=1, workers=1
+        )
+        assert sharded.assignment.grants == mono.assignment.grants
+        assert (
+            sharded.assignment.cloud_ue_ids == mono.assignment.cloud_ue_ids
+        )
+
+
+class TestMultiShardDeviation:
+    @pytest.fixture(scope="class")
+    def monolithic(self):
+        return _monolithic(
+            CONTENTION_CONFIG,
+            ue_count=CONTENTION_UES,
+            seed=CONTENTION_SEED,
+        )
+
+    @pytest.mark.parametrize("shards", [4, 9])
+    def test_total_profit_within_one_percent(self, monolithic, shards):
+        sharded = run_sharded(
+            CONTENTION_CONFIG,
+            ue_count=CONTENTION_UES,
+            seed=CONTENTION_SEED,
+            shards=shards,
+            workers=1,
+        )
+        mono_profit = monolithic.metrics.total_profit
+        deviation = abs(sharded.metrics.total_profit - mono_profit)
+        assert deviation / mono_profit < 0.01
+        # Contention is real on this scenario: tiles overlap and the
+        # reconciliation pass has actual work to do.
+        assert sharded.total_evictions > 0
+        assert len(sharded.shard_ue_counts) == shards
+        assert sum(sharded.shard_ue_counts) == CONTENTION_UES
+        # Every UE is accounted for in the assembled assignment.
+        assignment = sharded.assignment
+        assert (
+            len(assignment.grants) + len(assignment.cloud_ue_ids)
+            == CONTENTION_UES
+        )
+
+    def test_worker_count_does_not_change_the_result(self):
+        serial = run_sharded(
+            CONTENTION_CONFIG,
+            ue_count=CONTENTION_UES,
+            seed=CONTENTION_SEED,
+            shards=4,
+            workers=1,
+        )
+        forked = run_sharded(
+            CONTENTION_CONFIG,
+            ue_count=CONTENTION_UES,
+            seed=CONTENTION_SEED,
+            shards=4,
+            workers=4,
+        )
+        assert forked.assignment.grants == serial.assignment.grants
+        assert (
+            forked.assignment.cloud_ue_ids
+            == serial.assignment.cloud_ue_ids
+        )
+        assert forked.shard_rounds == serial.shard_rounds
+        assert forked.evictions_by_shard == serial.evictions_by_shard
+
+
+class TestRunShardedValidation:
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sharded(
+                ScenarioConfig.paper(), ue_count=10, seed=0, shards=0
+            )
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sharded(
+                ScenarioConfig.paper(),
+                ue_count=10,
+                seed=0,
+                shards=2,
+                workers=0,
+            )

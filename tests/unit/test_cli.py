@@ -44,6 +44,51 @@ class TestRunCommand:
         assert "total profit:" in capsys.readouterr().out
 
 
+class TestShardedRunCommand:
+    def test_run_sharded(self, capsys):
+        assert (
+            main(["run", "--ues", "120", "--seed", "2", "--shards", "2"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "sharded run:        2 shards" in output
+        assert "shard UEs:" in output
+        assert "shard halo BSs:" in output
+        assert "total profit:" in output
+        assert "evictions:" in output
+        assert "re-proposal:" in output
+
+    def test_run_sharded_profile_prints_phase_table(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--ues", "80",
+                    "--shards", "2",
+                    "--profile",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "phase" in output
+        assert "partition" in output
+        assert "reconcile" in output
+
+    def test_sharding_requires_dmra(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(
+                [
+                    "run",
+                    "--ues", "40",
+                    "--allocator", "greedy",
+                    "--shards", "2",
+                ]
+            )
+
+
 class TestInspectCommand:
     def test_inspect_reports_populations(self, capsys):
         assert main(["inspect", "--ues", "40"]) == 0

@@ -209,6 +209,8 @@ class TestScenarioCache:
         assert info == {
             "size": 0,
             "capacity": info["capacity"],
+            "bytes": 0,
+            "byte_capacity": info["byte_capacity"],
             "hits": 0,
             "misses": 0,
         }

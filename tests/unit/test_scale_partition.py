@@ -1,0 +1,147 @@
+"""Unit tests for the spatial partitioner and the streaming builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.geometry import Point, Rectangle
+from repro.scale import (
+    build_scenario_frame,
+    halo_bs_indices,
+    partition_network,
+    plan_tiles,
+)
+from repro.scale.partition import assign_shards
+from repro.sim.config import ScenarioConfig
+from repro.sim.scenario import build_scenario
+
+
+class TestPlanTiles:
+    def test_square_count_gives_square_grid(self):
+        nx, ny, bounds = plan_tiles(Rectangle.square(1200.0), 4)
+        assert (nx, ny) == (2, 2)
+        assert len(bounds) == 4
+
+    def test_prime_count_degenerates_to_strips(self):
+        nx, ny, _ = plan_tiles(Rectangle.square(1200.0), 5)
+        assert sorted((nx, ny)) == [1, 5]
+
+    def test_larger_factor_follows_longer_side(self):
+        wide = Rectangle(0.0, 0.0, 2000.0, 500.0)
+        nx, ny, _ = plan_tiles(wide, 6)
+        assert nx >= ny
+        tall = Rectangle(0.0, 0.0, 500.0, 2000.0)
+        nx, ny, _ = plan_tiles(tall, 6)
+        assert ny >= nx
+
+    def test_tiles_exactly_cover_the_region(self):
+        region = Rectangle(10.0, -5.0, 1210.0, 595.0)
+        _, _, bounds = plan_tiles(region, 6)
+        assert sum(b.area for b in bounds) == pytest.approx(region.area)
+        assert min(b.x_min for b in bounds) == region.x_min
+        assert max(b.x_max for b in bounds) == pytest.approx(region.x_max)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_tiles(Rectangle.square(100.0), 0)
+
+
+class TestAssignShards:
+    def test_every_point_gets_exactly_one_shard(self):
+        region = Rectangle.square(1000.0)
+        rng = np.random.default_rng(0)
+        xy = rng.uniform(0.0, 1000.0, size=(500, 2))
+        owners = assign_shards(xy, region, 3, 2)
+        assert owners.shape == (500,)
+        assert owners.min() >= 0 and owners.max() < 6
+
+    def test_far_edge_points_clip_into_last_tile(self):
+        region = Rectangle.square(1000.0)
+        xy = np.array([[1000.0, 1000.0], [0.0, 0.0], [1500.0, -3.0]])
+        owners = assign_shards(xy, region, 2, 2)
+        assert owners.tolist() == [3, 0, 1]
+
+
+class TestHaloBsIndices:
+    def test_halo_is_point_to_rectangle_distance(self):
+        bounds = Rectangle(0.0, 0.0, 100.0, 100.0)
+
+        class FakeBS:
+            def __init__(self, x, y):
+                self.position = Point(x, y)
+
+        stations = [
+            FakeBS(50.0, 50.0),    # inside
+            FakeBS(149.0, 50.0),   # 49 m east of the edge
+            FakeBS(151.0, 50.0),   # 51 m east of the edge
+            FakeBS(140.0, 140.0),  # corner distance ~56.6 m
+        ]
+        halo = halo_bs_indices(stations, bounds, coverage_radius_m=50.0)
+        assert halo.tolist() == [0, 1]
+
+    def test_empty_and_invalid(self):
+        bounds = Rectangle.square(10.0)
+        assert halo_bs_indices([], bounds, 50.0).tolist() == []
+        with pytest.raises(ConfigurationError):
+            halo_bs_indices([], bounds, 0.0)
+
+
+class TestPartitionNetwork:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return build_scenario(
+            ScenarioConfig.paper(), ue_count=150, seed=5
+        ).network
+
+    def test_ues_partitioned_exactly_once(self, network):
+        plan = partition_network(network, 4)
+        seen = [ue for tile in plan.tiles for ue in tile.ue_ids]
+        assert sorted(seen) == sorted(
+            ue.ue_id for ue in network.user_equipments
+        )
+        assert len(seen) == len(set(seen))
+
+    def test_halo_contains_every_covering_bs(self, network):
+        plan = partition_network(network, 4)
+        for tile in plan.tiles:
+            halo = set(tile.bs_ids)
+            for ue_id in tile.ue_ids:
+                covering = set(network.covering_base_stations(ue_id))
+                assert covering <= halo
+
+    def test_single_shard_owns_everything(self, network):
+        plan = partition_network(network, 1)
+        (tile,) = plan.tiles
+        assert len(tile.ue_ids) == network.ue_count
+        assert len(tile.bs_ids) == network.bs_count
+
+
+class TestScenarioFrame:
+    def test_chunked_ues_bit_identical_to_monolithic(self):
+        config = ScenarioConfig.paper()
+        scenario = build_scenario(config, ue_count=123, seed=9)
+        frame = build_scenario_frame(config, ue_count=123, seed=9)
+        assert frame.providers == scenario.network.providers
+        assert frame.base_stations == scenario.network.base_stations
+        assert frame.services == scenario.network.services
+        streamed = [
+            ue
+            for chunk in frame.iter_ue_chunks(chunk_size=40)
+            for ue in chunk
+        ]
+        assert tuple(streamed) == scenario.network.user_equipments
+
+    def test_frame_is_one_shot(self):
+        frame = build_scenario_frame(
+            ScenarioConfig.paper(), ue_count=10, seed=0
+        )
+        list(frame.iter_ue_chunks(chunk_size=4))
+        with pytest.raises(ConfigurationError):
+            next(iter(frame.iter_ue_chunks(chunk_size=4)))
+
+    def test_invalid_chunk_size_rejected(self):
+        frame = build_scenario_frame(
+            ScenarioConfig.paper(), ue_count=10, seed=0
+        )
+        with pytest.raises(ConfigurationError):
+            next(iter(frame.iter_ue_chunks(chunk_size=0)))
