@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-scale metrics-baseline bench-paper figures extensions examples clean
+.PHONY: install test bench bench-smoke bench-scale bench-kernel metrics-baseline bench-paper figures extensions examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -30,6 +30,15 @@ bench-smoke:
 # benchmarks/bench_scale.py).
 bench-scale:
 	bash -c 'time $(PYTHON) benchmarks/bench_scale.py'
+
+# Kernel bench: SoA vs object matching kernel on one mid-size
+# monolithic scenario (bit-parity + BENCH_KERNEL_MIN_SPEEDUP floor),
+# plus the 100k-UE sharded headline on the SoA kernel (match-phase
+# wall cap, unchanged RSS cap, profit-vs-monolithic deviation bound);
+# writes BENCH_pr6.json (knobs via BENCH_KERNEL_*, see
+# benchmarks/bench_kernel.py).
+bench-kernel:
+	bash -c 'time $(PYTHON) benchmarks/bench_kernel.py'
 
 # Regenerate the committed metrics baseline the CI regression gate
 # diffs against.  Do this only when a PR deliberately changes domain

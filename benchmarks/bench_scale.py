@@ -23,7 +23,11 @@ Emits ``BENCH_pr5.json`` at the repo root and exits non-zero when:
 
 Knobs: ``BENCH_SCALE_UES`` (headline population, default 100000),
 ``BENCH_SCALE_SHARDS`` (default 9), ``BENCH_SCALE_WORKERS``
-(default 4), ``BENCH_SCALE_SWEEP_UES`` (default 20000).
+(default 4), ``BENCH_SCALE_SWEEP_UES`` (default 20000),
+``BENCH_SCALE_KERNEL`` (per-shard matching kernel, default
+``object`` — the PR 5 envelope; ``soa`` benches the SoA kernel, which
+is bit-identical per shard, so every record carries a ``kernel``
+column for apples-to-apples comparison).
 """
 
 from __future__ import annotations
@@ -71,9 +75,10 @@ def _peak_rss_mb() -> tuple[float, float]:
     return self_kb / 1024.0, child_kb / 1024.0
 
 
-def _outcome_record(outcome) -> dict:
+def _outcome_record(outcome, kernel: str) -> dict:
     return {
         "shards": outcome.shard_count,
+        "kernel": kernel,
         "workers": outcome.workers,
         "wall_s": round(outcome.wall_time_s, 3),
         "partition_s": round(outcome.partition_time_s, 3),
@@ -96,6 +101,7 @@ def main() -> int:
     headline_shards = _env_int("BENCH_SCALE_SHARDS", 9)
     workers = _env_int("BENCH_SCALE_WORKERS", 4)
     sweep_ues = _env_int("BENCH_SCALE_SWEEP_UES", 20_000)
+    kernel = os.environ.get("BENCH_SCALE_KERNEL", "object")
     max_seconds = _env_float("BENCH_SCALE_MAX_SECONDS", 120.0)
     max_rss_mb = _env_float("BENCH_SCALE_MAX_RSS_MB", 1024.0)
     max_deviation = _env_float("BENCH_SCALE_MAX_DEVIATION", 0.01)
@@ -112,8 +118,9 @@ def main() -> int:
             seed=SEED,
             shards=shards,
             workers=workers,
+            kernel=kernel,
         )
-        record = _outcome_record(outcome)
+        record = _outcome_record(outcome, kernel)
         if baseline_profit is None:
             baseline_profit = outcome.metrics.total_profit
             record["deviation"] = 0.0
@@ -142,10 +149,11 @@ def main() -> int:
         seed=SEED,
         shards=headline_shards,
         workers=workers,
+        kernel=kernel,
     )
     rss_self, rss_child = _peak_rss_mb()
     peak_rss = max(rss_self, rss_child)
-    headline = _outcome_record(outcome)
+    headline = _outcome_record(outcome, kernel)
     headline["ues"] = headline_ues
     headline["peak_rss_self_mb"] = round(rss_self, 1)
     headline["peak_rss_child_mb"] = round(rss_child, 1)
@@ -177,6 +185,7 @@ def main() -> int:
     report = {
         "bench": "scale",
         "seed": SEED,
+        "kernel": kernel,
         "scenario": {
             "region_side_m": 15000.0,
             "bs_per_sp": 500,

@@ -59,6 +59,7 @@ from repro.baselines import (
 )
 from repro.core.allocator import Allocator
 from repro.core.dmra import DMRAAllocator
+from repro.core.soa import KERNELS
 from repro.experiments import (
     EXPERIMENTS,
     Scale,
@@ -263,6 +264,18 @@ def _build_parser() -> argparse.ArgumentParser:
                     "fork-pool processes for the per-shard matchings "
                     "(default: 1 = serial, the memory-bounded path; "
                     "results are identical at any worker count)"
+                ),
+            )
+            cmd.add_argument(
+                "--kernel",
+                default="auto",
+                choices=list(KERNELS),
+                help=(
+                    "matching kernel for the dmra allocator: 'object' "
+                    "(bit-parity reference engine), 'soa' (structure-"
+                    "of-arrays kernel, same assignments, built for "
+                    "scale), or 'auto' (soa for plain DMRA, object "
+                    "otherwise; the default) — see docs/algorithm.md"
                 ),
             )
         if name in ("compare", "analyze"):
@@ -542,6 +555,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return _cmd_run_sharded(args)
     scenario = _scenario_from_args(args)
     allocator = _build_allocator(args.allocator, scenario)
+    if args.allocator == "dmra":
+        allocator.kernel = getattr(args, "kernel", "auto")
     outcome = run_allocation(scenario, allocator)
     metrics = outcome.metrics
     if getattr(args, "metrics", None) is not None:
@@ -587,11 +602,12 @@ def _cmd_run_sharded(args: argparse.Namespace) -> int:
         seed=args.seed,
         shards=args.shards,
         workers=args.shard_workers,
+        kernel=getattr(args, "kernel", "auto"),
     )
     metrics = outcome.metrics
     print(f"sharded run:        {outcome.shard_count} shards, "
           f"{outcome.workers} workers, {args.ues} UEs "
-          f"(seed {args.seed})")
+          f"(seed {args.seed}, {getattr(args, 'kernel', 'auto')} kernel)")
     print(f"shard UEs:          {min(outcome.shard_ue_counts)}"
           f"..{max(outcome.shard_ue_counts)} per shard")
     print(f"shard halo BSs:     {min(outcome.shard_bs_counts)}"

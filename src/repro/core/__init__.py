@@ -21,6 +21,13 @@ from repro.core.matching import (
     MatchingPolicy,
 )
 from repro.core.preferences import dmra_bs_rank_key, dmra_ue_score
+from repro.core.soa import (
+    KERNELS,
+    SoAMatchingEngine,
+    available_matching_backends,
+    make_matching_engine,
+    register_matching_backend,
+)
 from repro.core.steering import (
     CongestionSteeredAllocator,
     CongestionSteeredPolicy,
@@ -38,12 +45,17 @@ __all__ = [
     "DMRAPolicy",
     "DecentralizedDMRAAllocator",
     "IterativeMatchingEngine",
+    "KERNELS",
     "MatchingContext",
     "MatchingPolicy",
     "ResourceBroadcast",
     "SPAgent",
     "ServiceRequest",
+    "SoAMatchingEngine",
     "UEAgent",
+    "available_matching_backends",
     "dmra_bs_rank_key",
     "dmra_ue_score",
+    "make_matching_engine",
+    "register_matching_backend",
 ]

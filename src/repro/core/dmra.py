@@ -11,11 +11,8 @@ from __future__ import annotations
 
 from repro.core.allocator import Allocator
 from repro.core.assignment import Assignment
-from repro.core.matching import (
-    IterativeMatchingEngine,
-    MatchingContext,
-    MatchingPolicy,
-)
+from repro.core.matching import MatchingContext, MatchingPolicy
+from repro.core.soa import make_matching_engine
 from repro.core.preferences import (
     dmra_bs_rank_key,
     dmra_price_term,
@@ -151,6 +148,11 @@ class DMRAAllocator(Allocator):
         Ablation switch; see the module docstring.
     max_rounds:
         Safety bound on matching rounds.
+    kernel:
+        Matching kernel choice — ``"object"`` (the bit-parity reference
+        engine, the default), ``"soa"`` (the structure-of-arrays
+        kernel), or ``"auto"`` (SoA for plain DMRA, object otherwise);
+        see :func:`repro.core.soa.make_matching_engine`.
     """
 
     def __init__(
@@ -159,6 +161,7 @@ class DMRAAllocator(Allocator):
         rho: float = 10.0,
         same_sp_priority: bool = True,
         max_rounds: int = 100_000,
+        kernel: str = "object",
     ) -> None:
         if rho < 0:
             raise ConfigurationError(f"rho must be >= 0, got {rho}")
@@ -166,6 +169,7 @@ class DMRAAllocator(Allocator):
         self.rho = rho
         self.same_sp_priority = same_sp_priority
         self.max_rounds = max_rounds
+        self.kernel = kernel
         self.name = "dmra"
 
     def allocate(self, network: MECNetwork, radio_map: RadioMap) -> Assignment:
@@ -174,5 +178,7 @@ class DMRAAllocator(Allocator):
             rho=self.rho,
             same_sp_priority=self.same_sp_priority,
         )
-        engine = IterativeMatchingEngine(policy, max_rounds=self.max_rounds)
+        engine = make_matching_engine(
+            policy, kernel=self.kernel, max_rounds=self.max_rounds
+        )
         return engine.run(network, radio_map)

@@ -249,12 +249,18 @@ class _PairState:
     """Mutable per-(UE, BS) candidate link state.
 
     ``rrbs`` caches the link's ``n_{u,i}`` (radio-map lookups are pure),
-    so the feasibility tracker and grant path never re-derive it.
+    so the feasibility tracker, the RRB budget check, and the grant path
+    never re-derive it.  Service requests carry these pair objects (not
+    bare UE ids), which is what lets the BS-decision phases reuse the
+    cached demand instead of going back to the radio map.
     """
 
-    __slots__ = ("bs_id", "static", "rrbs", "alive")
+    __slots__ = ("ue_id", "bs_id", "static", "rrbs", "alive")
 
-    def __init__(self, bs_id: int, static: float | None, rrbs: int) -> None:
+    def __init__(
+        self, ue_id: int, bs_id: int, static: float | None, rrbs: int
+    ) -> None:
+        self.ue_id = ue_id
         self.bs_id = bs_id
         self.static = static
         self.rrbs = rrbs
@@ -557,7 +563,7 @@ class IterativeMatchingEngine:
                     cache[(ue_id, bs_id)] = static
                     pairs.append(
                         _PairState(
-                            bs_id, static, link(ue_id, bs_id).rrbs_required
+                            ue_id, bs_id, static, link(ue_id, bs_id).rrbs_required
                         )
                     )
                 cands[ue_id] = pairs
@@ -569,7 +575,8 @@ class IterativeMatchingEngine:
                     cache[(ue_id, bs_id)] = static
             cands[ue_id] = [
                 _PairState(
-                    bs_id, cache[(ue_id, bs_id)], link(ue_id, bs_id).rrbs_required
+                    ue_id, bs_id, cache[(ue_id, bs_id)],
+                    link(ue_id, bs_id).rrbs_required,
                 )
                 for bs_id in bs_ids
             ]
@@ -608,21 +615,28 @@ class IterativeMatchingEngine:
         tracker: _FeasibilityTracker,
         ue_by_id: dict[int, UserEquipment],
         service_ids: frozenset[int],
-    ) -> tuple[dict[int, dict[int, list[int]]], int]:
+    ) -> tuple[dict[int, dict[int, list[_PairState]]], int]:
         """Phase 1: each unassociated UE proposes to its best feasible BS.
 
-        Returns ``(bs_id -> service_id -> [ue_id, ...], proposal count)``
-        (the candidate sets ``U^c_{i,j}``).  UEs whose ``B_u`` empties
-        are moved to ``cloud`` and filtered out of ``unassociated`` in
-        place.
+        Returns ``(bs_id -> service_id -> [pair, ...], proposal count)``
+        (the candidate sets ``U^c_{i,j}``, as :class:`_PairState`
+        objects so the BS phases can reuse the cached ``n_{u,i}``).
+        UEs whose ``B_u`` empties are moved to ``cloud`` and filtered
+        out of ``unassociated`` in place.
 
         A retired pair can never fit again, so the argmin over *alive*
         pairs equals the reference walk that prunes infeasible argmins
         one by one; dead pairs are compacted out during the scan.  With
         a cooperating policy the per-candidate work is ``static +
         terms[service][bs]`` — no policy call at all.
+
+        A NaN preference score is a policy bug, not a ranking: every
+        comparison against it is False, which would silently skip the
+        BS (and, if all scores are NaN, forward a UE with live
+        candidates to the cloud).  The engine refuses to guess and
+        raises :class:`AllocationError` instead.
         """
-        requests: dict[int, dict[int, list[int]]] = {}
+        requests: dict[int, dict[int, list[_PairState]]] = {}
         newly_cloud: list[int] = []
         proposals = 0
         ctx.f_u_snapshot.clear()
@@ -648,6 +662,11 @@ class IterativeMatchingEngine:
                     score = static + term_by_bs[pair.bs_id]
                 else:
                     score = ue_score(ue, pair.bs_id, ctx)
+                if score != score:  # NaN: refuse to rank on garbage
+                    raise AllocationError(
+                        f"policy {policy.name!r} returned NaN preference "
+                        f"score for UE {ue_id}, BS {pair.bs_id}"
+                    )
                 # Ties break toward the lower bs_id; candidate lists are
                 # ascending in bs_id, so strict < implements that.  The
                 # second clause keeps an all-infinite preference list
@@ -661,7 +680,7 @@ class IterativeMatchingEngine:
                 continue
             requests.setdefault(best_pair.bs_id, {}).setdefault(
                 ue.service_id, []
-            ).append(ue_id)
+            ).append(best_pair)
             proposals += 1
             # The f_u the UE advertises in its service request (Alg. 1):
             # computed from the resources broadcast at the end of the
@@ -678,7 +697,7 @@ class IterativeMatchingEngine:
     def _process_base_stations(
         self,
         ctx: MatchingContext,
-        requests: dict[int, dict[int, list[int]]],
+        requests: dict[int, dict[int, list[_PairState]]],
         tracker: _FeasibilityTracker,
         ue_by_id: dict[int, UserEquipment],
     ) -> tuple[set[int], int]:
@@ -686,6 +705,9 @@ class IterativeMatchingEngine:
 
         Returns the set of UE ids granted an association this round and
         the number of tentative picks evicted by the RRB budget check.
+        Requests arrive as :class:`_PairState` objects, so the grant
+        below spends the pair's cached ``n_{u,i}`` instead of a
+        radio-map lookup.
         """
         accepted: set[int] = set()
         evictions = 0
@@ -694,31 +716,31 @@ class IterativeMatchingEngine:
             picks = self._pick_per_service(ctx, bs_id, requests[bs_id])
             survivors = self._fit_radio_budget(ctx, bs_id, ledger, picks)
             evictions += len(picks) - len(survivors)
-            for ue_id in survivors:
-                ue = ue_by_id[ue_id]
+            for pair in survivors:
+                ue = ue_by_id[pair.ue_id]
                 ledger.grant(
-                    ue_id=ue_id,
+                    ue_id=pair.ue_id,
                     service_id=ue.service_id,
                     crus=ue.cru_demand,
-                    rrbs=ctx.rrbs_required(ue_id, bs_id),
+                    rrbs=pair.rrbs,
                 )
                 tracker.on_grant(ledger, ue.service_id)
-                accepted.add(ue_id)
+                accepted.add(pair.ue_id)
         return accepted, evictions
 
     def _pick_per_service(
         self,
         ctx: MatchingContext,
         bs_id: int,
-        by_service: dict[int, list[int]],
-    ) -> list[int]:
+        by_service: dict[int, list[_PairState]],
+    ) -> list[_PairState]:
         """Alg. 1 lines 13--21: one most-preferred candidate per service."""
-        picks: list[int] = []
+        picks: list[_PairState] = []
         rank = self._rank_key
         for service_id in sorted(by_service):
             candidates = by_service[service_id]
             best = min(
-                candidates, key=lambda ue_id: rank(ue_id, bs_id, ctx)
+                candidates, key=lambda pair: rank(pair.ue_id, bs_id, ctx)
             )
             picks.append(best)
         return picks
@@ -728,21 +750,22 @@ class IterativeMatchingEngine:
         ctx: MatchingContext,
         bs_id: int,
         ledger: BSLedger,
-        picks: list[int],
-    ) -> list[int]:
+        picks: list[_PairState],
+    ) -> list[_PairState]:
         """Alg. 1 lines 22--25: evict least preferred picks until the
-        round's combined RRB demand fits the remaining budget."""
-        demand = {
-            ue_id: ctx.rrbs_required(ue_id, bs_id) for ue_id in picks
-        }
-        total = sum(demand.values())
+        round's combined RRB demand fits the remaining budget.
+
+        Demands come from the picks' cached ``_PairState.rrbs`` (filled
+        once at pair-state build time) — no radio-map lookups here.
+        """
+        total = sum(pair.rrbs for pair in picks)
         if total <= ledger.remaining_rrbs:
             return picks
         rank = self._rank_key
         ranked = sorted(
-            picks, key=lambda ue_id: rank(ue_id, bs_id, ctx)
+            picks, key=lambda pair: rank(pair.ue_id, bs_id, ctx)
         )
         while ranked and total > ledger.remaining_rrbs:
             evicted = ranked.pop()  # least preferred = largest rank key
-            total -= demand[evicted]
+            total -= evicted.rrbs
         return ranked

@@ -151,13 +151,16 @@ class ReferenceMatchingEngine:
             candidates = ctx.candidate_sets[ue_id]
             proposed = False
             while candidates:
-                best = min(
-                    candidates,
-                    key=lambda bs_id: (
-                        self.policy.ue_score(ue, bs_id, ctx),
-                        bs_id,
-                    ),
-                )
+                scored = []
+                for bs_id in candidates:
+                    score = self.policy.ue_score(ue, bs_id, ctx)
+                    if score != score:  # NaN: refuse to rank on garbage
+                        raise AllocationError(
+                            f"policy {self.policy.name!r} returned NaN "
+                            f"preference score for UE {ue_id}, BS {bs_id}"
+                        )
+                    scored.append((score, bs_id))
+                best = min(scored)[1]
                 if ctx.link_fits(ue, best):
                     requests.setdefault(best, {}).setdefault(
                         ue.service_id, []

@@ -209,6 +209,16 @@ class RadioMap:
         start, stop = self._ue_index.get(ue_id, (0, 0))
         return tuple(self._metric_at(i) for i in range(start, stop))
 
+    def ue_slice(self, ue_id: int) -> tuple[int, int]:
+        """``(start, stop)`` column range of one UE's links.
+
+        Indexes the columnar views (:attr:`bs_ids`, :attr:`rrb_demands`,
+        ...); a UE with no candidate links yields ``(0, 0)``.  This is
+        how whole-run consumers (the SoA matching kernel) lift a UE's
+        rows without materializing :class:`LinkMetrics` objects.
+        """
+        return self._ue_index.get(ue_id, (0, 0))
+
     def __len__(self) -> int:
         return len(self._ue_ids)
 

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 
 from repro.compute.cru import Grant
 from repro.core.dmra import DMRAPolicy
-from repro.core.matching import IterativeMatchingEngine
+from repro.core.soa import make_matching_engine
 from repro.econ.pricing import PricingPolicy
 from repro.errors import ConfigurationError
 from repro.model.entities import BaseStation, Service, ServiceProvider, UserEquipment
@@ -70,6 +70,10 @@ class ShardJob:
     #: objects with their full capacities (each shard matches as if it
     #: had the BS to itself; reconciliation settles the difference).
     shard_base_stations: tuple[tuple[BaseStation, ...], ...]
+    #: Matching kernel per shard run: ``"object"`` (bit-parity
+    #: reference), ``"soa"``, or ``"auto"`` — forwarded to
+    #: :func:`repro.core.soa.make_matching_engine`.
+    kernel: str = "object"
 
     @property
     def shard_count(self) -> int:
@@ -120,7 +124,9 @@ def _match_shard(job: ShardJob, index: int) -> ShardResult:
         rho=job.rho,
         same_sp_priority=job.same_sp_priority,
     )
-    engine = IterativeMatchingEngine(policy, max_rounds=job.max_rounds)
+    engine = make_matching_engine(
+        policy, kernel=job.kernel, max_rounds=job.max_rounds
+    )
     assignment = engine.run(network, radio_map)
     sp_of_bs = {bs.bs_id: bs.sp_id for bs in network.base_stations}
     rank_keys = []

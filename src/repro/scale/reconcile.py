@@ -85,14 +85,27 @@ def reconcile_claims(
     for bs_id in sorted(claims):
         bs = bs_by_id[bs_id]
         ranked = sorted(claims[bs_id])
-        rrb_used = 0
+        grants = [by_shard[s].grants[p] for _, s, p in ranked]
+        rrb_used = sum(grant.rrbs for grant in grants)
         cru_used: dict[int, int] = {}
-        for key, shard_index, position in ranked:
-            grant = by_shard[shard_index].grants[position]
-            rrb_used += grant.rrbs
+        # Rank positions per service, ascending — each service keeps a
+        # tail cursor so finding "the least-preferred claim of an
+        # over-subscribed service" never rescans the whole list.  The
+        # cursors (and the global tail for the RRB case) only ever move
+        # toward the head, so admission is O(claims log claims) overall
+        # instead of quadratic on heavily over-subscribed border BSs.
+        service_rows: dict[int, list[int]] = {}
+        for rank_pos, grant in enumerate(grants):
             cru_used[grant.service_id] = (
                 cru_used.get(grant.service_id, 0) + grant.crus
             )
+            service_rows.setdefault(grant.service_id, []).append(rank_pos)
+        alive = [True] * len(ranked)
+        tail = len(ranked) - 1
+        service_tail = {
+            service_id: len(rows) - 1
+            for service_id, rows in service_rows.items()
+        }
         while True:
             over_rrb = rrb_used > bs.rrb_capacity
             over_services = {
@@ -105,15 +118,26 @@ def reconcile_claims(
             # Evict the least-preferred claim that relieves a violated
             # resource (any claim when RRBs are over; otherwise one of
             # an over-subscribed service).
-            for i in range(len(ranked) - 1, -1, -1):
-                key, shard_index, position = ranked[i]
-                grant = by_shard[shard_index].grants[position]
-                if over_rrb or grant.service_id in over_services:
-                    del ranked[i]
-                    rrb_used -= grant.rrbs
-                    cru_used[grant.service_id] -= grant.crus
-                    evicted_by_shard[shard_index].add(position)
-                    break
+            if over_rrb:
+                while not alive[tail]:
+                    tail -= 1
+                rank_pos = tail
+            else:
+                rank_pos = -1
+                for service_id in over_services:
+                    rows = service_rows[service_id]
+                    cursor = service_tail[service_id]
+                    while cursor >= 0 and not alive[rows[cursor]]:
+                        cursor -= 1
+                    service_tail[service_id] = cursor
+                    if cursor >= 0:
+                        rank_pos = max(rank_pos, rows[cursor])
+            grant = grants[rank_pos]
+            alive[rank_pos] = False
+            rrb_used -= grant.rrbs
+            cru_used[grant.service_id] -= grant.crus
+            _, shard_index, position = ranked[rank_pos]
+            evicted_by_shard[shard_index].add(position)
 
     pool = LedgerPool(base_stations)
     surviving: list[tuple[Grant, ...]] = []

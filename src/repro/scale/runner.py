@@ -84,6 +84,7 @@ def run_sharded(
     allocator: DMRAAllocator | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     geometry: str = "auto",
+    kernel: str = "object",
 ) -> ShardedOutcome:
     """Run DMRA on ``(config, ue_count, seed)`` sharded by geometry.
 
@@ -91,10 +92,13 @@ def run_sharded(
     ablation switch, round bound); ``None`` uses the config's pricing
     and ``rho`` — the same defaults the monolithic CLI path applies.
     ``workers`` bounds the fork pool; ``geometry`` is forwarded to the
-    shard networks (``"auto"`` keeps small shards dense).  Sharding is
-    DMRA-specific: reconciliation ranks conflicting claims with the
-    DMRA BS-side preference order, which has no analogue for the
-    baseline schemes.
+    shard networks (``"auto"`` keeps small shards dense).  ``kernel``
+    picks the per-shard matching engine (``"object"``, ``"soa"``, or
+    ``"auto"``; see :func:`repro.core.soa.make_matching_engine`) — the
+    shard-local assignments are bit-identical either way, so the choice
+    is pure throughput.  Sharding is DMRA-specific: reconciliation
+    ranks conflicting claims with the DMRA BS-side preference order,
+    which has no analogue for the baseline schemes.
     """
     if shards <= 0:
         raise ConfigurationError(f"shards must be > 0, got {shards}")
@@ -151,6 +155,7 @@ def run_sharded(
             max_rounds=allocator.max_rounds,
             shard_ues=shard_ues,
             shard_base_stations=shard_base_stations,
+            kernel=kernel,
         )
         results = run_shards(job, workers=workers)
         match_time = time.perf_counter() - phase_start

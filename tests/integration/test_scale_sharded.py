@@ -1,20 +1,31 @@
 """Integration tests for the sharded scale runner.
 
-Two acceptance criteria from the scale subsystem issue are pinned
-here:
+Acceptance criteria from the scale and kernel issues are pinned here:
 
 * ``shards=1`` is **bit-identical** to the monolithic
   ``DMRAAllocator`` path — same grants tuple, same cloud set, same
   round count;
 * with several shards on a scenario with real cross-tile contention,
-  total SP profit stays within 1% of the monolithic run.
+  total SP profit stays within 1% of the monolithic run;
+* ``kernel="soa"`` produces the same sharded outcome as the object
+  kernel, shard for shard;
+* the :class:`~repro.scale.reconcile.ReconcileOutcome` on the
+  committed contention scenario matches a recorded digest — the
+  cursor-based admission rewrite must be behaviour-preserving.
 """
+
+import hashlib
 
 import pytest
 
 from repro.core.dmra import DMRAAllocator
 from repro.errors import ConfigurationError
 from repro.scale import run_sharded
+from repro.scale.executor import ShardJob, run_shards
+from repro.scale.partition import halo_bs_indices, plan_tiles
+from repro.scale.reconcile import reconcile_claims
+from repro.scale.runner import _bucket_ues
+from repro.scale.streaming import DEFAULT_CHUNK_SIZE, build_scenario_frame
 from repro.sim.config import ScenarioConfig
 from repro.sim.runner import run_allocation
 from repro.sim.scenario import build_scenario
@@ -116,6 +127,102 @@ class TestMultiShardDeviation:
         )
         assert forked.shard_rounds == serial.shard_rounds
         assert forked.evictions_by_shard == serial.evictions_by_shard
+
+
+class TestKernelParity:
+    """The per-shard SoA kernel must not change the sharded outcome."""
+
+    @pytest.mark.parametrize(
+        "shards,ue_count,seed", [(1, 400, 7), (4, 600, 3)]
+    )
+    def test_soa_kernel_matches_object_kernel(self, shards, ue_count, seed):
+        config = (
+            ScenarioConfig.paper() if shards == 1 else CONTENTION_CONFIG
+        )
+        obj = run_sharded(
+            config, ue_count=ue_count, seed=seed, shards=shards,
+            workers=1, kernel="object",
+        )
+        soa = run_sharded(
+            config, ue_count=ue_count, seed=seed, shards=shards,
+            workers=1, kernel="soa",
+        )
+        assert soa.assignment.grants == obj.assignment.grants
+        assert soa.assignment.cloud_ue_ids == obj.assignment.cloud_ue_ids
+        assert soa.assignment.rounds == obj.assignment.rounds
+        assert soa.shard_rounds == obj.shard_rounds
+        assert soa.evictions_by_shard == obj.evictions_by_shard
+        assert soa.metrics.total_profit == obj.metrics.total_profit
+
+
+def _contention_shard_results(kernel: str):
+    """Shard results on the committed contention scenario, built through
+    the same partition path :func:`run_sharded` uses."""
+    config = CONTENTION_CONFIG
+    frame = build_scenario_frame(config, CONTENTION_UES, CONTENTION_SEED)
+    allocator = DMRAAllocator(pricing=frame.pricing, rho=config.rho)
+    shards = 4
+    shard_ues = _bucket_ues(frame, shards, DEFAULT_CHUNK_SIZE)
+    _, _, bounds = plan_tiles(frame.region, shards)
+    shard_bs = tuple(
+        tuple(
+            frame.base_stations[i]
+            for i in halo_bs_indices(
+                frame.base_stations, tile_bounds, config.coverage_radius_m
+            ).tolist()
+        )
+        for tile_bounds in bounds
+    )
+    job = ShardJob(
+        providers=frame.providers,
+        services=frame.services,
+        region=frame.region,
+        coverage_radius_m=config.coverage_radius_m,
+        geometry="auto",
+        link_budget=config.link_budget(),
+        rate_model=config.rate_model_fn(),
+        pricing=allocator.pricing,
+        rho=allocator.rho,
+        same_sp_priority=allocator.same_sp_priority,
+        max_rounds=allocator.max_rounds,
+        shard_ues=shard_ues,
+        shard_base_stations=shard_bs,
+        kernel=kernel,
+    )
+    return frame, run_shards(job, workers=1)
+
+
+def _reconcile_digest(outcome) -> str:
+    payload = (
+        tuple(
+            tuple(
+                (g.bs_id, g.ue_id, g.service_id, g.crus, g.rrbs)
+                for g in shard
+            )
+            for shard in outcome.surviving
+        ),
+        outcome.evicted_ue_ids,
+        outcome.evictions_by_shard,
+    )
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+# Recorded from the pre-rewrite quadratic admission loop on the
+# committed contention scenario (4 shards, 2000 UEs, seed 1): the
+# cursor-based reconcile must keep survivors, evicted UE ids, and
+# per-shard eviction counts identical.
+RECONCILE_DIGEST = (
+    "436f3e8ad30f704156faa579ae2004408cc9e5360cb4de80e895548c5ff4e701"
+)
+RECONCILE_EVICTIONS = 60
+
+
+@pytest.mark.parametrize("kernel", ["object", "soa"])
+def test_reconcile_outcome_digest_is_stable(kernel):
+    frame, results = _contention_shard_results(kernel)
+    outcome = reconcile_claims(frame.base_stations, results)
+    assert outcome.total_evictions == RECONCILE_EVICTIONS
+    assert _reconcile_digest(outcome) == RECONCILE_DIGEST
 
 
 class TestRunShardedValidation:
