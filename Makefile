@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-scale bench-kernel metrics-baseline bench-paper figures extensions examples clean
+.PHONY: install test bench bench-smoke bench-scale bench-kernel bench-stream metrics-baseline bench-paper figures extensions examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -39,6 +39,17 @@ bench-scale:
 # benchmarks/bench_kernel.py).
 bench-kernel:
 	bash -c 'time $(PYTHON) benchmarks/bench_kernel.py'
+
+# Streaming bench: sustained events/sec over steady churn through the
+# event-driven engine, with two in-bench equivalence gates pinning the
+# incremental engine to a from-scratch re-solve of the same event tape
+# (bit-identical digest on a saturated small scenario; tolerance-
+# diffed metrics documents at scale) plus an events/sec floor, a peak-
+# RSS cap, and a rolling-population >= 10x active-set check; writes
+# BENCH_pr7.json (caps/knobs via BENCH_STREAM_*, see
+# benchmarks/bench_stream.py and docs/streaming.md).
+bench-stream:
+	bash -c 'time $(PYTHON) benchmarks/bench_stream.py'
 
 # Regenerate the committed metrics baseline the CI regression gate
 # diffs against.  Do this only when a PR deliberately changes domain

@@ -90,6 +90,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _cmd_compare,
         "analyze": _cmd_analyze,
         "online": _cmd_online,
+        "serve": _cmd_serve,
         "report": _cmd_report,
         "mobility": _cmd_mobility,
         "crossover": _cmd_crossover,
@@ -317,7 +318,75 @@ def _build_parser() -> argparse.ArgumentParser:
     online.add_argument("--seed", type=int, default=0)
     online.add_argument("--rho", type=float, default=10.0)
     online.add_argument("--iota", type=float, default=2.0)
+    online.add_argument(
+        "--kernel", default="object", choices=list(KERNELS),
+        help=(
+            "matching kernel for the per-batch solves: 'object' (the "
+            "bit-parity reference, the default), 'soa', or 'auto' "
+            "— see docs/algorithm.md"
+        ),
+    )
     _add_trace_argument(online)
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "long-lived streaming allocation: replay a churn tape "
+            "through the event-driven engine (see docs/streaming.md)"
+        ),
+    )
+    serve.add_argument("--rate", type=float, default=3.0,
+                       help="Poisson arrival rate (tasks/s)")
+    serve.add_argument("--horizon", type=float, default=600.0,
+                       help="simulated horizon in seconds")
+    serve.add_argument("--holding", type=float, default=120.0,
+                       help="mean task holding time in seconds")
+    serve.add_argument("--move-fraction", type=float, default=0.0,
+                       help="fraction of tasks making one mid-life move")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--rho", type=float, default=10.0)
+    serve.add_argument("--iota", type=float, default=2.0)
+    serve.add_argument(
+        "--mode", default="incremental",
+        choices=("incremental", "rescratch"),
+        help=(
+            "'incremental' re-matches only the dirty neighborhood; "
+            "'rescratch' is the from-scratch reference the equivalence "
+            "gate compares against"
+        ),
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the region into N tiles with independent engines",
+    )
+    serve.add_argument(
+        "--kernel", default="auto", choices=list(KERNELS),
+        help="matching kernel for the re-match batches",
+    )
+    serve.add_argument(
+        "--queue", type=int, default=256, metavar="N",
+        help="service-loop queue bound (backpressure threshold)",
+    )
+    serve.add_argument(
+        "--trace", type=Path, default=None, metavar="FILE",
+        help=(
+            "record a JSONL telemetry trace of this run to FILE; "
+            "render it with 'dmra trace'"
+        ),
+    )
+    # dest differs from the shared --metrics on purpose: serve writes an
+    # *outcome-only* document (metrics_from_stream), never the merged
+    # trace-derived families, because trace mechanics (match spans,
+    # rematch timers) legitimately differ between --mode values and
+    # would break the CI equivalence diff.
+    serve.add_argument(
+        "--metrics", dest="metrics_out", type=Path, default=None,
+        metavar="FILE",
+        help=(
+            "write the replay's outcome-only dmra.metrics/1 document "
+            "to FILE; diff across --mode values with 'dmra trace diff'"
+        ),
+    )
 
     mobility = sub.add_parser(
         "mobility", help="epoch-based movement with handover accounting"
@@ -826,14 +895,17 @@ def _cmd_online(args: argparse.Namespace) -> int:
         arrivals=PoissonArrivals(rate_per_s=args.rate),
         holding=ExponentialHolding(mean_s=args.holding),
     )
-    outcome = run_online(config, online, seed=args.seed)
+    outcome = run_online(config, online, seed=args.seed, kernel=args.kernel)
     if getattr(args, "metrics", None) is not None:
         from repro.obs import metrics_from_online
 
         _PENDING_OUTCOME_FAMILIES.extend(
             metrics_from_online(outcome).families
         )
-    print(outcome.scenario.network.describe())
+    print(f"deployment:          {config.sp_count} SPs x "
+          f"{config.bs_per_sp} BSs/SP over "
+          f"{config.region_side_m:.0f} m x {config.region_side_m:.0f} m "
+          f"(kernel: {args.kernel})")
     print(f"horizon:             {args.horizon:.0f} s, "
           f"rate {args.rate}/s, mean holding {args.holding:.0f} s")
     print(f"offered load:        ~{args.rate * args.holding:.0f} "
@@ -846,6 +918,53 @@ def _cmd_online(args: argparse.Namespace) -> int:
     print(f"mean active (edge):  {outcome.mean_edge_active:.1f}")
     print(f"peak active (edge):  {outcome.edge_active.peak:.0f}")
     print(f"mean RRB util:       {outcome.mean_rrb_utilization:.1%}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.dynamics import ExponentialHolding, PoissonArrivals
+    from repro.stream import StreamConfig, serve_stream
+
+    config = ScenarioConfig.paper(cross_sp_markup=args.iota, rho=args.rho)
+    stream = StreamConfig(
+        horizon_s=args.horizon,
+        arrivals=PoissonArrivals(rate_per_s=args.rate),
+        holding=ExponentialHolding(mean_s=args.holding),
+        move_fraction=args.move_fraction,
+    )
+    outcome = serve_stream(
+        config,
+        stream,
+        seed=args.seed,
+        mode=args.mode,
+        shards=args.shards,
+        kernel=args.kernel,
+        queue_maxsize=args.queue,
+    )
+    if args.metrics_out is not None:
+        from repro.obs import metrics_from_stream, write_metrics
+
+        doc = metrics_from_stream(outcome, manifest=_manifest_for(args))
+        written = write_metrics(args.metrics_out, doc)
+        print(f"wrote metrics {written}")
+    print(f"stream replay:       mode={outcome.mode} "
+          f"shards={outcome.shards} kernel={outcome.kernel}")
+    print(f"horizon:             {args.horizon:.0f} s, rate {args.rate}/s, "
+          f"mean holding {args.holding:.0f} s, "
+          f"move fraction {args.move_fraction:.2f}")
+    print(f"events:              {outcome.events_processed} "
+          f"({outcome.arrivals} arrivals, {outcome.departures} "
+          f"departures, {outcome.moves} moves)")
+    print(f"edge admitted:       {outcome.admitted_edge}")
+    print(f"cloud (blocked):     {outcome.admitted_cloud}")
+    print(f"readmitted:          {outcome.readmitted}")
+    print(f"blocking prob.:      {outcome.blocking_probability:.3f}")
+    print(f"profit rate:         {outcome.profit_rate_per_s:.2f}/s")
+    print(f"peak active:         {outcome.peak_active} "
+          f"({outcome.peak_edge_active} at the edge)")
+    print(f"throughput:          {outcome.events_per_s:.0f} events/s "
+          f"({outcome.wall_s:.2f} s wall)")
+    print(f"digest:              {outcome.digest}")
     return 0
 
 

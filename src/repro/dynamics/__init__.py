@@ -19,7 +19,12 @@ from repro.dynamics.mobility import (
     RandomWaypoint,
     run_mobility,
 )
-from repro.dynamics.online import OnlineConfig, OnlineOutcome, run_online
+from repro.dynamics.online import (
+    LedgerMonitor,
+    OnlineConfig,
+    OnlineOutcome,
+    run_online,
+)
 from repro.dynamics.timeseries import StepSeries
 from repro.dynamics.trace import (
     ArrivalTrace,
@@ -43,6 +48,7 @@ __all__ = [
     "EventQueue",
     "ExponentialHolding",
     "HoldingTimeModel",
+    "LedgerMonitor",
     "MobilityModel",
     "MobilityOutcome",
     "OnlineConfig",

@@ -21,6 +21,10 @@ class EventKind(Enum):
 
     ARRIVAL = "arrival"
     DEPARTURE = "departure"
+    #: A mobility delta: the UE is still active but changed position.
+    #: Only the streaming tape (:mod:`repro.stream`) emits these; the
+    #: classic online queue never schedules them.
+    MOVE = "move"
 
 
 @dataclass(frozen=True, slots=True)

@@ -32,6 +32,7 @@ from repro.obs.metrics import (
     MetricsDocument,
     metrics_from_online,
     metrics_from_outcome,
+    metrics_from_stream,
     metrics_from_trace,
     metrics_json,
     parse_metrics,
@@ -85,6 +86,7 @@ __all__ = [
     "manifests_comparable",
     "metrics_from_online",
     "metrics_from_outcome",
+    "metrics_from_stream",
     "metrics_from_trace",
     "metrics_json",
     "parse_metrics",

@@ -41,6 +41,7 @@ __all__ = [
     "MetricsDocument",
     "metrics_from_online",
     "metrics_from_outcome",
+    "metrics_from_stream",
     "metrics_from_trace",
     "metrics_json",
     "parse_metrics",
@@ -61,6 +62,8 @@ _LABELED_COUNTER_PREFIXES = {
     "online.sp_profit": "sp",
     "scale.shard_rounds": "shard",
     "scale.shard_evictions": "shard",
+    "stream.sp_profit": "sp",
+    "stream.shard_events": "shard",
 }
 
 
@@ -490,6 +493,127 @@ def metrics_from_online(
                 MetricSample.of(series.last_value, stat="last"),
             ],
         )
+    return build.document(manifest)
+
+
+# ----------------------------------------------------------------------
+# Derivation: streaming replay outcome
+# ----------------------------------------------------------------------
+
+
+def metrics_from_stream(
+    outcome, manifest: dict | None = None
+) -> MetricsDocument:
+    """Derive operator metrics from one streaming replay outcome.
+
+    Every family here is an *outcome* fact — counters, profits,
+    occupancy — that the equivalence invariant makes identical between
+    the incremental engine and the from-scratch reference, so the CI
+    gate can ``dmra trace diff`` two of these documents across modes.
+    The only mode-sensitive quantities (wall-clock throughput) live
+    under the ``dmra_wall_`` prefix, which diffs ignore by default.
+    """
+    build = _Builder()
+    build.scalar(
+        "dmra_stream_events_total", "counter",
+        "Tape events processed (arrivals + departures + moves)",
+        outcome.events_processed,
+    )
+    build.scalar(
+        "dmra_stream_arrivals_total", "counter", "Tasks that arrived",
+        outcome.arrivals,
+    )
+    build.scalar(
+        "dmra_stream_departures_total", "counter", "Tasks that departed",
+        outcome.departures,
+    )
+    build.scalar(
+        "dmra_stream_moves_total", "counter",
+        "Mobility deltas applied", outcome.moves,
+    )
+    build.scalar(
+        "dmra_stream_cancelled_total", "counter",
+        "Arrivals departed before their first re-match",
+        outcome.cancelled,
+    )
+    build.scalar(
+        "dmra_stream_admitted_edge_total", "counter",
+        "Tasks first admitted at the edge", outcome.admitted_edge,
+    )
+    build.scalar(
+        "dmra_stream_admitted_cloud_total", "counter",
+        "Tasks the edge could not absorb on arrival",
+        outcome.admitted_cloud,
+    )
+    build.scalar(
+        "dmra_stream_readmitted_total", "counter",
+        "Cloud or displaced tasks later (re-)admitted to the edge",
+        outcome.readmitted,
+    )
+    build.scalar(
+        "dmra_stream_displaced_total", "counter",
+        "Edge/cloud tasks displaced by a mobility delta",
+        outcome.displaced,
+    )
+    build.scalar(
+        "dmra_stream_blocking_probability", "gauge",
+        "Fraction of admitted tasks forwarded to the cloud",
+        outcome.blocking_probability,
+    )
+    build.scalar(
+        "dmra_stream_profit_rate_per_s", "gauge",
+        "Admitted profit per simulated second",
+        outcome.profit_rate_per_s,
+    )
+    build.add(
+        "dmra_stream_sp_profit", "gauge",
+        "Per-SP admitted profit over the horizon",
+        [
+            MetricSample.of(profit, sp=sp_id)
+            for sp_id, profit in sorted(outcome.profit_by_sp.items())
+        ],
+    )
+    build.add(
+        "dmra_stream_shard_events", "counter",
+        "Tape events routed to each shard",
+        [
+            MetricSample.of(count, shard=shard_id)
+            for shard_id, count in enumerate(outcome.shard_events)
+        ],
+    )
+    build.scalar(
+        "dmra_stream_peak_edge_active", "gauge",
+        "Peak concurrent edge-served tasks", outcome.peak_edge_active,
+    )
+    build.scalar(
+        "dmra_stream_peak_active", "gauge",
+        "Peak concurrent active tasks (edge + cloud)",
+        outcome.peak_active,
+    )
+    horizon = outcome.horizon_s
+    for series, base, help_text in (
+        (outcome.edge_active, "dmra_stream_edge_active",
+         "Concurrent edge-served tasks"),
+        (outcome.cloud_active, "dmra_stream_cloud_active",
+         "Concurrent cloud-forwarded tasks"),
+        (outcome.rrb_utilization, "dmra_stream_rrb_utilization",
+         "Aggregate RRB pool occupancy"),
+    ):
+        build.add(
+            base, "gauge", f"{help_text} (occupancy series summary)",
+            [
+                MetricSample.of(series.time_average(horizon), stat="mean"),
+                MetricSample.of(series.peak, stat="peak"),
+                MetricSample.of(series.last_value, stat="last"),
+            ],
+        )
+    # Wall-clock throughput: mode-dependent by construction, so it
+    # lives under the diff-ignored dmra_wall_ prefix.
+    build.scalar(
+        "dmra_wall_stream_events_per_s", "gauge",
+        "Sustained events per wall second (timing; diffs ignore)",
+        outcome.events_per_s,
+    )
     return build.document(manifest)
 
 

@@ -1,0 +1,40 @@
+"""Event-driven streaming allocation: churn tapes, incremental engine,
+from-scratch oracle, and the backpressured service loop.
+
+See ``docs/streaming.md`` for the dirty-neighborhood invariant and the
+equivalence gate that pins the incremental engine to the from-scratch
+reference.
+"""
+
+from repro.stream.engine import (
+    SOA_BATCH_THRESHOLD,
+    IncrementalShardEngine,
+    RescratchShardEngine,
+)
+from repro.stream.events import StreamEvent
+from repro.stream.runner import (
+    MODES,
+    StreamDispatcher,
+    StreamOutcome,
+    replay_tape,
+    run_stream,
+)
+from repro.stream.service import serve_stream, serve_stream_async
+from repro.stream.tape import ChurnTape, StreamConfig, open_tape
+
+__all__ = [
+    "MODES",
+    "SOA_BATCH_THRESHOLD",
+    "ChurnTape",
+    "IncrementalShardEngine",
+    "RescratchShardEngine",
+    "StreamConfig",
+    "StreamDispatcher",
+    "StreamEvent",
+    "StreamOutcome",
+    "open_tape",
+    "replay_tape",
+    "run_stream",
+    "serve_stream",
+    "serve_stream_async",
+]

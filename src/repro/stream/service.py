@@ -1,0 +1,120 @@
+"""Asyncio service loop around the stream dispatcher.
+
+``serve_stream`` splits a tape replay into a producer coroutine (reads
+the tape) and a consumer coroutine (dispatches into the per-shard
+engines), joined by a **bounded** :class:`asyncio.Queue`.  When the
+allocator falls behind, ``await queue.put`` suspends the producer — the
+tape is the backpressure boundary, so memory stays bounded by the queue
+size no matter how bursty the event stream is.  In production the
+producer would read a socket or broker; here it reads the deterministic
+tape, which is what lets the service be regression-tested: for the same
+``(config, stream, seed)`` the service's outcome — including its
+bit-exact digest — equals :func:`repro.stream.runner.run_stream`'s.
+
+The peak queue depth is recorded as a span attribute (not a gauge):
+depth depends on scheduler interleaving, so it must stay out of the
+gated metrics document that the incremental-vs-rescratch CI diff
+compares.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.core.matching import MatchingPolicy
+from repro.errors import ConfigurationError
+from repro.obs import get_telemetry
+from repro.sim.config import ScenarioConfig
+from repro.stream.runner import StreamDispatcher, StreamOutcome
+from repro.stream.tape import StreamConfig, open_tape
+
+__all__ = ["serve_stream", "serve_stream_async"]
+
+#: Producer/consumer handoff buffer (events). Small by design: the
+#: point of the service loop is backpressure, not buffering.
+DEFAULT_QUEUE_MAXSIZE = 256
+
+_STOP = object()
+
+
+async def serve_stream_async(
+    config: ScenarioConfig,
+    stream: StreamConfig,
+    seed: int,
+    *,
+    mode: str = "incremental",
+    shards: int = 1,
+    kernel: str = "auto",
+    policy: MatchingPolicy | None = None,
+    scan_cadence: int = 1024,
+    series_stride: int = 1,
+    queue_maxsize: int = DEFAULT_QUEUE_MAXSIZE,
+) -> StreamOutcome:
+    """Replay one churn tape through the backpressured service loop."""
+    if queue_maxsize <= 0:
+        raise ConfigurationError(
+            f"queue_maxsize must be > 0, got {queue_maxsize}"
+        )
+    tel = get_telemetry()
+    with tel.span(
+        "stream.serve", mode=mode, shards=shards, kernel=kernel,
+        queue_maxsize=queue_maxsize,
+    ) as serve_span:
+        tape = open_tape(config, stream, seed)
+        dispatcher = StreamDispatcher(
+            tape,
+            mode=mode,
+            shards=shards,
+            kernel=kernel,
+            policy=policy,
+            scan_cadence=scan_cadence,
+            series_stride=series_stride,
+        )
+        queue: asyncio.Queue = asyncio.Queue(maxsize=queue_maxsize)
+        max_depth = 0
+
+        async def produce() -> None:
+            # A full queue suspends this coroutine — backpressure.
+            for event in dispatcher.events():
+                await queue.put(event)
+            await queue.put(_STOP)
+
+        async def consume() -> None:
+            nonlocal max_depth
+            while True:
+                event = await queue.get()
+                depth = queue.qsize() + 1
+                if depth > max_depth:
+                    max_depth = depth
+                if event is _STOP:
+                    return
+                dispatcher.dispatch(event)
+                # Dispatch is synchronous CPU work; yield so the
+                # producer (or a surrounding application) can run
+                # between events even when the queue never fills.
+                await asyncio.sleep(0)
+
+        start = time.perf_counter()
+        await asyncio.gather(produce(), consume())
+        outcome = dispatcher.finish(wall_s=time.perf_counter() - start)
+        serve_span.set(
+            events=outcome.events_processed,
+            queue_max_depth=max_depth,
+            admitted_edge=outcome.admitted_edge,
+            admitted_cloud=outcome.admitted_cloud,
+            readmitted=outcome.readmitted,
+        )
+    return outcome
+
+
+def serve_stream(
+    config: ScenarioConfig,
+    stream: StreamConfig,
+    seed: int,
+    **kwargs,
+) -> StreamOutcome:
+    """Synchronous entry point: run the service loop to completion."""
+    return asyncio.run(
+        serve_stream_async(config, stream, seed, **kwargs)
+    )

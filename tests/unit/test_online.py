@@ -190,6 +190,108 @@ class TestDepartureAccounting:
             _check_ledger_conservation(ledgers, total, used_rrbs=0)
 
 
+class TestLedgerMonitor:
+    """The O(1) tripwire plus the cadenced / debug-gated full scan."""
+
+    @staticmethod
+    def _pool():
+        from repro.compute.cru import LedgerPool
+        from repro.sim.scenario import build_scenario
+
+        scenario = build_scenario(CONFIG, 1, seed=1)
+        ledgers = LedgerPool(scenario.network.base_stations)
+        total = sum(
+            bs.rrb_capacity for bs in scenario.network.base_stations
+        )
+        return scenario, ledgers, total
+
+    def test_o1_drift_detected(self):
+        from repro.dynamics.online import LedgerMonitor
+        from repro.errors import AllocationError
+
+        _, ledgers, total = self._pool()
+        monitor = LedgerMonitor(ledgers, total)
+        monitor.on_grant(5)
+        monitor.check(5)  # consistent
+        with pytest.raises(AllocationError, match="conservation"):
+            monitor.check(3)
+
+    def test_full_scan_catches_untracked_grant(self):
+        """Drift invisible to the O(1) counter — a grant made behind the
+        monitor's back — is still caught by the full ledger scan."""
+        from repro.dynamics.online import LedgerMonitor
+        from repro.errors import AllocationError
+
+        scenario, ledgers, total = self._pool()
+        monitor = LedgerMonitor(ledgers, total)
+        ue = scenario.network.user_equipment(0)
+        bs_id = scenario.network.base_stations[0].bs_id
+        ledgers.ledger(bs_id).grant(0, ue.service_id, ue.cru_demand, 3)
+        # No on_grant call: in_flight == used_rrbs == 0, so the O(1)
+        # comparison passes, but forcing the scan raises.
+        with pytest.raises(AllocationError, match="conservation"):
+            monitor.check(0, force=True)
+
+    def test_debug_env_forces_scan_every_check(self, monkeypatch):
+        from repro.dynamics.online import LedgerMonitor
+        from repro.errors import AllocationError
+
+        scenario, ledgers, total = self._pool()
+        monitor = LedgerMonitor(ledgers, total, cadence=10_000)
+        ue = scenario.network.user_equipment(0)
+        bs_id = scenario.network.base_stations[0].bs_id
+        ledgers.ledger(bs_id).grant(0, ue.service_id, ue.cru_demand, 3)
+        monitor.check(0)  # cadence not reached: silent without debug
+        monkeypatch.setenv("DMRA_DEBUG_LEDGER", "1")
+        with pytest.raises(AllocationError, match="conservation"):
+            monitor.check(0)
+
+    def test_cadence_triggers_scan(self):
+        from repro.dynamics.online import LedgerMonitor
+        from repro.errors import AllocationError
+
+        scenario, ledgers, total = self._pool()
+        monitor = LedgerMonitor(ledgers, total, cadence=3)
+        ue = scenario.network.user_equipment(0)
+        bs_id = scenario.network.base_stations[0].bs_id
+        ledgers.ledger(bs_id).grant(0, ue.service_id, ue.cru_demand, 3)
+        monitor.check(0)
+        monitor.check(0)
+        with pytest.raises(AllocationError, match="conservation"):
+            monitor.check(0)  # third check hits the cadence
+
+    def test_seeds_from_existing_grants(self):
+        from repro.dynamics.online import LedgerMonitor
+
+        scenario, ledgers, total = self._pool()
+        ue = scenario.network.user_equipment(0)
+        bs_id = scenario.network.base_stations[0].bs_id
+        ledgers.ledger(bs_id).grant(0, ue.service_id, ue.cru_demand, 3)
+        monitor = LedgerMonitor(ledgers, total)
+        monitor.check(3, force=True)  # in-flight seeded from the pool
+
+    def test_invalid_cadence_rejected(self):
+        from repro.dynamics.online import LedgerMonitor
+
+        _, ledgers, total = self._pool()
+        with pytest.raises(ConfigurationError, match="cadence"):
+            LedgerMonitor(ledgers, total, cadence=0)
+
+
+class TestOnlineKernels:
+    def test_kernel_parity(self):
+        obj = run_online(CONFIG, light_load(), seed=6, kernel="object")
+        soa = run_online(CONFIG, light_load(), seed=6, kernel="soa")
+        assert obj.admitted_edge == soa.admitted_edge
+        assert obj.admitted_cloud == soa.admitted_cloud
+        assert obj.total_admitted_profit == soa.total_admitted_profit
+        assert obj.profit_by_sp == soa.profit_by_sp
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_online(CONFIG, light_load(), seed=1, kernel="simd")
+
+
 MICRO = ScenarioConfig(
     sp_count=1,
     bs_per_sp=1,

@@ -1,0 +1,113 @@
+"""Unit tests for the asyncio service loop and the ``dmra serve`` CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.dynamics.arrivals import ExponentialHolding, PoissonArrivals
+from repro.errors import ConfigurationError
+from repro.sim.config import ScenarioConfig
+from repro.stream import StreamConfig, run_stream, serve_stream
+
+CONFIG = ScenarioConfig.paper()
+
+
+def short_stream(move_fraction=0.1):
+    return StreamConfig(
+        horizon_s=60.0,
+        arrivals=PoissonArrivals(rate_per_s=2.0),
+        holding=ExponentialHolding(mean_s=30.0),
+        move_fraction=move_fraction,
+    )
+
+
+class TestServeStream:
+    def test_service_equals_sync_replay(self):
+        stream = short_stream()
+        served = serve_stream(CONFIG, stream, seed=3)
+        replayed = run_stream(CONFIG, stream, seed=3)
+        assert served.digest == replayed.digest
+        assert served.events_processed == replayed.events_processed
+        assert served.total_profit == replayed.total_profit
+        assert served.profit_by_sp == replayed.profit_by_sp
+
+    def test_backpressure_queue_of_one(self):
+        # maxsize=1 forces a producer suspension on every event; the
+        # outcome must be unchanged.
+        stream = short_stream()
+        tight = serve_stream(CONFIG, stream, seed=4, queue_maxsize=1)
+        loose = serve_stream(CONFIG, stream, seed=4, queue_maxsize=1024)
+        assert tight.digest == loose.digest
+
+    def test_service_mode_parity(self):
+        stream = short_stream()
+        inc = serve_stream(CONFIG, stream, seed=5, mode="incremental")
+        res = serve_stream(CONFIG, stream, seed=5, mode="rescratch")
+        assert inc.digest == res.digest
+
+    def test_bad_queue_maxsize_rejected(self):
+        with pytest.raises(ConfigurationError, match="queue_maxsize"):
+            serve_stream(CONFIG, short_stream(), seed=1, queue_maxsize=0)
+
+    def test_queue_depth_recorded_as_span_attr(self):
+        from repro.obs import Recorder, telemetry_session
+
+        recorder = Recorder()
+        with telemetry_session(recorder):
+            serve_stream(CONFIG, short_stream(), seed=6)
+        spans = [
+            span for span in recorder.all_spans()
+            if span.name == "stream.serve"
+        ]
+        assert len(spans) == 1
+        assert spans[0].attrs["queue_max_depth"] >= 1
+
+
+SERVE_ARGS = [
+    "serve", "--rate", "2", "--horizon", "45", "--holding", "20",
+    "--move-fraction", "0.1", "--seed", "3",
+]
+
+
+class TestServeCli:
+    def test_serve_smoke(self, capsys):
+        assert main(SERVE_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "mode=incremental" in out
+        assert "digest:" in out
+        assert "events/s" in out
+
+    def test_mode_documents_diff_clean(self, tmp_path, capsys):
+        """The CI equivalence gate in miniature: outcome documents of
+        the two modes must be identical under ``dmra trace diff``."""
+        inc = tmp_path / "inc.json"
+        res = tmp_path / "res.json"
+        assert main(
+            SERVE_ARGS + ["--mode", "incremental", "--metrics", str(inc)]
+        ) == 0
+        assert main(
+            SERVE_ARGS + ["--mode", "rescratch", "--metrics", str(res)]
+        ) == 0
+        assert main(["trace", "diff", str(inc), str(res)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: OK" in out
+
+    def test_mode_documents_carry_aligned_manifests(self, tmp_path):
+        from repro.obs import read_metrics
+
+        inc = tmp_path / "inc.json"
+        assert main(SERVE_ARGS + ["--metrics", str(inc)]) == 0
+        doc = read_metrics(inc)
+        assert doc.manifest is not None
+        assert doc.family("dmra_stream_arrivals_total").sample() > 0
+        # Wall throughput is present but under the diff-ignored prefix.
+        assert doc.has_family("dmra_wall_stream_events_per_s")
+
+    def test_serve_trace_recorded(self, tmp_path, capsys):
+        trace = tmp_path / "serve.jsonl"
+        assert main(SERVE_ARGS + ["--trace", str(trace)]) == 0
+        assert trace.exists()
+        assert "wrote trace" in capsys.readouterr().out
+
+    def test_sharded_serve(self, capsys):
+        assert main(SERVE_ARGS + ["--shards", "4"]) == 0
+        assert "shards=4" in capsys.readouterr().out
