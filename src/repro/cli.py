@@ -7,6 +7,7 @@ Subcommands
 ``inspect``  describe a generated scenario (coverage, capacities)
 ``compare``  run several allocators on one scenario side by side
 ``analyze``  fairness / envy / convergence / map report for one run
+``agents``   multi-process decentralized deployment with fault injection
 ``online``   event-driven simulation with arrivals and departures
 ``mobility`` epoch-based movement with handover accounting
 ``failures`` BS outage injection and recovery report
@@ -36,6 +37,8 @@ Examples::
     dmra trace metrics run.jsonl --format prom
     dmra trace diff baseline.json candidate.json --rel-tol 0.01
     dmra compare --ues 600 --seed 1 --placement random
+    dmra agents --transport mp --ues 150 --seed 1 --verify
+    dmra agents --transport tcp --ues 80 --faults crash --metrics m.json
     dmra inspect --ues 400 --seed 0
     dmra analyze --ues 1100 --seed 3
     dmra online --rate 5 --horizon 600 --holding 120
@@ -60,6 +63,8 @@ from repro.baselines import (
 from repro.core.allocator import Allocator
 from repro.core.dmra import DMRAAllocator
 from repro.core.soa import KERNELS
+from repro.dist import FAULT_SCENARIOS as _DIST_FAULT_SCENARIOS
+from repro.dist import TRANSPORTS as _DIST_TRANSPORTS
 from repro.experiments import (
     EXPERIMENTS,
     Scale,
@@ -89,6 +94,7 @@ def main(argv: list[str] | None = None) -> int:
         "inspect": _cmd_inspect,
         "compare": _cmd_compare,
         "analyze": _cmd_analyze,
+        "agents": _cmd_agents,
         "online": _cmd_online,
         "serve": _cmd_serve,
         "report": _cmd_report,
@@ -304,6 +310,53 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--out", type=Path, default=None,
         help="output file (default: stdout)",
+    )
+
+    agents = sub.add_parser(
+        "agents",
+        help="run DMRA as a true multi-node deployment "
+             "(see docs/decentralized.md)",
+    )
+    _add_scenario_arguments(agents)
+    _add_trace_argument(agents)
+    agents.add_argument(
+        "--transport", default="inproc", choices=list(_DIST_TRANSPORTS),
+        help=(
+            "message transport: 'inproc' (threads + queues), 'mp' "
+            "(forked processes + pipes), 'tcp' (forked processes + "
+            "loopback sockets)"
+        ),
+    )
+    agents.add_argument(
+        "--ue-hosts", type=int, default=2, metavar="N",
+        help="number of UE shard nodes (default 2)",
+    )
+    agents.add_argument(
+        "--faults", default="none", choices=list(_DIST_FAULT_SCENARIOS),
+        help=(
+            "fault scenario: drop / delay / stale (broadcast-only "
+            "delays) / crash (BS crash + recovery); default none"
+        ),
+    )
+    agents.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the deterministic fault injector",
+    )
+    agents.add_argument(
+        "--crash-bs", type=int, default=0,
+        help="BS id crashed by the 'crash' scenario (default 0)",
+    )
+    agents.add_argument(
+        "--max-rounds", type=int, default=1000,
+        help="termination backstop for the round protocol",
+    )
+    agents.add_argument(
+        "--verify", action="store_true",
+        help=(
+            "also run the direct DMRAAllocator and fail unless the "
+            "deployment's assignment is bit-identical (reliable "
+            "transports only)"
+        ),
     )
 
     online = sub.add_parser(
@@ -878,6 +931,67 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}")
     else:
         print(report)
+    return 0
+
+
+def _cmd_agents(args: argparse.Namespace) -> int:
+    from repro.dist import DistributedDMRAAllocator, scenario_plan
+
+    scenario = _scenario_from_args(args)
+    plan = scenario_plan(
+        args.faults, seed=args.fault_seed, crash_bs_id=args.crash_bs
+    )
+    allocator = DistributedDMRAAllocator(
+        transport=args.transport,
+        pricing=scenario.pricing,
+        rho=scenario.config.rho,
+        ue_hosts=args.ue_hosts,
+        fault_plan=plan,
+        max_rounds=args.max_rounds,
+    )
+    outcome = run_allocation(scenario, allocator)
+    metrics = outcome.metrics
+    if getattr(args, "metrics", None) is not None:
+        from repro.obs import metrics_from_outcome
+
+        _PENDING_OUTCOME_FAMILIES.extend(metrics_from_outcome(
+            scenario.network, outcome.assignment, scenario.pricing,
+            wall_time_s=outcome.wall_time_s,
+        ).families)
+    report = allocator.last_report
+    print(scenario.network.describe())
+    print(f"deployment:         {allocator.name} "
+          f"({args.ue_hosts} UE hosts, faults={args.faults})")
+    print(f"total profit:       {metrics.total_profit:.1f}")
+    print(f"edge / cloud:       {metrics.edge_served} / "
+          f"{len(outcome.assignment.cloud_ue_ids)}")
+    print(f"rounds:             {report['rounds']} productive "
+          f"/ {report['total_rounds']} protocol")
+    total_msgs = sum(report["messages"].values())
+    total_bytes = sum(report["bytes"].values())
+    print(f"messages:           {total_msgs} ({total_bytes} bytes)")
+    for kind in sorted(report["messages"]):
+        print(f"  {kind:<8} {report['messages'][kind]:>8} msgs "
+              f"{report['bytes'][kind]:>10} bytes")
+    if plan is not None:
+        print(f"faults:             {report['faults']}")
+        retx = sum(s["retransmits"] for s in report["sp"].values())
+        print(f"sp retransmits:     {retx}")
+        print(f"regrants:           {report['regrants']}")
+        print(f"orphans -> cloud:   {report['orphans']}")
+    if args.verify:
+        direct = DMRAAllocator(
+            pricing=scenario.pricing, rho=scenario.config.rho
+        ).allocate(scenario.network, scenario.radio_map)
+        same = (
+            sorted(direct.association_pairs())
+            == sorted(outcome.assignment.association_pairs())
+            and direct.cloud_ue_ids == outcome.assignment.cloud_ue_ids
+            and direct.rounds == outcome.assignment.rounds
+        )
+        print(f"verify vs direct:   {'bit-identical' if same else 'MISMATCH'}")
+        if not same:
+            return 1
     return 0
 
 

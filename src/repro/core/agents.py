@@ -12,15 +12,21 @@ over shared state, here every entity is an agent with private state:
   BSs, and forwards unserveable tasks to the remote cloud — the "middle
   layer" role the paper assigns to SPs.
 
-:class:`DecentralizedDMRAAllocator` drives synchronous rounds of this
-message exchange.  Its output is bit-identical to the direct engine's
-(asserted by the equivalence integration tests), demonstrating that
-DMRA genuinely needs no central coordinator.
+The agent classes are transport-agnostic: they consume and produce
+:mod:`repro.core.messages` values and never touch a socket, queue, or
+clock.  :class:`DecentralizedDMRAAllocator` drives synchronous rounds of
+the exchange inside one process (the fast reference used by the
+staleness ablation); :mod:`repro.dist` drives the *same* agent code
+across real OS processes behind a pluggable transport.  Both are
+bit-identical to the direct engine (asserted by the equivalence
+integration tests), demonstrating that DMRA genuinely needs no central
+coordinator.
 """
 
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.compute.cru import BSLedger
@@ -38,7 +44,14 @@ from repro.model.entities import BaseStation, UserEquipment
 from repro.model.network import MECNetwork
 from repro.radio.channel import RadioMap
 
-__all__ = ["UEAgent", "BSAgent", "SPAgent", "DecentralizedDMRAAllocator"]
+__all__ = [
+    "UEAgent",
+    "BSAgent",
+    "SPAgent",
+    "BroadcastPipeline",
+    "DecentralizedDMRAAllocator",
+    "build_ue_agents",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,7 +78,12 @@ class UEAgent:
             info.bs_id: info for info in candidates
         }
         self._broadcasts: dict[int, ResourceBroadcast] = {}
+        # Freshest (epoch, seq) accepted per BS; strictly older
+        # broadcasts are stale (reordered or delayed in transit) and
+        # must not overwrite newer state.
+        self._freshness: dict[int, tuple[int, int]] = {}
         self.associated_bs: int | None = None
+        self._assoc_epoch = 0
         self.gave_up = False
 
     @property
@@ -77,23 +95,58 @@ class UEAgent:
         """The UE's current ``B_u``."""
         return tuple(sorted(self._candidates))
 
-    def observe(self, broadcast: ResourceBroadcast) -> None:
-        """Receive a BS's resource broadcast (only covering BSs send us one)."""
-        self._broadcasts[broadcast.bs_id] = broadcast
+    def observe(self, broadcast: ResourceBroadcast) -> bool:
+        """Receive a BS's resource broadcast (only covering BSs send one).
 
-    def receive_grant(self, grant: AssociationGrant) -> None:
-        """Accept an association grant addressed to this UE."""
+        Returns ``False`` when the broadcast is stale — strictly older
+        by ``(epoch, seq)`` than one already seen from the same BS — and
+        was discarded.  An epoch bump means the BS restarted with a
+        fresh ledger: any association this UE held there is void, so it
+        re-enters the matching.
+        """
+        stamp = (broadcast.epoch, broadcast.seq)
+        known = self._freshness.get(broadcast.bs_id)
+        if known is not None and stamp < known:
+            return False
+        if (
+            self.associated_bs == broadcast.bs_id
+            and broadcast.epoch > self._assoc_epoch
+        ):
+            # The serving BS restarted after our grant was booked: the
+            # reservation is gone, so re-enter the matching.
+            self.associated_bs = None
+        self._freshness[broadcast.bs_id] = stamp
+        self._broadcasts[broadcast.bs_id] = broadcast
+        return True
+
+    def receive_grant(self, grant: AssociationGrant) -> bool:
+        """Accept an association grant addressed to this UE.
+
+        Returns ``False`` (grant discarded) when the grant's epoch is
+        older than the freshest epoch seen from that BS: the reservation
+        was wiped by a crash, so honoring the late grant would leave the
+        UE associated to a BS that no longer serves it.
+        """
         if grant.ue_id != self.ue_id:
             raise AllocationError(
                 f"UE {self.ue_id} received a grant addressed to {grant.ue_id}"
             )
+        known = self._freshness.get(grant.bs_id)
+        if known is not None and grant.epoch < known[0]:
+            return False
         self.associated_bs = grant.bs_id
+        self._assoc_epoch = grant.epoch
+        return True
 
     # ------------------------------------------------------------------
     # Decision logic (Alg. 1 lines 3--10, run locally)
     # ------------------------------------------------------------------
 
     def _slack(self, bs_id: int) -> int:
+        """The Eq. 17 denominator as known from the latest broadcast:
+        remaining CRUs of this UE's service plus remaining RRBs —
+        exactly the direct engine's ``dmra_slack_term`` inputs.
+        ``-1`` flags "no broadcast seen yet" (see :meth:`_score`)."""
         broadcast = self._broadcasts.get(bs_id)
         if broadcast is None:
             # No broadcast yet means the first round: assume the static
@@ -159,14 +212,27 @@ class BSAgent:
     """One base station: accepts per the BS-side preference, from its
     mailbox only."""
 
-    def __init__(self, base_station: BaseStation) -> None:
+    def __init__(self, base_station: BaseStation, epoch: int = 0) -> None:
         self.bs = base_station
         self.ledger = BSLedger(base_station)
+        self.epoch = epoch
+        self._seq = 0
         self._mailbox: list[ServiceRequest] = []
 
     @property
     def bs_id(self) -> int:
         return self.bs.bs_id
+
+    def reset(self) -> None:
+        """Crash recovery: restart with a fresh ledger in a new epoch.
+
+        Every grant this BS held is void; UEs discover that from the
+        epoch bump carried by the next broadcast.  ``seq`` keeps
+        counting so ``(epoch, seq)`` stays totally ordered.
+        """
+        self.ledger = BSLedger(self.bs)
+        self.epoch += 1
+        self._mailbox.clear()
 
     def deliver(self, request: ServiceRequest) -> None:
         """Queue a service request addressed to this BS."""
@@ -195,14 +261,18 @@ class BSAgent:
         filter never fires (the UE checked the same state before
         proposing); it exists for the stale-broadcast regime, where UEs
         may propose on outdated information and the BS — which always
-        knows its own ledger — must be the backstop.
+        knows its own ledger — must be the backstop.  Requests from UEs
+        this BS already serves are dropped too: under an unreliable
+        transport a UE whose grant was lost in transit re-proposes, and
+        regranting would double-book the ledger.
         """
         if not self._mailbox:
             return []
         by_service: dict[int, list[ServiceRequest]] = {}
         for request in self._mailbox:
             if (
-                self.ledger.remaining_crus(request.service_id)
+                request.ue_id in self.ledger.grants
+                or self.ledger.remaining_crus(request.service_id)
                 < request.cru_demand
                 or self.ledger.remaining_rrbs < request.rrbs_required
             ):
@@ -239,12 +309,28 @@ class BSAgent:
                     service_id=request.service_id,
                     crus=request.cru_demand,
                     rrbs=request.rrbs_required,
+                    epoch=self.epoch,
                 )
             )
         return grants
 
+    def grant_for(self, ue_id: int) -> AssociationGrant | None:
+        """The grant this BS holds for a UE (grant-retransmission path)."""
+        grant = self.ledger.grants.get(ue_id)
+        if grant is None:
+            return None
+        return AssociationGrant(
+            bs_id=grant.bs_id,
+            ue_id=grant.ue_id,
+            service_id=grant.service_id,
+            crus=grant.crus,
+            rrbs=grant.rrbs,
+            epoch=self.epoch,
+        )
+
     def broadcast(self) -> ResourceBroadcast:
         """Advertise remaining resources (Alg. 1 line 26)."""
+        self._seq += 1
         return ResourceBroadcast(
             bs_id=self.bs_id,
             remaining_crus={
@@ -252,6 +338,8 @@ class BSAgent:
                 for service_id in self.bs.cru_capacity
             },
             remaining_rrbs=self.ledger.remaining_rrbs,
+            seq=self._seq,
+            epoch=self.epoch,
         )
 
 
@@ -301,6 +389,79 @@ class SPAgent:
         return frozenset(self._cloud_ue_ids)
 
 
+class BroadcastPipeline:
+    """The stale-broadcast delay line of one BS.
+
+    Models gossip latency: the broadcast a UE observes in round ``r`` is
+    the one the BS sent ``delay`` rounds earlier.  Backed by a
+    ``deque(maxlen=delay + 1)`` so each round's push is O(1) — the
+    previous list-based implementation shifted the whole pipeline with
+    ``pop(0)`` every round.
+
+    The pipeline starts filled with the BS's initial full-capacity
+    broadcast (what a UE would have cached from the attach procedure);
+    :meth:`push` enqueues this round's broadcast and returns the one due
+    for delivery now.
+    """
+
+    def __init__(self, initial: ResourceBroadcast, delay: int) -> None:
+        if delay < 0:
+            raise ConfigurationError(f"delay must be >= 0, got {delay}")
+        self.delay = delay
+        self._line: deque[ResourceBroadcast] = deque(
+            [initial] * (delay + 1), maxlen=delay + 1
+        )
+
+    def push(self, broadcast: ResourceBroadcast) -> ResourceBroadcast:
+        """Enqueue this round's broadcast; return the delivered head —
+        the broadcast sent ``delay`` rounds ago."""
+        # maxlen evicts the expired head from the left automatically.
+        self._line.append(broadcast)
+        return self._line[0]
+
+    @property
+    def head(self) -> ResourceBroadcast:
+        """The broadcast most recently delivered (pipeline head)."""
+        return self._line[0]
+
+
+def build_ue_agents(
+    network: MECNetwork,
+    radio_map: RadioMap,
+    pricing: PricingPolicy,
+    rho: float,
+    ue_ids: list[int] | None = None,
+) -> dict[int, UEAgent]:
+    """Construct UE agents with their static candidate knowledge.
+
+    Shared by the in-process allocator below and the multi-process
+    deployment (:mod:`repro.dist`), where each UE-host process builds
+    only its own partition (``ue_ids``).
+    """
+    wanted = None if ue_ids is None else set(ue_ids)
+    return {
+        ue.ue_id: UEAgent(
+            ue,
+            candidates=[
+                _CandidateInfo(
+                    bs_id=bs_id,
+                    price_per_cru=pricing.price_per_cru(
+                        network.distance_m(ue.ue_id, bs_id),
+                        network.same_sp(ue.ue_id, bs_id),
+                    ),
+                    rrbs_required=radio_map.link(
+                        ue.ue_id, bs_id
+                    ).rrbs_required,
+                )
+                for bs_id in network.candidate_base_stations(ue.ue_id)
+            ],
+            rho=rho,
+        )
+        for ue in network.user_equipments
+        if wanted is None or ue.ue_id in wanted
+    }
+
+
 class DecentralizedDMRAAllocator(Allocator):
     """DMRA as synchronous rounds of agent message exchange.
 
@@ -334,43 +495,40 @@ class DecentralizedDMRAAllocator(Allocator):
         self.last_sp_agents: dict[int, SPAgent] = {}
 
     def allocate(self, network: MECNetwork, radio_map: RadioMap) -> Assignment:
-        ue_agents = {
-            ue.ue_id: UEAgent(
-                ue,
-                candidates=[
-                    _CandidateInfo(
-                        bs_id=bs_id,
-                        price_per_cru=self.pricing.price_per_cru(
-                            network.distance_m(ue.ue_id, bs_id),
-                            network.same_sp(ue.ue_id, bs_id),
-                        ),
-                        rrbs_required=radio_map.link(
-                            ue.ue_id, bs_id
-                        ).rrbs_required,
-                    )
-                    for bs_id in network.candidate_base_stations(ue.ue_id)
-                ],
-                rho=self.rho,
-            )
-            for ue in network.user_equipments
-        }
+        ue_agents = build_ue_agents(
+            network, radio_map, self.pricing, self.rho
+        )
         bs_agents = {
             bs.bs_id: BSAgent(bs) for bs in network.base_stations
         }
         sp_agents = {sp.sp_id: SPAgent(sp.sp_id) for sp in network.providers}
-        coverage = {
-            ue_id: set(agent.candidate_bs_ids)
-            for ue_id, agent in ue_agents.items()
-        }
 
-        # Stale-broadcast pipeline: UEs observe the broadcast a BS sent
-        # ``broadcast_delay_rounds`` rounds ago (0 = fresh, the paper's
-        # implicit assumption).  Each BS's pipeline starts filled with
-        # its initial full-capacity state, which is what a UE would have
-        # cached from the attach procedure.
-        pipelines: dict[int, list[ResourceBroadcast]] = {
-            bs_id: [agent.broadcast()] * (self.broadcast_delay_rounds + 1)
+        # Invert coverage once: bs_id -> the UE agents it broadcasts to.
+        # The per-round fan-out below walks only this index instead of
+        # re-scanning every UE's coverage set for every BS (which made
+        # the broadcast phase O(BS x UE) per round).
+        covered_by_bs: dict[int, list[UEAgent]] = {
+            bs_id: [] for bs_id in bs_agents
+        }
+        for agent in ue_agents.values():
+            for bs_id in agent.candidate_bs_ids:
+                covered_by_bs[bs_id].append(agent)
+
+        # Stale-broadcast delay lines: UEs observe the broadcast a BS
+        # sent ``broadcast_delay_rounds`` rounds ago (0 = fresh, the
+        # paper's implicit assumption).
+        pipelines = {
+            bs_id: BroadcastPipeline(
+                agent.broadcast(), self.broadcast_delay_rounds
+            )
             for bs_id, agent in bs_agents.items()
+        }
+        # Last broadcast actually delivered per BS: deliveries that
+        # advertise unchanged resources are skipped — observing an
+        # identical broadcast is a no-op, so only BSs whose (delayed)
+        # advertisement changed since the previous round fan out.
+        delivered_before: dict[int, ResourceBroadcast | None] = {
+            bs_id: None for bs_id in bs_agents
         }
 
         rounds = 0
@@ -383,18 +541,14 @@ class DecentralizedDMRAAllocator(Allocator):
                 )
 
             # BSs broadcast remaining resources to the UEs they cover,
-            # delivered through the (possibly delayed) pipeline: the
-            # head of the pipeline is the broadcast sent ``delay``
-            # rounds ago.
+            # delivered through the (possibly delayed) pipeline.
             for bs_id, bs_agent in bs_agents.items():
-                pipeline = pipelines[bs_id]
-                pipeline.append(bs_agent.broadcast())
-                while len(pipeline) > self.broadcast_delay_rounds + 1:
-                    pipeline.pop(0)
-                delivered = pipeline[0]
-                for ue_id, covered in coverage.items():
-                    if bs_id in covered:
-                        ue_agents[ue_id].observe(delivered)
+                delivered = pipelines[bs_id].push(bs_agent.broadcast())
+                if delivered.same_resources(delivered_before[bs_id]):
+                    continue
+                delivered_before[bs_id] = delivered
+                for ue_agent in covered_by_bs[bs_id]:
+                    ue_agent.observe(delivered)
 
             # UEs propose; SPs relay requests to the target BSs.
             any_request = False

@@ -6,6 +6,21 @@ broadcast their remaining resources.  These frozen dataclasses are the
 complete vocabulary; agents (:mod:`repro.core.agents`) exchange nothing
 else, which is what makes the decentralization claim checkable — a BS
 decides using only the fields a :class:`ServiceRequest` carries.
+
+Two deployment-shaped concerns live here as well:
+
+* **Sequence numbers and epochs.**  A :class:`ResourceBroadcast` carries
+  ``seq`` (monotone per BS) and ``epoch`` (bumped when a BS restarts
+  after a crash with a fresh ledger).  Receivers drop broadcasts older
+  than the freshest one already seen — the staleness detection a real
+  transport with reordering and delay needs — and treat an epoch bump
+  from their serving BS as an implicit disassociation.
+* **Wire serialization.**  :func:`to_wire` / :func:`from_wire` map every
+  message to/from a flat JSON-able dict tagged with a ``"k"`` kind.
+  Every transport of :mod:`repro.dist` (in-proc queues included) moves
+  messages in this encoded form, so byte-level overhead accounting is
+  uniform and the serialization path is exercised even in tests that
+  never leave the process.
 """
 
 from __future__ import annotations
@@ -13,11 +28,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro.errors import ConfigurationError
+
 __all__ = [
     "ServiceRequest",
     "AssociationGrant",
     "ResourceBroadcast",
     "CloudFallbackNotice",
+    "to_wire",
+    "from_wire",
 ]
 
 
@@ -44,23 +63,47 @@ class ServiceRequest:
 
 @dataclass(frozen=True, slots=True)
 class AssociationGrant:
-    """A BS's acceptance of a service request (``a_{u,i} = 1``)."""
+    """A BS's acceptance of a service request (``a_{u,i} = 1``).
+
+    ``epoch`` is the BS ledger epoch the grant was booked in; a grant
+    delivered late, after its BS crashed and restarted, carries a stale
+    epoch and must not re-associate the UE (the reservation is gone).
+    """
 
     bs_id: int
     ue_id: int
     service_id: int
     crus: int
     rrbs: int
+    epoch: int = 0
 
 
 @dataclass(frozen=True, slots=True)
 class ResourceBroadcast:
     """A BS's end-of-round advertisement of its remaining resources
-    (Alg. 1 line 26)."""
+    (Alg. 1 line 26).
+
+    ``seq`` increases by one per broadcast a BS sends; ``epoch``
+    increases when the BS restarts with a fresh ledger after a crash.
+    Together they totally order one BS's broadcasts: a receiver holding
+    ``(epoch, seq)`` discards anything strictly older.
+    """
 
     bs_id: int
     remaining_crus: Mapping[int, int]
     remaining_rrbs: int
+    seq: int = 0
+    epoch: int = 0
+
+    def same_resources(self, other: "ResourceBroadcast | None") -> bool:
+        """Whether delivering ``self`` after ``other`` changes anything a
+        UE acts on (resource numbers and epoch; ``seq`` is excluded)."""
+        return (
+            other is not None
+            and self.epoch == other.epoch
+            and self.remaining_rrbs == other.remaining_rrbs
+            and dict(self.remaining_crus) == dict(other.remaining_crus)
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,3 +113,89 @@ class CloudFallbackNotice:
 
     ue_id: int
     sp_id: int
+
+
+# ----------------------------------------------------------------------
+# Wire form: flat dicts tagged with a "k" kind, JSON-able as-is
+# ----------------------------------------------------------------------
+
+#: Wire kind tags, also the label values of the ``dist.messages.<kind>``
+#: accounting counters.
+WIRE_KINDS = ("req", "grant", "bcast", "cloud")
+
+
+def to_wire(message) -> dict:
+    """Encode a message as a flat JSON-able dict tagged with ``"k"``."""
+    if isinstance(message, ServiceRequest):
+        return {
+            "k": "req",
+            "ue": message.ue_id,
+            "sp": message.sp_id,
+            "bs": message.target_bs_id,
+            "svc": message.service_id,
+            "cru": message.cru_demand,
+            "rrb": message.rrbs_required,
+            "fu": message.coverage_count,
+        }
+    if isinstance(message, AssociationGrant):
+        return {
+            "k": "grant",
+            "bs": message.bs_id,
+            "ue": message.ue_id,
+            "svc": message.service_id,
+            "cru": message.crus,
+            "rrb": message.rrbs,
+            "epoch": message.epoch,
+        }
+    if isinstance(message, ResourceBroadcast):
+        return {
+            "k": "bcast",
+            "bs": message.bs_id,
+            # JSON object keys are strings; from_wire restores ints.
+            "crus": {str(s): c for s, c in message.remaining_crus.items()},
+            "rrbs": message.remaining_rrbs,
+            "seq": message.seq,
+            "epoch": message.epoch,
+        }
+    if isinstance(message, CloudFallbackNotice):
+        return {"k": "cloud", "ue": message.ue_id, "sp": message.sp_id}
+    raise ConfigurationError(
+        f"cannot encode {type(message).__name__} as a wire message"
+    )
+
+
+def from_wire(payload: Mapping) -> object:
+    """Decode :func:`to_wire` output back into its message dataclass."""
+    kind = payload.get("k")
+    if kind == "req":
+        return ServiceRequest(
+            ue_id=payload["ue"],
+            sp_id=payload["sp"],
+            target_bs_id=payload["bs"],
+            service_id=payload["svc"],
+            cru_demand=payload["cru"],
+            rrbs_required=payload["rrb"],
+            coverage_count=payload["fu"],
+        )
+    if kind == "grant":
+        return AssociationGrant(
+            bs_id=payload["bs"],
+            ue_id=payload["ue"],
+            service_id=payload["svc"],
+            crus=payload["cru"],
+            rrbs=payload["rrb"],
+            epoch=payload.get("epoch", 0),
+        )
+    if kind == "bcast":
+        return ResourceBroadcast(
+            bs_id=payload["bs"],
+            remaining_crus={
+                int(s): c for s, c in payload["crus"].items()
+            },
+            remaining_rrbs=payload["rrbs"],
+            seq=payload.get("seq", 0),
+            epoch=payload.get("epoch", 0),
+        )
+    if kind == "cloud":
+        return CloudFallbackNotice(ue_id=payload["ue"], sp_id=payload["sp"])
+    raise ConfigurationError(f"unknown wire message kind {kind!r}")

@@ -1,0 +1,28 @@
+"""True decentralized deployment of the DMRA agent layer.
+
+Promotes the UE/BS/SP agents of :mod:`repro.core.agents` to real node
+bodies — threads or forked OS processes — exchanging serialized wire
+messages over a pluggable transport, with fault injection and
+per-message accounting.  See ``docs/decentralized.md``.
+"""
+
+from repro.dist.faults import (
+    FAULT_SCENARIOS,
+    CrashEvent,
+    FaultPlan,
+    FaultyChannel,
+    scenario_plan,
+)
+from repro.dist.supervisor import DistributedDMRAAllocator
+from repro.dist.transport import TRANSPORTS, make_transport
+
+__all__ = [
+    "FAULT_SCENARIOS",
+    "TRANSPORTS",
+    "CrashEvent",
+    "DistributedDMRAAllocator",
+    "FaultPlan",
+    "FaultyChannel",
+    "make_transport",
+    "scenario_plan",
+]

@@ -64,6 +64,12 @@ _LABELED_COUNTER_PREFIXES = {
     "scale.shard_evictions": "shard",
     "stream.sp_profit": "sp",
     "stream.shard_events": "shard",
+    "dist.messages": "kind",
+    "dist.bytes": "kind",
+    "dist.sp_requests": "sp",
+    "dist.sp_grants": "sp",
+    "dist.sp_retries": "sp",
+    "dist.faults": "event",
 }
 
 

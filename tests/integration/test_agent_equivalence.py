@@ -10,6 +10,7 @@ import pytest
 
 from repro.core.agents import DecentralizedDMRAAllocator
 from repro.core.dmra import DMRAAllocator
+from repro.dist import TRANSPORTS, DistributedDMRAAllocator
 from repro.sim.config import ScenarioConfig
 from repro.sim.runner import run_allocation
 from repro.sim.scenario import build_scenario
@@ -103,3 +104,67 @@ class TestMessageOverhead:
         assert direct.forwarded_traffic_bps == pytest.approx(
             agents.forwarded_traffic_bps
         )
+
+
+class TestDistributedEquivalence:
+    """The multi-process deployment (repro.dist) under a reliable
+    transport is bit-identical to the direct engine — same association
+    pairs, same cloud set, same convergence-round count — for every
+    transport, including the forked mp and tcp paths."""
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_bit_identical_across_transports(self, transport):
+        scenario = build_scenario(ScenarioConfig.paper(), 80, 7)
+        direct = DMRAAllocator(pricing=scenario.pricing).allocate(
+            scenario.network, scenario.radio_map
+        )
+        allocator = DistributedDMRAAllocator(
+            transport=transport, pricing=scenario.pricing
+        )
+        dist = allocator.allocate(scenario.network, scenario.radio_map)
+        dist.validate(scenario.network, scenario.radio_map)
+        assert sorted(direct.association_pairs()) == sorted(
+            dist.association_pairs()
+        )
+        assert direct.cloud_ue_ids == dist.cloud_ue_ids
+        assert direct.rounds == dist.rounds
+        report = allocator.last_report
+        assert report["orphans"] == 0
+        assert all(n == 0 for n in report["faults"].values())
+        # Message accounting is populated for every wire kind in play.
+        assert report["messages"]["bcast"] > 0
+        assert report["messages"]["req"] > 0
+        assert report["messages"]["grant"] > 0
+        assert report["bytes"]["req"] > report["messages"]["req"]
+
+    def test_matches_in_process_agents_overloaded(self):
+        """Overload (cloud fallbacks in play) through the inproc
+        deployment still mirrors the single-process agent allocator."""
+        scenario = build_scenario(ScenarioConfig.paper(), 400, 3)
+        agents = DecentralizedDMRAAllocator(
+            pricing=scenario.pricing
+        ).allocate(scenario.network, scenario.radio_map)
+        dist = DistributedDMRAAllocator(
+            transport="inproc", pricing=scenario.pricing
+        ).allocate(scenario.network, scenario.radio_map)
+        assert sorted(agents.association_pairs()) == sorted(
+            dist.association_pairs()
+        )
+        assert agents.cloud_ue_ids == dist.cloud_ue_ids
+        assert agents.rounds == dist.rounds
+
+    def test_ue_host_partitioning_is_invisible(self):
+        """Sharding UEs across a different host count must not change
+        the outcome — hosts are deployment detail, not algorithm."""
+        scenario = build_scenario(ScenarioConfig.paper(), 80, 7)
+        results = [
+            DistributedDMRAAllocator(
+                transport="inproc", pricing=scenario.pricing, ue_hosts=hosts
+            ).allocate(scenario.network, scenario.radio_map)
+            for hosts in (1, 4)
+        ]
+        assert sorted(results[0].association_pairs()) == sorted(
+            results[1].association_pairs()
+        )
+        assert results[0].cloud_ue_ids == results[1].cloud_ue_ids
+        assert results[0].rounds == results[1].rounds

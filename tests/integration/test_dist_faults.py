@@ -1,0 +1,214 @@
+"""Integration: fault injection in the multi-process deployment.
+
+The resilience half of the distribution claim: under each named fault
+scenario (message drops, delays, stale broadcasts, a BS crash with
+recovery) the deployment still **terminates**, produces a **valid**
+assignment, loses a **bounded** amount of profit relative to the
+fault-free run, and emits complete message/round accounting — both in
+``last_report`` and as labeled families in the derived trace metrics
+document.
+"""
+
+import pytest
+
+from repro.dist import DistributedDMRAAllocator, FaultPlan, scenario_plan
+from repro.obs import (
+    Recorder,
+    metrics_from_trace,
+    telemetry_session,
+    trace_from_recorder,
+)
+from repro.sim.config import ScenarioConfig
+from repro.sim.runner import run_allocation
+from repro.sim.scenario import build_scenario
+
+UE_COUNT = 40
+SEED = 7
+FAULT_SEED = 3
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(ScenarioConfig.paper(), UE_COUNT, SEED)
+
+
+@pytest.fixture(scope="module")
+def reliable_outcome(scenario):
+    allocator = DistributedDMRAAllocator(
+        transport="inproc", pricing=scenario.pricing
+    )
+    return run_allocation(scenario, allocator)
+
+
+def run_faulty(scenario, name, **kwargs):
+    allocator = DistributedDMRAAllocator(
+        transport="inproc",
+        pricing=scenario.pricing,
+        fault_plan=scenario_plan(name, seed=FAULT_SEED),
+        max_rounds=80,
+        **kwargs,
+    )
+    outcome = run_allocation(scenario, allocator)
+    return allocator, outcome
+
+
+class TestFaultScenarios:
+    @pytest.mark.parametrize("name", ["drop", "delay", "stale", "crash"])
+    def test_terminates_validly_with_bounded_degradation(
+        self, scenario, reliable_outcome, name
+    ):
+        allocator, outcome = run_faulty(scenario, name)
+        # Terminated well before the max_rounds backstop, with a valid
+        # (run_allocation re-checks constraints) assignment.
+        report = allocator.last_report
+        assert report["total_rounds"] < 80
+        assert report["orphans"] == 0
+        # Bounded profit degradation vs the fault-free deployment.
+        assert outcome.metrics.total_profit >= (
+            0.9 * reliable_outcome.metrics.total_profit
+        )
+        # Accounting is complete: every kind counted, bytes > messages.
+        for kind in ("bcast", "req", "grant"):
+            assert report["messages"][kind] > 0
+            assert report["bytes"][kind] > report["messages"][kind]
+
+    def test_drop_scenario_actually_drops_and_retries(self, scenario):
+        allocator, _ = run_faulty(scenario, "drop")
+        report = allocator.last_report
+        assert report["faults"]["dropped"] > 0
+        # The SP relay layer re-transmits requests whose grants were
+        # lost; at 25% drop some retransmission is certain.
+        retransmits = sum(
+            sp["retransmits"] for sp in report["sp"].values()
+        )
+        assert retransmits > 0
+
+    def test_delay_scenario_releases_every_held_frame(self, scenario):
+        allocator, _ = run_faulty(scenario, "delay")
+        faults = allocator.last_report["faults"]
+        assert faults["delayed"] > 0
+        assert faults["released"] == faults["delayed"]
+        assert faults["dropped"] == 0
+
+    def test_stale_scenario_delays_broadcasts_only(self, scenario):
+        allocator, _ = run_faulty(scenario, "stale")
+        report = allocator.last_report
+        assert report["faults"]["delayed"] > 0
+        # Requests and grants ride untouched, so no retransmissions.
+        assert sum(sp["retransmits"] for sp in report["sp"].values()) == 0
+
+    def test_crash_scenario_recovers_via_epoch_bump(self, scenario):
+        allocator, outcome = run_faulty(scenario, "crash")
+        report = allocator.last_report
+        assert report["faults"]["crashes"] == 1
+        # Recovery is complete: no UE is stranded on the wiped ledger.
+        assert report["orphans"] == 0
+        plan = allocator.fault_plan
+        assert report["total_rounds"] >= plan.last_crash_clear_round
+
+    def test_fault_metrics_reach_the_trace_document(self, scenario):
+        """The accounting is not just in-memory: a traced faulty run
+        derives labeled dist_* metric families."""
+        recorder = Recorder(meta={"kind": "dist-fault-test"})
+        with telemetry_session(recorder):
+            allocator, _ = run_faulty(scenario, "drop")
+        document = metrics_from_trace(trace_from_recorder(recorder))
+        for family in (
+            "dmra_dist_messages_total",
+            "dmra_dist_bytes_total",
+            "dmra_dist_sp_requests_total",
+            "dmra_dist_sp_grants_total",
+            "dmra_dist_faults_total",
+            "dmra_dist_rounds",
+            "dmra_dist_total_rounds",
+        ):
+            assert document.has_family(family), family
+        messages = document.family("dmra_dist_messages_total")
+        report = allocator.last_report
+        for kind, n in report["messages"].items():
+            assert messages.sample(kind=kind) == n
+        faults = document.family("dmra_dist_faults_total")
+        assert faults.sample(event="dropped") == report["faults"]["dropped"]
+
+    def test_mp_transport_replays_the_same_faulty_run(self, scenario):
+        """Fault determinism is transport-independent: the same plan on
+        forked processes produces the identical assignment and fault
+        tallies as on threads."""
+        inproc, inproc_outcome = run_faulty(scenario, "drop")
+        mp_alloc = DistributedDMRAAllocator(
+            transport="mp",
+            pricing=scenario.pricing,
+            fault_plan=scenario_plan("drop", seed=FAULT_SEED),
+            max_rounds=80,
+        )
+        mp_outcome = run_allocation(scenario, mp_alloc)
+        assert sorted(inproc_outcome.assignment.association_pairs()) == sorted(
+            mp_outcome.assignment.association_pairs()
+        )
+        assert inproc.last_report["faults"] == mp_alloc.last_report["faults"]
+        assert inproc.last_report["messages"] == mp_alloc.last_report["messages"]
+
+    def test_crash_of_a_loaded_bs_reassigns_or_clouds_everyone(self, scenario):
+        """Crashing a specific, loaded BS: every UE it served ends up
+        either re-granted somewhere or at the cloud — never stranded."""
+        reliable = DistributedDMRAAllocator(
+            transport="inproc", pricing=scenario.pricing
+        )
+        baseline = reliable.allocate(scenario.network, scenario.radio_map)
+        loaded_bs = max(
+            (g.bs_id for g in baseline.grants),
+            key=[g.bs_id for g in baseline.grants].count,
+        )
+        allocator = DistributedDMRAAllocator(
+            transport="inproc",
+            pricing=scenario.pricing,
+            fault_plan=scenario_plan(
+                "crash", seed=FAULT_SEED, crash_bs_id=loaded_bs
+            ),
+            max_rounds=80,
+        )
+        outcome = run_allocation(scenario, allocator)
+        served = {g.ue_id for g in outcome.assignment.grants}
+        assert served | set(outcome.assignment.cloud_ue_ids) == set(
+            ue.ue_id for ue in scenario.network.user_equipments
+        )
+        assert allocator.last_report["orphans"] == 0
+
+
+class TestFaultPlanEdgeCases:
+    def test_zero_probability_plan_equals_reliable_run(
+        self, scenario, reliable_outcome
+    ):
+        """A fault plan that injects nothing must still converge to the
+        reliable result, despite always_broadcast switching on."""
+        allocator = DistributedDMRAAllocator(
+            transport="inproc",
+            pricing=scenario.pricing,
+            fault_plan=FaultPlan(seed=0),
+            max_rounds=80,
+        )
+        outcome = run_allocation(scenario, allocator)
+        assert sorted(outcome.assignment.association_pairs()) == sorted(
+            reliable_outcome.assignment.association_pairs()
+        )
+        assert (
+            outcome.assignment.cloud_ue_ids
+            == reliable_outcome.assignment.cloud_ue_ids
+        )
+
+    def test_heavy_drop_still_terminates(self, scenario):
+        """Far past the named scenarios: 60% drop inside the horizon.
+        Termination is guaranteed because faults stop at the horizon."""
+        allocator = DistributedDMRAAllocator(
+            transport="inproc",
+            pricing=scenario.pricing,
+            fault_plan=FaultPlan(seed=1, drop_prob=0.6, horizon_rounds=8),
+            max_rounds=120,
+        )
+        outcome = run_allocation(scenario, allocator)
+        assert allocator.last_report["total_rounds"] < 120
+        assert allocator.last_report["orphans"] == 0
+        served = {g.ue_id for g in outcome.assignment.grants}
+        assert served | set(outcome.assignment.cloud_ue_ids) == set(
+            ue.ue_id for ue in scenario.network.user_equipments
+        )

@@ -1,15 +1,22 @@
 """Unit tests for the message-passing agent layer."""
 
+import math
+
 import pytest
 
 from conftest import make_tiny_network
+from repro.compute.cru import LedgerPool
 from repro.core.agents import (
+    BroadcastPipeline,
     BSAgent,
     DecentralizedDMRAAllocator,
     SPAgent,
     UEAgent,
     _CandidateInfo,
+    build_ue_agents,
 )
+from repro.core.matching import MatchingContext
+from repro.core.preferences import dmra_price_term, dmra_slack_term
 from repro.core.messages import (
     AssociationGrant,
     CloudFallbackNotice,
@@ -247,3 +254,258 @@ class TestDecentralizedAllocator:
             DecentralizedDMRAAllocator(rho=-1.0)
         with pytest.raises(ConfigurationError):
             DecentralizedDMRAAllocator(max_rounds=0)
+
+
+class TestBroadcastPipeline:
+    def stamped(self, seq):
+        return broadcast(0, crus={0: 20 - seq, 1: 20}, rrbs=10)
+
+    def test_delay_zero_is_passthrough(self):
+        pipeline = BroadcastPipeline(self.stamped(0), delay=0)
+        for seq in range(1, 5):
+            sent = self.stamped(seq)
+            assert pipeline.push(sent) is sent
+
+    @pytest.mark.parametrize("delay", [1, 2, 5])
+    def test_head_is_the_broadcast_sent_delay_rounds_ago(self, delay):
+        """Regression for the deque rewrite: pushing round r's broadcast
+        must deliver the one sent in round ``r - delay`` — with the
+        initial broadcast standing in for pre-history rounds."""
+        initial = self.stamped(0)
+        pipeline = BroadcastPipeline(initial, delay=delay)
+        for seq in range(1, 12):
+            delivered = pipeline.push(self.stamped(seq))
+            expected = self.stamped(max(0, seq - delay))
+            assert delivered.remaining_crus == expected.remaining_crus
+            assert pipeline.head is delivered
+        assert pipeline.delay == delay
+
+    def test_prehistory_is_the_initial_broadcast(self):
+        initial = self.stamped(0)
+        pipeline = BroadcastPipeline(initial, delay=3)
+        assert pipeline.push(self.stamped(1)) is initial
+        assert pipeline.push(self.stamped(2)) is initial
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BroadcastPipeline(self.stamped(0), delay=-1)
+
+
+class TestSlackParity:
+    """``UEAgent._slack``/``_score`` must equal the direct engine's
+    Eq. 17 terms (:func:`dmra_price_term` + :func:`dmra_slack_term`)
+    when the agent's broadcast view matches the engine's ledger."""
+
+    def context_and_agent(self, rho, ue_specs=None):
+        network = make_tiny_network(
+            ue_specs=ue_specs or [dict(ue_id=0, position=Point(100, 0))]
+        )
+        radio_map = build_radio_map(network, LinkBudget())
+        ctx = MatchingContext(
+            network=network,
+            radio_map=radio_map,
+            ledgers=LedgerPool(network.base_stations),
+        )
+        agent = build_ue_agents(network, radio_map, PRICING, rho)[0]
+        return network, ctx, agent
+
+    def sync_broadcasts(self, network, ctx, agent):
+        """Deliver broadcasts reflecting the ledger state, as the BS
+        agents would at the start of a round."""
+        for bs in network.base_stations:
+            ledger = ctx.ledgers.ledger(bs.bs_id)
+            agent.observe(
+                ResourceBroadcast(
+                    bs_id=bs.bs_id,
+                    remaining_crus={
+                        s: ledger.remaining_crus(s) for s in bs.cru_capacity
+                    },
+                    remaining_rrbs=ledger.remaining_rrbs,
+                )
+            )
+
+    @pytest.mark.parametrize("rho", [0.0, 10.0, 500.0])
+    def test_score_matches_engine_terms(self, rho):
+        network, ctx, agent = self.context_and_agent(rho)
+        # Consume some resources so the slack term is non-trivial.
+        ctx.ledgers.ledger(0).grant(ue_id=9, service_id=0, crus=6, rrbs=3)
+        self.sync_broadcasts(network, ctx, agent)
+        ue = agent.ue
+        for bs_id in agent.candidate_bs_ids:
+            expected = dmra_price_term(
+                ue, bs_id, ctx, PRICING
+            ) + dmra_slack_term(ue.service_id, bs_id, ctx, rho)
+            info = agent._candidates[bs_id]
+            assert agent._score(info) == pytest.approx(expected)
+            ledger = ctx.ledgers.ledger(bs_id)
+            assert agent._slack(bs_id) == (
+                ledger.remaining_crus(ue.service_id) + ledger.remaining_rrbs
+            )
+
+    @pytest.mark.parametrize("rho", [0.0, 10.0])
+    def test_zero_slack_limit_matches_engine(self, rho):
+        """slack == 0: +inf for rho > 0, bare price for rho = 0 — the
+        documented Eq. 17 limit, in both implementations."""
+        network, ctx, agent = self.context_and_agent(rho)
+        ledger = ctx.ledgers.ledger(0)
+        ledger.grant(ue_id=8, service_id=0, crus=20, rrbs=5)
+        ledger.grant(ue_id=9, service_id=1, crus=20, rrbs=5)
+        self.sync_broadcasts(network, ctx, agent)
+        expected = dmra_price_term(agent.ue, 0, ctx, PRICING) + dmra_slack_term(
+            agent.ue.service_id, 0, ctx, rho
+        )
+        got = agent._score(agent._candidates[0])
+        assert agent._slack(0) == 0
+        if rho > 0:
+            assert got == math.inf and expected == math.inf
+        else:
+            assert got == pytest.approx(expected)
+
+    def test_no_broadcast_branch_scores_price_only(self):
+        _network, _ctx, agent = self.context_and_agent(rho=50.0)
+        for bs_id in agent.candidate_bs_ids:
+            assert agent._slack(bs_id) == -1
+            info = agent._candidates[bs_id]
+            assert agent._score(info) == info.price_per_cru
+
+    @pytest.mark.parametrize("delay", [1, 2])
+    def test_delayed_broadcast_scores_against_the_old_ledger(self, delay):
+        """Under ``broadcast_delay_rounds > 0`` the agent's slack tracks
+        the ledger state ``delay`` rounds ago, not the current one —
+        and the delayed allocator still yields a valid assignment."""
+        network, ctx, agent = self.context_and_agent(rho=10.0)
+        pipeline = BroadcastPipeline(
+            ResourceBroadcast(
+                bs_id=0, remaining_crus={0: 20, 1: 20}, remaining_rrbs=10
+            ),
+            delay=delay,
+        )
+        ledger = ctx.ledgers.ledger(0)
+        snapshots = []
+        for _round in range(delay + 2):
+            snapshots.append(
+                ledger.remaining_crus(0) + ledger.remaining_rrbs
+            )
+            agent.observe(
+                pipeline.push(
+                    ResourceBroadcast(
+                        bs_id=0,
+                        remaining_crus={
+                            s: ledger.remaining_crus(s) for s in (0, 1)
+                        },
+                        remaining_rrbs=ledger.remaining_rrbs,
+                    )
+                )
+            )
+            ledger.grant(
+                ue_id=100 + _round, service_id=0, crus=2, rrbs=1
+            )
+        # After r pushes the delivered head is the snapshot from
+        # max(0, r - 1 - delay)... the last push delivered snapshot
+        # index (delay + 1) - delay = 1.
+        assert agent._slack(0) == snapshots[1]
+
+        network2 = make_tiny_network(
+            ue_specs=[
+                dict(ue_id=i, position=Point(100 + 20 * i, 0))
+                for i in range(6)
+            ]
+        )
+        radio_map2 = build_radio_map(network2, LinkBudget())
+        allocator = DecentralizedDMRAAllocator(
+            pricing=PRICING, broadcast_delay_rounds=delay
+        )
+        assignment = allocator.allocate(network2, radio_map2)
+        assignment.validate(network2, radio_map2)
+
+
+class TestFreshnessAndEpochs:
+    def stamped(self, seq=0, epoch=0, rrbs=10):
+        return ResourceBroadcast(
+            bs_id=0,
+            remaining_crus={0: 20, 1: 20},
+            remaining_rrbs=rrbs,
+            seq=seq,
+            epoch=epoch,
+        )
+
+    def agent(self):
+        return UEAgent(
+            make_ue(),
+            candidates=[_CandidateInfo(bs_id=0, price_per_cru=2.0, rrbs_required=1)],
+            rho=0.0,
+        )
+
+    def test_stale_seq_discarded(self):
+        agent = self.agent()
+        assert agent.observe(self.stamped(seq=5, rrbs=3))
+        assert not agent.observe(self.stamped(seq=4, rrbs=10))
+        # The stale broadcast must not overwrite the newer view.
+        assert agent._broadcasts[0].remaining_rrbs == 3
+
+    def test_newer_epoch_outranks_larger_seq(self):
+        agent = self.agent()
+        assert agent.observe(self.stamped(seq=50, epoch=0))
+        assert agent.observe(self.stamped(seq=1, epoch=1, rrbs=4))
+        assert agent._broadcasts[0].remaining_rrbs == 4
+
+    def test_epoch_bump_disassociates_from_serving_bs(self):
+        agent = self.agent()
+        agent.observe(self.stamped(seq=1))
+        agent.receive_grant(
+            AssociationGrant(bs_id=0, ue_id=0, service_id=0, crus=4, rrbs=1)
+        )
+        assert agent.associated_bs == 0
+        # Same epoch: association stands.
+        agent.observe(self.stamped(seq=2))
+        assert agent.associated_bs == 0
+        # Epoch bump from the serving BS: the reservation is gone.
+        agent.observe(self.stamped(seq=3, epoch=1))
+        assert agent.associated_bs is None
+        assert agent.propose() is not None  # re-enters the matching
+
+    def test_stale_epoch_grant_rejected(self):
+        agent = self.agent()
+        agent.observe(self.stamped(seq=1, epoch=2))
+        accepted = agent.receive_grant(
+            AssociationGrant(
+                bs_id=0, ue_id=0, service_id=0, crus=4, rrbs=1, epoch=1
+            )
+        )
+        assert not accepted
+        assert agent.associated_bs is None
+
+    def test_bs_reset_bumps_epoch_and_wipes_ledger(self):
+        agent = make_bs_agent()
+        agent.deliver(request(ue_id=3))
+        agent.process_round()
+        assert agent.grant_for(3) is not None
+        first = agent.broadcast()
+        agent.reset()
+        assert agent.epoch == 1
+        assert agent.grant_for(3) is None
+        second = agent.broadcast()
+        # Full capacity again, new epoch, and seq keeps counting so
+        # (epoch, seq) stays totally ordered.
+        assert second.remaining_crus[0] == 20
+        assert second.epoch == 1
+        assert second.seq == first.seq + 1
+
+    def test_regrant_path_reissues_booked_grant(self):
+        agent = make_bs_agent()
+        agent.deliver(request(ue_id=3, crus=4, rrbs=2))
+        (granted,) = agent.process_round()
+        # A re-proposal from an already-served UE is not double-booked.
+        agent.deliver(request(ue_id=3, crus=4, rrbs=2))
+        assert agent.process_round() == []
+        reissued = agent.grant_for(3)
+        assert reissued.crus == granted.crus
+        assert reissued.rrbs == granted.rrbs
+        assert agent.ledger.remaining_crus(0) == 16
+
+    def test_same_resources_ignores_seq(self):
+        a = self.stamped(seq=1)
+        assert self.stamped(seq=9).same_resources(a)
+        assert not self.stamped(seq=2, rrbs=3).same_resources(a)
+        assert not self.stamped(seq=2, epoch=1).same_resources(a)
+        assert not a.same_resources(None)

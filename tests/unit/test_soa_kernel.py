@@ -265,3 +265,49 @@ def test_price_term_fast_paths_match_scalar_pricing(pricing):
         for d, s in zip(distances, same_sp)
     ]
     assert got.tolist() == expected
+
+
+class TestNumbaBackendParity:
+    """Skip-guarded parity for the JIT backend: runs only where the
+    optional numba package is installed (the dedicated CI job installs
+    it; the default environment skips).  The contract is exact
+    agreement with the numpy backend — first index of each segment's
+    minimum, +inf scores and ties included."""
+
+    def _backend(self):
+        pytest.importorskip("numba")
+        from repro.core.soa import _numba_backend_factory
+
+        return _numba_backend_factory()
+
+    def test_segmented_argmin_matches_numpy_backend(self):
+        segmented_argmin = self._backend()
+        rng = np.random.default_rng(11)
+        for _case in range(20):
+            segments = rng.integers(1, 9, size=rng.integers(1, 12))
+            starts = np.concatenate(([0], np.cumsum(segments)[:-1]))
+            scores = rng.uniform(0.0, 100.0, size=int(segments.sum()))
+            # Salt in ties and +inf (retired candidates) — the edge
+            # cases a naive reduction gets wrong.
+            scores[rng.random(scores.size) < 0.2] = np.inf
+            scores[rng.random(scores.size) < 0.2] = 42.0
+            got = segmented_argmin(scores, starts)
+            expected = _segmented_argmin_numpy(scores, starts)
+            assert got.tolist() == expected.tolist()
+
+    def test_engine_parity_on_paper_scenario(self):
+        pytest.importorskip("numba")
+        from repro.sim.config import ScenarioConfig
+        from repro.sim.scenario import build_scenario
+
+        scenario = build_scenario(ScenarioConfig.paper(), 150, 4)
+        policy = DMRAPolicy(pricing=scenario.pricing)
+        numba_run = SoAMatchingEngine(policy, backend="numba").run(
+            scenario.network, scenario.radio_map
+        )
+        numpy_run = SoAMatchingEngine(policy, backend="numpy").run(
+            scenario.network, scenario.radio_map
+        )
+        assert numba_run.grants == numpy_run.grants
+        assert numba_run.cloud_ue_ids == numpy_run.cloud_ue_ids
+        assert numba_run.rounds == numpy_run.rounds
