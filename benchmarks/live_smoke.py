@@ -1,0 +1,169 @@
+"""CI smoke driver for the live observability plane.
+
+Boots ``dmra serve --listen 127.0.0.1:0`` on a small churn tape as a
+real subprocess, then drives it the way an operator (or Prometheus)
+would:
+
+1. wait for the port file, poll ``/healthz`` until live and
+   ``/readyz`` until the first flush completed;
+2. scrape ``/metrics`` and assert the expected families are present
+   and well-formed (histogram invariants included);
+3. wait for the replay to quiesce, take a final scrape, and — after
+   the subprocess exits cleanly — assert the scrape's histogram
+   families equal the final flushed metrics document exactly;
+4. leave the scrape, flush document, and flight-recorder dump on disk
+   as workflow artifacts.
+
+Run from the repo root: ``python benchmarks/live_smoke.py``.  Exits
+nonzero on any failure.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.obs import (
+    http_get,
+    parse_exposition,
+    read_metrics,
+    validate_histogram_family,
+)
+
+PORT_FILE = Path("live_port.txt")
+FLUSH_FILE = Path("live_flush.json")
+FLIGHT_FILE = Path("live_flight.json")
+SCRAPE_FILE = Path("live_scrape.prom")
+
+SERVE_ARGS = [
+    sys.executable, "-m", "repro", "serve",
+    "--rate", "4", "--horizon", "180", "--holding", "30",
+    "--move-fraction", "0.1", "--seed", "1",
+    "--listen", "127.0.0.1:0",
+    "--port-file", str(PORT_FILE),
+    "--flush", str(FLUSH_FILE),
+    "--flush-interval", "0.2",
+    "--linger", "20",
+    "--flight-dump", str(FLIGHT_FILE),
+]
+
+REQUIRED_HISTOGRAMS = (
+    "dmra_stream_event_latency_s",
+    "dmra_stream_queue_depth_hist",
+)
+REQUIRED_FAMILIES = REQUIRED_HISTOGRAMS + ("dmra_flight_entries",)
+
+
+def wait_for(predicate, timeout_s: float, what: str):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            result = predicate()
+        except Exception:
+            result = None
+        if result:
+            return result
+        time.sleep(0.1)
+    raise SystemExit(f"live-smoke: timed out waiting for {what}")
+
+
+def check(condition: bool, what: str) -> None:
+    if not condition:
+        raise SystemExit(f"live-smoke: FAILED: {what}")
+    print(f"live-smoke: ok: {what}")
+
+
+def scrape(base: str) -> str:
+    status, body = http_get(base + "/metrics")
+    check(status == 200, "/metrics returns 200")
+    return body
+
+
+def main() -> int:
+    for stale in (PORT_FILE, FLUSH_FILE, FLIGHT_FILE, SCRAPE_FILE):
+        stale.unlink(missing_ok=True)
+    proc = subprocess.Popen(SERVE_ARGS)
+    try:
+        wait_for(
+            lambda: PORT_FILE.exists() and PORT_FILE.read_text().strip(),
+            30, "port file",
+        )
+        port = int(PORT_FILE.read_text().strip())
+        base = f"http://127.0.0.1:{port}"
+        print(f"live-smoke: endpoint at {base}")
+
+        wait_for(
+            lambda: http_get(base + "/healthz")[0] == 200, 30, "/healthz"
+        )
+        check(True, "/healthz is live")
+        wait_for(
+            lambda: http_get(base + "/readyz")[0] == 200, 30,
+            "/readyz (first flush)",
+        )
+        check(True, "/readyz flipped after first flush")
+
+        early = parse_exposition(scrape(base))
+        for name in REQUIRED_FAMILIES:
+            check(early.has_family(name), f"family {name} present")
+        for name in REQUIRED_HISTOGRAMS:
+            family = early.family(name)
+            check(family.kind == "histogram", f"{name} is a histogram")
+            validate_histogram_family(family)
+            check(True, f"{name} satisfies histogram invariants")
+
+        # Poll until the replay quiesces: consecutive identical
+        # scrapes that also match the flushed document on disk.
+        def stable():
+            first = scrape(base)
+            time.sleep(0.3)
+            return first if scrape(base) == first else None
+
+        final_text = wait_for(stable, 60, "quiesced scrape")
+        SCRAPE_FILE.write_text(final_text)
+        final = parse_exposition(final_text)
+
+        check(proc.wait(timeout=60) == 0, "serve subprocess exited 0")
+
+        flushed = read_metrics(FLUSH_FILE)
+        for name in REQUIRED_FAMILIES:
+            # The JSON document canonicalizes sample order (sorted by
+            # label set) while exposition keeps bucket order; compare
+            # the sample *sets*, which must match exactly.
+            check(
+                {(s.labels, s.value) for s in final.family(name).samples}
+                == {
+                    (s.labels, s.value)
+                    for s in flushed.family(name).samples
+                },
+                f"final scrape of {name} equals flushed totals",
+            )
+
+        import json
+
+        flight = json.loads(FLIGHT_FILE.read_text())
+        check(flight["schema"] == "dmra.flight/1", "flight dump schema")
+        check(
+            flight["entries"][-1]["kind"] == "finish",
+            "flight ring ends with the finish note",
+        )
+        events = final.family("dmra_stream_event_latency_s")
+        total_latency_count = sum(
+            s.value for s in events.samples
+            if s.labels_dict.get("stat") == "count"
+        )
+        check(
+            total_latency_count == flight["entries"][-1]["events"],
+            "latency histogram count equals events processed",
+        )
+        print("live-smoke: PASS")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

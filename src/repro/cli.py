@@ -49,7 +49,8 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from contextlib import contextmanager
+import time
+from contextlib import ExitStack, contextmanager
 from pathlib import Path
 
 from repro.baselines import (
@@ -167,6 +168,57 @@ def _trace_session(args: argparse.Namespace):
         written = _write_metrics_artifact(metrics_target, recorder)
         print(f"wrote metrics {written}")
     _PENDING_OUTCOME_FAMILIES.clear()
+
+
+@contextmanager
+def _live_plane(args: argparse.Namespace, flight=None):
+    """Serve ``/metrics`` + health endpoints while the command runs.
+
+    A no-op unless ``--listen`` was given.  When the session is
+    otherwise uninstrumented (no ``--trace``/``--metrics``), installs a
+    :class:`Recorder` for the duration so the endpoint has scalar state
+    to scrape.  On exit: one final flush (so a post-run scrape equals
+    the run's totals), then the optional ``--linger`` window, then
+    shutdown.
+    """
+    listen = getattr(args, "listen", None)
+    if listen is None:
+        yield None
+        return
+    from repro.obs import (
+        LiveServer,
+        Recorder,
+        get_telemetry,
+        telemetry_session,
+    )
+
+    with ExitStack() as stack:
+        telemetry = get_telemetry()
+        if not telemetry.enabled:
+            telemetry = Recorder(
+                meta={"command": args.command, "manifest": _manifest_for(args)}
+            )
+            stack.enter_context(telemetry_session(telemetry))
+        live = LiveServer(
+            telemetry,
+            listen=listen,
+            manifest=_manifest_for(args),
+            flight=flight,
+            flush_path=args.flush,
+            flush_interval_s=args.flush_interval,
+        ).start()
+        stack.callback(live.stop)
+        print(f"live endpoint:       {live.url}")
+        if args.port_file is not None:
+            args.port_file.parent.mkdir(parents=True, exist_ok=True)
+            args.port_file.write_text(f"{live.port}\n")
+        if args.flush is None:
+            # No periodic flusher: readiness means "endpoint warm".
+            live.mark_ready()
+        yield live
+        live.flush_to_disk()
+        if args.linger > 0:
+            time.sleep(args.linger)
 
 
 def _write_metrics_artifact(target: Path, recorder) -> Path:
@@ -358,6 +410,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "transports only)"
         ),
     )
+    _add_live_arguments(agents)
+    agents.add_argument(
+        "--flight-dir", type=Path, default=None, metavar="DIR",
+        help=(
+            "write per-node flight-recorder postmortems (ring-buffer "
+            "dumps captured at crash time under '--faults crash') as "
+            "JSON files into DIR"
+        ),
+    )
 
     online = sub.add_parser(
         "online", help="event-driven simulation with arrivals/departures"
@@ -440,6 +501,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "to FILE; diff across --mode values with 'dmra trace diff'"
         ),
     )
+    _add_live_arguments(serve)
+    serve.add_argument(
+        "--flight-dump", type=Path, default=None, metavar="FILE",
+        help=(
+            "write the flight recorder's ring (last events before "
+            "completion) as a JSON postmortem to FILE"
+        ),
+    )
 
     mobility = sub.add_parser(
         "mobility", help="epoch-based movement with handover accounting"
@@ -507,19 +576,27 @@ def _build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser(
         "trace",
         help=(
-            "trace tooling: 'trace FILE' renders a report, "
-            "'trace metrics FILE' derives dmra.metrics/1, "
-            "'trace diff A B' compares two runs (nonzero exit on "
-            "regressions)"
+            "trace tooling: 'trace FILE' / 'trace report FILE' render a "
+            "report, 'trace report FILE --top N' ranks the hottest "
+            "spans by self time, 'trace metrics FILE' derives "
+            "dmra.metrics documents, 'trace diff A B' compares two "
+            "runs (nonzero exit on regressions)"
         ),
     )
     trace.add_argument(
         "args", nargs="+", metavar="ARG",
-        help="FILE | metrics FILE | diff BASELINE CANDIDATE",
+        help="FILE | report FILE | metrics FILE | diff BASELINE CANDIDATE",
     )
     trace.add_argument(
         "--min-ms", type=float, default=0.0,
         help="hide (non-root) spans shorter than this many milliseconds",
+    )
+    trace.add_argument(
+        "--top", type=int, default=0, metavar="N",
+        help=(
+            "report: print the N hottest span names ranked by "
+            "cumulative self time instead of the span tree"
+        ),
     )
     trace.add_argument(
         "--format", choices=("json", "prom"), default="json",
@@ -565,6 +642,43 @@ def _add_trace_argument(cmd: argparse.ArgumentParser) -> None:
             "write this run's dmra.metrics/1 document to FILE "
             "(.prom/.txt suffix selects Prometheus text exposition); "
             "compare runs with 'dmra trace diff'"
+        ),
+    )
+
+
+def _add_live_arguments(cmd: argparse.ArgumentParser) -> None:
+    """The live observability plane (docs/observability.md, Live plane)."""
+    cmd.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help=(
+            "expose /metrics, /healthz, /readyz (and /flightz where a "
+            "flight recorder is attached) on HOST:PORT while the "
+            "command runs; port 0 binds an ephemeral port"
+        ),
+    )
+    cmd.add_argument(
+        "--flush", type=Path, default=None, metavar="FILE",
+        help=(
+            "with --listen: periodically flush the live metrics "
+            "snapshot to FILE (dmra.metrics JSON)"
+        ),
+    )
+    cmd.add_argument(
+        "--flush-interval", type=float, default=1.0, metavar="S",
+        help="seconds between periodic --flush snapshots (default 1.0)",
+    )
+    cmd.add_argument(
+        "--linger", type=float, default=0.0, metavar="S",
+        help=(
+            "with --listen: keep the endpoint up for S seconds after "
+            "the run completes so scrapers can read the final totals"
+        ),
+    )
+    cmd.add_argument(
+        "--port-file", type=Path, default=None, metavar="FILE",
+        help=(
+            "with --listen: write the actually-bound port to FILE "
+            "once the endpoint is up (for drivers using port 0)"
         ),
     )
 
@@ -948,8 +1062,10 @@ def _cmd_agents(args: argparse.Namespace) -> int:
         ue_hosts=args.ue_hosts,
         fault_plan=plan,
         max_rounds=args.max_rounds,
+        flight_dir=args.flight_dir,
     )
-    outcome = run_allocation(scenario, allocator)
+    with _live_plane(args):
+        outcome = run_allocation(scenario, allocator)
     metrics = outcome.metrics
     if getattr(args, "metrics", None) is not None:
         from repro.obs import metrics_from_outcome
@@ -973,6 +1089,9 @@ def _cmd_agents(args: argparse.Namespace) -> int:
     for kind in sorted(report["messages"]):
         print(f"  {kind:<8} {report['messages'][kind]:>8} msgs "
               f"{report['bytes'][kind]:>10} bytes")
+    if args.flight_dir is not None and report.get("postmortems"):
+        names = ", ".join(sorted(report["postmortems"]))
+        print(f"flight postmortems: {names} -> {args.flight_dir}")
     if plan is not None:
         print(f"faults:             {report['faults']}")
         retx = sum(s["retransmits"] for s in report["sp"].values())
@@ -1037,6 +1156,7 @@ def _cmd_online(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.dynamics import ExponentialHolding, PoissonArrivals
+    from repro.obs import FlightRecorder
     from repro.stream import StreamConfig, serve_stream
 
     config = ScenarioConfig.paper(cross_sp_markup=args.iota, rho=args.rho)
@@ -1046,15 +1166,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         holding=ExponentialHolding(mean_s=args.holding),
         move_fraction=args.move_fraction,
     )
-    outcome = serve_stream(
-        config,
-        stream,
-        seed=args.seed,
-        mode=args.mode,
-        shards=args.shards,
-        kernel=args.kernel,
-        queue_maxsize=args.queue,
+    flight = (
+        FlightRecorder()
+        if args.listen is not None or args.flight_dump is not None
+        else None
     )
+    with _live_plane(args, flight=flight):
+        outcome = serve_stream(
+            config,
+            stream,
+            seed=args.seed,
+            mode=args.mode,
+            shards=args.shards,
+            kernel=args.kernel,
+            queue_maxsize=args.queue,
+            flight=flight,
+        )
+    if args.flight_dump is not None and flight is not None:
+        flight.dump_to(args.flight_dump)
+        print(f"wrote flight dump {args.flight_dump}")
     if args.metrics_out is not None:
         from repro.obs import metrics_from_stream, write_metrics
 
@@ -1157,15 +1287,25 @@ def _dispatch_trace(args: argparse.Namespace) -> int:
         if len(rest) != 1:
             raise ConfigurationError("usage: dmra trace metrics FILE")
         return _trace_metrics(args, Path(rest[0]))
-    if rest:
+    if head == "report":
+        if len(rest) != 1:
+            raise ConfigurationError(
+                "usage: dmra trace report FILE [--top N]"
+            )
+        head = rest[0]
+    elif rest:
         raise ConfigurationError(
             f"unknown trace subcommand {head!r}; expected a trace file, "
-            f"'metrics FILE', or 'diff BASELINE CANDIDATE'"
+            f"'report FILE', 'metrics FILE', or "
+            f"'diff BASELINE CANDIDATE'"
         )
-    from repro.obs import read_trace, render_trace_report
+    from repro.obs import read_trace, render_top_spans, render_trace_report
 
     trace = read_trace(Path(head))
-    print(render_trace_report(trace, min_ms=args.min_ms), end="")
+    if args.top > 0:
+        print(render_top_spans(trace, top=args.top), end="")
+    else:
+        print(render_trace_report(trace, min_ms=args.min_ms), end="")
     return 0
 
 
@@ -1175,7 +1315,9 @@ def _load_metrics_document(path: Path):
 
     from repro.obs import (
         METRICS_SCHEMA,
+        METRICS_SCHEMA_V2,
         SCHEMA as TRACE_SCHEMA,
+        SCHEMA_V2 as TRACE_SCHEMA_V2,
         metrics_from_trace,
         parse_metrics,
         parse_trace,
@@ -1194,13 +1336,14 @@ def _load_metrics_document(path: Path):
             f"(first line is not JSON: {exc})"
         ) from exc
     schema = header.get("schema") if isinstance(header, dict) else None
-    if schema == METRICS_SCHEMA:
+    if schema in (METRICS_SCHEMA, METRICS_SCHEMA_V2):
         return parse_metrics(text)
-    if schema == TRACE_SCHEMA:
+    if schema in (TRACE_SCHEMA, TRACE_SCHEMA_V2):
         return metrics_from_trace(parse_trace(text))
     raise ConfigurationError(
         f"{path}: unsupported schema {schema!r}; expected "
-        f"{METRICS_SCHEMA!r} or {TRACE_SCHEMA!r}"
+        f"{METRICS_SCHEMA!r}/{METRICS_SCHEMA_V2!r} or "
+        f"{TRACE_SCHEMA!r}/{TRACE_SCHEMA_V2!r}"
     )
 
 

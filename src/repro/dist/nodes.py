@@ -40,8 +40,11 @@ from repro.core.messages import (
     to_wire,
 )
 from repro.dist.faults import FaultPlan, FaultyChannel
-from repro.dist.transport import Channel
+from repro.dist.transport import Channel, trace_context_of
 from repro.errors import AllocationError
+from repro.obs.histogram import DEFAULT_DEPTH_BOUNDS as _MSG_BOUNDS
+from repro.obs.telemetry import FlightRecorder, Recorder
+from repro.obs.trace import span_to_payload
 
 __all__ = [
     "NodeRuntime",
@@ -67,6 +70,7 @@ class NodeRuntime:
         handler,
         plan: FaultPlan | None = None,
         recv_timeout: float = 60.0,
+        trace: dict | None = None,
     ) -> None:
         self.channel = channel
         self.handler = handler
@@ -79,6 +83,22 @@ class NodeRuntime:
         self._phase_counts: Counter = Counter()
         self._phase_kinds: Counter = Counter()
         self._round = 0
+        # Cross-process tracing: when the supervisor runs a recorder it
+        # ships {trace_id, epoch_s} at spawn; this node then records
+        # its phase spans into its *own* recorder, on the supervisor's
+        # timeline (perf_counter is fork-consistent on Linux), and the
+        # harvest grafts them under the supervisor's phase spans.
+        self.trace_id = None if trace is None else trace.get("trace_id")
+        epoch_s = None if trace is None else trace.get("epoch_s")
+        self.recorder = (
+            Recorder(epoch_s=epoch_s)
+            if self.trace_id is not None and epoch_s is not None
+            else None
+        )
+        # Always-on bounded postmortem ring: one tuple append per
+        # phase, dumped on crash frames.
+        self.flight = FlightRecorder(capacity=128)
+        self._postmortems: list[dict] = []
 
     # -- sending (handlers call this via the bound method) ---------------
 
@@ -105,6 +125,11 @@ class NodeRuntime:
                 self.channel.close()
                 return
             if kind == "crash":
+                # Snapshot the ring *before* the handler wipes state:
+                # the postmortem must show the moments leading up to
+                # the crash, not the recovery.
+                self.flight.note("crash", down=frame["down"])
+                self._postmortems.append(self.flight.dump())
                 self.handler.on_crash(frame["down"])
             elif kind == "collect":
                 self.channel.send("sup", self._result_frame())
@@ -132,6 +157,25 @@ class NodeRuntime:
     def _run_phase(self, tick: dict) -> None:
         phase, expect = tick["phase"], tick["expect"]
         self._round = tick["round"]
+        self.flight.note(
+            "tick", phase=phase, round=self._round, expect=expect
+        )
+        if self.recorder is not None:
+            _, parent_ref = trace_context_of(tick) or (
+                None, f"r{self._round}.{phase}",
+            )
+            with self.recorder.span(
+                f"node.{phase}",
+                node=self.channel.name,
+                round=self._round,
+                trace_id=self.trace_id,
+                parent_ref=parent_ref,
+            ):
+                self._phase_body(phase, expect)
+        else:
+            self._phase_body(phase, expect)
+
+    def _phase_body(self, phase: str, expect: int) -> None:
         while len(self._data_buf) < expect:
             frame = self.channel.recv(timeout=self.recv_timeout)
             if frame is None:
@@ -160,6 +204,12 @@ class NodeRuntime:
         self._phase_kinds = Counter()
         self.handler.on_tick(phase, self._round, messages, self.send_message)
         self._tally(self.faulty.flush(self._round))
+        if self.recorder is not None:
+            self.recorder.observe(
+                f"dist.node_msgs.{phase}",
+                sum(self._phase_counts.values()),
+                bounds=_MSG_BOUNDS,
+            )
         self.channel.send(
             "sup",
             {
@@ -175,7 +225,7 @@ class NodeRuntime:
         )
 
     def _result_frame(self) -> dict:
-        return {
+        frame = {
             "t": "result",
             "src": self.channel.name,
             "state": self.handler.state(),
@@ -183,6 +233,17 @@ class NodeRuntime:
             "bytes": dict(self.bytes_sent),
             "faults": self.faulty.stats.as_dict(),
         }
+        if self.recorder is not None:
+            frame["spans"] = [
+                span_to_payload(root) for root in self.recorder.roots
+            ]
+            frame["hists"] = {
+                name: hist.to_payload()
+                for name, hist in sorted(self.recorder.histograms.items())
+            }
+        if self._postmortems:
+            frame["flight"] = list(self._postmortems)
+        return frame
 
 
 class BSNodeHandler:

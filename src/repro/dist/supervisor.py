@@ -36,7 +36,10 @@ was sent — matching the in-process allocator's semantics.
 
 from __future__ import annotations
 
+import time
+import uuid
 from collections import Counter, defaultdict
+from pathlib import Path
 
 from repro.compute.cru import Grant
 from repro.core.agents import BSAgent, SPAgent, build_ue_agents
@@ -51,11 +54,13 @@ from repro.dist.nodes import (
     UEHostHandler,
     ue_host_name,
 )
-from repro.dist.transport import TRANSPORTS, make_transport
+from repro.dist.transport import TRANSPORTS, make_transport, with_trace_context
 from repro.econ.pricing import PaperPricing, PricingPolicy
 from repro.errors import AllocationError, ConfigurationError
 from repro.model.network import MECNetwork
 from repro.obs import get_telemetry
+from repro.obs.histogram import Histogram
+from repro.obs.trace import span_from_payload
 from repro.radio.channel import RadioMap
 
 __all__ = ["DistributedDMRAAllocator"]
@@ -75,6 +80,7 @@ class DistributedDMRAAllocator(Allocator):
         ue_hosts: int = 2,
         fault_plan: FaultPlan | None = None,
         recv_timeout: float = 60.0,
+        flight_dir: str | Path | None = None,
     ) -> None:
         if transport not in TRANSPORTS:
             raise ConfigurationError(
@@ -92,6 +98,9 @@ class DistributedDMRAAllocator(Allocator):
         self.ue_hosts = ue_hosts
         self.fault_plan = fault_plan
         self.recv_timeout = recv_timeout
+        #: When set, node flight-recorder postmortems (crash rings) are
+        #: written here as JSON files, one per crashed node.
+        self.flight_dir = Path(flight_dir) if flight_dir else None
         self.name = f"dmra-dist-{transport}"
         #: Accounting of the most recent run (also emitted as telemetry).
         self.last_report: dict = {}
@@ -114,19 +123,37 @@ class DistributedDMRAAllocator(Allocator):
             for bs_id in agent.candidate_bs_ids:
                 hosts_of_bs[bs_id].add(ue_host_name(ue_id, self.ue_hosts))
 
+        # Cross-process trace context: nodes get the trace id and the
+        # supervisor recorder's epoch, so their own recorders (created
+        # inside the node body — fork keeps perf_counter consistent on
+        # Linux) emit spans directly on the supervisor's timeline.
+        trace_ctx = None
+        if telemetry.enabled:
+            trace_ctx = {
+                "trace_id": uuid.uuid4().hex,
+                "epoch_s": getattr(telemetry, "_epoch", None),
+            }
+
         transport = make_transport(self.transport_kind, names)
         with telemetry.span(
             "dist.allocate",
             transport=self.transport_kind,
             ue_hosts=self.ue_hosts,
             faulty=plan is not None,
+            **(
+                {"trace_id": trace_ctx["trace_id"]}
+                if trace_ctx is not None else {}
+            ),
         ) as span:
             sup = transport.channel("sup")
             try:
                 self._spawn_nodes(
-                    transport, network, ue_agents, hosts_of_bs, plan
+                    transport, network, ue_agents, hosts_of_bs, plan,
+                    trace_ctx,
                 )
-                outcome = self._run_rounds(sup, bs_names, sp_names, host_names, plan)
+                outcome = self._run_rounds(
+                    sup, bs_names, sp_names, host_names, plan, trace_ctx
+                )
                 results = self._collect(
                     sup, bs_names + sp_names + host_names
                 )
@@ -145,7 +172,9 @@ class DistributedDMRAAllocator(Allocator):
 
     # ------------------------------------------------------------------
 
-    def _spawn_nodes(self, transport, network, ue_agents, hosts_of_bs, plan):
+    def _spawn_nodes(
+        self, transport, network, ue_agents, hosts_of_bs, plan, trace_ctx
+    ):
         always_broadcast = plan is not None
         for bs in network.base_stations:
             handler = BSNodeHandler(
@@ -154,12 +183,14 @@ class DistributedDMRAAllocator(Allocator):
                 always_broadcast=always_broadcast,
             )
             transport.spawn(
-                f"bs:{bs.bs_id}", _node_body(handler, plan, self.recv_timeout)
+                f"bs:{bs.bs_id}",
+                _node_body(handler, plan, self.recv_timeout, trace_ctx),
             )
         for sp in network.providers:
             handler = SPNodeHandler(SPAgent(sp.sp_id), ue_hosts=self.ue_hosts)
             transport.spawn(
-                f"sp:{sp.sp_id}", _node_body(handler, plan, self.recv_timeout)
+                f"sp:{sp.sp_id}",
+                _node_body(handler, plan, self.recv_timeout, trace_ctx),
             )
         for i in range(self.ue_hosts):
             shard = {
@@ -169,12 +200,13 @@ class DistributedDMRAAllocator(Allocator):
             }
             handler = UEHostHandler(shard)
             transport.spawn(
-                f"ue:{i}", _node_body(handler, plan, self.recv_timeout)
+                f"ue:{i}",
+                _node_body(handler, plan, self.recv_timeout, trace_ctx),
             )
 
     # ------------------------------------------------------------------
 
-    def _run_rounds(self, sup, bs_names, sp_names, host_names, plan):
+    def _run_rounds(self, sup, bs_names, sp_names, host_names, plan, trace_ctx):
         groups = {
             "bcast": bs_names,
             "propose": host_names,
@@ -188,6 +220,10 @@ class DistributedDMRAAllocator(Allocator):
             c.at_round: c for c in plan.crashes
         }
         last_crash_clear = 0 if plan is None else plan.last_crash_clear_round
+
+        tel = get_telemetry()
+        tracing = tel.enabled
+        clock = time.perf_counter
 
         round_no = 0
         productive = 0
@@ -210,26 +246,49 @@ class DistributedDMRAAllocator(Allocator):
             held: dict[str, int] = {}
             pending: dict[str, int] = {}
             round_kinds: Counter = Counter()
-            for phase in _PHASES:
-                group = groups[phase]
-                for node in group:
-                    sup.send(
-                        node,
-                        {
+            round_start = clock() if tracing else 0.0
+            with tel.span("dist.round", round=round_no):
+                for phase in _PHASES:
+                    group = groups[phase]
+                    # span_ref anchors the per-node span forests the
+                    # harvest grafts back under this phase span.
+                    phase_ref = f"r{round_no}.{phase}"
+                    phase_start = clock() if tracing else 0.0
+                    with tel.span(
+                        "dist.phase", phase=phase, round=round_no,
+                    ) as phase_span:
+                        if tracing:
+                            phase_span.set(span_ref=phase_ref)
+                        tick = {
                             "t": "tick",
                             "phase": phase,
                             "round": round_no,
-                            "expect": expected.pop(node, 0),
-                        },
-                    )
-                for node in group:
-                    done = self._await(sup, done_buf, "done", node)
-                    for dst, n in done["counts"].items():
-                        expected[dst] += n
-                    round_kinds.update(done["sent_kinds"])
-                    held[node] = done["held"]
-                    if "pending" in done["extra"]:
-                        pending[node] = done["extra"]["pending"]
+                            "expect": 0,
+                        }
+                        if trace_ctx is not None:
+                            with_trace_context(
+                                tick, trace_ctx["trace_id"], phase_ref
+                            )
+                        for node in group:
+                            sup.send(
+                                node,
+                                {**tick, "expect": expected.pop(node, 0)},
+                            )
+                        for node in group:
+                            done = self._await(sup, done_buf, "done", node)
+                            for dst, n in done["counts"].items():
+                                expected[dst] += n
+                            round_kinds.update(done["sent_kinds"])
+                            held[node] = done["held"]
+                            if "pending" in done["extra"]:
+                                pending[node] = done["extra"]["pending"]
+                    if tracing:
+                        tel.observe(
+                            f"dist.phase_wall_s.{phase}",
+                            clock() - phase_start,
+                        )
+            if tracing:
+                tel.observe("dist.round_wall_s", clock() - round_start)
 
             total_rounds = round_no
             kind_totals.update(round_kinds)
@@ -328,6 +387,7 @@ class DistributedDMRAAllocator(Allocator):
         bytes_: Counter = Counter()
         faults: Counter = Counter()
         sp_stats: dict[int, dict] = {}
+        postmortems: dict[str, list] = {}
         regrants = 0
         for name, result in results.items():
             msgs.update(result["msgs"])
@@ -338,7 +398,11 @@ class DistributedDMRAAllocator(Allocator):
             if name.startswith("bs:"):
                 regrants += result["state"]["regrants"]
                 faults["crashes"] += result["state"]["epoch"]
+            if result.get("flight"):
+                postmortems[name] = result["flight"]
         faults["stranded"] += outcome["stranded"]
+        self._merge_node_telemetry(telemetry, results)
+        self._write_postmortems(postmortems)
 
         for kind, n in sorted(msgs.items()):
             telemetry.count(f"dist.messages.{kind}", n)
@@ -374,15 +438,59 @@ class DistributedDMRAAllocator(Allocator):
             "orphans": outcome["orphans"],
             "stranded": outcome["stranded"],
             "sp": sp_stats,
+            "postmortems": postmortems,
         }
 
+    def _merge_node_telemetry(self, telemetry, results) -> None:
+        """Graft per-node span forests and fold node histograms.
 
-def _node_body(handler, plan, recv_timeout):
+        Each node root span carries a ``parent_ref`` attribute naming
+        the supervisor-side phase span (``span_ref``) it causally
+        belongs to; the graft makes the merged trace one rooted tree
+        with cross-process parent edges.
+        """
+        if not telemetry.enabled:
+            return
+        for name in sorted(results):
+            result = results[name]
+            for payload in result.get("spans", ()):
+                root = span_from_payload(payload)
+                ref = root.attrs.get("parent_ref")
+                if ref is not None:
+                    telemetry.graft_at(ref, [root])
+                else:  # pragma: no cover - nodes always tag their roots
+                    telemetry.graft_at("", [root])
+            for hist_name, payload in sorted(
+                result.get("hists", {}).items()
+            ):
+                incoming = Histogram.from_payload(payload)
+                mine = telemetry.histograms.get(hist_name)
+                if mine is None:
+                    telemetry.histograms[hist_name] = incoming
+                else:
+                    mine.merge(incoming)
+
+    def _write_postmortems(self, postmortems: dict[str, list]) -> None:
+        if not postmortems or self.flight_dir is None:
+            return
+        import json
+
+        self.flight_dir.mkdir(parents=True, exist_ok=True)
+        for name, dumps in sorted(postmortems.items()):
+            target = self.flight_dir / f"flight_{name.replace(':', '_')}.json"
+            target.write_text(
+                json.dumps(dumps, sort_keys=True, indent=2) + "\n",
+                encoding="utf-8",
+            )
+
+
+def _node_body(handler, plan, recv_timeout, trace_ctx=None):
     """Bind a node's runtime loop for Transport.spawn (fork/thread)."""
 
     def body(channel):
         NodeRuntime(
-            channel, handler, plan=plan, recv_timeout=recv_timeout
+            channel, handler, plan=plan, recv_timeout=recv_timeout,
+            trace=trace_ctx,
         ).run()
 
     return body

@@ -43,12 +43,38 @@ __all__ = [
     "Channel",
     "Transport",
     "make_transport",
+    "trace_context_of",
+    "with_trace_context",
 ]
 
 #: Transport names selectable via ``dmra agents --transport``.
 TRANSPORTS = ("inproc", "mp", "tcp")
 
 _LEN = struct.Struct(">I")
+
+#: Wire key carrying distributed-trace context on control frames.
+TRACE_KEY = "trace"
+
+
+def with_trace_context(
+    frame: dict, trace_id: str, parent_span_ref: str
+) -> dict:
+    """Stamp ``(trace_id, parent_span_id)`` context onto a wire frame.
+
+    The context rides as a plain two-element list under
+    :data:`TRACE_KEY`, so it survives every transport's JSON encoding
+    unchanged and costs nothing when absent.
+    """
+    frame[TRACE_KEY] = [trace_id, parent_span_ref]
+    return frame
+
+
+def trace_context_of(frame: Mapping) -> tuple[str, str] | None:
+    """The ``(trace_id, parent_span_ref)`` context of a frame, if any."""
+    ctx = frame.get(TRACE_KEY)
+    if isinstance(ctx, (list, tuple)) and len(ctx) == 2:
+        return str(ctx[0]), str(ctx[1])
+    return None
 
 
 def encode_frame(frame: Mapping) -> bytes:

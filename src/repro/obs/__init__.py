@@ -25,24 +25,36 @@ from repro.obs.manifest import (
     manifests_comparable,
     validate_manifest,
 )
+from repro.obs.histogram import (
+    DEFAULT_DEPTH_BOUNDS,
+    DEFAULT_LATENCY_BOUNDS,
+    Histogram,
+    log_bounds,
+)
+from repro.obs.live import LiveServer, http_get, live_snapshot_document
 from repro.obs.metrics import (
     METRICS_SCHEMA,
+    METRICS_SCHEMA_V2,
     MetricFamily,
     MetricSample,
     MetricsDocument,
+    histogram_family,
     metrics_from_online,
     metrics_from_outcome,
     metrics_from_stream,
     metrics_from_trace,
     metrics_json,
+    parse_exposition,
     parse_metrics,
     prometheus_exposition,
     read_metrics,
+    validate_histogram_family,
     write_metrics,
 )
-from repro.obs.report import render_trace_report
+from repro.obs.report import render_top_spans, render_trace_report
 from repro.obs.telemetry import (
     NULL,
+    FlightRecorder,
     GaugeStat,
     NullTelemetry,
     Recorder,
@@ -54,20 +66,29 @@ from repro.obs.telemetry import (
 )
 from repro.obs.trace import (
     SCHEMA,
+    SCHEMA_V2,
     Trace,
     parse_trace,
     read_trace,
+    span_from_payload,
+    span_to_payload,
     trace_from_recorder,
     trace_lines,
     write_trace,
 )
 
 __all__ = [
+    "DEFAULT_DEPTH_BOUNDS",
+    "DEFAULT_LATENCY_BOUNDS",
     "DiffReport",
     "DiffTolerances",
+    "FlightRecorder",
     "GaugeStat",
+    "Histogram",
+    "LiveServer",
     "MANIFEST_SCHEMA",
     "METRICS_SCHEMA",
+    "METRICS_SCHEMA_V2",
     "MetricDelta",
     "MetricFamily",
     "MetricSample",
@@ -76,6 +97,7 @@ __all__ = [
     "NullTelemetry",
     "Recorder",
     "SCHEMA",
+    "SCHEMA_V2",
     "SpanRecord",
     "TimerStat",
     "Trace",
@@ -83,23 +105,32 @@ __all__ = [
     "config_digest",
     "diff_documents",
     "get_telemetry",
+    "histogram_family",
+    "http_get",
+    "live_snapshot_document",
+    "log_bounds",
     "manifests_comparable",
     "metrics_from_online",
     "metrics_from_outcome",
     "metrics_from_stream",
     "metrics_from_trace",
     "metrics_json",
+    "parse_exposition",
     "parse_metrics",
     "parse_trace",
     "prometheus_exposition",
     "read_metrics",
     "read_trace",
     "render_diff_report",
+    "render_top_spans",
     "render_trace_report",
     "set_telemetry",
+    "span_from_payload",
+    "span_to_payload",
     "telemetry_session",
     "trace_from_recorder",
     "trace_lines",
+    "validate_histogram_family",
     "validate_manifest",
     "write_metrics",
     "write_trace",

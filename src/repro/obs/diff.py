@@ -33,8 +33,16 @@ __all__ = [
 ]
 
 #: Families whose values are wall-clock measurements, not domain
-#: outcomes: never gate on them by default.
-DEFAULT_IGNORE_PREFIXES = ("dmra_timer_", "dmra_wall_")
+#: outcomes: never gate on them by default.  The latency / phase-wall
+#: histogram families are timing too; queue-depth families are *not*
+#: listed — depth is an outcome of the workload and diffs normally.
+DEFAULT_IGNORE_PREFIXES = (
+    "dmra_timer_",
+    "dmra_wall_",
+    "dmra_stream_event_latency",
+    "dmra_dist_phase_wall",
+    "dmra_dist_round_wall",
+)
 
 
 @dataclass(frozen=True)

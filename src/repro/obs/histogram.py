@@ -1,0 +1,198 @@
+"""Fixed log-bucket histogram primitive for the telemetry backends.
+
+A :class:`Histogram` aggregates scalar observations into a fixed set
+of upper-bound buckets plus one overflow (``+Inf``) bucket, tracking
+the exact sum and count alongside — precisely the shape a Prometheus
+histogram family (``_bucket``/``_sum``/``_count``) exposes.
+
+Design constraints, in order:
+
+* **Exactly serializable.**  Bucket bounds and counts are plain
+  numbers round-tripping bit-identically through JSON (``repr`` of a
+  float parses back to the same float), so a histogram written into a
+  trace or metrics document and read back compares equal.  This is
+  what lets ``dmra trace diff`` and the live-scrape-equals-trace
+  acceptance check work on equality rather than tolerance.
+* **Cheap to observe.**  One :func:`bisect.bisect_left` over a small
+  sorted bounds tuple plus two scalar updates; no allocation on the
+  hot path.
+* **Mergeable.**  Recorders absorbed across processes (dist node
+  bodies, sweep workers) fold histograms by bucket-wise addition,
+  which is only sound when bounds agree — :meth:`Histogram.merge`
+  enforces that.
+
+Bounds are chosen per metric at first observation and never change.
+:func:`log_bounds` builds the canonical geometric ladder; the default
+ladders below cover sub-microsecond event handling up to multi-second
+round phases without tuning.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_LATENCY_BOUNDS",
+    "DEFAULT_DEPTH_BOUNDS",
+    "Histogram",
+    "log_bounds",
+    "merge_histogram_maps",
+]
+
+
+def log_bounds(
+    lo: float, hi: float, growth: float = 2.0
+) -> tuple[float, ...]:
+    """A geometric ladder of bucket upper bounds from ``lo`` to >= ``hi``.
+
+    ``log_bounds(1e-6, 1.0)`` yields 1 µs, 2 µs, 4 µs, ... up to the
+    first bound at or above one second.  Bounds are finite; the
+    implicit overflow bucket catches everything above the last bound.
+    """
+    if lo <= 0 or hi < lo:
+        raise ConfigurationError(
+            f"need 0 < lo <= hi, got lo={lo} hi={hi}"
+        )
+    if growth <= 1.0:
+        raise ConfigurationError(f"growth must be > 1, got {growth}")
+    bounds = [lo]
+    while bounds[-1] < hi:
+        bounds.append(bounds[-1] * growth)
+    return tuple(bounds)
+
+
+#: Canonical ladder for wall-time observations in seconds: 1 µs .. ~8 s.
+DEFAULT_LATENCY_BOUNDS = log_bounds(1e-6, 8.0)
+
+#: Canonical ladder for queue depths / small integer magnitudes: 1 .. 1024.
+DEFAULT_DEPTH_BOUNDS = log_bounds(1.0, 1024.0)
+
+
+class Histogram:
+    """Fixed-bound histogram: per-bucket counts plus exact sum/count.
+
+    ``counts`` has ``len(bounds) + 1`` entries — one per finite upper
+    bound (``value <= bounds[i]`` lands in bucket ``i``) and a final
+    overflow bucket for values above every bound (the ``+Inf`` bucket
+    in Prometheus terms).
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float] | None = None) -> None:
+        bounds = tuple(
+            DEFAULT_LATENCY_BOUNDS if bounds is None else bounds
+        )
+        if not bounds:
+            raise ConfigurationError(
+                "histogram needs at least one bucket bound"
+            )
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"bounds must strictly increase: {bounds}"
+            )
+        self.bounds: tuple[float, ...] = bounds
+        self.counts: list[int] = [0] * (len(bounds) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the aggregate."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Bucket-wise addition; bounds must match exactly."""
+        if other.bounds != self.bounds:
+            raise ConfigurationError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.sum += other.sum
+        self.count += other.count
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """Prometheus-style cumulative buckets ``(le, count<=le)``,
+        ending with ``(inf, total count)``."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, c in zip(self.bounds, self.counts):
+            running += c
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    # -- exact serialization ------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """A JSON-safe dict round-tripping exactly via :meth:`from_payload`."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Histogram":
+        """Rebuild a histogram from :meth:`to_payload` output."""
+        try:
+            hist = cls(bounds=payload["bounds"])
+            counts = [int(c) for c in payload["counts"]]
+            total = int(payload["count"])
+            total_sum = float(payload["sum"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed histogram payload: {exc}"
+            ) from exc
+        if len(counts) != len(hist.counts):
+            raise ConfigurationError(
+                f"payload has {len(counts)} counts for "
+                f"{len(hist.bounds)} bounds"
+            )
+        hist.counts = counts
+        hist.sum = total_sum
+        hist.count = total
+        return hist
+
+    def snapshot(self) -> "Histogram":
+        """An independent copy (for lock-free scrapes of a live recorder)."""
+        copy = Histogram(bounds=self.bounds)
+        copy.counts = list(self.counts)
+        copy.sum = self.sum
+        copy.count = self.count
+        return copy
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (
+            self.bounds == other.bounds
+            and self.counts == other.counts
+            and self.sum == other.sum
+            and self.count == other.count
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(count={self.count}, sum={self.sum!r}, "
+            f"buckets={len(self.bounds)})"
+        )
+
+
+def merge_histogram_maps(
+    into: dict[str, Histogram], frm: Iterable[tuple[str, Histogram]]
+) -> None:
+    """Fold ``(name, histogram)`` pairs into ``into`` by merge-or-copy."""
+    for name, hist in frm:
+        mine = into.get(name)
+        if mine is None:
+            into[name] = hist.snapshot()
+        else:
+            mine.merge(hist)

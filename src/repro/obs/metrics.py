@@ -32,29 +32,52 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ConfigurationError
+from repro.obs.histogram import Histogram
 from repro.obs.trace import Trace
 
 __all__ = [
     "METRICS_SCHEMA",
+    "METRICS_SCHEMA_V2",
     "MetricFamily",
     "MetricSample",
     "MetricsDocument",
+    "histogram_family",
     "metrics_from_online",
     "metrics_from_outcome",
     "metrics_from_stream",
     "metrics_from_trace",
     "metrics_json",
+    "parse_exposition",
     "parse_metrics",
     "prometheus_exposition",
     "read_metrics",
+    "validate_histogram_family",
     "write_metrics",
 ]
 
 #: Schema identifier; bump the suffix on any incompatible layout change.
 METRICS_SCHEMA = "dmra.metrics/1"
 
+#: The v2 schema adds the ``histogram`` family kind.  A document with
+#: no histogram family serializes as v1 byte-identically to before, so
+#: existing artifacts (notably the committed metrics-gate baseline)
+#: stay valid; the reader accepts both.
+METRICS_SCHEMA_V2 = "dmra.metrics/2"
+
+_KNOWN_METRICS_SCHEMAS = (METRICS_SCHEMA, METRICS_SCHEMA_V2)
+
 _NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
-_VALID_KINDS = ("counter", "gauge")
+_VALID_KINDS = ("counter", "gauge", "histogram")
+
+#: Flat telemetry histogram prefixes that encode an entity id as their
+#: last dot-segment; trace derivation folds them into one labeled
+#: histogram family (e.g. ``dist.phase_wall_s.bcast`` becomes a
+#: ``phase="bcast"`` label group of ``dmra_dist_phase_wall_s``).
+_LABELED_HISTOGRAM_PREFIXES = {
+    "stream.event_latency_s": "event",
+    "dist.phase_wall_s": "phase",
+    "dist.node_msgs": "phase",
+}
 
 #: Flat telemetry counter prefixes that encode an entity id as their
 #: last dot-segment; trace derivation folds them into labeled families.
@@ -161,8 +184,13 @@ def metrics_json(doc: MetricsDocument) -> str:
     document and ``metrics_json(parse_metrics(metrics_json(d)))``
     reproduces the text byte for byte.
     """
+    schema = (
+        METRICS_SCHEMA_V2
+        if any(f.kind == "histogram" for f in doc.families)
+        else METRICS_SCHEMA
+    )
     payload = {
-        "schema": METRICS_SCHEMA,
+        "schema": schema,
         "manifest": doc.manifest,
         "families": [
             {
@@ -199,10 +227,11 @@ def parse_metrics(text: str) -> MetricsDocument:
             "metrics document must be a JSON object"
         )
     schema = payload.get("schema")
-    if schema != METRICS_SCHEMA:
+    if schema not in _KNOWN_METRICS_SCHEMAS:
         raise ConfigurationError(
             f"unsupported metrics schema {schema!r}; this reader "
-            f"understands {METRICS_SCHEMA!r}"
+            f"understands "
+            f"{', '.join(repr(s) for s in _KNOWN_METRICS_SCHEMAS)}"
         )
     families = []
     for raw in payload.get("families", []):
@@ -270,30 +299,307 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+def _escape_help_text(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _render_sample(name: str, labels, value: float) -> str:
+    if labels:
+        rendered = ",".join(
+            f'{key}="{_escape_label_value(val)}"' for key, val in labels
+        )
+        return f"{name}{{{rendered}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def _le_sort_key(le: str) -> float:
+    return float("inf") if le == "+Inf" else float(le)
+
+
+def _histogram_groups(fam: MetricFamily) -> dict:
+    """Histogram samples regrouped by their extra (non-le/stat) labels.
+
+    Returns ``{extra_labels: {"buckets": [(le, value)...],
+    "sum": float|None, "count": float|None}}`` with buckets sorted by
+    numeric ``le`` (``+Inf`` last), groups sorted by label set.
+    """
+    groups: dict = {}
+    for sample in fam.samples:
+        labels = dict(sample.labels)
+        le = labels.pop("le", None)
+        stat = labels.pop("stat", None)
+        extra = tuple(sorted(labels.items()))
+        group = groups.setdefault(
+            extra, {"buckets": [], "sum": None, "count": None}
+        )
+        if le is not None:
+            group["buckets"].append((le, sample.value))
+        elif stat in ("sum", "count"):
+            group[stat] = sample.value
+        else:
+            raise ConfigurationError(
+                f"histogram family {fam.name}: sample needs an 'le' "
+                f"bucket label or stat=sum/count, got "
+                f"{dict(sample.labels)}"
+            )
+    for group in groups.values():
+        group["buckets"].sort(key=lambda b: _le_sort_key(b[0]))
+    return dict(sorted(groups.items()))
+
+
 def prometheus_exposition(doc: MetricsDocument) -> str:
     """Render a document in the Prometheus text exposition format.
 
-    One ``# HELP`` / ``# TYPE`` pair per family, then one line per
-    sample with its sorted label set.  Suitable for a textfile
-    collector or a scrape endpoint.
+    One ``# HELP`` / ``# TYPE`` pair per family (HELP first, escaped),
+    then one line per sample with its sorted label set.  Histogram
+    families render as the conventional ``<name>_bucket`` (cumulative,
+    sorted by numeric ``le`` ending at ``+Inf``), ``<name>_sum``, and
+    ``<name>_count`` series per label group.  Suitable for a textfile
+    collector or a scrape endpoint; :func:`parse_exposition` reads it
+    back.
     """
     lines: list[str] = []
     for fam in sorted(doc.families, key=lambda f: f.name):
         if fam.help:
-            lines.append(f"# HELP {fam.name} {fam.help}")
+            lines.append(
+                f"# HELP {fam.name} {_escape_help_text(fam.help)}"
+            )
         lines.append(f"# TYPE {fam.name} {fam.kind}")
+        if fam.kind == "histogram":
+            for extra, group in _histogram_groups(fam).items():
+                for le, value in group["buckets"]:
+                    labels = tuple(sorted(extra + (("le", le),)))
+                    lines.append(
+                        _render_sample(f"{fam.name}_bucket", labels, value)
+                    )
+                if group["sum"] is not None:
+                    lines.append(_render_sample(
+                        f"{fam.name}_sum", extra, group["sum"]
+                    ))
+                if group["count"] is not None:
+                    lines.append(_render_sample(
+                        f"{fam.name}_count", extra, group["count"]
+                    ))
+            continue
         for sample in sorted(fam.samples, key=lambda s: s.labels):
-            if sample.labels:
-                rendered = ",".join(
-                    f'{key}="{_escape_label_value(value)}"'
-                    for key, value in sample.labels
-                )
-                lines.append(
-                    f"{fam.name}{{{rendered}}} {_format_value(sample.value)}"
-                )
-            else:
-                lines.append(f"{fam.name} {_format_value(sample.value)}")
+            lines.append(
+                _render_sample(fam.name, sample.labels, sample.value)
+            )
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+_LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"(,|$)'
+)
+_UNESCAPE = {"\\\\": "\\", '\\"': '"', "\\n": "\n"}
+
+
+def _unescape_label_value(value: str) -> str:
+    return re.sub(
+        r"\\.", lambda m: _UNESCAPE.get(m.group(0), m.group(0)), value
+    )
+
+
+def _parse_sample_line(raw: str, line_number: int) -> tuple[str, tuple, float]:
+    """``name{k="v"} 1.5`` -> ``(name, ((k, v),), 1.5)``."""
+    brace = raw.find("{")
+    if brace == -1:
+        try:
+            name, value = raw.split()
+        except ValueError:
+            raise ConfigurationError(
+                f"exposition line {line_number}: malformed sample {raw!r}"
+            ) from None
+        return name, (), float(value)
+    name = raw[:brace]
+    close = raw.rfind("}")
+    if close == -1:
+        raise ConfigurationError(
+            f"exposition line {line_number}: unterminated label set"
+        )
+    label_text, value_text = raw[brace + 1:close], raw[close + 1:].strip()
+    labels = []
+    pos = 0
+    while pos < len(label_text):
+        match = _LABEL_RE.match(label_text, pos)
+        if match is None:
+            raise ConfigurationError(
+                f"exposition line {line_number}: malformed label set "
+                f"{label_text!r}"
+            )
+        labels.append((match.group(1), _unescape_label_value(match.group(2))))
+        pos = match.end()
+    try:
+        value = float(value_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"exposition line {line_number}: non-numeric value "
+            f"{value_text!r}"
+        ) from None
+    return name, tuple(sorted(labels)), value
+
+
+def parse_exposition(text: str) -> MetricsDocument:
+    """Parse Prometheus text exposition back into a document.
+
+    The inverse of :func:`prometheus_exposition` for documents this
+    module renders: HELP text is unescaped, histogram ``_bucket`` /
+    ``_sum`` / ``_count`` series fold back into one ``histogram``
+    family (buckets keep their ``le`` label; sum and count become
+    ``stat``-labeled samples).  Units and the manifest do not survive
+    the text format and come back empty/None.  Every sample must be
+    covered by a preceding ``# TYPE`` declaration.
+    """
+    helps: dict[str, str] = {}
+    kinds: dict[str, str] = {}
+    samples: dict[str, list[MetricSample]] = {}
+    order: list[str] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        if raw.startswith("# HELP "):
+            name, _, help_text = raw[len("# HELP "):].partition(" ")
+            helps[name] = _unescape_label_value(help_text)
+            continue
+        if raw.startswith("# TYPE "):
+            name, _, kind = raw[len("# TYPE "):].partition(" ")
+            kind = kind.strip()
+            if kind not in _VALID_KINDS:
+                raise ConfigurationError(
+                    f"exposition line {line_number}: unsupported type "
+                    f"{kind!r} for {name}"
+                )
+            kinds[name] = kind
+            if name not in order:
+                order.append(name)
+            samples.setdefault(name, [])
+            continue
+        if raw.startswith("#"):
+            continue  # comments
+        name, labels, value = _parse_sample_line(raw, line_number)
+        family = name
+        if name not in kinds:
+            for suffix, stat in (
+                ("_bucket", None), ("_sum", "sum"), ("_count", "count"),
+            ):
+                base = name[: -len(suffix)] if name.endswith(suffix) else None
+                if base and kinds.get(base) == "histogram":
+                    family = base
+                    if stat is not None:
+                        labels = tuple(sorted(labels + (("stat", stat),)))
+                    break
+            else:
+                raise ConfigurationError(
+                    f"exposition line {line_number}: sample {name!r} has "
+                    f"no # TYPE declaration"
+                )
+        samples.setdefault(family, []).append(
+            MetricSample(labels=labels, value=value)
+        )
+    families = tuple(
+        MetricFamily(
+            name=name, kind=kinds[name], help=helps.get(name, ""),
+            samples=tuple(samples.get(name, ())),
+        )
+        for name in order
+    )
+    return MetricsDocument(families=families, manifest=None)
+
+
+# ----------------------------------------------------------------------
+# Histogram families
+# ----------------------------------------------------------------------
+
+
+def _format_le(bound: float) -> str:
+    return "+Inf" if bound == float("inf") else _format_value(bound)
+
+
+def histogram_family(
+    name: str,
+    help: str,
+    hists: Histogram | dict,
+    unit: str = "",
+) -> MetricFamily:
+    """Build a ``histogram`` family from telemetry histograms.
+
+    ``hists`` is either one unlabeled :class:`Histogram` or a mapping
+    ``{(label_name, label_value): Histogram}`` — in practice callers
+    pass ``{("phase", "bcast"): h, ...}``.  The family's samples are
+    the cumulative ``le`` buckets (ending at ``+Inf`` == count) plus
+    ``stat=sum`` / ``stat=count`` samples per label group, exactly the
+    shape the text exposition renders as ``_bucket`` / ``_sum`` /
+    ``_count``.
+    """
+    if isinstance(hists, Histogram):
+        items: list[tuple[tuple, Histogram]] = [((), hists)]
+    else:
+        items = [((key,), h) for key, h in sorted(hists.items())]
+    samples: list[MetricSample] = []
+    for extra, hist in items:
+        extra_labels = dict(extra)
+        for bound, cumulative in hist.cumulative():
+            samples.append(
+                MetricSample.of(
+                    cumulative, le=_format_le(bound), **extra_labels
+                )
+            )
+        samples.append(MetricSample.of(hist.sum, stat="sum", **extra_labels))
+        samples.append(
+            MetricSample.of(hist.count, stat="count", **extra_labels)
+        )
+    return MetricFamily(
+        name=name, kind="histogram", help=help,
+        samples=tuple(samples), unit=unit,
+    )
+
+
+def validate_histogram_family(fam: MetricFamily) -> None:
+    """Check the Prometheus histogram invariants; raises on violation.
+
+    Per label group: buckets are cumulative (non-decreasing in ``le``
+    order), a ``+Inf`` bucket exists and equals the ``stat=count``
+    sample, both ``stat=sum`` and ``stat=count`` are present, and an
+    empty histogram has zero sum.
+    """
+    if fam.kind != "histogram":
+        raise ConfigurationError(
+            f"family {fam.name} is {fam.kind!r}, not histogram"
+        )
+    groups = _histogram_groups(fam)
+    if not groups:
+        raise ConfigurationError(
+            f"histogram family {fam.name} has no samples"
+        )
+    for extra, group in groups.items():
+        where = f"{fam.name}{dict(extra) if extra else ''}"
+        buckets = group["buckets"]
+        if not buckets or buckets[-1][0] != "+Inf":
+            raise ConfigurationError(
+                f"{where}: missing +Inf bucket"
+            )
+        running = None
+        for le, value in buckets:
+            if running is not None and value < running:
+                raise ConfigurationError(
+                    f"{where}: bucket le={le} not cumulative "
+                    f"({value} < {running})"
+                )
+            running = value
+        if group["sum"] is None or group["count"] is None:
+            raise ConfigurationError(
+                f"{where}: missing stat=sum or stat=count sample"
+            )
+        if buckets[-1][1] != group["count"]:
+            raise ConfigurationError(
+                f"{where}: +Inf bucket ({buckets[-1][1]}) != count "
+                f"({group['count']})"
+            )
+        if group["count"] == 0 and group["sum"] != 0:
+            raise ConfigurationError(
+                f"{where}: empty histogram with nonzero sum"
+            )
 
 
 # ----------------------------------------------------------------------
@@ -720,6 +1026,26 @@ def metrics_from_trace(
                 for name in sorted(trace.timers)
             ],
         )
+
+    if trace.histograms:
+        labeled_hists: dict[str, dict[tuple[str, str], Histogram]] = {}
+        for name in sorted(trace.histograms):
+            hist = trace.histograms[name]
+            prefix, _, tail = name.rpartition(".")
+            label = _LABELED_HISTOGRAM_PREFIXES.get(prefix)
+            if label is not None and tail:
+                labeled_hists.setdefault(prefix, {})[(label, tail)] = hist
+                continue
+            build.families.append(histogram_family(
+                f"dmra_{_sanitize(name)}",
+                f"Telemetry histogram {name}", hist,
+            ))
+        for prefix in sorted(labeled_hists):
+            build.families.append(histogram_family(
+                f"dmra_{_sanitize(prefix)}",
+                f"Telemetry histogram family {prefix}.<id>",
+                labeled_hists[prefix],
+            ))
 
     round_fields = {
         "proposals": "dmra_match_round_proposals",

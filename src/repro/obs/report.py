@@ -1,8 +1,10 @@
 """Human-readable rendering of a JSONL trace (the ``dmra trace`` report).
 
 Renders the span tree with wall times and attributes, then the metric
-tables (counters, timers, gauges).  Used by ``dmra trace <file>`` and
-importable for notebooks/tests via :func:`render_trace_report`.
+tables (counters, timers, gauges, histograms).  Used by ``dmra trace
+<file>`` / ``dmra trace report`` and importable for notebooks/tests via
+:func:`render_trace_report`; ``dmra trace report --top N`` adds the
+hottest-spans table from :func:`render_top_spans`.
 """
 
 from __future__ import annotations
@@ -10,7 +12,7 @@ from __future__ import annotations
 from repro.obs.telemetry import SpanRecord
 from repro.obs.trace import Trace
 
-__all__ = ["render_trace_report"]
+__all__ = ["render_top_spans", "render_trace_report"]
 
 
 def _format_attrs(attrs: dict) -> str:
@@ -122,4 +124,81 @@ def render_trace_report(trace: Trace, min_ms: float = 0.0) -> str:
                 f"{stat.max:>10.4g} {stat.count:>8}"
             )
         lines.append("")
+    if trace.histograms:
+        header = (
+            f"{'histogram':<36} {'count':>8} {'mean':>10} "
+            f"{'p50':>10} {'p95':>10} {'max<=':>10}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name in sorted(trace.histograms):
+            hist = trace.histograms[name]
+            mean = hist.sum / hist.count if hist.count else 0.0
+            lines.append(
+                f"{name:<36} {hist.count:>8} {mean:>10.4g} "
+                f"{_quantile_bound(hist, 0.5):>10} "
+                f"{_quantile_bound(hist, 0.95):>10} "
+                f"{_max_bound(hist):>10}"
+            )
+        lines.append("")
     return "\n".join(lines).rstrip() + "\n"
+
+
+def _quantile_bound(hist, q: float) -> str:
+    """The bucket upper bound covering quantile ``q`` (conservative)."""
+    if hist.count == 0:
+        return "-"
+    target = q * hist.count
+    running = 0
+    for bound, c in zip(hist.bounds, hist.counts):
+        running += c
+        if running >= target:
+            return f"{bound:.4g}"
+    return "+Inf"
+
+
+def _max_bound(hist) -> str:
+    """The upper bound of the highest non-empty bucket."""
+    if hist.count == 0:
+        return "-"
+    if hist.counts[-1]:
+        return "+Inf"
+    for bound, c in zip(reversed(hist.bounds), reversed(hist.counts[:-1])):
+        if c:
+            return f"{bound:.4g}"
+    return "+Inf"
+
+
+def render_top_spans(trace: Trace, top: int = 10) -> str:
+    """The hottest-spans table: names ranked by cumulative *self* time.
+
+    Self time is a span's duration minus the durations of its direct
+    children, aggregated over every span sharing a name — the quantity
+    that actually identifies the hot code, since a parent's wall time
+    double-counts everything nested inside it.
+    """
+    total_s: dict[str, float] = {}
+    self_s: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for span in trace.all_spans():
+        child_s = sum(c.duration_s for c in span.children)
+        self_time = max(span.duration_s - child_s, 0.0)
+        total_s[span.name] = total_s.get(span.name, 0.0) + span.duration_s
+        self_s[span.name] = self_s.get(span.name, 0.0) + self_time
+        counts[span.name] = counts.get(span.name, 0) + 1
+    ranked = sorted(self_s, key=lambda n: (-self_s[n], n))[:max(top, 0)]
+    lines = [f"top {len(ranked)} spans by cumulative self time"]
+    header = (
+        f"{'span':<36} {'calls':>7} {'self ms':>11} "
+        f"{'total ms':>11} {'mean self ms':>13}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in ranked:
+        n = counts[name]
+        lines.append(
+            f"{name:<36} {n:>7} {self_s[name] * 1e3:>11.2f} "
+            f"{total_s[name] * 1e3:>11.2f} "
+            f"{self_s[name] / n * 1e3:>13.3f}"
+        )
+    return "\n".join(lines) + "\n"

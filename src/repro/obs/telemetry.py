@@ -14,8 +14,10 @@ exist:
 * :class:`Recorder` — an in-memory collector.  Spans form a tree
   (``span("match")`` inside ``span("sweep.cell")`` nests), counters
   accumulate sums, gauges keep last/min/max, timers aggregate named
-  durations.  A recorder serializes to the versioned JSONL trace format
-  (:mod:`repro.obs.trace`) rendered by ``dmra trace``.
+  durations, and histograms (:mod:`repro.obs.histogram`) bucket
+  distributions such as per-event latency.  A recorder serializes to
+  the versioned JSONL trace format (:mod:`repro.obs.trace`) rendered
+  by ``dmra trace``.
 
 Recording is buffered: ``span()`` and its ``__exit__`` append flat
 event tuples to one per-recorder list and defer all tree/dict
@@ -37,11 +39,15 @@ merged trace with :meth:`Recorder.absorb`.
 from __future__ import annotations
 
 import time
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Sequence
+
+from repro.obs.histogram import Histogram
 
 __all__ = [
+    "FlightRecorder",
     "GaugeStat",
     "NullTelemetry",
     "Recorder",
@@ -155,6 +161,12 @@ class NullTelemetry:
         """No-op timer: returns the shared null handle."""
         return _NULL_SPAN
 
+    def observe(
+        self, name: str, value: float,
+        bounds: Sequence[float] | None = None,
+    ) -> None:
+        """No-op histogram observation."""
+
 
 #: The shared null backend; ``get_telemetry()`` returns this by default.
 NULL = NullTelemetry()
@@ -223,6 +235,7 @@ _EV_OPEN = 0
 _EV_END = 1
 _EV_ATTRS = 2
 _EV_GRAFT = 3
+_EV_GRAFT_AT = 4
 
 
 class Recorder:
@@ -252,6 +265,7 @@ class Recorder:
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, GaugeStat] = {}
         self.timers: dict[str, TimerStat] = {}
+        self.histograms: dict[str, Histogram] = {}
 
     # ------------------------------------------------------------------
     # Primitives
@@ -287,6 +301,7 @@ class Recorder:
         roots: list[SpanRecord] = []
         stack: list[tuple[int, SpanRecord]] = []
         by_serial: dict[int, SpanRecord] = {}
+        anchored: list[tuple[str, list[SpanRecord]]] = []
         for event in self._events:
             tag = event[0]
             if tag == _EV_OPEN:
@@ -317,9 +332,26 @@ class Recorder:
                 record = by_serial.get(serial)
                 if record is not None:
                     record.attrs.update(attrs)
-            else:  # _EV_GRAFT: absorbed recorder's roots
+            elif tag == _EV_GRAFT:  # absorbed recorder's roots
                 target = stack[-1][1].children if stack else roots
                 target.extend(event[1])
+            else:  # _EV_GRAFT_AT: spans anchored to a span_ref attribute
+                anchored.append((event[1], event[2]))
+        if anchored:
+            # Resolve anchors only after the full replay: the span
+            # carrying the matching ``span_ref`` attribute may have
+            # been recorded after the graft event was appended.
+            by_ref: dict[str, SpanRecord] = {}
+            for root in roots:
+                for record in root.walk():
+                    ref = record.attrs.get("span_ref")
+                    if ref is not None and ref not in by_ref:
+                        by_ref[ref] = record
+            for ref, spans in anchored:
+                target = by_ref.get(ref)
+                (target.children if target is not None else roots).extend(
+                    spans
+                )
         self._built_roots = roots
         self._built_events = len(self._events)
 
@@ -346,6 +378,21 @@ class Recorder:
             stat = self.timers[name] = TimerStat()
         stat.add(seconds)
 
+    def observe(
+        self, name: str, value: float,
+        bounds: Sequence[float] | None = None,
+    ) -> None:
+        """Fold one observation into a named histogram.
+
+        ``bounds`` picks the bucket ladder when the histogram is first
+        created (default: the latency ladder); it is ignored on every
+        later observation — bounds are fixed for a metric's lifetime.
+        """
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(bounds=bounds)
+        hist.observe(value)
+
     # ------------------------------------------------------------------
     # Cross-recorder composition (parallel sweep workers)
     # ------------------------------------------------------------------
@@ -364,10 +411,27 @@ class Recorder:
         """Merge another recorder into this one.
 
         The other recorder's root spans become children of the span
-        currently open here (or roots), and its counters, gauges, and
-        timers fold into this recorder's aggregates.
+        currently open here (or roots), and its counters, gauges,
+        timers, and histograms fold into this recorder's aggregates.
         """
         self._events.append((_EV_GRAFT, list(other.roots)))
+        self.merge_stats(other)
+
+    def graft_at(self, span_ref: str, spans: list[SpanRecord]) -> None:
+        """Graft foreign spans under the span tagged ``span_ref``.
+
+        The anchor is the first recorded span whose attributes contain
+        ``span_ref == span_ref`` (set via ``span.set(span_ref=...)``);
+        if no span carries the tag the grafted spans surface as roots
+        rather than being dropped.  Used by the dist supervisor to hang
+        each node's per-phase span forest under the supervisor-side
+        phase span it causally belongs to.
+        """
+        self._events.append((_EV_GRAFT_AT, span_ref, list(spans)))
+
+    def merge_stats(self, other: "Recorder") -> None:
+        """Fold another recorder's scalar aggregates (counters, gauges,
+        timers, histograms) into this one, without touching spans."""
         for name, value in other.counters.items():
             self.counters[name] = self.counters.get(name, 0) + value
         for name, stat in other.gauges.items():
@@ -397,11 +461,89 @@ class Recorder:
                 mine.max_s = max(mine.max_s, stat.max_s)
                 mine.count += stat.count
                 mine.total_s += stat.total_s
+        for name, hist in other.histograms.items():
+            mine_h = self.histograms.get(name)
+            if mine_h is None:
+                self.histograms[name] = hist.snapshot()
+            else:
+                mine_h.merge(hist)
 
     def all_spans(self) -> Iterator[SpanRecord]:
         """Pre-order traversal over every recorded span."""
         for root in self.roots:
             yield from root.walk()
+
+
+class FlightRecorder:
+    """Bounded ring buffer of recent telemetry notes for postmortems.
+
+    Always-on and nearly free: ``note()`` costs one tuple allocation
+    and one deque append (old entries fall off the far end), no clock
+    formatting, no I/O.  On a crash — a ``--faults crash`` control
+    frame, an unhandled exception in a node body, or an explicit dump
+    request — :meth:`dump` renders the last N entries into plain
+    dicts, newest last, so the final moments before the failure are
+    readable without any trace having been configured.
+
+    Each entry is ``(seq, t_s, kind, fields)`` where ``t_s`` is seconds
+    on the monotonic clock relative to the ring's construction.
+    """
+
+    __slots__ = ("_ring", "_clock", "_epoch", "_seq")
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._ring: deque = deque(maxlen=capacity)
+        self._clock = time.perf_counter
+        self._epoch = self._clock()
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def capacity(self) -> int:
+        return self._ring.maxlen or 0
+
+    @property
+    def total_noted(self) -> int:
+        """How many notes were ever taken (>= ``len`` once wrapped)."""
+        return self._seq
+
+    def note(self, kind: str, /, **fields) -> None:
+        """Append one entry; evicts the oldest when the ring is full."""
+        self._seq += 1
+        self._ring.append(
+            (self._seq, self._clock() - self._epoch, kind, fields or None)
+        )
+
+    def dump(self) -> dict:
+        """The ring as a JSON-safe postmortem document, oldest first."""
+        return {
+            "schema": "dmra.flight/1",
+            "capacity": self.capacity,
+            "total_noted": self._seq,
+            "entries": [
+                {
+                    "seq": seq,
+                    "t_s": round(t_s, 6),
+                    "kind": kind,
+                    **(fields or {}),
+                }
+                for seq, t_s, kind, fields in self._ring
+            ],
+        }
+
+    def dump_to(self, path) -> None:
+        """Write :meth:`dump` as canonical JSON to ``path``."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(
+            json.dumps(self.dump(), sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
 
 
 # ----------------------------------------------------------------------

@@ -15,6 +15,17 @@ A trace file is newline-delimited JSON with a fixed, documented layout
       {"kind": "timer", "name": "online.batch", "count": 64,
        "total_s": 0.81, "min_s": 0.002, "max_s": 0.04}
 
+* zero or more **hist** lines (``dmra.trace/2`` only), one per
+  histogram in sorted-name order, carrying the exact bucket bounds,
+  per-bucket counts (last entry = overflow/+Inf), sum, and count::
+
+      {"kind": "hist", "name": "stream.event_latency_s",
+       "bounds": [1e-06, 2e-06], "counts": [3, 1, 0],
+       "sum": 5.1e-06, "count": 4}
+
+  A trace with no histograms is emitted as ``dmra.trace/1``
+  byte-identically to before; the reader accepts both versions.
+
 * zero or more **span** lines in pre-order (parents before children),
   with sequential integer ids assigned in emission order starting at 1
   and ``parent`` 0 for roots::
@@ -35,13 +46,17 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.errors import ConfigurationError
+from repro.obs.histogram import Histogram
 from repro.obs.telemetry import GaugeStat, Recorder, SpanRecord, TimerStat
 
 __all__ = [
     "SCHEMA",
+    "SCHEMA_V2",
     "Trace",
     "parse_trace",
     "read_trace",
+    "span_from_payload",
+    "span_to_payload",
     "trace_from_recorder",
     "trace_lines",
     "write_trace",
@@ -49,6 +64,14 @@ __all__ = [
 
 #: Schema identifier; bump the suffix on any incompatible layout change.
 SCHEMA = "dmra.trace/1"
+
+#: The v2 schema adds ``hist`` records.  Traces without histograms keep
+#: emitting v1 byte-identically, so every pre-existing artifact (and the
+#: committed metrics-gate baseline workflow) is untouched; v2 appears
+#: only when a histogram was actually recorded.
+SCHEMA_V2 = "dmra.trace/2"
+
+_KNOWN_SCHEMAS = (SCHEMA, SCHEMA_V2)
 
 
 @dataclass
@@ -60,6 +83,7 @@ class Trace:
     counters: dict[str, float] = field(default_factory=dict)
     gauges: dict[str, GaugeStat] = field(default_factory=dict)
     timers: dict[str, TimerStat] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
 
     def all_spans(self):
         """Pre-order traversal over every span in the trace."""
@@ -79,6 +103,10 @@ def trace_from_recorder(recorder: Recorder) -> Trace:
         counters=dict(recorder.counters),
         gauges=dict(recorder.gauges),
         timers=dict(recorder.timers),
+        histograms={
+            name: hist.snapshot()
+            for name, hist in recorder.histograms.items()
+        },
     )
 
 
@@ -90,7 +118,8 @@ def trace_lines(trace: Trace | Recorder) -> list[str]:
     """Serialize a trace to its canonical JSONL lines (no newlines)."""
     if isinstance(trace, Recorder):
         trace = trace_from_recorder(trace)
-    lines = [_dump({"kind": "header", "schema": SCHEMA, "meta": trace.meta})]
+    schema = SCHEMA_V2 if trace.histograms else SCHEMA
+    lines = [_dump({"kind": "header", "schema": schema, "meta": trace.meta})]
     for name in sorted(trace.counters):
         lines.append(_dump({
             "kind": "counter", "name": name, "value": trace.counters[name],
@@ -107,6 +136,11 @@ def trace_lines(trace: Trace | Recorder) -> list[str]:
             "kind": "timer", "name": name, "count": stat.count,
             "total_s": stat.total_s, "min_s": stat.min_s,
             "max_s": stat.max_s,
+        }))
+    for name in sorted(trace.histograms):
+        hist = trace.histograms[name]
+        lines.append(_dump({
+            "kind": "hist", "name": name, **hist.to_payload(),
         }))
     next_id = 1
 
@@ -155,10 +189,11 @@ def parse_trace(lines: Iterable[str] | str) -> Trace:
                 raise ConfigurationError(
                     "trace does not start with a header line"
                 )
-            if record.get("schema") != SCHEMA:
+            if record.get("schema") not in _KNOWN_SCHEMAS:
                 raise ConfigurationError(
                     f"unsupported trace schema {record.get('schema')!r}; "
-                    f"this reader understands {SCHEMA!r}"
+                    f"this reader understands "
+                    f"{', '.join(repr(s) for s in _KNOWN_SCHEMAS)}"
                 )
             trace.meta = record.get("meta", {})
             saw_header = True
@@ -175,6 +210,16 @@ def parse_trace(lines: Iterable[str] | str) -> Trace:
                 count=record["count"], total_s=record["total_s"],
                 min_s=record["min_s"], max_s=record["max_s"],
             )
+        elif kind == "hist":
+            try:
+                trace.histograms[record["name"]] = Histogram.from_payload(
+                    record
+                )
+            except (KeyError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"trace line {line_number}: malformed hist record "
+                    f"({exc})"
+                ) from exc
         elif kind == "span":
             span = SpanRecord(
                 name=record["name"], start_s=record["start_s"],
@@ -199,6 +244,38 @@ def parse_trace(lines: Iterable[str] | str) -> Trace:
     if not saw_header:
         raise ConfigurationError("trace is empty (no header line)")
     return trace
+
+
+def span_to_payload(span: SpanRecord) -> dict:
+    """One span subtree as a JSON-safe dict (recursive, wire-friendly).
+
+    Used by the dist deployment to ship a node's span forest back to
+    the supervisor inside a result frame; :func:`span_from_payload`
+    reverses it exactly.
+    """
+    payload = {
+        "name": span.name,
+        "start_s": span.start_s,
+        "end_s": span.end_s,
+    }
+    if span.attrs:
+        payload["attrs"] = span.attrs
+    if span.children:
+        payload["children"] = [span_to_payload(c) for c in span.children]
+    return payload
+
+
+def span_from_payload(payload: dict) -> SpanRecord:
+    """Rebuild a span subtree from :func:`span_to_payload` output."""
+    return SpanRecord(
+        name=payload["name"],
+        start_s=payload["start_s"],
+        end_s=payload["end_s"],
+        attrs=dict(payload.get("attrs", {})),
+        children=[
+            span_from_payload(c) for c in payload.get("children", ())
+        ],
+    )
 
 
 def write_trace(path: str | Path, trace: Trace | Recorder) -> Path:

@@ -447,8 +447,20 @@ def replay_tape(
             series_stride=series_stride,
         )
         start = time.perf_counter()
-        for event in dispatcher.events():
-            dispatcher.dispatch(event)
+        if tel.enabled:
+            # Per-event latency histogram, same families the asyncio
+            # service records, so replay and serve traces compare.
+            clock = time.perf_counter
+            for event in dispatcher.events():
+                t0 = clock()
+                dispatcher.dispatch(event)
+                tel.observe(
+                    f"stream.event_latency_s.{event.kind.name.lower()}",
+                    clock() - t0,
+                )
+        else:
+            for event in dispatcher.events():
+                dispatcher.dispatch(event)
         outcome = dispatcher.finish(wall_s=time.perf_counter() - start)
         run_span.set(
             events=outcome.events_processed,

@@ -11,10 +11,15 @@ tape, which is what lets the service be regression-tested: for the same
 ``(config, stream, seed)`` the service's outcome — including its
 bit-exact digest — equals :func:`repro.stream.runner.run_stream`'s.
 
-The peak queue depth is recorded as a span attribute (not a gauge):
-depth depends on scheduler interleaving, so it must stay out of the
-gated metrics document that the incremental-vs-rescratch CI diff
-compares.
+Queue depth is observed as a real labeled gauge (``stream.queue_depth``)
+and a depth histogram (``stream.queue_depth_hist``), so it reaches
+metrics documents and ``dmra trace diff``; the peak also remains a span
+attribute for the trace report.  Depth depends on scheduler
+interleaving, so the gated incremental-vs-rescratch CI diff keeps
+comparing the *outcome-only* metrics documents, where these families
+never appear.  Per-event dispatch latency lands in the
+``stream.event_latency_s.<kind>`` histograms (one per event kind,
+folded into one ``event``-labeled Prometheus family).
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ import time
 
 from repro.core.matching import MatchingPolicy
 from repro.errors import ConfigurationError
-from repro.obs import get_telemetry
+from repro.obs import DEFAULT_DEPTH_BOUNDS, get_telemetry
 from repro.sim.config import ScenarioConfig
 from repro.stream.runner import StreamDispatcher, StreamOutcome
 from repro.stream.tape import StreamConfig, open_tape
@@ -50,8 +55,14 @@ async def serve_stream_async(
     scan_cadence: int = 1024,
     series_stride: int = 1,
     queue_maxsize: int = DEFAULT_QUEUE_MAXSIZE,
+    flight=None,
 ) -> StreamOutcome:
-    """Replay one churn tape through the backpressured service loop."""
+    """Replay one churn tape through the backpressured service loop.
+
+    ``flight`` optionally takes a
+    :class:`~repro.obs.telemetry.FlightRecorder`; the loop notes every
+    batch boundary and completion into its ring for postmortems.
+    """
     if queue_maxsize <= 0:
         raise ConfigurationError(
             f"queue_maxsize must be > 0, got {queue_maxsize}"
@@ -80,6 +91,9 @@ async def serve_stream_async(
                 await queue.put(event)
             await queue.put(_STOP)
 
+        recording = tel.enabled
+        clock = time.perf_counter
+
         async def consume() -> None:
             nonlocal max_depth
             while True:
@@ -89,7 +103,26 @@ async def serve_stream_async(
                     max_depth = depth
                 if event is _STOP:
                     return
-                dispatcher.dispatch(event)
+                if recording:
+                    tel.gauge("stream.queue_depth", depth)
+                    tel.observe(
+                        "stream.queue_depth_hist", depth,
+                        bounds=DEFAULT_DEPTH_BOUNDS,
+                    )
+                    t0 = clock()
+                    dispatcher.dispatch(event)
+                    tel.observe(
+                        "stream.event_latency_s."
+                        f"{event.kind.name.lower()}",
+                        clock() - t0,
+                    )
+                else:
+                    dispatcher.dispatch(event)
+                if flight is not None:
+                    flight.note(
+                        "event", kind=event.kind.name.lower(),
+                        ue=event.ue_id, t=event.time_s, depth=depth,
+                    )
                 # Dispatch is synchronous CPU work; yield so the
                 # producer (or a surrounding application) can run
                 # between events even when the queue never fills.
@@ -98,6 +131,11 @@ async def serve_stream_async(
         start = time.perf_counter()
         await asyncio.gather(produce(), consume())
         outcome = dispatcher.finish(wall_s=time.perf_counter() - start)
+        if flight is not None:
+            flight.note(
+                "finish", events=outcome.events_processed,
+                queue_max_depth=max_depth,
+            )
         serve_span.set(
             events=outcome.events_processed,
             queue_max_depth=max_depth,

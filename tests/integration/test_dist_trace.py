@@ -1,0 +1,193 @@
+"""Integration: cross-process distributed tracing and the live plane.
+
+The observability half of the distribution claim: a multi-process
+``dmra agents`` run yields **one** causally-linked trace — every node
+span is grafted under the supervisor phase span that triggered it via
+the ``(trace_id, parent_span_ref)`` carried on wire frames — and a
+live ``/metrics`` scrape taken after the run quiesces equals the
+post-run trace-derived totals exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.dist import DistributedDMRAAllocator, scenario_plan
+from repro.obs import (
+    LiveServer,
+    Recorder,
+    http_get,
+    metrics_from_trace,
+    parse_exposition,
+    parse_trace,
+    telemetry_session,
+    trace_from_recorder,
+    trace_lines,
+)
+from repro.sim.config import ScenarioConfig
+from repro.sim.runner import run_allocation
+from repro.sim.scenario import build_scenario
+
+UE_COUNT = 40
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(ScenarioConfig.paper(), UE_COUNT, SEED)
+
+
+def traced_run(scenario, transport, **kwargs):
+    recorder = Recorder(meta={"command": "agents"})
+    with telemetry_session(recorder):
+        allocator = DistributedDMRAAllocator(
+            transport=transport, pricing=scenario.pricing, **kwargs
+        )
+        outcome = run_allocation(scenario, allocator)
+    return trace_from_recorder(recorder), outcome
+
+
+@pytest.fixture(scope="module")
+def mp_trace(scenario):
+    return traced_run(scenario, "mp")[0]
+
+
+class TestMergedTrace:
+    def test_single_rooted_tree_no_orphans(self, mp_trace):
+        assert [span.name for span in mp_trace.spans] == ["dist.allocate"]
+        orphan_node_roots = [
+            span for span in mp_trace.spans
+            if span.name.startswith("node.")
+        ]
+        assert not orphan_node_roots
+
+    def test_cross_process_parent_links_resolve(self, mp_trace):
+        # Every node span hangs under the supervisor phase span whose
+        # span_ref matches the parent_ref the wire frame carried.
+        node_spans = [
+            span for span in mp_trace.all_spans()
+            if span.name.startswith("node.")
+        ]
+        assert node_spans
+        for phase_span in (
+            s for s in mp_trace.all_spans() if s.name == "dist.phase"
+        ):
+            ref = phase_span.attrs["span_ref"]
+            for child in phase_span.children:
+                if child.name.startswith("node."):
+                    assert child.attrs["parent_ref"] == ref
+
+    def test_all_node_spans_share_one_trace_id(self, mp_trace):
+        root = mp_trace.spans[0]
+        trace_ids = {
+            span.attrs["trace_id"]
+            for span in mp_trace.all_spans()
+            if span.name.startswith("node.")
+        }
+        assert trace_ids == {root.attrs["trace_id"]}
+
+    def test_every_phase_span_has_node_children(self, mp_trace):
+        phases = [
+            s for s in mp_trace.all_spans() if s.name == "dist.phase"
+        ]
+        assert phases
+        for phase_span in phases:
+            assert any(
+                c.name.startswith("node.") for c in phase_span.children
+            )
+
+    def test_node_histograms_merged_into_supervisor(self, mp_trace):
+        for phase in ("bcast", "propose", "decide"):
+            assert f"dist.node_msgs.{phase}" in mp_trace.histograms
+            assert f"dist.phase_wall_s.{phase}" in mp_trace.histograms
+        assert mp_trace.histograms["dist.round_wall_s"].count > 0
+
+    def test_trace_round_trips_byte_exact(self, mp_trace):
+        lines = trace_lines(mp_trace)
+        assert trace_lines(parse_trace(lines)) == lines
+
+    def test_inproc_and_mp_produce_same_shape(self, scenario, mp_trace):
+        inproc_trace = traced_run(scenario, "inproc")[0]
+
+        def shape(trace):
+            return sorted(
+                (span.name, len(span.children))
+                for span in trace.all_spans()
+            )
+
+        assert shape(inproc_trace) == shape(mp_trace)
+
+
+class TestLiveScrapeEqualsTotals:
+    def test_final_scrape_matches_trace_derived_metrics(self, scenario):
+        recorder = Recorder(meta={"command": "agents"})
+        live = LiveServer(recorder).start()
+        try:
+            with telemetry_session(recorder):
+                allocator = DistributedDMRAAllocator(
+                    transport="mp", pricing=scenario.pricing
+                )
+                run_allocation(scenario, allocator)
+            scraped = parse_exposition(
+                http_get(live.url + "/metrics")[1]
+            )
+        finally:
+            live.stop()
+        reference = metrics_from_trace(trace_from_recorder(recorder))
+        for name in (
+            "dmra_dist_phase_wall_s",
+            "dmra_dist_round_wall_s",
+            "dmra_dist_node_msgs",
+        ):
+            live_fam = scraped.family(name)
+            ref_fam = reference.family(name)
+            assert live_fam.kind == ref_fam.kind == "histogram"
+            assert live_fam.samples == ref_fam.samples
+
+
+class TestCrashPostmortems:
+    def test_crash_dumps_flight_ring(self, scenario, tmp_path):
+        flight_dir = tmp_path / "flight"
+        allocator = DistributedDMRAAllocator(
+            transport="inproc",
+            pricing=scenario.pricing,
+            fault_plan=scenario_plan("crash", seed=3),
+            flight_dir=flight_dir,
+        )
+        run_allocation(scenario, allocator)
+        postmortems = allocator.last_report["postmortems"]
+        assert "bs:0" in postmortems
+        dump_file = flight_dir / "flight_bs_0.json"
+        dumps = json.loads(dump_file.read_text())
+        assert dumps and dumps[0]["schema"] == "dmra.flight/1"
+        kinds = [entry["kind"] for entry in dumps[0]["entries"]]
+        # The ring must show the ticks leading up to the crash, with
+        # the crash itself as the final entry.
+        assert kinds[-1] == "crash"
+        assert "tick" in kinds
+
+    def test_no_faults_no_postmortems(self, scenario):
+        allocator = DistributedDMRAAllocator(
+            transport="inproc", pricing=scenario.pricing
+        )
+        run_allocation(scenario, allocator)
+        assert allocator.last_report["postmortems"] == {}
+
+
+class TestAgentsCliLivePlane:
+    def test_listen_flight_dir_and_port_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        flight_dir = tmp_path / "flight"
+        port_file = tmp_path / "port"
+        assert main([
+            "agents", "--ues", str(UE_COUNT), "--seed", str(SEED),
+            "--transport", "inproc", "--faults", "crash",
+            "--flight-dir", str(flight_dir),
+            "--listen", "127.0.0.1:0", "--port-file", str(port_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "live endpoint:" in out
+        assert "flight postmortems: bs:0" in out
+        assert int(port_file.read_text().strip()) > 0
+        assert (flight_dir / "flight_bs_0.json").exists()

@@ -88,6 +88,29 @@ class TestTraceCommand:
         assert "error:" in err
         assert "absent.jsonl" in err
 
+    def test_report_head_is_alias_for_bare_file(self, trace_file, capsys):
+        assert main(["trace", str(trace_file)]) == 0
+        bare = capsys.readouterr().out
+        assert main(["trace", "report", str(trace_file)]) == 0
+        assert capsys.readouterr().out == bare
+
+    def test_report_top_ranks_by_self_time(self, trace_file, capsys):
+        assert main(["trace", "report", str(trace_file), "--top", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "self time" in output
+        assert "self ms" in output
+        lines = [
+            line for line in output.splitlines()
+            if line and not line.startswith(("top", "span", "-"))
+        ]
+        assert 1 <= len(lines) <= 3
+        self_ms = [float(line.split()[2]) for line in lines]
+        assert self_ms == sorted(self_ms, reverse=True)
+
+    def test_report_wrong_arity_errors(self, capsys):
+        assert main(["trace", "report"]) == 2
+        assert "usage" in capsys.readouterr().err
+
 
 class TestMetricsFlag:
     def test_run_writes_metrics_json(self, tmp_path, capsys):

@@ -1,0 +1,115 @@
+"""Unit tests for the fixed-bucket histogram primitive."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    DEFAULT_DEPTH_BOUNDS,
+    DEFAULT_LATENCY_BOUNDS,
+    Histogram,
+    log_bounds,
+)
+
+
+class TestLogBounds:
+    def test_geometric_ladder(self):
+        bounds = log_bounds(1.0, 8.0, growth=2.0)
+        assert bounds == (1.0, 2.0, 4.0, 8.0)
+
+    def test_covers_hi(self):
+        bounds = log_bounds(1.0, 5.0, growth=2.0)
+        assert bounds[-1] >= 5.0
+
+    def test_defaults_are_sorted_and_strict(self):
+        for bounds in (DEFAULT_LATENCY_BOUNDS, DEFAULT_DEPTH_BOUNDS):
+            assert list(bounds) == sorted(bounds)
+            assert len(set(bounds)) == len(bounds)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            log_bounds(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            log_bounds(1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            log_bounds(1.0, 2.0, growth=1.0)
+
+
+class TestObserve:
+    def test_counts_land_in_le_buckets(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        # le-semantics: value <= bound lands in that bucket.
+        assert hist.counts == [2, 1, 1, 1]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(106.0)
+
+    def test_overflow_bucket_is_plus_inf(self):
+        hist = Histogram(bounds=(1.0,))
+        hist.observe(99.0)
+        assert hist.counts == [0, 1]
+        cumulative = hist.cumulative()
+        assert cumulative[-1] == (math.inf, 1)
+
+    def test_cumulative_is_monotone_and_ends_at_count(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0, 8.0))
+        for value in (0.1, 0.2, 3.0, 9.0, 5.0, 1.5):
+            hist.observe(value)
+        running = [total for _le, total in hist.cumulative()]
+        assert running == sorted(running)
+        assert running[-1] == hist.count
+
+    def test_rejects_empty_or_unsorted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(bounds=())
+        with pytest.raises(ConfigurationError):
+            Histogram(bounds=(2.0, 1.0))
+
+
+class TestMerge:
+    def test_merge_adds_counts_and_sum(self):
+        a = Histogram(bounds=(1.0, 2.0))
+        b = Histogram(bounds=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(10.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.counts == [1, 1, 1]
+        assert a.sum == pytest.approx(12.0)
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = Histogram(bounds=(1.0, 2.0))
+        b = Histogram(bounds=(1.0, 4.0))
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    def test_snapshot_is_independent(self):
+        a = Histogram(bounds=(1.0,))
+        a.observe(0.5)
+        copy = a.snapshot()
+        a.observe(0.5)
+        assert copy.count == 1
+        assert a.count == 2
+        assert copy == Histogram.from_payload(copy.to_payload())
+
+
+class TestPayloadRoundTrip:
+    def test_round_trip_is_exact(self):
+        hist = Histogram(bounds=DEFAULT_LATENCY_BOUNDS)
+        for value in (1e-7, 3e-4, 0.02, 1.0, 50.0):
+            hist.observe(value)
+        payload = hist.to_payload()
+        back = Histogram.from_payload(payload)
+        assert back == hist
+        assert back.to_payload() == payload
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram.from_payload({"bounds": [1.0]})  # missing fields
+        with pytest.raises(ConfigurationError):
+            Histogram.from_payload({
+                "bounds": [1.0], "counts": [1], "sum": 0.0, "count": 1,
+            })  # counts must have len(bounds) + 1 entries

@@ -59,7 +59,7 @@ class TestModel:
     def test_family_rejects_bad_kind(self):
         with pytest.raises(ConfigurationError):
             MetricFamily(
-                name="ok_name", kind="histogram", help="", samples=()
+                name="ok_name", kind="summary", help="", samples=()
             )
 
     def test_family_sample_lookup(self):

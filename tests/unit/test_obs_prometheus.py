@@ -1,0 +1,186 @@
+"""Conformance tests for the Prometheus text exposition.
+
+Pins the exposition format against the parts of the Prometheus
+text-format contract the scrape path relies on: label escaping,
+``# HELP`` / ``# TYPE`` ordering, and the histogram family invariants
+(cumulative buckets, ``+Inf`` equals ``_count``, ``_sum`` consistency).
+Every rendered document must also survive :func:`parse_exposition` with
+samples intact — the live endpoint and the CI smoke job scrape this
+text back.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    Histogram,
+    MetricFamily,
+    MetricSample,
+    MetricsDocument,
+    histogram_family,
+    parse_exposition,
+    prometheus_exposition,
+    validate_histogram_family,
+)
+
+
+def doc_of(*families: MetricFamily) -> MetricsDocument:
+    return MetricsDocument(families=tuple(families))
+
+
+def scalar_family(name="dmra_x", value=1.0, **labels) -> MetricFamily:
+    return MetricFamily(
+        name=name, kind="gauge", help=f"help for {name}",
+        samples=(MetricSample.of(value, **labels),),
+    )
+
+
+class TestLabelEscaping:
+    @pytest.mark.parametrize("raw,escaped", [
+        ('back\\slash', 'back\\\\slash'),
+        ('quo"te', 'quo\\"te'),
+        ('new\nline', 'new\\nline'),
+        ('all\\of"them\n', 'all\\\\of\\"them\\n'),
+    ])
+    def test_label_values_escape_and_round_trip(self, raw, escaped):
+        text = prometheus_exposition(doc_of(scalar_family(note=raw)))
+        assert f'note="{escaped}"' in text
+        parsed = parse_exposition(text)
+        assert parsed.family("dmra_x").sample(note=raw) == 1.0
+
+    def test_help_text_escapes_backslash_and_newline(self):
+        fam = MetricFamily(
+            name="dmra_h", kind="gauge", help="line\nbreak\\slash",
+            samples=(MetricSample.of(2.0),),
+        )
+        text = prometheus_exposition(doc_of(fam))
+        assert "# HELP dmra_h line\\nbreak\\\\slash" in text
+        assert parse_exposition(text).family("dmra_h").help == (
+            "line\nbreak\\slash"
+        )
+
+
+class TestHelpTypeOrdering:
+    def test_help_precedes_type_precedes_samples(self):
+        text = prometheus_exposition(
+            doc_of(scalar_family("dmra_a"), scalar_family("dmra_b"))
+        )
+        lines = text.splitlines()
+        for name in ("dmra_a", "dmra_b"):
+            help_i = lines.index(f"# HELP {name} help for {name}")
+            type_i = lines.index(f"# TYPE {name} gauge")
+            sample_i = next(
+                i for i, line in enumerate(lines)
+                if line.startswith(name)
+            )
+            assert help_i < type_i < sample_i
+
+    def test_families_are_contiguous_blocks(self):
+        text = prometheus_exposition(
+            doc_of(scalar_family("dmra_a"), scalar_family("dmra_b"))
+        )
+        owners = [
+            line.split()[2] if line.startswith("#") else
+            line.split("{")[0].split()[0]
+            for line in text.splitlines() if line
+        ]
+        # Once a family's block ends its name never reappears.
+        seen_done: set[str] = set()
+        previous = None
+        for owner in owners:
+            if owner != previous and previous is not None:
+                seen_done.add(previous)
+            assert owner not in seen_done
+            previous = owner
+
+
+class TestHistogramInvariants:
+    def hist(self) -> Histogram:
+        hist = Histogram(bounds=(0.001, 0.01, 0.1, 1.0))
+        for value in (0.0005, 0.002, 0.003, 0.05, 2.0, 9.0):
+            hist.observe(value)
+        return hist
+
+    def test_rendered_buckets_are_cumulative_and_end_at_count(self):
+        fam = histogram_family("dmra_lat", "latency", self.hist(), unit="s")
+        text = prometheus_exposition(doc_of(fam))
+        lines = [
+            line for line in text.splitlines()
+            if line.startswith("dmra_lat_bucket")
+        ]
+        values = [float(line.rsplit(" ", 1)[1]) for line in lines]
+        assert values == sorted(values)
+        assert lines[-1].startswith('dmra_lat_bucket{le="+Inf"}')
+        count_line = next(
+            line for line in text.splitlines()
+            if line.startswith("dmra_lat_count")
+        )
+        assert values[-1] == float(count_line.rsplit(" ", 1)[1]) == 6.0
+
+    def test_sum_is_exact(self):
+        hist = self.hist()
+        fam = histogram_family("dmra_lat", "latency", hist)
+        text = prometheus_exposition(doc_of(fam))
+        sum_line = next(
+            line for line in text.splitlines()
+            if line.startswith("dmra_lat_sum")
+        )
+        assert float(sum_line.rsplit(" ", 1)[1]) == hist.sum
+
+    def test_type_line_says_histogram(self):
+        fam = histogram_family("dmra_lat", "latency", self.hist())
+        assert "# TYPE dmra_lat histogram" in (
+            prometheus_exposition(doc_of(fam))
+        )
+
+    def test_labeled_groups_each_carry_full_bucket_ladder(self):
+        hists = {
+            ("event", "arrival"): self.hist(),
+            ("event", "departure"): self.hist(),
+        }
+        fam = histogram_family("dmra_lat", "latency", hists)
+        validate_histogram_family(fam)
+        text = prometheus_exposition(doc_of(fam))
+        for value in ("arrival", "departure"):
+            assert f'dmra_lat_bucket{{event="{value}",le="+Inf"}} 6' in text
+
+    def test_validator_rejects_non_cumulative_buckets(self):
+        fam = histogram_family("dmra_lat", "latency", self.hist())
+        broken = MetricFamily(
+            name=fam.name, kind=fam.kind, help=fam.help,
+            samples=tuple(
+                MetricSample(labels=s.labels, value=s.value * -1.0)
+                if s.labels_dict.get("le") == "+Inf" else s
+                for s in fam.samples
+            ),
+        )
+        with pytest.raises(ConfigurationError):
+            validate_histogram_family(broken)
+
+
+class TestParseRoundTrip:
+    def document(self) -> MetricsDocument:
+        hist = Histogram(bounds=(0.5, 1.0, 2.0))
+        for value in (0.1, 0.7, 3.0):
+            hist.observe(value)
+        return doc_of(
+            scalar_family("dmra_gauge", 4.25, sp=1),
+            histogram_family("dmra_lat", "latency", hist, unit="s"),
+        )
+
+    def test_exposition_parse_exposition_is_stable(self):
+        text = prometheus_exposition(self.document())
+        parsed = parse_exposition(text)
+        assert prometheus_exposition(parsed) == text
+
+    def test_parsed_histogram_family_still_validates(self):
+        parsed = parse_exposition(
+            prometheus_exposition(self.document())
+        )
+        fam = parsed.family("dmra_lat")
+        assert fam.kind == "histogram"
+        validate_histogram_family(fam)
+
+    def test_parse_rejects_untyped_samples(self):
+        with pytest.raises(ConfigurationError):
+            parse_exposition("dmra_untyped 1.0\n")

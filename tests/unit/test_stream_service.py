@@ -61,6 +61,46 @@ class TestServeStream:
         assert len(spans) == 1
         assert spans[0].attrs["queue_max_depth"] >= 1
 
+    def test_queue_depth_reaches_gauge_and_histogram(self):
+        from repro.obs import Recorder, telemetry_session
+
+        recorder = Recorder()
+        with telemetry_session(recorder):
+            outcome = serve_stream(CONFIG, short_stream(), seed=6)
+        depth = recorder.histograms["stream.queue_depth_hist"]
+        assert depth.count == outcome.events_processed
+        assert recorder.gauges["stream.queue_depth"].max >= 1
+
+    def test_per_event_latency_histograms_by_kind(self):
+        from repro.obs import Recorder, telemetry_session
+
+        recorder = Recorder()
+        with telemetry_session(recorder):
+            outcome = serve_stream(CONFIG, short_stream(), seed=6)
+        by_kind = {
+            name.rpartition(".")[2]: hist
+            for name, hist in recorder.histograms.items()
+            if name.startswith("stream.event_latency_s.")
+        }
+        assert set(by_kind) >= {"arrival", "departure"}
+        assert sum(h.count for h in by_kind.values()) == (
+            outcome.events_processed
+        )
+        assert all(h.sum >= 0.0 for h in by_kind.values())
+
+    def test_flight_recorder_notes_every_event(self):
+        from repro.obs import FlightRecorder
+
+        flight = FlightRecorder(capacity=10_000)
+        outcome = serve_stream(
+            CONFIG, short_stream(), seed=6, flight=flight
+        )
+        dump = flight.dump()
+        # One note per event plus the final "finish" entry.
+        assert dump["total_noted"] == outcome.events_processed + 1
+        assert dump["entries"][-1]["kind"] == "finish"
+        assert dump["entries"][-1]["events"] == outcome.events_processed
+
 
 SERVE_ARGS = [
     "serve", "--rate", "2", "--horizon", "45", "--holding", "20",
@@ -111,3 +151,36 @@ class TestServeCli:
     def test_sharded_serve(self, capsys):
         assert main(SERVE_ARGS + ["--shards", "4"]) == 0
         assert "shards=4" in capsys.readouterr().out
+
+    def test_listen_writes_port_file_and_final_flush(
+        self, tmp_path, capsys
+    ):
+        from repro.obs import read_metrics
+
+        port_file = tmp_path / "port"
+        flush = tmp_path / "live.json"
+        assert main(SERVE_ARGS + [
+            "--listen", "127.0.0.1:0",
+            "--port-file", str(port_file),
+            "--flush", str(flush),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "live endpoint:" in out
+        port = int(port_file.read_text().strip())
+        assert port > 0
+        # The exit-path flush captures the replay's final totals.
+        doc = read_metrics(flush)
+        latency = doc.family("dmra_stream_event_latency_s")
+        assert latency.sample(event="arrival", stat="count") > 0
+        assert doc.has_family("dmra_stream_queue_depth_hist")
+        assert doc.has_family("dmra_flight_entries")
+
+    def test_flight_dump_written(self, tmp_path, capsys):
+        import json
+
+        dump_path = tmp_path / "flight.json"
+        assert main(SERVE_ARGS + ["--flight-dump", str(dump_path)]) == 0
+        assert "wrote flight dump" in capsys.readouterr().out
+        dump = json.loads(dump_path.read_text())
+        assert dump["schema"] == "dmra.flight/1"
+        assert dump["entries"][-1]["kind"] == "finish"
