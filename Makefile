@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-scale bench-kernel bench-stream metrics-baseline bench-paper figures extensions examples clean
+.PHONY: install test bench bench-smoke bench-scale bench-kernel bench-stream bench-bound metrics-baseline gap-baseline bench-paper figures extensions examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -51,12 +51,30 @@ bench-kernel:
 bench-stream:
 	bash -c 'time $(PYTHON) benchmarks/bench_stream.py'
 
+# Bound bench: certify the optimality gap of the 100k-UE / 2500-BS
+# sharded run with the Lagrangian upper bound (a scale where the exact
+# ILP refuses), gate the certified gap, the bound-phase wall/RSS, and
+# Lagrangian-vs-LP tightness at 600 UEs; writes BENCH_pr10.json
+# (caps/knobs via BENCH_BOUND_*, see benchmarks/bench_bound.py and
+# docs/bounds.md).
+bench-bound:
+	bash -c 'time $(PYTHON) benchmarks/bench_bound.py'
+
 # Regenerate the committed metrics baseline the CI regression gate
 # diffs against.  Do this only when a PR deliberately changes domain
 # behaviour; commit the result together with the change.
 metrics-baseline:
 	$(PYTHON) -m repro run --ues 300 --seed 3 \
 		--metrics benchmarks/results/baseline_metrics.json
+
+# Regenerate the committed gap baseline the gap-gate CI job diffs
+# against (certified gap + bound values + strategic-baseline profits
+# on the contention scenario).  Regenerate only when a PR deliberately
+# changes allocation or bound behaviour; commit with the change.
+gap-baseline:
+	$(PYTHON) -m repro bound --ues 600 --seed 3 --method both \
+		--baselines auction best-response potential-game \
+		--metrics benchmarks/results/baseline_gap_metrics.json
 
 bench-paper:
 	BENCH_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,5 +1,6 @@
 """Comparison allocators: the paper's baselines plus ablation references."""
 
+from repro.baselines.auction import AuctionAllocator
 from repro.baselines.best_response import BestResponseAllocator
 from repro.baselines.cloud_only import CloudOnlyAllocator
 from repro.baselines.dcsp import DCSPAllocator, DCSPPolicy
@@ -9,6 +10,7 @@ from repro.baselines.optimal import OptimalILPAllocator
 from repro.baselines.random_alloc import RandomAllocator
 
 __all__ = [
+    "AuctionAllocator",
     "BestResponseAllocator",
     "CloudOnlyAllocator",
     "DCSPAllocator",

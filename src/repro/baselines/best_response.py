@@ -12,6 +12,20 @@ The contrast with DMRA: best response is UE-selfish (no BS-side
 preference, no SP coordination), so it reaches an equilibrium that is
 envy-free *for the moving side* but ignores the operators' margins and
 the paper's same-SP mechanism entirely.
+
+With ``load_weight > 0`` the dynamic becomes a congestion game in the
+style of Liu et al. (arXiv:1901.00233): each BS adds a load-aware price
+term proportional to its occupancy, so a UE weighing BS ``i`` pays
+``p_{i,u} + beta * n_i`` where ``n_i`` counts the UEs it would share
+``i`` with (itself included).  This is a Rosenthal congestion game with
+exact potential
+
+    Phi = sum_u p_{i(u),u} + beta * sum_i n_i (n_i + 1) / 2,
+
+and every improving switch decreases ``Phi`` by exactly the mover's
+cost delta, so the dynamics still terminate at a pure Nash equilibrium.
+``load_weight = 0`` reproduces the plain best-response baseline
+move for move.
 """
 
 from __future__ import annotations
@@ -34,14 +48,20 @@ class BestResponseAllocator(Allocator):
         self,
         pricing: PricingPolicy | None = None,
         max_sweeps: int = 10_000,
+        load_weight: float = 0.0,
     ) -> None:
         if max_sweeps <= 0:
             raise AllocationError(
                 f"max_sweeps must be > 0, got {max_sweeps}"
             )
+        if load_weight < 0:
+            raise AllocationError(
+                f"load_weight must be >= 0, got {load_weight}"
+            )
         self.pricing = pricing if pricing is not None else PaperPricing()
         self.max_sweeps = max_sweeps
-        self.name = "best-response"
+        self.load_weight = load_weight
+        self.name = "potential-game" if load_weight > 0 else "best-response"
 
     def allocate(self, network: MECNetwork, radio_map: RadioMap) -> Assignment:
         ledgers = LedgerPool(network.base_stations)
@@ -57,6 +77,11 @@ class BestResponseAllocator(Allocator):
                 )
             return prices[key]
 
+        beta = self.load_weight
+
+        def occupancy(bs_id: int) -> int:
+            return len(ledgers.ledger(bs_id).grants)
+
         sweeps = 0
         moved = True
         while moved:
@@ -69,8 +94,12 @@ class BestResponseAllocator(Allocator):
             moved = False
             for ue in network.user_equipments:
                 current_bs = serving.get(ue.ue_id)
+                # The mover's own grant is in its BS's occupancy, so the
+                # current load term is beta * n_i; a candidate's is
+                # beta * (n_j + 1) -- the load after joining.
                 current_price = (
                     price(ue.ue_id, current_bs)
+                    + beta * occupancy(current_bs)
                     if current_bs is not None
                     else float("inf")
                 )
@@ -79,7 +108,10 @@ class BestResponseAllocator(Allocator):
                 for bs_id in network.candidate_base_stations(ue.ue_id):
                     if bs_id == current_bs:
                         continue
-                    candidate_price = price(ue.ue_id, bs_id)
+                    candidate_price = (
+                        price(ue.ue_id, bs_id)
+                        + beta * (occupancy(bs_id) + 1)
+                    )
                     if candidate_price >= best_price:
                         continue
                     rrbs = radio_map.link(ue.ue_id, bs_id).rrbs_required

@@ -1,0 +1,38 @@
+"""LP relaxation upper bound on the TPM objective.
+
+Delegates to :class:`repro.baselines.optimal.OptimalILPAllocator` with
+``relaxed=True``: the *same* Eq. 12--15 constraint matrix the exact ILP
+solves, with integrality dropped, so LP bound and ILP optimum are
+always compared over identical rows.  HiGHS solves the relaxation in
+polynomial time, but the matrix still materializes one column per
+candidate link -- for instances past ``max_variables`` use
+:func:`repro.bound.lagrangian.lagrangian_bound`, which converges to the
+same value (per-UE integrality) without ever forming the matrix.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.optimal import OptimalILPAllocator
+from repro.econ.pricing import PricingPolicy
+from repro.model.network import MECNetwork
+from repro.radio.channel import RadioMap
+
+__all__ = ["lp_bound"]
+
+
+def lp_bound(
+    network: MECNetwork,
+    radio_map: RadioMap,
+    pricing: PricingPolicy | None = None,
+    *,
+    max_variables: int = 500_000,
+    time_limit_s: float | None = 300.0,
+) -> float:
+    """The LP relaxation value: a certified upper bound on any assignment."""
+    relaxation = OptimalILPAllocator(
+        pricing=pricing,
+        max_variables=max_variables,
+        time_limit_s=time_limit_s,
+        relaxed=True,
+    )
+    return relaxation.objective_bound(network, radio_map)

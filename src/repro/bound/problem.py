@@ -1,0 +1,166 @@
+"""Array-form compile of the TPM bound problem.
+
+Lifts the feasible candidate links of a :class:`~repro.radio.channel.RadioMap`
+into the CSR layout used by :mod:`repro.core.soa` -- one contiguous row
+of pairs per UE -- plus the per-(BS, service) CRU capacities (Eq. 12)
+and per-BS RRB capacities (Eq. 14) the Lagrangian dualizes.  Profits
+use the same batched Eq. 9--10 price terms as the matching kernel, so
+the bound and the allocator price every link identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.soa import _price_term_array
+from repro.econ.pricing import PaperPricing, PricingPolicy
+from repro.model.network import MECNetwork
+from repro.radio.channel import RadioMap
+
+__all__ = ["BoundProblem", "compile_bound_problem"]
+
+
+@dataclass(frozen=True)
+class BoundProblem:
+    """The TPM instance as flat arrays, grouped by UE (CSR rows).
+
+    ``indptr`` has length ``n_ue + 1``; pairs of row ``u`` live at
+    ``[indptr[u], indptr[u + 1])``.  ``pair_flat`` indexes the
+    (BS, service) CRU capacity vector ``cap_cru`` (Eq. 12 rows) as
+    ``bs_pool_index * n_services + service_index``; ``pair_bs``
+    indexes the per-BS RRB capacity vector ``cap_rrb`` (Eq. 14 rows).
+    """
+
+    ue_ids: np.ndarray  # (n_ue,) sorted UE ids
+    indptr: np.ndarray  # (n_ue + 1,) CSR row pointers
+    row_of_pair: np.ndarray  # (n_pairs,) row index of each pair
+    pair_bs: np.ndarray  # (n_pairs,) BS pool index
+    pair_flat: np.ndarray  # (n_pairs,) (BS, service) capacity index
+    pair_profit: np.ndarray  # (n_pairs,) marginal profit, Eq. 5--8
+    pair_cru: np.ndarray  # (n_pairs,) c^u, CRU demand
+    pair_rrb: np.ndarray  # (n_pairs,) n_{u,i}, RRB demand
+    cap_cru: np.ndarray  # (n_bs * n_svc,) c_{i,j}, Eq. 12 RHS
+    cap_rrb: np.ndarray  # (n_bs,) N_i, Eq. 14 RHS
+    bs_ids: np.ndarray  # (n_bs,) BS ids in pool order
+    service_ids: tuple[int, ...]  # service ids in capacity-index order
+
+    @property
+    def n_ue(self) -> int:
+        return len(self.ue_ids)
+
+    @property
+    def n_bs(self) -> int:
+        return len(self.bs_ids)
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.pair_profit)
+
+    def estimated_bytes(self) -> int:
+        """Rough footprint of the pair arrays (capacity vectors are tiny)."""
+        per_pair = (
+            self.row_of_pair.itemsize
+            + self.pair_bs.itemsize
+            + self.pair_flat.itemsize
+            + self.pair_profit.itemsize
+            + self.pair_cru.itemsize
+            + self.pair_rrb.itemsize
+        )
+        return int(self.n_pairs * per_pair)
+
+
+def compile_bound_problem(
+    network: MECNetwork,
+    radio_map: RadioMap,
+    pricing: PricingPolicy | None = None,
+) -> BoundProblem:
+    """Compile the feasible candidate links into a :class:`BoundProblem`.
+
+    Feasibility matches ``LinkMetrics.feasible`` in array form
+    (``rrb_demands >= 1`` and ``per_rrb_rates_bps > 0``); profits match
+    :func:`repro.econ.accounting.marginal_profit` bit for bit.
+    """
+    pricing = pricing if pricing is not None else PaperPricing()
+
+    base_stations = tuple(network.base_stations)
+    n_bs = len(base_stations)
+    bs_id_arr = np.array([bs.bs_id for bs in base_stations], dtype=np.int64)
+    bs_sp = np.array([bs.sp_id for bs in base_stations], dtype=np.int64)
+
+    target_ids = sorted(ue.ue_id for ue in network.user_equipments)
+    n_ue = len(target_ids)
+    ues = [network.user_equipment(ue_id) for ue_id in target_ids]
+    service_ids = sorted(
+        {s for bs in base_stations for s in bs.cru_capacity}
+        | {ue.service_id for ue in ues}
+    )
+    svc_index = {sid: k for k, sid in enumerate(service_ids)}
+    n_svc = len(service_ids)
+
+    cap_cru = np.zeros(n_bs * n_svc, dtype=np.float64)
+    for b, bs in enumerate(base_stations):
+        for sid, crus in bs.cru_capacity.items():
+            cap_cru[b * n_svc + svc_index[sid]] = float(crus)
+    cap_rrb = np.array(
+        [float(bs.rrb_capacity) for bs in base_stations], dtype=np.float64
+    )
+
+    ue_svc = np.array([svc_index[ue.service_id] for ue in ues], dtype=np.int64)
+    ue_cru = np.array([ue.cru_demand for ue in ues], dtype=np.int64)
+    ue_sp = np.array([ue.sp_id for ue in ues], dtype=np.int64)
+    margin_of_sp = {
+        sp.sp_id: sp.cru_price - sp.other_cost for sp in network.providers
+    }
+    ue_margin = np.array(
+        [margin_of_sp[ue.sp_id] for ue in ues], dtype=np.float64
+    )
+
+    # Gather each target UE's radio-map columns (soa.py CSR idiom),
+    # then drop infeasible pairs and rebuild the row pointers.
+    slices = [radio_map.ue_slice(ue_id) for ue_id in target_ids]
+    counts = np.array([stop - start for start, stop in slices], dtype=np.int64)
+    row_starts = np.array([start for start, _ in slices], dtype=np.int64)
+    n_raw = int(counts.sum())
+    row_of_pair = np.repeat(np.arange(n_ue, dtype=np.int64), counts)
+    raw_indptr = np.concatenate(([0], np.cumsum(counts)))
+    sel = (
+        np.repeat(row_starts, counts)
+        + np.arange(n_raw, dtype=np.int64)
+        - np.repeat(raw_indptr[:-1], counts)
+    )
+
+    pair_rrb = radio_map.rrb_demands[sel]
+    feasible = (pair_rrb >= 1) & (radio_map.per_rrb_rates_bps[sel] > 0)
+    sel = sel[feasible]
+    row_of_pair = row_of_pair[feasible]
+    pair_rrb = pair_rrb[feasible].astype(np.float64)
+    counts = np.bincount(row_of_pair, minlength=n_ue)
+    indptr = np.concatenate(([0], np.cumsum(counts)))
+
+    link_bs_ids = radio_map.bs_ids[sel]
+    pair_dist = radio_map.distances_m[sel]
+    id_order = np.argsort(bs_id_arr)
+    pair_bs = id_order[np.searchsorted(bs_id_arr[id_order], link_bs_ids)]
+
+    pair_same_sp = ue_sp[row_of_pair] == bs_sp[pair_bs]
+    price = _price_term_array(pricing, pair_dist, pair_same_sp)
+    pair_cru = ue_cru[row_of_pair].astype(np.float64)
+    pair_profit = pair_cru * (ue_margin[row_of_pair] - price)
+    pair_flat = pair_bs * n_svc + ue_svc[row_of_pair]
+
+    return BoundProblem(
+        ue_ids=np.array(target_ids, dtype=np.int64),
+        indptr=indptr,
+        row_of_pair=row_of_pair,
+        pair_bs=pair_bs,
+        pair_flat=pair_flat,
+        pair_profit=pair_profit,
+        pair_cru=pair_cru,
+        pair_rrb=pair_rrb,
+        cap_cru=cap_cru,
+        cap_rrb=cap_rrb,
+        bs_ids=bs_id_arr,
+        service_ids=tuple(service_ids),
+    )

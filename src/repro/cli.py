@@ -8,6 +8,7 @@ Subcommands
 ``compare``  run several allocators on one scenario side by side
 ``analyze``  fairness / envy / convergence / map report for one run
 ``agents``   multi-process decentralized deployment with fault injection
+``bound``    certify the optimality gap against LP/Lagrangian bounds
 ``online``   event-driven simulation with arrivals and departures
 ``mobility`` epoch-based movement with handover accounting
 ``failures`` BS outage injection and recovery report
@@ -42,6 +43,8 @@ Examples::
     dmra inspect --ues 400 --seed 0
     dmra analyze --ues 1100 --seed 3
     dmra online --rate 5 --horizon 600 --holding 120
+    dmra bound --ues 600 --seed 3 --method both --baselines auction ilp
+    dmra run --ues 100000 --region-m 15000 --bs-per-sp 500 --bound lagrangian
 """
 
 from __future__ import annotations
@@ -54,6 +57,8 @@ from contextlib import ExitStack, contextmanager
 from pathlib import Path
 
 from repro.baselines import (
+    AuctionAllocator,
+    BestResponseAllocator,
     CloudOnlyAllocator,
     DCSPAllocator,
     GreedyProfitAllocator,
@@ -96,6 +101,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _cmd_compare,
         "analyze": _cmd_analyze,
         "agents": _cmd_agents,
+        "bound": _cmd_bound,
         "online": _cmd_online,
         "serve": _cmd_serve,
         "report": _cmd_report,
@@ -337,6 +343,14 @@ def _build_parser() -> argparse.ArgumentParser:
                     "otherwise; the default) — see docs/algorithm.md"
                 ),
             )
+            cmd.add_argument(
+                "--bound", default=None, choices=("lp", "lagrangian"),
+                help=(
+                    "also certify the run's optimality gap against an "
+                    "upper bound on the TPM objective (repro.bound; "
+                    "see docs/bounds.md)"
+                ),
+            )
         if name in ("compare", "analyze"):
             cmd.add_argument(
                 "--allocators",
@@ -418,6 +432,46 @@ def _build_parser() -> argparse.ArgumentParser:
             "dumps captured at crash time under '--faults crash') as "
             "JSON files into DIR"
         ),
+    )
+
+    bound = sub.add_parser(
+        "bound",
+        help=(
+            "certify the optimality gap of an allocation against "
+            "LP/Lagrangian upper bounds (see docs/bounds.md)"
+        ),
+    )
+    _add_scenario_arguments(bound)
+    _add_trace_argument(bound)
+    bound.add_argument(
+        "--method", default="lagrangian",
+        choices=("lp", "lagrangian", "both"),
+        help=(
+            "upper-bound method: 'lagrangian' (per-BS dual "
+            "decomposition, scales to 100k+ UEs), 'lp' (HiGHS LP "
+            "relaxation, exact but variable-capped), or 'both'"
+        ),
+    )
+    bound.add_argument(
+        "--allocator", default="dmra",
+        choices=sorted(_ALLOCATOR_BUILDERS),
+        help="the incumbent whose gap is certified (default: dmra)",
+    )
+    bound.add_argument(
+        "--baselines", nargs="*", default=[],
+        choices=sorted(_ALLOCATOR_BUILDERS),
+        help=(
+            "also run these allocators and report their profit "
+            "against the same bound"
+        ),
+    )
+    bound.add_argument(
+        "--iterations", type=int, default=150,
+        help="subgradient iteration budget for the Lagrangian bound",
+    )
+    bound.add_argument(
+        "--lp-max-variables", type=int, default=500_000,
+        help="refuse the LP bound above this many candidate variables",
     )
 
     online = sub.add_parser(
@@ -726,6 +780,13 @@ _ALLOCATOR_BUILDERS = {
     "random": lambda sc: RandomAllocator(seed=sc.seed),
     "cloud-only": lambda sc: CloudOnlyAllocator(),
     "ilp": lambda sc: OptimalILPAllocator(pricing=sc.pricing),
+    "best-response": lambda sc: BestResponseAllocator(pricing=sc.pricing),
+    # rho doubles as the congestion weight: like DMRA's slack term, it
+    # prices load into the potential-game cost (beta=0 is best-response).
+    "potential-game": lambda sc: BestResponseAllocator(
+        pricing=sc.pricing, load_weight=max(sc.config.rho / 10.0, 0.1)
+    ),
+    "auction": lambda sc: AuctionAllocator(pricing=sc.pricing),
 }
 
 
@@ -815,9 +876,82 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"mean CRU util:      {metrics.mean_cru_utilization:.2f}")
     print(f"matching rounds:    {metrics.rounds}")
     print(f"wall time:          {outcome.wall_time_s * 1e3:.1f} ms")
+    if getattr(args, "bound", None) is not None:
+        from repro.bound import certify_gap
+
+        certificate = certify_gap(
+            scenario.network,
+            scenario.radio_map,
+            scenario.pricing,
+            incumbent_profit=metrics.total_profit,
+            method=args.bound,
+        )
+        print(f"upper bound:        {certificate.upper_bound:.1f} "
+              f"({certificate.method}, "
+              f"{certificate.iterations} iterations)")
+        print(f"certified gap:      {certificate.gap_fraction * 100:.2f}%")
+        if getattr(args, "metrics", None) is not None:
+            from repro.obs import metrics_from_certificates
+
+            _PENDING_OUTCOME_FAMILIES.extend(
+                metrics_from_certificates([certificate]).families
+            )
     if getattr(args, "profile", False):
         _print_radio_map_profile(scenario)
         _print_phase_profile(args.allocator, scenario)
+    return 0
+
+
+def _cmd_bound(args: argparse.Namespace) -> int:
+    """``dmra bound``: certify an allocation's optimality gap."""
+    from repro.bound import certify_gap
+
+    scenario = _scenario_from_args(args)
+    allocator = _build_allocator(args.allocator, scenario)
+    outcome = run_allocation(scenario, allocator)
+    incumbent = outcome.metrics.total_profit
+    methods = (
+        ("lp", "lagrangian") if args.method == "both" else (args.method,)
+    )
+    certificates = [
+        certify_gap(
+            scenario.network,
+            scenario.radio_map,
+            scenario.pricing,
+            incumbent_profit=incumbent,
+            method=method,
+            max_iterations=args.iterations,
+            lp_max_variables=args.lp_max_variables,
+        )
+        for method in methods
+    ]
+    baseline_profits: dict[str, float] = {}
+    for name in dict.fromkeys(args.baselines):
+        if name == args.allocator:
+            continue
+        baseline = run_allocation(
+            scenario, _build_allocator(name, scenario)
+        )
+        baseline_profits[name] = baseline.metrics.total_profit
+    print(scenario.network.describe())
+    print(f"incumbent:          {outcome.allocator_name}")
+    print(f"incumbent profit:   {incumbent:.1f}")
+    for certificate in certificates:
+        flag = "" if certificate.converged else " (budget hit)"
+        print(f"{certificate.method + ' bound:':<20}"
+              f"{certificate.upper_bound:.1f} "
+              f"[{certificate.iterations} iterations, "
+              f"{certificate.wall_time_s * 1e3:.1f} ms]{flag}")
+        print(f"  certified gap:    {certificate.gap_fraction * 100:.2f}%")
+    for name, profit in sorted(baseline_profits.items()):
+        ratio = profit / incumbent if incumbent else float("nan")
+        print(f"  {name + ':':<18}{profit:.1f} ({ratio:.2f}x incumbent)")
+    if getattr(args, "metrics", None) is not None:
+        from repro.obs import metrics_from_certificates
+
+        _PENDING_OUTCOME_FAMILIES.extend(metrics_from_certificates(
+            certificates, baseline_profits or None
+        ).families)
     return 0
 
 

@@ -35,6 +35,7 @@ from repro.core.assignment import Assignment
 from repro.core.messages import (
     AssociationGrant,
     CloudFallbackNotice,
+    ReleaseNotice,
     ResourceBroadcast,
     ServiceRequest,
 )
@@ -85,6 +86,14 @@ class UEAgent:
         self.associated_bs: int | None = None
         self._assoc_epoch = 0
         self.gave_up = False
+        # Explicit-release protocol state: the BS of the proposal still
+        # awaiting an answer, releases queued for the transport layer to
+        # drain, and the epoch at which each BS was last released (a
+        # grant at or below that epoch is void — the UE already walked
+        # away from it).
+        self._proposed_bs: int | None = None
+        self._pending_releases: list[ReleaseNotice] = []
+        self._released: dict[int, int] = {}
 
     @property
     def ue_id(self) -> int:
@@ -122,10 +131,19 @@ class UEAgent:
     def receive_grant(self, grant: AssociationGrant) -> bool:
         """Accept an association grant addressed to this UE.
 
-        Returns ``False`` (grant discarded) when the grant's epoch is
-        older than the freshest epoch seen from that BS: the reservation
-        was wiped by a crash, so honoring the late grant would leave the
-        UE associated to a BS that no longer serves it.
+        Returns ``False`` (grant declined) in three cases:
+
+        * the grant's epoch is older than the freshest epoch seen from
+          that BS — the reservation was wiped by a crash, so honoring
+          the late grant would leave the UE associated to a BS that no
+          longer serves it;
+        * the UE already released that BS at this epoch (it walked away
+          from the proposal the grant answers) — the release is
+          re-queued in case the earlier notice was lost in transit;
+        * the UE is already associated elsewhere (a duplicate
+          acceptance, possible when a lost grant made it re-propose) —
+          it keeps the association it has and queues a release so the
+          declined BS frees the booking instead of stranding it.
         """
         if grant.ue_id != self.ue_id:
             raise AllocationError(
@@ -134,9 +152,44 @@ class UEAgent:
         known = self._freshness.get(grant.bs_id)
         if known is not None and grant.epoch < known[0]:
             return False
+        released = self._released.get(grant.bs_id)
+        if released is not None and grant.epoch <= released:
+            self._queue_release(grant.bs_id, grant.epoch)
+            return False
+        if self.associated_bs is not None and self.associated_bs != grant.bs_id:
+            self._queue_release(grant.bs_id, grant.epoch)
+            return False
         self.associated_bs = grant.bs_id
         self._assoc_epoch = grant.epoch
+        self._proposed_bs = None
         return True
+
+    def _queue_release(self, bs_id: int, epoch: int) -> None:
+        previous = self._released.get(bs_id)
+        self._released[bs_id] = (
+            epoch if previous is None else max(previous, epoch)
+        )
+        self._pending_releases.append(
+            ReleaseNotice(
+                ue_id=self.ue_id,
+                sp_id=self.ue.sp_id,
+                bs_id=bs_id,
+                epoch=epoch,
+            )
+        )
+
+    def drain_releases(self) -> list[ReleaseNotice]:
+        """Queued release notices, cleared on read (transport hook)."""
+        notices = self._pending_releases
+        self._pending_releases = []
+        return notices
+
+    def still_released(self, bs_id: int) -> bool:
+        """Whether the UE still disowns ``bs_id`` (no re-proposal since
+        the release).  Transports that re-send unacked releases must
+        stop once this turns ``False``, or the re-sent notice would free
+        the booking of the *new* proposal."""
+        return bs_id in self._released
 
     # ------------------------------------------------------------------
     # Decision logic (Alg. 1 lines 3--10, run locally)
@@ -184,6 +237,17 @@ class UEAgent:
         """``f_u``: candidates that still fit per the latest broadcasts."""
         return sum(1 for info in self._candidates.values() if self._fits(info))
 
+    def _release_abandoned_proposal(self, next_bs_id: int | None) -> None:
+        """Queue a release for the BS of a proposal the UE walks away
+        from (it switched targets or fell back to the cloud).  The UE
+        cannot know whether that BS granted — if it did and the grant
+        was lost, the booking would otherwise stay stranded; if it did
+        not, the release is a no-op there."""
+        if self._proposed_bs is None or self._proposed_bs == next_bs_id:
+            return
+        epoch = self._freshness.get(self._proposed_bs, (0, 0))[0]
+        self._queue_release(self._proposed_bs, epoch)
+
     def propose(self) -> ServiceRequest | CloudFallbackNotice | None:
         """Run one proposal step; ``None`` when already associated."""
         if self.associated_bs is not None or self.gave_up:
@@ -194,6 +258,11 @@ class UEAgent:
                 key=lambda info: (self._score(info), info.bs_id),
             )
             if self._fits(best):
+                self._release_abandoned_proposal(best.bs_id)
+                # A fresh proposal supersedes any earlier walk-away:
+                # the grant it solicits must be acceptable again.
+                self._released.pop(best.bs_id, None)
+                self._proposed_bs = best.bs_id
                 return ServiceRequest(
                     ue_id=self.ue_id,
                     sp_id=self.ue.sp_id,
@@ -205,6 +274,8 @@ class UEAgent:
                 )
             del self._candidates[best.bs_id]
         self.gave_up = True
+        self._release_abandoned_proposal(None)
+        self._proposed_bs = None
         return CloudFallbackNotice(ue_id=self.ue_id, sp_id=self.ue.sp_id)
 
 
@@ -313,6 +384,20 @@ class BSAgent:
                 )
             )
         return grants
+
+    def release(self, ue_id: int, epoch: int) -> bool:
+        """Honor a :class:`ReleaseNotice`: free the UE's reservation.
+
+        Ignored (``False``) when the epoch does not match the current
+        ledger epoch — the booking the notice names was already wiped
+        by a crash, and a same-id booking from a later epoch belongs to
+        a *new* proposal — or when no reservation exists (the UE
+        released a BS that had rejected it, or a duplicate notice).
+        """
+        if epoch != self.epoch or ue_id not in self.ledger.grants:
+            return False
+        self.ledger.release(ue_id)
+        return True
 
     def grant_for(self, ue_id: int) -> AssociationGrant | None:
         """The grant this BS holds for a UE (grant-retransmission path)."""

@@ -35,6 +35,7 @@ __all__ = [
     "AssociationGrant",
     "ResourceBroadcast",
     "CloudFallbackNotice",
+    "ReleaseNotice",
     "to_wire",
     "from_wire",
 ]
@@ -107,6 +108,25 @@ class ResourceBroadcast:
 
 
 @dataclass(frozen=True, slots=True)
+class ReleaseNotice:
+    """A UE declining a grant it will not use (explicit disassociation).
+
+    Under lossy transports a UE can receive acceptances from two BSs for
+    the same association round (a re-sent proposal after a dropped
+    grant).  It keeps one and sends a :class:`ReleaseNotice` for the
+    other, so the declined BS frees the reservation instead of carrying
+    a stranded booking to assembly.  ``epoch`` is the declined grant's
+    ledger epoch: a release that arrives after the BS restarted must
+    not free someone else's re-booked resources.
+    """
+
+    ue_id: int
+    sp_id: int
+    bs_id: int
+    epoch: int = 0
+
+
+@dataclass(frozen=True, slots=True)
 class CloudFallbackNotice:
     """A UE telling its SP that no BS can serve it; the SP forwards the
     task to the remote cloud."""
@@ -121,7 +141,7 @@ class CloudFallbackNotice:
 
 #: Wire kind tags, also the label values of the ``dist.messages.<kind>``
 #: accounting counters.
-WIRE_KINDS = ("req", "grant", "bcast", "cloud")
+WIRE_KINDS = ("req", "grant", "bcast", "cloud", "release")
 
 
 def to_wire(message) -> dict:
@@ -159,6 +179,14 @@ def to_wire(message) -> dict:
         }
     if isinstance(message, CloudFallbackNotice):
         return {"k": "cloud", "ue": message.ue_id, "sp": message.sp_id}
+    if isinstance(message, ReleaseNotice):
+        return {
+            "k": "release",
+            "ue": message.ue_id,
+            "sp": message.sp_id,
+            "bs": message.bs_id,
+            "epoch": message.epoch,
+        }
     raise ConfigurationError(
         f"cannot encode {type(message).__name__} as a wire message"
     )
@@ -198,4 +226,11 @@ def from_wire(payload: Mapping) -> object:
         )
     if kind == "cloud":
         return CloudFallbackNotice(ue_id=payload["ue"], sp_id=payload["sp"])
+    if kind == "release":
+        return ReleaseNotice(
+            ue_id=payload["ue"],
+            sp_id=payload["sp"],
+            bs_id=payload["bs"],
+            epoch=payload.get("epoch", 0),
+        )
     raise ConfigurationError(f"unknown wire message kind {kind!r}")

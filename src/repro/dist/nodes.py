@@ -34,6 +34,7 @@ from repro.core.agents import BSAgent, SPAgent, UEAgent
 from repro.core.messages import (
     AssociationGrant,
     CloudFallbackNotice,
+    ReleaseNotice,
     ResourceBroadcast,
     ServiceRequest,
     from_wire,
@@ -265,6 +266,7 @@ class BSNodeHandler:
         self._ue_sp: dict[int, int] = {}
         self._down = 0
         self.regrants = 0
+        self.releases = 0
 
     def on_crash(self, down_rounds: int) -> None:
         """Wipe the ledger (epoch bump) and go dark for ``down_rounds``."""
@@ -282,6 +284,14 @@ class BSNodeHandler:
         # round's decide step).
         if self._down == 0:
             for request in messages:
+                if isinstance(request, ReleaseNotice):
+                    # A UE walked away from a proposal (or declined a
+                    # duplicate grant): free the booking so it is not
+                    # stranded at assembly.  Unknown UE / stale epoch
+                    # notices are no-ops inside release().
+                    if self.agent.release(request.ue_id, request.epoch):
+                        self.releases += 1
+                    continue
                 if not isinstance(request, ServiceRequest):
                     continue
                 self._ue_sp[request.ue_id] = request.sp_id
@@ -325,6 +335,7 @@ class BSNodeHandler:
             "grants": [to_wire(g) for g in map(self._as_message, self.agent.ledger.grants.values())],
             "epoch": self.agent.epoch,
             "regrants": self.regrants,
+            "releases": self.releases,
         }
 
     def _as_message(self, grant) -> AssociationGrant:
@@ -356,6 +367,7 @@ class SPNodeHandler:
         # ue_id -> [request, last_relay_round, sp_initiated_retries]
         self._pending: dict[int, list] = {}
         self.retransmits = 0
+        self.releases_relayed = 0
 
     def on_tick(self, phase, round_no, messages, send) -> None:
         """Relay whatever arrived; sweep the retry table in relay_req."""
@@ -369,6 +381,17 @@ class SPNodeHandler:
                 # The UE gave up; nothing left to retry for it.
                 self.agent.forward_to_cloud(message)
                 self._pending.pop(message.ue_id, None)
+            elif isinstance(message, ReleaseNotice):
+                # The UE walked away from that BS: relay the release and
+                # stop retrying the matching request, if any.
+                self.releases_relayed += 1
+                entry = self._pending.get(message.ue_id)
+                if (
+                    entry is not None
+                    and entry[0].target_bs_id == message.bs_id
+                ):
+                    del self._pending[message.ue_id]
+                send(f"bs:{message.bs_id}", message)
             elif isinstance(message, AssociationGrant):
                 relayed = self.agent.relay_grant(message)
                 self._pending.pop(relayed.ue_id, None)
@@ -417,15 +440,24 @@ class SPNodeHandler:
             "cloud_forwards": self.agent.cloud_forwards,
             "cloud_ue_ids": sorted(self.agent.cloud_ue_ids),
             "retransmits": self.retransmits,
+            "releases_relayed": self.releases_relayed,
         }
 
 
 class UEHostHandler:
     """One UE shard process: observe broadcasts, propose, track grants."""
 
-    def __init__(self, agents: dict[int, UEAgent]) -> None:
+    def __init__(
+        self, agents: dict[int, UEAgent], resend_releases: bool = False
+    ) -> None:
         self.agents = agents
         self._order = sorted(agents)
+        # Release notices have no ack; under fault injection a dropped
+        # one would strand the booking it frees, so the host keeps every
+        # notice and re-sends the book each round (the BS ignores
+        # duplicates).  A reliable transport sends each notice once.
+        self.resend_releases = resend_releases
+        self._release_book: dict[tuple[int, int, int], ReleaseNotice] = {}
 
     def on_tick(self, phase, round_no, messages, send) -> None:
         """Apply grants, then broadcasts, then run every UE's proposal."""
@@ -448,6 +480,33 @@ class UEHostHandler:
             proposal = self.agents[ue_id].propose()
             if proposal is not None:
                 send(f"sp:{proposal.sp_id}", proposal)
+        fresh: list[tuple[int, int, int]] = []
+        for ue_id in self._order:
+            for notice in self.agents[ue_id].drain_releases():
+                key = (notice.ue_id, notice.bs_id, notice.epoch)
+                if key not in self._release_book:
+                    self._release_book[key] = notice
+                    fresh.append(key)
+        # Rescind releases for BSs the UE has since re-proposed to: a
+        # re-sent notice arriving after the new grant would free the
+        # legitimate booking and orphan the association.
+        rescinded = [
+            key
+            for key in self._release_book
+            if not self.agents[key[0]].still_released(key[1])
+        ]
+        for key in rescinded:
+            del self._release_book[key]
+            if key in fresh:
+                fresh.remove(key)
+        if self.resend_releases:
+            for key in sorted(self._release_book):
+                notice = self._release_book[key]
+                send(f"sp:{notice.sp_id}", notice)
+        else:
+            for key in fresh:
+                notice = self._release_book[key]
+                send(f"sp:{notice.sp_id}", notice)
 
     def done_extra(self) -> dict:
         """Ack payload: UE hosts report nothing extra."""

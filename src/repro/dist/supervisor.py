@@ -198,7 +198,7 @@ class DistributedDMRAAllocator(Allocator):
                 for ue_id, agent in ue_agents.items()
                 if ue_id % self.ue_hosts == i
             }
-            handler = UEHostHandler(shard)
+            handler = UEHostHandler(shard, resend_releases=plan is not None)
             transport.spawn(
                 f"ue:{i}",
                 _node_body(handler, plan, self.recv_timeout, trace_ctx),
@@ -389,6 +389,7 @@ class DistributedDMRAAllocator(Allocator):
         sp_stats: dict[int, dict] = {}
         postmortems: dict[str, list] = {}
         regrants = 0
+        releases = 0
         for name, result in results.items():
             msgs.update(result["msgs"])
             bytes_.update(result["bytes"])
@@ -397,6 +398,7 @@ class DistributedDMRAAllocator(Allocator):
                 sp_stats[result["state"]["sp_id"]] = result["state"]
             if name.startswith("bs:"):
                 regrants += result["state"]["regrants"]
+                releases += result["state"]["releases"]
                 faults["crashes"] += result["state"]["epoch"]
             if result.get("flight"):
                 postmortems[name] = result["flight"]
@@ -417,6 +419,9 @@ class DistributedDMRAAllocator(Allocator):
                 telemetry.count(f"dist.faults.{event}", n)
         if regrants:
             telemetry.count("dist.faults.regrants", regrants)
+        if releases:
+            # Honored ReleaseNotices: bookings freed instead of stranded.
+            telemetry.count("dist.faults.releases", releases)
         telemetry.gauge("dist.rounds", outcome["rounds"])
         telemetry.gauge("dist.total_rounds", outcome["total_rounds"])
         span.set(
@@ -435,6 +440,7 @@ class DistributedDMRAAllocator(Allocator):
             "bytes": dict(bytes_),
             "faults": dict(faults),
             "regrants": regrants,
+            "releases": releases,
             "orphans": outcome["orphans"],
             "stranded": outcome["stranded"],
             "sp": sp_stats,

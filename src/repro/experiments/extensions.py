@@ -16,7 +16,10 @@ CLI, CSV emission, and charts work uniformly:
 * ``ext-staleness`` — rounds-to-converge and profit under delayed
                       resource broadcasts (the gossip-delay ablation);
 * ``ext-failures``  — profit retained as growing BS outages hit a
-                      loaded deployment.
+                      loaded deployment;
+* ``ext-gap``       — the certified optimality gap (repro.bound
+                      Lagrangian upper bound) and the repeated-auction
+                      baseline's relative profit as the load grows.
 """
 
 from __future__ import annotations
@@ -260,6 +263,56 @@ def _run_ext_failures(
     })
 
 
+def _run_ext_gap(
+    scale: Scale, workers: int | None = None
+) -> SweepResult:
+    """Certified gap and auction-baseline profit as the load grows.
+
+    The gap is certified against the Lagrangian upper bound
+    (:mod:`repro.bound`), so this sweep runs at any scale the matching
+    itself runs at — no ILP in the loop.
+    """
+    from repro.baselines.auction import AuctionAllocator
+    from repro.bound import certify_gap
+
+    config = ScenarioConfig.paper()
+    gap_samples: list[tuple[float, list[float]]] = []
+    auction_samples: list[tuple[float, list[float]]] = []
+    for ue_count in scale.ue_counts:
+        gaps: list[float] = []
+        ratios: list[float] = []
+        for seed in scale.seeds:
+            scenario = build_scenario(config, ue_count, seed)
+            outcome = run_allocation(
+                scenario, DMRAAllocator(pricing=scenario.pricing)
+            )
+            incumbent = outcome.metrics.total_profit
+            certificate = certify_gap(
+                scenario.network,
+                scenario.radio_map,
+                scenario.pricing,
+                incumbent_profit=incumbent,
+            )
+            gaps.append(certificate.gap_fraction * 100.0)
+            auction = run_allocation(
+                scenario, AuctionAllocator(pricing=scenario.pricing)
+            )
+            ratios.append(
+                100.0 * auction.metrics.total_profit / incumbent
+                if incumbent > 0 else 100.0
+            )
+        gap_samples.append((float(ue_count), gaps))
+        auction_samples.append((float(ue_count), ratios))
+    return SweepResult(series={
+        "certified gap %": Series.from_samples(
+            "certified gap %", gap_samples
+        ),
+        "auction profit %": Series.from_samples(
+            "auction profit %", auction_samples
+        ),
+    })
+
+
 EXTENSIONS: dict[str, Experiment] = {
     "ext-iota": Experiment(
         exp_id="ext-iota",
@@ -309,6 +362,13 @@ EXTENSIONS: dict[str, Experiment] = {
         x_label="failed BSs",
         y_label="profit retained %",
         run=_run_ext_failures,
+    ),
+    "ext-gap": Experiment(
+        exp_id="ext-gap",
+        title="Extension: certified optimality gap vs load",
+        x_label="#UEs",
+        y_label="gap % / auction profit %",
+        run=_run_ext_gap,
     ),
 }
 

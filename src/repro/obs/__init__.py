@@ -39,6 +39,7 @@ from repro.obs.metrics import (
     MetricSample,
     MetricsDocument,
     histogram_family,
+    metrics_from_certificates,
     metrics_from_online,
     metrics_from_outcome,
     metrics_from_stream,
@@ -110,6 +111,7 @@ __all__ = [
     "live_snapshot_document",
     "log_bounds",
     "manifests_comparable",
+    "metrics_from_certificates",
     "metrics_from_online",
     "metrics_from_outcome",
     "metrics_from_stream",

@@ -744,6 +744,89 @@ def metrics_from_outcome(
 
 
 # ----------------------------------------------------------------------
+# Derivation: optimality-gap certificates (repro.bound)
+# ----------------------------------------------------------------------
+
+
+def metrics_from_certificates(
+    certificates,
+    baseline_profits: dict | None = None,
+    manifest: dict | None = None,
+) -> MetricsDocument:
+    """Derive gap-certification families from :mod:`repro.bound` output.
+
+    One sample per bound method (``lp`` / ``lagrangian``) for the upper
+    bound, the certified gap fraction, and the iteration count; plus one
+    sample per strategic baseline allocator's achieved profit.  These
+    are the families the ``gap-gate`` CI job diffs against its committed
+    baseline — a gap that widens is a solution-quality regression even
+    when every unit test still passes.
+    """
+    certificates = list(certificates)
+    if not certificates:
+        raise ConfigurationError(
+            "metrics_from_certificates needs at least one certificate"
+        )
+    build = _Builder()
+    build.add(
+        "dmra_bound_upper", "gauge",
+        "Certified upper bound on the TPM objective (Def. 1), per method",
+        [
+            MetricSample.of(cert.upper_bound, method=cert.method)
+            for cert in certificates
+        ],
+    )
+    build.add(
+        "dmra_gap_fraction", "gauge",
+        "Certified optimality gap: (upper - incumbent) / upper, per method",
+        [
+            MetricSample.of(cert.gap_fraction, method=cert.method)
+            for cert in certificates
+        ],
+    )
+    build.add(
+        "dmra_bound_iterations", "gauge",
+        "Bound-solver iterations (subgradient steps; 1 for the LP)",
+        [
+            MetricSample.of(cert.iterations, method=cert.method)
+            for cert in certificates
+        ],
+    )
+    build.add(
+        "dmra_bound_converged", "gauge",
+        "Whether the bound solver converged (1) or hit its budget (0)",
+        [
+            MetricSample.of(1.0 if cert.converged else 0.0, method=cert.method)
+            for cert in certificates
+        ],
+    )
+    build.add(
+        "dmra_wall_bound_seconds", "gauge",
+        "Bound-solver wall time (timing; ignored by diffs by default)",
+        [
+            MetricSample.of(cert.wall_time_s, method=cert.method)
+            for cert in certificates
+        ],
+        unit="seconds",
+    )
+    build.scalar(
+        "dmra_incumbent_profit", "gauge",
+        "The feasible profit the gap is certified against",
+        certificates[0].incumbent_profit,
+    )
+    if baseline_profits:
+        build.add(
+            "dmra_baseline_profit", "gauge",
+            "Achieved profit of each comparison allocator",
+            [
+                MetricSample.of(profit, allocator=name)
+                for name, profit in sorted(baseline_profits.items())
+            ],
+        )
+    return build.document(manifest)
+
+
+# ----------------------------------------------------------------------
 # Derivation: online simulation outcome
 # ----------------------------------------------------------------------
 

@@ -1,0 +1,143 @@
+"""The certification sandwich, on MILP-solvable scenarios.
+
+For every scenario small enough that HiGHS can solve the exact ILP, the
+chain of bounds must hold::
+
+    lagrangian dual >= LP relaxation >= ILP optimum >= feasible profit
+
+Note the direction: the (truncated) Lagrangian dual of the per-BS
+capacity constraints upper-bounds the LP value — weak duality makes it
+valid at any iteration count, and because the per-UE subproblem left
+after dualizing Eqs. 12/14 is integral, the dual *optimum* equals the
+LP value exactly (no duality gap beyond the relaxation itself).  The
+LP dominates the ILP optimum, which dominates every feasible
+assignment any allocator produces.  See docs/bounds.md.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.auction import AuctionAllocator
+from repro.baselines.best_response import BestResponseAllocator
+from repro.baselines.optimal import OptimalILPAllocator
+from repro.bound import certify_gap, compile_bound_problem, lagrangian_bound, lp_bound
+from repro.core.dmra import DMRAAllocator
+from repro.econ.accounting import compute_profit
+from repro.sim.config import ScenarioConfig
+from repro.sim.scenario import build_scenario
+
+scenario_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "ue_count": st.integers(min_value=1, max_value=40),
+        "placement": st.sampled_from(["regular", "random"]),
+        "rho": st.sampled_from([0.0, 1.0, 10.0, 50.0]),
+    }
+)
+
+RELAXED = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def make_scenario(params):
+    config = ScenarioConfig.paper(
+        placement=params["placement"], rho=params["rho"]
+    )
+    return build_scenario(config, params["ue_count"], params["seed"])
+
+
+def profit_of(scenario, allocator):
+    assignment = allocator.allocate(scenario.network, scenario.radio_map)
+    assignment.validate(scenario.network, scenario.radio_map)
+    return compute_profit(
+        scenario.network, assignment.grants, scenario.pricing
+    ).total_profit
+
+
+def tol(value: float) -> float:
+    return 1e-6 * max(1.0, abs(value))
+
+
+@RELAXED
+@given(params=scenario_params)
+def test_certification_sandwich(params):
+    scenario = make_scenario(params)
+    network, radio_map = scenario.network, scenario.radio_map
+    pricing = scenario.pricing
+
+    ilp_profit = profit_of(scenario, OptimalILPAllocator(pricing=pricing))
+    lp = lp_bound(network, radio_map, pricing)
+    problem = compile_bound_problem(network, radio_map, pricing)
+    lag = lagrangian_bound(
+        problem, max_iterations=300, target=ilp_profit
+    ).upper_bound
+
+    assert lag >= lp - tol(lp)
+    assert lp >= ilp_profit - tol(ilp_profit)
+    for allocator in (
+        DMRAAllocator(pricing=pricing, rho=params["rho"]),
+        BestResponseAllocator(pricing=pricing),
+        BestResponseAllocator(pricing=pricing, load_weight=1.0),
+        AuctionAllocator(pricing=pricing),
+    ):
+        feasible = profit_of(scenario, allocator)
+        assert ilp_profit >= feasible - tol(feasible), allocator.name
+
+
+@RELAXED
+@given(params=scenario_params)
+def test_certified_gap_is_a_true_ceiling(params):
+    """The certified gap_fraction upper-bounds the true optimality gap
+    of the DMRA incumbent (measured against the exact ILP)."""
+    scenario = make_scenario(params)
+    incumbent = profit_of(
+        scenario, DMRAAllocator(pricing=scenario.pricing, rho=params["rho"])
+    )
+    ilp_profit = profit_of(
+        scenario, OptimalILPAllocator(pricing=scenario.pricing)
+    )
+    certificate = certify_gap(
+        scenario.network,
+        scenario.radio_map,
+        scenario.pricing,
+        incumbent_profit=incumbent,
+        method="lagrangian",
+        max_iterations=300,
+    )
+    if certificate.upper_bound > 0:
+        true_gap = max(
+            0.0,
+            (ilp_profit - incumbent) / certificate.upper_bound,
+        )
+        assert certificate.gap_fraction >= true_gap - 1e-9
+
+
+def test_sandwich_on_contended_fixture(small_scenario):
+    """Deterministic spot check on the shared 120-UE paper scenario."""
+    network = small_scenario.network
+    radio_map = small_scenario.radio_map
+    pricing = small_scenario.pricing
+    ilp_profit = profit_of(
+        small_scenario, OptimalILPAllocator(pricing=pricing)
+    )
+    lp = lp_bound(network, radio_map, pricing)
+    lag = lagrangian_bound(
+        compile_bound_problem(network, radio_map, pricing),
+        max_iterations=300,
+        target=ilp_profit,
+    ).upper_bound
+    dmra_profit = profit_of(small_scenario, DMRAAllocator(pricing=pricing))
+    assert lag >= lp - tol(lp) >= ilp_profit - 2 * tol(ilp_profit)
+    assert ilp_profit >= dmra_profit - tol(dmra_profit)
+    certificate = certify_gap(
+        network, radio_map, pricing,
+        incumbent_profit=dmra_profit, method="lagrangian",
+    )
+    assert certificate.gap_fraction == pytest.approx(
+        max(0.0, (certificate.upper_bound - dmra_profit)
+            / certificate.upper_bound)
+    )

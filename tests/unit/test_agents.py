@@ -509,3 +509,103 @@ class TestFreshnessAndEpochs:
         assert not self.stamped(seq=2, rrbs=3).same_resources(a)
         assert not self.stamped(seq=2, epoch=1).same_resources(a)
         assert not a.same_resources(None)
+
+
+class TestReleaseProtocol:
+    """The explicit-release handshake that keeps BS ledgers and UE
+    associations consistent under lossy transports."""
+
+    def two_bs_agent(self):
+        return UEAgent(
+            make_ue(),
+            candidates=[
+                _CandidateInfo(bs_id=0, price_per_cru=2.0, rrbs_required=1),
+                _CandidateInfo(bs_id=1, price_per_cru=5.0, rrbs_required=2),
+            ],
+            rho=0.0,
+        )
+
+    def grant(self, bs_id, epoch=0):
+        return AssociationGrant(
+            bs_id=bs_id, ue_id=0, service_id=0, crus=4, rrbs=1, epoch=epoch
+        )
+
+    def test_duplicate_grant_declined_with_release(self):
+        agent = self.two_bs_agent()
+        assert agent.receive_grant(self.grant(0))
+        # A second BS also answered (our re-sent proposal): keep the
+        # first association, release the second booking.
+        assert not agent.receive_grant(self.grant(1))
+        assert agent.associated_bs == 0
+        (notice,) = agent.drain_releases()
+        assert (notice.ue_id, notice.bs_id, notice.epoch) == (0, 1, 0)
+        assert agent.drain_releases() == []  # drained on read
+
+    def test_grant_from_released_bs_requeues_release(self):
+        agent2 = self.two_bs_agent()
+        assert agent2.receive_grant(self.grant(0))
+        assert not agent2.receive_grant(self.grant(1))
+        agent2.drain_releases()
+        # The declined BS re-sends the same grant (its release was
+        # lost): the UE re-queues the release instead of accepting.
+        assert not agent2.receive_grant(self.grant(1))
+        (notice,) = agent2.drain_releases()
+        assert notice.bs_id == 1
+
+    def test_switching_targets_releases_the_abandoned_proposal(self):
+        agent = self.two_bs_agent()
+        agent.observe(broadcast(0))
+        agent.observe(broadcast(1))
+        first = agent.propose()
+        assert first.target_bs_id == 0  # cheapest
+        # BS 0 fills up before answering; the UE walks to BS 1 and must
+        # release the possibly-granted proposal it abandons.
+        agent.observe(ResourceBroadcast(
+            bs_id=0, remaining_crus={0: 0, 1: 0}, remaining_rrbs=0, seq=1
+        ))
+        second = agent.propose()
+        assert second.target_bs_id == 1
+        (notice,) = agent.drain_releases()
+        assert notice.bs_id == 0
+        assert agent.still_released(0)
+
+    def test_reproposal_rescinds_the_release(self):
+        agent = self.two_bs_agent()
+        assert agent.receive_grant(self.grant(0))
+        assert not agent.receive_grant(self.grant(1))
+        agent.drain_releases()
+        assert agent.still_released(1)
+        # BS 0 crashes (epoch bump) -> the UE re-enters the matching and
+        # may legitimately re-propose to the BS it released earlier.
+        agent.observe(ResourceBroadcast(
+            bs_id=0, remaining_crus={0: 0, 1: 0}, remaining_rrbs=0, epoch=1
+        ))
+        agent.observe(broadcast(1))
+        message = agent.propose()
+        assert message.target_bs_id == 1
+        # The release for BS 1 is rescinded: a transport must stop
+        # re-sending it, or it would free the upcoming booking.
+        assert not agent.still_released(1)
+
+    def test_bs_honors_release_only_for_current_epoch_bookings(self):
+        agent = make_bs_agent()
+        agent.deliver(request(ue_id=0, crus=4, rrbs=2))
+        (granted,) = agent.process_round()
+        assert granted.ue_id == 0
+        # Wrong epoch: the booking belongs to a newer ledger life.
+        assert not agent.release(0, epoch=granted.epoch + 1)
+        assert agent.ledger.remaining_crus(0) == 16
+        # Unknown UE: nothing to free.
+        assert not agent.release(99, epoch=granted.epoch)
+        # Matching epoch and booked UE: the reservation is freed.
+        assert agent.release(0, epoch=granted.epoch)
+        assert agent.ledger.remaining_crus(0) == 20
+        assert agent.broadcast().remaining_rrbs == 10
+
+    def test_release_notice_round_trips_the_wire(self):
+        from repro.core.messages import ReleaseNotice, from_wire, to_wire
+
+        notice = ReleaseNotice(ue_id=3, sp_id=1, bs_id=7, epoch=2)
+        payload = to_wire(notice)
+        assert payload["k"] == "release"
+        assert from_wire(payload) == notice

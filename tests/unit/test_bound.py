@@ -1,0 +1,241 @@
+"""Unit tests for the optimality-gap certification subsystem
+(:mod:`repro.bound`).
+
+The ordering being verified throughout (and in the integration sandwich
+test) is::
+
+    lagrangian >= lp >= ilp optimum >= any feasible profit
+
+The Lagrangian dual of the per-BS capacity constraints is an upper
+bound on the LP value at *any* truncation (weak duality); at its
+optimum it equals the LP value because the remaining per-UE subproblem
+is integral.  The LP relaxation in turn dominates the ILP optimum,
+which dominates every feasible assignment.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import make_tiny_network
+from repro.baselines.optimal import OptimalILPAllocator
+from repro.bound import (
+    GapCertificate,
+    certify_gap,
+    compile_bound_problem,
+    lagrangian_bound,
+    lp_bound,
+)
+from repro.econ.accounting import compute_profit, marginal_profit
+from repro.econ.pricing import PaperPricing
+from repro.errors import ConfigurationError
+from repro.obs import metrics_from_certificates
+from repro.radio.channel import build_radio_map
+from repro.radio.sinr import LinkBudget
+
+PRICING = PaperPricing(base_price=1.0, cross_sp_markup=2.0, distance_weight=0.01)
+
+
+def tiny_problem():
+    network = make_tiny_network()
+    radio_map = build_radio_map(network, LinkBudget())
+    return network, radio_map
+
+
+class TestBoundProblem:
+    def test_csr_layout_is_consistent(self):
+        network, radio_map = tiny_problem()
+        problem = compile_bound_problem(network, radio_map, PRICING)
+        assert problem.n_ue == len(network.user_equipments)
+        assert problem.indptr.shape == (problem.n_ue + 1,)
+        assert problem.indptr[-1] == problem.n_pairs
+        assert problem.pair_profit.shape == (problem.n_pairs,)
+        # Every pair row index lies inside its UE's CSR slice.
+        for row in range(problem.n_ue):
+            lo, hi = problem.indptr[row], problem.indptr[row + 1]
+            assert (problem.row_of_pair[lo:hi] == row).all()
+
+    def test_pair_profit_matches_scalar_accounting(self):
+        """The vectorized profit column is the scalar marginal_profit."""
+        network, radio_map = tiny_problem()
+        problem = compile_bound_problem(network, radio_map, PRICING)
+        for k in range(problem.n_pairs):
+            ue_id = int(problem.ue_ids[problem.row_of_pair[k]])
+            bs_id = int(problem.bs_ids[problem.pair_bs[k]])
+            expected = marginal_profit(network, ue_id, bs_id, PRICING)
+            assert problem.pair_profit[k] == pytest.approx(expected)
+
+    def test_capacity_vectors_cover_every_bs(self):
+        network, radio_map = tiny_problem()
+        problem = compile_bound_problem(network, radio_map, PRICING)
+        assert problem.cap_rrb.shape == (problem.n_bs,)
+        assert (problem.cap_rrb >= 0).all()
+        assert problem.cap_cru.shape == (
+            problem.n_bs * len(problem.service_ids),
+        )
+
+    def test_estimated_bytes_positive(self):
+        network, radio_map = tiny_problem()
+        problem = compile_bound_problem(network, radio_map, PRICING)
+        assert problem.estimated_bytes() > 0
+
+
+class TestLagrangianBound:
+    def test_dominates_lp_value(self):
+        network, radio_map = tiny_problem()
+        problem = compile_bound_problem(network, radio_map, PRICING)
+        outcome = lagrangian_bound(problem, max_iterations=200)
+        lp = lp_bound(network, radio_map, PRICING)
+        assert outcome.upper_bound >= lp - 1e-6 * max(1.0, abs(lp))
+
+    def test_initial_bound_is_capacity_blind_sum(self):
+        """At zero multipliers the dual is the sum of each UE's best
+        positive profit, ignoring capacity — the loosest valid bound."""
+        network, radio_map = tiny_problem()
+        problem = compile_bound_problem(network, radio_map, PRICING)
+        outcome = lagrangian_bound(problem, max_iterations=0)
+        blind = 0.0
+        for row in range(problem.n_ue):
+            lo, hi = problem.indptr[row], problem.indptr[row + 1]
+            if hi > lo:
+                blind += max(0.0, float(problem.pair_profit[lo:hi].max()))
+        assert outcome.initial_bound == pytest.approx(blind)
+        assert outcome.upper_bound <= outcome.initial_bound + 1e-12
+
+    def test_iterations_respect_budget(self):
+        network, radio_map = tiny_problem()
+        problem = compile_bound_problem(network, radio_map, PRICING)
+        outcome = lagrangian_bound(problem, max_iterations=3)
+        assert outcome.iterations <= 3
+
+    def test_chunked_solve_matches_unchunked(self):
+        network, radio_map = tiny_problem()
+        problem = compile_bound_problem(network, radio_map, PRICING)
+        whole = lagrangian_bound(problem, max_iterations=50)
+        chunked = lagrangian_bound(problem, max_iterations=50, chunk_ues=1)
+        assert chunked.upper_bound == pytest.approx(whole.upper_bound)
+
+
+class TestLPBound:
+    def test_dominates_ilp_optimum(self, small_scenario):
+        network = small_scenario.network
+        radio_map = small_scenario.radio_map
+        pricing = small_scenario.pricing
+        ilp = OptimalILPAllocator(pricing=pricing).allocate(
+            network, radio_map
+        )
+        ilp_profit = compute_profit(
+            network, ilp.grants, pricing
+        ).total_profit
+        lp = lp_bound(network, radio_map, pricing)
+        assert lp >= ilp_profit - 1e-6 * max(1.0, abs(ilp_profit))
+
+    def test_relaxed_allocator_refuses_allocate(self):
+        network, radio_map = tiny_problem()
+        allocator = OptimalILPAllocator(pricing=PRICING, relaxed=True)
+        with pytest.raises(ConfigurationError):
+            allocator.allocate(network, radio_map)
+        assert allocator.objective_bound(network, radio_map) >= 0.0
+
+    def test_guard_message_reports_count_and_alternative(self):
+        network, radio_map = tiny_problem()
+        allocator = OptimalILPAllocator(pricing=PRICING, max_variables=1)
+        with pytest.raises(ConfigurationError) as excinfo:
+            allocator.allocate(network, radio_map)
+        message = str(excinfo.value)
+        assert "repro.bound" in message
+        # The actual candidate-variable count, not just the cap.
+        assert any(token.isdigit() and int(token) > 1
+                   for token in message.replace(",", " ").split())
+
+
+class TestCertifyGap:
+    def test_unknown_method_rejected(self):
+        network, radio_map = tiny_problem()
+        with pytest.raises(ConfigurationError):
+            certify_gap(network, radio_map, PRICING, method="milp")
+
+    def test_lp_and_lagrangian_certificates_agree_on_tiny(self):
+        network, radio_map = tiny_problem()
+        lp_cert = certify_gap(network, radio_map, PRICING, method="lp")
+        lag_cert = certify_gap(
+            network, radio_map, PRICING, method="lagrangian",
+            max_iterations=300,
+        )
+        assert lag_cert.upper_bound >= lp_cert.upper_bound - 1e-6
+        assert lp_cert.iterations == 1
+        assert lp_cert.wall_time_s >= 0.0
+
+    def test_gap_fraction_clamps(self):
+        assert GapCertificate(
+            method="lp", upper_bound=0.0, incumbent_profit=0.0,
+            iterations=1, wall_time_s=0.0, converged=True,
+        ).gap_fraction == 0.0
+        # Incumbent above the bound (numerical noise): clamp at zero.
+        assert GapCertificate(
+            method="lp", upper_bound=10.0, incumbent_profit=11.0,
+            iterations=1, wall_time_s=0.0, converged=True,
+        ).gap_fraction == 0.0
+        assert GapCertificate(
+            method="lp", upper_bound=10.0, incumbent_profit=9.0,
+            iterations=1, wall_time_s=0.0, converged=True,
+        ).gap_fraction == pytest.approx(0.1)
+
+    def test_as_dict_round_trip_keys(self):
+        network, radio_map = tiny_problem()
+        cert = certify_gap(
+            network, radio_map, PRICING,
+            incumbent_profit=1.0, method="lagrangian",
+        )
+        payload = cert.as_dict()
+        assert set(payload) == {
+            "method", "upper_bound", "incumbent_profit", "gap_fraction",
+            "iterations", "wall_time_s", "converged",
+        }
+
+
+class TestCertificateMetrics:
+    def certificate(self, method="lagrangian", upper=10.0, profit=9.0):
+        return GapCertificate(
+            method=method, upper_bound=upper, incumbent_profit=profit,
+            iterations=5, wall_time_s=0.01, converged=True,
+        )
+
+    def test_families_and_labels(self):
+        document = metrics_from_certificates(
+            [self.certificate("lp"), self.certificate("lagrangian")],
+            baseline_profits={"auction": 8.0},
+        )
+        for family in (
+            "dmra_bound_upper",
+            "dmra_gap_fraction",
+            "dmra_bound_iterations",
+            "dmra_bound_converged",
+            "dmra_incumbent_profit",
+            "dmra_baseline_profit",
+        ):
+            assert document.has_family(family), family
+        gaps = document.family("dmra_gap_fraction")
+        assert gaps.sample(method="lp") == pytest.approx(0.1)
+        assert document.family("dmra_baseline_profit").sample(
+            allocator="auction"
+        ) == pytest.approx(8.0)
+
+    def test_wall_time_family_is_diff_ignored(self):
+        from repro.obs import DiffTolerances
+
+        document = metrics_from_certificates([self.certificate()])
+        assert document.has_family("dmra_wall_bound_seconds")
+        assert DiffTolerances().ignored("dmra_wall_bound_seconds")
+
+    def test_empty_certificate_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            metrics_from_certificates([])
+
+
+class TestNumpyHygiene:
+    def test_problem_arrays_are_numpy(self):
+        network, radio_map = tiny_problem()
+        problem = compile_bound_problem(network, radio_map, PRICING)
+        for name in ("indptr", "pair_profit", "pair_cru", "pair_rrb",
+                     "cap_cru", "cap_rrb"):
+            assert isinstance(getattr(problem, name), np.ndarray), name

@@ -132,3 +132,44 @@ class TestFigureCommand:
 
         with pytest.raises(ConfigurationError):
             main(["figure", "fig99", "--scale", "smoke"])
+
+
+class TestBoundCommand:
+    def test_bound_both_methods_with_baselines(self, capsys):
+        assert main([
+            "bound", "--ues", "60", "--seed", "1",
+            "--method", "both", "--baselines", "auction",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "lp bound:" in output
+        assert "lagrangian bound:" in output
+        assert "certified gap:" in output
+        assert "auction:" in output
+
+    def test_bound_writes_metric_families(self, tmp_path, capsys):
+        target = tmp_path / "bound.json"
+        assert main([
+            "bound", "--ues", "60", "--seed", "1",
+            "--metrics", str(target),
+        ]) == 0
+        capsys.readouterr()
+        import json
+
+        document = json.loads(target.read_text())
+        names = {family["name"] for family in document["families"]}
+        assert "dmra_gap_fraction" in names
+        assert "dmra_bound_upper" in names
+
+    def test_run_with_bound_flag(self, capsys):
+        assert main([
+            "run", "--ues", "60", "--seed", "1",
+            "--bound", "lagrangian",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "upper bound:" in output
+        assert "certified gap:" in output
+
+    def test_run_each_strategic_baseline(self, capsys):
+        for name in ("best-response", "potential-game", "auction"):
+            assert main(["run", "--allocator", name, "--ues", "40"]) == 0
+            assert "total profit:" in capsys.readouterr().out

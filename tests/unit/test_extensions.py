@@ -21,6 +21,7 @@ class TestRegistry:
             "ext-scaling",
             "ext-staleness",
             "ext-failures",
+            "ext-gap",
         }
 
     def test_unknown_extension_rejected(self):
@@ -84,6 +85,15 @@ class TestExtensionRuns:
         values = list(retained.means)
         assert values[-1] <= values[0]
         assert all(0.0 <= v <= 100.0 for v in values)
+
+    def test_ext_gap_certifies_a_small_ceiling(self):
+        result = get_extension("ext-gap").run(Scale.smoke())
+        gap = result["certified gap %"]
+        # A certified gap is a ceiling: nonnegative, and DMRA should sit
+        # well within 50% of the upper bound at smoke loads.
+        assert all(0.0 <= v <= 50.0 for v in gap.means)
+        auction = result["auction profit %"]
+        assert all(v > 0.0 for v in auction.means)
 
     def test_ext_scaling_density_helps_price_aware_schemes(self):
         result = get_extension("ext-scaling").run(Scale.smoke())
